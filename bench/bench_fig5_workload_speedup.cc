@@ -1,0 +1,85 @@
+// Figure 5 — Workload speedup: impact of the reuse algorithms on
+// VBENCH-LOW and VBENCH-HIGH over the MEDIUM-UA-DETRAC video set.
+//
+// Paper shapes to reproduce: EVA ≈ 4x on VBENCH-HIGH and ≈ 1.3x on
+// VBENCH-LOW; FunCache below 1x on VBENCH-LOW (hashing overhead) and well
+// below EVA on VBENCH-HIGH; HashStash ≈ 2x on VBENCH-HIGH. No-reuse
+// totals ≈ 0.96 h (LOW) and ≈ 3.1 h (HIGH) of simulated time. The §5.2
+// upper bound (Eq. 7) is printed per workload.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace eva;            // NOLINT
+using namespace eva::bench;     // NOLINT
+using optimizer::ReuseMode;
+
+namespace {
+
+// Eq. 7: upper bound on workload speedup = total UDF cost / distinct UDF
+// cost, computed from a no-reuse run plus the final distinct counts of an
+// EVA run over the same queries.
+double SpeedupUpperBound(const vbench::WorkloadResult& noreuse,
+                         engine::EvaEngine* eva_engine,
+                         const catalog::VideoInfo& video) {
+  double total_cost = 0;
+  std::map<std::string, int64_t> totals;
+  for (const auto& q : noreuse.queries) {
+    for (const auto& [udf, n] : q.metrics.invocations) totals[udf] += n;
+  }
+  double distinct_cost = 0;
+  for (const auto& [udf, n] : totals) {
+    auto def = eva_engine->catalog().GetUdf(udf);
+    if (!def.ok()) continue;
+    total_cost += def.value().cost_ms * static_cast<double>(n);
+    int64_t distinct = eva_engine->DistinctInvocations(udf, video.name);
+    distinct_cost += def.value().cost_ms * static_cast<double>(distinct);
+  }
+  return distinct_cost > 0 ? total_cost / distinct_cost : 1.0;
+}
+
+}  // namespace
+
+int main() {
+  catalog::VideoInfo video = vbench::MediumUaDetrac();
+  struct SetDef {
+    const char* name;
+    std::vector<std::string> queries;
+  };
+  std::vector<SetDef> sets = {
+      {"VBENCH-LOW", vbench::VbenchLow(video.name, video.num_frames)},
+      {"VBENCH-HIGH", vbench::VbenchHigh(video.name, video.num_frames)},
+  };
+
+  PrintHeader("Figure 5: Workload speedup (MEDIUM-UA-DETRAC)");
+  std::printf("%-12s %-10s %12s %10s %8s\n", "workload", "mode",
+              "total(h)", "speedup", "hit%");
+  for (auto& set : sets) {
+    double baseline_ms = 0;
+    vbench::WorkloadResult noreuse_result;
+    // Keep an EVA engine alive to read distinct counts for Eq. 7.
+    auto eva_engine = Unwrap(vbench::MakeEngine(ReuseMode::kEva, video),
+                             "eva engine");
+    for (ReuseMode mode : {ReuseMode::kNoReuse, ReuseMode::kHashStash,
+                           ReuseMode::kFunCache, ReuseMode::kEva}) {
+      vbench::WorkloadResult r;
+      if (mode == ReuseMode::kEva) {
+        r = Unwrap(vbench::RunWorkload(eva_engine.get(), set.queries),
+                   "eva workload");
+      } else {
+        r = RunMode(mode, video, set.queries);
+      }
+      if (mode == ReuseMode::kNoReuse) {
+        baseline_ms = r.total_ms;
+        noreuse_result = r;
+      }
+      std::printf("%-12s %-10s %12.3f %9.2fx %7.2f%%\n", set.name,
+                  optimizer::ReuseModeName(mode), Hours(r.total_ms),
+                  baseline_ms / r.total_ms, r.HitPercentage());
+    }
+    std::printf("%-12s upper bound on speedup (Eq. 7): %.2fx\n", set.name,
+                SpeedupUpperBound(noreuse_result, eva_engine.get(), video));
+  }
+  return 0;
+}

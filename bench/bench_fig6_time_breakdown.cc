@@ -1,0 +1,61 @@
+// Figure 6 — (a) per-query time breakdown (log scale in the paper) of the
+// eight VBENCH-HIGH queries under EVA, split into No-Reuse-equivalent UDF
+// work, actual UDF work, and reuse overheads; (b) the sources of overhead
+// (materialization, optimization, apply, read) per query.
+//
+// Paper shapes: the first three queries pay full UDF cost (cold views);
+// later queries are up to two orders of magnitude cheaper; the optimizer
+// overhead is negligible; reading frames + views dominates the remaining
+// overhead.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace eva;         // NOLINT
+using namespace eva::bench;  // NOLINT
+using optimizer::ReuseMode;
+
+int main() {
+  catalog::VideoInfo video = vbench::MediumUaDetrac();
+  auto queries = vbench::VbenchHigh(video.name, video.num_frames);
+
+  vbench::WorkloadResult noreuse =
+      RunMode(ReuseMode::kNoReuse, video, queries);
+  vbench::WorkloadResult evar = RunMode(ReuseMode::kEva, video, queries);
+
+  PrintHeader("Figure 6a: per-query time breakdown under EVA (seconds)");
+  std::printf("%-4s %12s %10s %10s %10s\n", "Q", "no-reuse(s)", "eva(s)",
+              "udf(s)", "reuse(s)");
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto& m = evar.queries[i].metrics;
+    double total = m.TotalMs() / 1000.0;
+    double udf = m.breakdown[CostCategory::kUdf] / 1000.0;
+    std::printf("Q%-3zu %12.1f %10.1f %10.1f %10.1f\n", i + 1,
+                noreuse.queries[i].metrics.TotalMs() / 1000.0, total, udf,
+                total - udf -
+                    m.breakdown[CostCategory::kReadVideo] / 1000.0);
+  }
+
+  PrintHeader("Figure 6b: sources of overhead per query (seconds)");
+  std::printf("%-4s %14s %13s %9s %9s\n", "Q", "materialize(s)",
+              "optimize(s)", "apply(s)", "read(s)");
+  double max_opt = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto& m = evar.queries[i].metrics;
+    double apply = m.breakdown[CostCategory::kOther] / 1000.0;
+    double read = (m.breakdown[CostCategory::kReadVideo] +
+                   m.breakdown[CostCategory::kReadView]) /
+                  1000.0;
+    double opt = m.breakdown[CostCategory::kOptimize] / 1000.0;
+    max_opt = std::max(max_opt, opt);
+    std::printf("Q%-3zu %14.2f %13.2f %9.2f %9.2f\n", i + 1,
+                m.breakdown[CostCategory::kMaterialize] / 1000.0, opt,
+                apply, read);
+  }
+  std::printf("\nOptimizer overhead stays below %.2f s per query — the "
+              "semantic reuse analysis is cheap (§5.3).\n",
+              max_opt);
+  return 0;
+}

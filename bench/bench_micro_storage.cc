@@ -1,0 +1,99 @@
+// Microbenchmarks (google-benchmark) for the storage substrate: view
+// probe/append throughput (the conditional apply's inner loop) and
+// synthetic-video generation/statistics costs.
+
+#include <benchmark/benchmark.h>
+
+#include "storage/statistics.h"
+#include "storage/view_store.h"
+#include "vbench/vbench.h"
+#include "vision/synthetic_video.h"
+
+namespace {
+
+using eva::Row;
+using eva::Schema;
+using eva::Value;
+using eva::storage::MaterializedView;
+using eva::storage::ViewKey;
+
+Schema DetSchema() {
+  return Schema({{"obj", eva::DataType::kInt64},
+                 {"label", eva::DataType::kString},
+                 {"area", eva::DataType::kDouble},
+                 {"score", eva::DataType::kDouble}});
+}
+
+void BM_ViewPut(benchmark::State& state) {
+  for (auto _ : state) {
+    MaterializedView view("bench", DetSchema());
+    for (int64_t f = 0; f < state.range(0); ++f) {
+      std::vector<Row> rows;
+      for (int o = 0; o < 8; ++o) {
+        rows.push_back({Value(static_cast<int64_t>(o)), Value("car"),
+                        Value(0.3), Value(0.9)});
+      }
+      view.Put(ViewKey{f, -1}, std::move(rows));
+    }
+    benchmark::DoNotOptimize(view.num_rows());
+  }
+}
+BENCHMARK(BM_ViewPut)->Arg(1000)->Arg(10000);
+
+void BM_ViewProbe(benchmark::State& state) {
+  MaterializedView view("bench", DetSchema());
+  const int64_t n = 20000;
+  for (int64_t f = 0; f < n; ++f) {
+    view.Put(ViewKey{f, -1},
+             {{Value(static_cast<int64_t>(0)), Value("car"), Value(0.3),
+               Value(0.9)}});
+  }
+  int64_t f = 0;
+  for (auto _ : state) {
+    f = (f + 7919) % (2 * n);  // half hits, half misses
+    bool has = view.Has(ViewKey{f, -1});
+    if (has) benchmark::DoNotOptimize(view.Get(ViewKey{f, -1}));
+    benchmark::DoNotOptimize(has);
+  }
+}
+BENCHMARK(BM_ViewProbe);
+
+void BM_SyntheticVideoGeneration(benchmark::State& state) {
+  eva::catalog::VideoInfo info = eva::vbench::ShortUaDetrac();
+  info.num_frames = state.range(0);
+  for (auto _ : state) {
+    eva::vision::SyntheticVideo video(info);
+    benchmark::DoNotOptimize(video.FrameObjects(0).size());
+  }
+}
+BENCHMARK(BM_SyntheticVideoGeneration)->Arg(1000)->Arg(7500);
+
+void BM_StatisticsBuild(benchmark::State& state) {
+  eva::catalog::VideoInfo info = eva::vbench::ShortUaDetrac();
+  info.num_frames = 7500;
+  eva::vision::SyntheticVideo video(info);
+  for (auto _ : state) {
+    eva::storage::StatisticsManager stats(video);
+    benchmark::DoNotOptimize(stats.num_frames());
+  }
+}
+BENCHMARK(BM_StatisticsBuild);
+
+void BM_HistogramSelectivity(benchmark::State& state) {
+  eva::catalog::VideoInfo info = eva::vbench::ShortUaDetrac();
+  info.num_frames = 2000;
+  eva::vision::SyntheticVideo video(info);
+  eva::storage::StatisticsManager stats(video);
+  auto constraint = eva::symbolic::DimConstraint::Numeric(
+      eva::symbolic::DimKind::kReal,
+      eva::symbolic::Interval::GreaterThan(0.3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stats.ConstraintSelectivity("area", constraint));
+  }
+}
+BENCHMARK(BM_HistogramSelectivity);
+
+}  // namespace
+
+BENCHMARK_MAIN();

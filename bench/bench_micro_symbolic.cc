@@ -1,0 +1,120 @@
+// Microbenchmarks (google-benchmark) for the symbolic engine: the paper's
+// §5.3 claim that the optimizer overhead is negligible rests on these
+// operations being fast — INTER/DIFF/UNION plus Algorithm 1 reduction run
+// once per UDF occurrence per query.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "symbolic/predicate.h"
+
+namespace {
+
+using eva::Rng;
+using eva::symbolic::Conjunct;
+using eva::symbolic::DimConstraint;
+using eva::symbolic::DimKind;
+using eva::symbolic::Interval;
+using eva::symbolic::Predicate;
+
+// Builds a coverage predicate of `n` overlapping range conjuncts over
+// (id, area, label) — the shape the UDFMANAGER accumulates on vbench.
+Predicate CoverageOfSize(int n, uint64_t seed) {
+  Rng rng(seed);
+  Predicate p = Predicate::False();
+  for (int i = 0; i < n; ++i) {
+    Conjunct c;
+    double lo = static_cast<double>(rng.NextBelow(10000));
+    double len = 1000 + static_cast<double>(rng.NextBelow(4000));
+    c.Constrain("id",
+                DimConstraint::Numeric(
+                    DimKind::kInteger,
+                    Interval(Interval::AtLeast(lo).lo(),
+                             Interval::AtMost(lo + len).hi())));
+    c.Constrain("area",
+                DimConstraint::Numeric(
+                    DimKind::kReal,
+                    Interval::GreaterThan(0.05 *
+                                          static_cast<double>(
+                                              rng.NextBelow(8)))));
+    c.Constrain("label", DimConstraint::Categorical({"car"}, false));
+    p.AddConjunct(std::move(c));
+  }
+  return p;
+}
+
+Predicate QueryPred(uint64_t seed) {
+  Rng rng(seed);
+  Conjunct c;
+  double lo = static_cast<double>(rng.NextBelow(10000));
+  c.Constrain("id", DimConstraint::Numeric(
+                        DimKind::kInteger,
+                        Interval(Interval::AtLeast(lo).lo(),
+                                 Interval::AtMost(lo + 5000).hi())));
+  c.Constrain("label", DimConstraint::Categorical({"car"}, false));
+  return Predicate::FromConjunct(std::move(c));
+}
+
+void BM_Reduce(benchmark::State& state) {
+  Predicate p = CoverageOfSize(static_cast<int>(state.range(0)), 17);
+  for (auto _ : state) {
+    Predicate copy = p;
+    copy.Reduce();
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_Reduce)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_Inter(benchmark::State& state) {
+  Predicate cov = CoverageOfSize(static_cast<int>(state.range(0)), 23);
+  cov.Reduce();
+  Predicate q = QueryPred(5);
+  for (auto _ : state) {
+    auto r = Predicate::Inter(cov, q);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Inter)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_Diff(benchmark::State& state) {
+  Predicate cov = CoverageOfSize(static_cast<int>(state.range(0)), 29);
+  cov.Reduce();
+  Predicate q = QueryPred(7);
+  for (auto _ : state) {
+    auto r = Predicate::Diff(cov, q);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Diff)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_UnionCoverageGrowth(benchmark::State& state) {
+  // The UDFMANAGER's hot loop: p_u = UNION(p_u, q) across a session.
+  for (auto _ : state) {
+    Predicate cov = Predicate::False();
+    for (uint64_t i = 0; i < static_cast<uint64_t>(state.range(0)); ++i) {
+      cov = Predicate::Union(cov, QueryPred(i * 31 + 1));
+    }
+    benchmark::DoNotOptimize(cov);
+  }
+}
+BENCHMARK(BM_UnionCoverageGrowth)->Arg(8)->Arg(32);
+
+void BM_EvaluatePredicate(benchmark::State& state) {
+  Predicate cov = CoverageOfSize(8, 41);
+  cov.Reduce();
+  int64_t id = 0;
+  for (auto _ : state) {
+    id = (id + 37) % 20000;
+    bool r = cov.Evaluate([id](const std::string& dim) {
+      if (dim == "id") return eva::Value(id);
+      if (dim == "area") return eva::Value(0.31);
+      return eva::Value("car");
+    });
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EvaluatePredicate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Table 4 — Fine-grained time breakdown of Q8 in VBENCH-HIGH under
+// No-Reuse and EVA: (1) UDF evaluation, (2) reading video, (3) reading
+// materialized results, (4) materializing new results, (5) other
+// (optimizer, joins, ...).
+//
+// Paper values (seconds): No-Reuse = 997 / 22 / 0 / 0 / 2; EVA = 5 / 19 /
+// 10 / 2 / 5. Shape to hold: EVA trades ~10^3 s of UDF time for ~10 s of
+// view reads while still paying the video read (the conditional apply
+// reads the whole input to find missing entries, §5.3).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace eva;         // NOLINT
+using namespace eva::bench;  // NOLINT
+using optimizer::ReuseMode;
+
+namespace {
+
+void PrintRow(const char* name, const exec::QueryMetrics& m) {
+  auto sec = [&](CostCategory c) { return m.breakdown[c] / 1000.0; };
+  double other = sec(CostCategory::kOptimize) + sec(CostCategory::kOther) +
+                 sec(CostCategory::kHashing);
+  std::printf("%-10s %8.1f %12.1f %11.1f %8.1f %8.1f\n", name,
+              sec(CostCategory::kUdf), sec(CostCategory::kReadVideo),
+              sec(CostCategory::kReadView),
+              sec(CostCategory::kMaterialize), other);
+}
+
+}  // namespace
+
+int main() {
+  catalog::VideoInfo video = vbench::MediumUaDetrac();
+  auto queries = vbench::VbenchHigh(video.name, video.num_frames);
+
+  PrintHeader("Table 4: Time breakdown of Q8 (VBENCH-HIGH)");
+  std::printf("%-10s %8s %12s %11s %8s %8s\n", "mode", "UDF(s)",
+              "ReadVideo(s)", "ReadView(s)", "Mat(s)", "Other(s)");
+  for (ReuseMode mode : {ReuseMode::kNoReuse, ReuseMode::kEva}) {
+    vbench::WorkloadResult r = RunMode(mode, video, queries);
+    PrintRow(optimizer::ReuseModeName(mode),
+             r.queries.back().metrics);
+  }
+  return 0;
+}

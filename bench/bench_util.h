@@ -1,0 +1,44 @@
+#ifndef EVA_BENCH_BENCH_UTIL_H_
+#define EVA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/status.h"
+#include "vbench/vbench.h"
+
+namespace eva::bench {
+
+/// Aborts the benchmark with a readable message on error.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return result.MoveValue();
+}
+
+/// Runs one workload in one reuse mode from a clean state.
+inline vbench::WorkloadResult RunMode(
+    optimizer::ReuseMode mode, const catalog::VideoInfo& video,
+    const std::vector<std::string>& queries) {
+  auto engine =
+      Unwrap(vbench::MakeEngine(mode, video), "engine construction");
+  return Unwrap(vbench::RunWorkload(engine.get(), queries), "workload");
+}
+
+inline double Hours(double ms) { return ms / 3.6e6; }
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace eva::bench
+
+#endif  // EVA_BENCH_BENCH_UTIL_H_

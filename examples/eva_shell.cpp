@@ -1,0 +1,111 @@
+// Interactive EVA-QL shell: type statements against a demo video and watch
+// the reuse machinery work. Supports all EVA-QL statements (SELECT /
+// EXPLAIN / CREATE UDF / DROP UDF / SHOW UDFS) plus shell commands:
+//
+//   \views     list materialized views and their sizes
+//   \coverage  print each UDF signature's aggregated predicate p_u
+//   \clear     drop all reuse state
+//   \save DIR  persist views to a directory     \load DIR  restore them
+//   \quit
+//
+// Usage: ./build/examples/eva_shell   (then e.g.:)
+//   SELECT id, obj FROM demo CROSS APPLY FasterRCNNResNet50(frame)
+//     WHERE id < 300 AND label = 'car' LIMIT 5;
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "engine/eva_engine.h"
+#include "vbench/vbench.h"
+
+using namespace eva;  // NOLINT
+
+namespace {
+
+void PrintResult(const engine::QueryResult& r) {
+  std::printf("%s", r.batch.ToString(12).c_str());
+  if (r.metrics.TotalInvocations() > 0) {
+    std::printf("-- %.2f simulated s | UDF invocations %lld (reused "
+                "%lld)\n",
+                r.metrics.TotalMs() / 1000.0,
+                static_cast<long long>(r.metrics.TotalInvocations()),
+                static_cast<long long>(r.metrics.TotalReused()));
+  }
+}
+
+}  // namespace
+
+int main() {
+  engine::EngineOptions options;
+  auto engine = std::make_unique<engine::EvaEngine>(
+      options, std::make_shared<catalog::Catalog>());
+  if (!vbench::RegisterStandardUdfs(engine.get()).ok()) return 1;
+  catalog::VideoInfo video;
+  video.name = "demo";
+  video.num_frames = 1000;
+  video.mean_objects_per_frame = 8.3 / 0.8;
+  video.seed = 2022;
+  if (!engine->CreateVideo(video).ok()) return 1;
+
+  std::printf("EVA shell — demo video 'demo' (1000 frames) loaded; UDFs "
+              "registered.\nStatements end with ';'. \\quit to exit.\n");
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::printf(buffer.empty() ? "eva> " : "...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    // Shell commands.
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      if (line == "\\quit" || line == "\\q") break;
+      if (line == "\\views") {
+        for (const auto& [name, view] : engine->views().views()) {
+          std::printf("  %-40s %8lld keys %8lld rows %10.1f KiB\n",
+                      name.c_str(),
+                      static_cast<long long>(view->num_keys()),
+                      static_cast<long long>(view->num_rows()),
+                      view->SizeBytes() / 1024.0);
+        }
+        continue;
+      }
+      if (line == "\\coverage") {
+        for (const auto& [key, entry] :
+             engine->udf_manager().entries()) {
+          std::printf("  %-40s %s\n", key.c_str(),
+                      entry.coverage.ToString().c_str());
+        }
+        continue;
+      }
+      if (line == "\\clear") {
+        engine->ClearReuseState();
+        std::printf("reuse state cleared.\n");
+        continue;
+      }
+      if (line.rfind("\\save ", 0) == 0) {
+        Status s = engine->SaveViews(line.substr(6));
+        std::printf("%s\n", s.ToString().c_str());
+        continue;
+      }
+      if (line.rfind("\\load ", 0) == 0) {
+        Status s = engine->LoadViews(line.substr(6));
+        std::printf("%s\n", s.ToString().c_str());
+        continue;
+      }
+      std::printf("unknown command: %s\n", line.c_str());
+      continue;
+    }
+    buffer += line + "\n";
+    if (buffer.find(';') == std::string::npos) continue;  // multi-line
+    auto r = engine->Execute(buffer);
+    buffer.clear();
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      continue;
+    }
+    PrintResult(r.value());
+  }
+  std::printf("\nbye.\n");
+  return 0;
+}

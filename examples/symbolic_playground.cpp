@@ -1,0 +1,101 @@
+// Symbolic playground: drives EVA's symbolic engine (§4.1) directly —
+// the same API the optimizer uses. Shows how the aggregated predicate p_u
+// evolves across a session and how the derived INTER / DIFF / UNION
+// predicates identify reuse opportunities.
+
+#include <cstdio>
+
+#include "expr/symbolic_bridge.h"
+#include "parser/parser.h"
+#include "symbolic/naive_simplify.h"
+#include "symbolic/predicate.h"
+
+using namespace eva;            // NOLINT
+using symbolic::Predicate;
+
+namespace {
+
+symbolic::DimKind Kinds(const std::string& dim) {
+  if (dim == "id") return symbolic::DimKind::kInteger;
+  if (dim == "area" || dim == "timestamp") return symbolic::DimKind::kReal;
+  return symbolic::DimKind::kCategorical;
+}
+
+Predicate Parse(const char* text) {
+  auto e = parser::ParseExpression(text);
+  if (!e.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 e.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto p = expr::ExprToPredicate(*e.value(), Kinds);
+  if (!p.ok()) {
+    std::fprintf(stderr, "conversion error: %s\n",
+                 p.status().ToString().c_str());
+    std::exit(1);
+  }
+  return p.MoveValue();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== monadic reduction (the paper's §2 example) ==\n");
+  Predicate t1 = Parse("timestamp > 18 OR timestamp > 21");
+  std::printf("  timestamp > 6pm OR timestamp > 9pm  ~>  %s\n",
+              t1.ToString().c_str());
+
+  std::printf("\n== polyadic reduction (§4.1) ==\n");
+  Predicate p1 = Parse("area > 0.05 AND id >= 10");
+  Predicate p2 = Parse("area > 0.10 AND id >= 15");
+  std::printf("  UNION(%s,\n        %s)\n   ~>  %s\n",
+              p1.ToString().c_str(), p2.ToString().c_str(),
+              Predicate::Union(p1, p2).ToString().c_str());
+
+  std::printf("\n== a refinement session's aggregated predicate ==\n");
+  const char* session[] = {
+      "id < 1000 AND label = 'car' AND area > 0.3",
+      "id < 1000 AND label = 'car'",                      // zoom out
+      "id >= 500 AND id < 1500 AND label = 'car'",        // shift
+      "id >= 200 AND id < 800 AND label = 'truck'",
+  };
+  Predicate coverage = Predicate::False();
+  for (const char* q : session) {
+    Predicate query = Parse(q);
+    auto inter = Predicate::Inter(coverage, query);
+    auto diff = Predicate::Diff(coverage, query);
+    std::printf("\n  query: %s\n", q);
+    if (inter.ok() && diff.ok()) {
+      std::printf("    reuse region (p∩): %s\n",
+                  inter.value().ToString().c_str());
+      std::printf("    must evaluate (p–): %s\n",
+                  diff.value().ToString().c_str());
+    }
+    coverage = Predicate::Union(coverage, query);
+    std::printf("    coverage (p∪) now: %s   [%d atoms]\n",
+                coverage.ToString().c_str(), coverage.AtomCount());
+  }
+
+  std::printf("\n== why Algorithm 1 matters: the naive baseline ==\n");
+  symbolic::NaivePredicate naive = symbolic::NaivePredicate::False();
+  Predicate eva_cov = Predicate::False();
+  for (int i = 0; i < 6; ++i) {
+    std::string q = "id >= " + std::to_string(i * 200) + " AND id < " +
+                    std::to_string(i * 200 + 500);
+    eva_cov = Predicate::Union(eva_cov, Parse(q.c_str()));
+    auto lo = symbolic::NaiveAtom(
+        "id", symbolic::NaiveOp::kGe, Value(static_cast<double>(i * 200)));
+    auto hi = symbolic::NaiveAtom(
+        "id", symbolic::NaiveOp::kLt,
+        Value(static_cast<double>(i * 200 + 500)));
+    naive = symbolic::NaivePredicate::Or(
+        naive, symbolic::NaivePredicate::And(
+                   symbolic::NaivePredicate::Atom(lo),
+                   symbolic::NaivePredicate::Atom(hi)));
+  }
+  std::printf("  after 6 overlapping range queries:\n");
+  std::printf("    EVA reduction:   %d atoms   (%s)\n",
+              eva_cov.AtomCount(), eva_cov.ToString().c_str());
+  std::printf("    naive simplify:  %d atoms\n", naive.AtomCount());
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "baselines/fun_cache.h"
+
+namespace eva::baselines {
+
+const std::vector<Row>* FunCache::Lookup(const std::string& udf,
+                                         const storage::ViewKey& key) const {
+  auto it = cache_.find(udf);
+  if (it == cache_.end()) return nullptr;
+  auto jt = it->second.find(key);
+  if (jt == it->second.end()) return nullptr;
+  return &jt->second;
+}
+
+void FunCache::Insert(const std::string& udf, const storage::ViewKey& key,
+                      std::vector<Row> rows) {
+  cache_[udf].emplace(key, std::move(rows));
+}
+
+int64_t FunCache::NumEntries(const std::string& udf) const {
+  auto it = cache_.find(udf);
+  return it == cache_.end() ? 0 : static_cast<int64_t>(it->second.size());
+}
+
+int64_t FunCache::TotalEntries() const {
+  int64_t n = 0;
+  for (const auto& [udf, per] : cache_) n += static_cast<int64_t>(per.size());
+  return n;
+}
+
+}  // namespace eva::baselines

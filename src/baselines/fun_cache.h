@@ -1,0 +1,46 @@
+#ifndef EVA_BASELINES_FUN_CACHE_H_
+#define EVA_BASELINES_FUN_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/row.h"
+#include "storage/view_store.h"
+
+namespace eva::baselines {
+
+/// FunCache baseline (§5.1): a canonical tuple-level (frame-level) function
+/// result cache inside the execution engine. For every UDF invocation the
+/// engine hashes the input arguments (which include the decoded frame —
+/// the dominant cost, modeled via CostConstants::funcache_hash_ms_per_mb)
+/// and consults an in-memory hash table. It reuses results at the same
+/// granularity as EVA's views but (a) pays hashing on *every* invocation,
+/// and (b) being execution-time, cannot inform optimizer decisions like
+/// materialization-aware predicate reordering (§5.2).
+class FunCache {
+ public:
+  /// Returns cached output rows for (udf, key), or nullptr on miss.
+  const std::vector<Row>* Lookup(const std::string& udf,
+                                 const storage::ViewKey& key) const;
+
+  void Insert(const std::string& udf, const storage::ViewKey& key,
+              std::vector<Row> rows);
+
+  int64_t NumEntries(const std::string& udf) const;
+  int64_t TotalEntries() const;
+
+  void Clear() { cache_.clear(); }
+
+ private:
+  using PerUdf =
+      std::unordered_map<storage::ViewKey, std::vector<Row>,
+                         storage::ViewKeyHash>;
+  std::map<std::string, PerUdf> cache_;
+};
+
+}  // namespace eva::baselines
+
+#endif  // EVA_BASELINES_FUN_CACHE_H_

@@ -1,0 +1,86 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace eva::catalog {
+
+int AccuracyRank(const std::string& level) {
+  std::string u = ToUpper(level);
+  if (u == "LOW") return 1;
+  if (u == "MEDIUM") return 2;
+  if (u == "HIGH") return 3;
+  return 0;
+}
+
+Status Catalog::AddVideo(VideoInfo info) {
+  if (videos_.count(info.name) > 0) {
+    return Status::AlreadyExists("video already registered: " + info.name);
+  }
+  if (info.num_frames <= 0) {
+    return Status::InvalidArgument("video must have frames: " + info.name);
+  }
+  videos_.emplace(info.name, std::move(info));
+  return Status::OK();
+}
+
+Result<VideoInfo> Catalog::GetVideo(const std::string& name) const {
+  auto it = videos_.find(name);
+  if (it == videos_.end()) {
+    return Status::NotFound("unknown video: " + name);
+  }
+  return it->second;
+}
+
+bool Catalog::HasVideo(const std::string& name) const {
+  return videos_.count(name) > 0;
+}
+
+Status Catalog::AddUdf(UdfDef def, bool or_replace) {
+  if (!or_replace && udfs_.count(def.name) > 0) {
+    return Status::AlreadyExists("UDF already registered: " + def.name);
+  }
+  if (def.cost_ms < 0) {
+    return Status::InvalidArgument("UDF cost must be non-negative");
+  }
+  udfs_[def.name] = std::move(def);
+  return Status::OK();
+}
+
+Result<UdfDef> Catalog::GetUdf(const std::string& name) const {
+  auto it = udfs_.find(name);
+  if (it == udfs_.end()) {
+    return Status::NotFound("unknown UDF: " + name);
+  }
+  return it->second;
+}
+
+bool Catalog::HasUdf(const std::string& name) const {
+  return udfs_.count(name) > 0;
+}
+
+Status Catalog::DropUdf(const std::string& name) {
+  if (udfs_.erase(name) == 0) {
+    return Status::NotFound("unknown UDF: " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<UdfDef> Catalog::PhysicalUdfsFor(
+    const std::string& logical_type, const std::string& min_accuracy) const {
+  std::vector<UdfDef> out;
+  int min_rank = AccuracyRank(min_accuracy);
+  for (const auto& [name, def] : udfs_) {
+    if (def.logical_type == logical_type &&
+        AccuracyRank(def.accuracy) >= min_rank) {
+      out.push_back(def);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const UdfDef& a, const UdfDef& b) {
+    return a.cost_ms < b.cost_ms;
+  });
+  return out;
+}
+
+}  // namespace eva::catalog

@@ -1,0 +1,91 @@
+#ifndef EVA_CATALOG_CATALOG_H_
+#define EVA_CATALOG_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eva::catalog {
+
+/// Metadata of a (synthetic) video table. The generator in src/vision
+/// produces the frames deterministically from `seed` (see DESIGN.md §2 for
+/// the substitution of real UA-DETRAC / JACKSON videos).
+struct VideoInfo {
+  std::string name;
+  int64_t num_frames = 0;
+  int width = 960;
+  int height = 540;
+  /// Mean vehicles per frame (UA-DETRAC ≈ 8.3, JACKSON ≈ 0.1, §5.1).
+  double mean_objects_per_frame = 8.3;
+  uint64_t seed = 42;
+
+  /// Decoded RGB frame size; drives FunCache's hashing overhead and the
+  /// storage-footprint comparison (§5.2).
+  double BytesPerFrame() const { return 3.0 * width * height; }
+};
+
+/// Functional role of a UDF in the pipeline.
+enum class UdfKind {
+  kDetector = 0,   // frame -> set of objects (labels + bboxes)
+  kClassifier,     // (frame, bbox) -> label (CarType, ColorDet)
+  kFilter,         // frame -> bool (specialized filter, §5.6)
+};
+
+/// Catalog entry for a physical UDF (Listing 2). Costs are per-tuple
+/// simulated milliseconds matching Table 3 / Table 5.
+struct UdfDef {
+  std::string name;           // e.g. "FasterRCNNResNet50"
+  UdfKind kind = UdfKind::kDetector;
+  std::string logical_type;   // e.g. "ObjectDetector"; empty = none
+  std::string accuracy;       // "LOW" | "MEDIUM" | "HIGH"
+  double accuracy_score = 0;  // boxAP-like score (Table 5)
+  double cost_ms = 0;         // c_e, per-tuple evaluation cost
+  bool is_gpu = false;
+  std::string impl;           // declared IMPL path (informational)
+
+  /// Simulated model parameters (vision substrate). Detection accuracy
+  /// concentrates on small objects: every model finds most large vehicles
+  /// (area >= 0.2), while cheap models miss small/distant ones — the way
+  /// boxAP differences actually manifest.
+  double recall = 1.0;        // detectors: recall on large objects
+  double recall_small = 1.0;  // detectors: recall on small objects
+  double classifier_accuracy = 1.0;  // classifiers: P(correct label)
+  /// Classifier target attribute: "car_type" or "color".
+  std::string target_attribute;
+};
+
+/// Ranks "LOW" < "MEDIUM" < "HIGH"; unknown/empty ranks lowest.
+int AccuracyRank(const std::string& level);
+
+/// System catalog: registered videos and UDFs. Thread-compatible (the
+/// engine serializes DDL).
+class Catalog {
+ public:
+  Status AddVideo(VideoInfo info);
+  Result<VideoInfo> GetVideo(const std::string& name) const;
+  bool HasVideo(const std::string& name) const;
+
+  Status AddUdf(UdfDef def, bool or_replace = false);
+  Result<UdfDef> GetUdf(const std::string& name) const;
+  bool HasUdf(const std::string& name) const;
+  Status DropUdf(const std::string& name);
+
+  /// All physical UDFs implementing `logical_type` whose accuracy rank is
+  /// at least that of `min_accuracy`, cheapest first (§4.3 model
+  /// selection).
+  std::vector<UdfDef> PhysicalUdfsFor(const std::string& logical_type,
+                                      const std::string& min_accuracy) const;
+
+  const std::map<std::string, UdfDef>& udfs() const { return udfs_; }
+  const std::map<std::string, VideoInfo>& videos() const { return videos_; }
+
+ private:
+  std::map<std::string, VideoInfo> videos_;
+  std::map<std::string, UdfDef> udfs_;
+};
+
+}  // namespace eva::catalog
+
+#endif  // EVA_CATALOG_CATALOG_H_

@@ -1,0 +1,28 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace eva {
+
+int Rng::NextPoisson(double lambda) {
+  if (lambda <= 0) return 0;
+  // Knuth inversion; fine for lambda <= ~30 as used here.
+  double l = std::exp(-lambda);
+  int k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= NextDouble();
+  } while (p > l);
+  return k - 1;
+}
+
+uint64_t Rng::MixSeed(uint64_t seed, uint64_t salt) {
+  uint64_t z = seed ^ (salt + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace eva

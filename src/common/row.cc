@@ -1,0 +1,29 @@
+#include "common/row.h"
+
+#include <sstream>
+
+namespace eva {
+
+Value Batch::GetByName(size_t row, const std::string& name) const {
+  int idx = schema_.IndexOf(name);
+  if (idx < 0) return Value::Null();
+  return rows_[row][static_cast<size_t>(idx)];
+}
+
+std::string Batch::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << schema_.ToString() << " [" << rows_.size() << " rows]\n";
+  size_t n = std::min(max_rows, rows_.size());
+  for (size_t r = 0; r < n; ++r) {
+    os << "  ";
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c > 0) os << " | ";
+      os << rows_[r][c].ToString();
+    }
+    os << "\n";
+  }
+  if (n < rows_.size()) os << "  ... (" << rows_.size() - n << " more)\n";
+  return os.str();
+}
+
+}  // namespace eva

@@ -1,0 +1,46 @@
+#ifndef EVA_COMMON_ROW_H_
+#define EVA_COMMON_ROW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace eva {
+
+/// A single tuple: one Value per schema field.
+using Row = std::vector<Value>;
+
+/// A batch of rows sharing one schema. Execution operators exchange batches
+/// rather than single rows (the paper's engine is batch-oriented, §5.3).
+class Batch {
+ public:
+  Batch() = default;
+  explicit Batch(Schema schema) : schema_(std::move(schema)) {}
+  Batch(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  void AddRow(Row row) { rows_.push_back(std::move(row)); }
+
+  const Value& At(size_t row, size_t col) const { return rows_[row][col]; }
+
+  /// Value of column `name` in `row`; Null if the column is absent.
+  Value GetByName(size_t row, const std::string& name) const;
+
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace eva
+
+#endif  // EVA_COMMON_ROW_H_

@@ -1,0 +1,47 @@
+#include "common/schema.h"
+
+#include <sstream>
+
+namespace eva {
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<Schema> Schema::Extend(const std::vector<Field>& extra) const {
+  Schema out = *this;
+  for (const Field& f : extra) {
+    if (out.Contains(f.name)) {
+      return Status::AlreadyExists("duplicate column: " + f.name);
+    }
+    out.AddField(f);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << fields_[i].name << ":" << DataTypeName(fields_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name != other.fields_[i].name ||
+        fields_[i].type != other.fields_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace eva

@@ -1,0 +1,48 @@
+#ifndef EVA_COMMON_SCHEMA_H_
+#define EVA_COMMON_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace eva {
+
+/// A named, typed column.
+struct Field {
+  std::string name;
+  DataType type = DataType::kNull;
+};
+
+/// Ordered collection of fields describing the layout of a Batch.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  /// Index of the column with `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const { return IndexOf(name) >= 0; }
+
+  void AddField(Field field) { fields_.push_back(std::move(field)); }
+
+  /// New schema = this schema followed by `extra` columns. Fails on
+  /// duplicate names.
+  Result<Schema> Extend(const std::vector<Field>& extra) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace eva
+
+#endif  // EVA_COMMON_SCHEMA_H_

@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace eva {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kBindError:
+      return "BindError";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace eva

@@ -1,0 +1,120 @@
+#ifndef EVA_COMMON_STATUS_H_
+#define EVA_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace eva {
+
+/// Error categories used across the system. Mirrors the coarse error classes
+/// a DBMS front end needs to distinguish (parse vs. bind vs. execution).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kBindError,       // name resolution / catalog lookup failures
+  kNotFound,
+  kAlreadyExists,
+  kNotImplemented,
+  kInternal,
+  kResourceExhausted,  // symbolic-analysis budget exceeded, etc.
+};
+
+/// Returns a short human-readable name for a StatusCode ("ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight status object used instead of exceptions throughout the
+/// public API (Arrow/RocksDB idiom). A default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> carries either a value or an error Status (Arrow idiom).
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions from both T and Status are intentional: they make
+  // `return value;` and `return Status::...;` both work in factory functions.
+  Result(T value) : data_(std::move(value)) {}                // NOLINT
+  Result(Status status) : data_(std::move(status)) {}         // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+  T& value() { return std::get<T>(data_); }
+  const T& value() const { return std::get<T>(data_); }
+  T&& MoveValue() { return std::move(std::get<T>(data_)); }
+
+  T ValueOr(T fallback) const { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace eva
+
+/// Propagates a non-OK Status from an expression that yields a Status.
+#define EVA_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::eva::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates a Result<T> expression and either assigns its value to `lhs`
+/// or propagates the error Status.
+#define EVA_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                              \
+  if (!var.ok()) return var.status();              \
+  lhs = var.MoveValue();
+
+#define EVA_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define EVA_ASSIGN_OR_RETURN_NAME(x, y) EVA_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define EVA_ASSIGN_OR_RETURN(lhs, rexpr)                                     \
+  EVA_ASSIGN_OR_RETURN_IMPL(EVA_ASSIGN_OR_RETURN_NAME(_res_, __COUNTER__), \
+                            lhs, rexpr)
+
+#endif  // EVA_COMMON_STATUS_H_

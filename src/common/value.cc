@@ -1,0 +1,156 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace eva {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+DataType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kBool;
+    case 2:
+      return DataType::kInt64;
+    case 3:
+      return DataType::kDouble;
+    case 4:
+      return DataType::kString;
+  }
+  return DataType::kNull;
+}
+
+double Value::AsDouble() const {
+  if (std::holds_alternative<int64_t>(data_)) {
+    return static_cast<double>(std::get<int64_t>(data_));
+  }
+  return std::get<double>(data_);
+}
+
+namespace {
+
+// Rank used to order values of incomparable types deterministically.
+int TypeRank(const Value& v) {
+  switch (v.type()) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return 2;  // numeric types compare against each other
+    case DataType::kString:
+      return 3;
+  }
+  return 4;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int lr = TypeRank(*this);
+  int rr = TypeRank(other);
+  if (lr != rr) return lr < rr ? -1 : 1;
+  switch (type()) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kBool: {
+      bool a = AsBool(), b = other.AsBool();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case DataType::kInt64:
+    case DataType::kDouble: {
+      // Exact comparison when both are integers; double otherwise.
+      if (type() == DataType::kInt64 && other.type() == DataType::kInt64) {
+        int64_t a = AsInt64(), b = other.AsInt64();
+        return a == b ? 0 : (a < b ? -1 : 1);
+      }
+      double a = AsDouble(), b = other.AsDouble();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case DataType::kString: {
+      int c = AsString().compare(other.AsString());
+      return c == 0 ? 0 : (c < 0 ? -1 : 1);
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return AsBool() ? "true" : "false";
+    case DataType::kInt64:
+      return std::to_string(AsInt64());
+    case DataType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case DataType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+uint64_t Value::Hash() const {
+  constexpr uint64_t kOffset = 1469598103934665603ULL;
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  uint64_t h = kOffset;
+  auto mix_bytes = [&h](const void* p, size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= kPrime;
+    }
+  };
+  int tag = static_cast<int>(type());
+  mix_bytes(&tag, sizeof(tag));
+  switch (type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kBool: {
+      bool v = AsBool();
+      mix_bytes(&v, sizeof(v));
+      break;
+    }
+    case DataType::kInt64: {
+      int64_t v = AsInt64();
+      mix_bytes(&v, sizeof(v));
+      break;
+    }
+    case DataType::kDouble: {
+      double v = AsDouble();
+      mix_bytes(&v, sizeof(v));
+      break;
+    }
+    case DataType::kString: {
+      const std::string& s = AsString();
+      mix_bytes(s.data(), s.size());
+      break;
+    }
+  }
+  return h;
+}
+
+}  // namespace eva

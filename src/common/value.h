@@ -1,0 +1,72 @@
+#ifndef EVA_COMMON_VALUE_H_
+#define EVA_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace eva {
+
+/// Column types supported by the engine. Video frames are referenced by id;
+/// UDF outputs are strings (labels) or doubles (areas, scores).
+enum class DataType {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* DataTypeName(DataType type);
+
+/// A dynamically typed scalar cell. Rows are vectors of Values.
+///
+/// Values order and compare across the numeric types (Int64/Double compare
+/// numerically); Null compares less than everything and equal only to Null.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(bool v) : data_(v) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  DataType type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_numeric() const {
+    return std::holds_alternative<int64_t>(data_) ||
+           std::holds_alternative<double>(data_);
+  }
+
+  bool AsBool() const { return std::get<bool>(data_); }
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  /// Numeric access: converts Int64 to double when needed.
+  double AsDouble() const;
+
+  /// Three-way comparison. Null < Bool < numeric < String across types;
+  /// Int64 and Double compare numerically against each other.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  std::string ToString() const;
+
+  /// Stable 64-bit hash (FNV-1a over the textual tag + payload bytes).
+  uint64_t Hash() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> data_;
+};
+
+}  // namespace eva
+
+#endif  // EVA_COMMON_VALUE_H_

@@ -1,0 +1,190 @@
+#include "engine/eva_engine.h"
+
+#include "common/string_util.h"
+#include "exec/operators.h"
+#include "parser/parser.h"
+#include "storage/view_persistence.h"
+
+namespace eva::engine {
+
+EvaEngine::EvaEngine(EngineOptions options,
+                     std::shared_ptr<catalog::Catalog> catalog)
+    : options_(std::move(options)),
+      catalog_(std::move(catalog)),
+      runtime_(catalog_.get()) {}
+
+Status EvaEngine::CreateVideo(const catalog::VideoInfo& info) {
+  if (!catalog_->HasVideo(info.name)) {
+    EVA_RETURN_IF_ERROR(catalog_->AddVideo(info));
+  }
+  if (videos_.count(info.name) == 0) {
+    auto video = std::make_unique<vision::SyntheticVideo>(info);
+    stats_.emplace(info.name,
+                   std::make_unique<storage::StatisticsManager>(*video));
+    videos_.emplace(info.name, std::move(video));
+  }
+  return Status::OK();
+}
+
+Result<const vision::SyntheticVideo*> EvaEngine::video(
+    const std::string& name) const {
+  auto it = videos_.find(name);
+  if (it == videos_.end()) return Status::NotFound("unknown video: " + name);
+  return const_cast<const vision::SyntheticVideo*>(it->second.get());
+}
+
+Status EvaEngine::SaveViews(const std::string& dir) const {
+  return storage::SaveViewStore(views_, dir);
+}
+
+Status EvaEngine::LoadViews(const std::string& dir) {
+  return storage::LoadViewStore(dir, &views_);
+}
+
+void EvaEngine::ClearReuseState() {
+  views_.Clear();
+  manager_.Clear();
+  funcache_.Clear();
+  clock_.Reset();
+}
+
+int64_t EvaEngine::DistinctInvocations(const std::string& udf,
+                                       const std::string& video) const {
+  if (options_.optimizer.mode == optimizer::ReuseMode::kFunCache) {
+    return funcache_.NumEntries(udf);
+  }
+  const storage::MaterializedView* view = views_.Find(udf + "@" + video);
+  return view == nullptr ? 0 : view->num_keys();
+}
+
+Result<QueryResult> EvaEngine::Execute(const std::string& sql) {
+  EVA_ASSIGN_OR_RETURN(parser::Statement stmt, parser::ParseStatement(sql));
+  if (std::holds_alternative<parser::CreateUdfStatement>(stmt)) {
+    EVA_RETURN_IF_ERROR(
+        ExecuteCreateUdf(std::get<parser::CreateUdfStatement>(stmt)));
+    QueryResult out;
+    return out;
+  }
+  if (std::holds_alternative<parser::DropUdfStatement>(stmt)) {
+    EVA_RETURN_IF_ERROR(catalog_->DropUdf(
+        std::get<parser::DropUdfStatement>(stmt).name));
+    QueryResult out;
+    return out;
+  }
+  if (std::holds_alternative<parser::ShowUdfsStatement>(stmt)) {
+    QueryResult out;
+    Schema schema({{"name", DataType::kString},
+                   {"kind", DataType::kString},
+                   {"logical_type", DataType::kString},
+                   {"accuracy", DataType::kString},
+                   {"cost_ms", DataType::kDouble}});
+    out.batch = Batch(schema);
+    for (const auto& [name, def] : catalog_->udfs()) {
+      const char* kind = def.kind == catalog::UdfKind::kDetector
+                             ? "detector"
+                             : def.kind == catalog::UdfKind::kClassifier
+                                   ? "classifier"
+                                   : "filter";
+      out.batch.AddRow({Value(name), Value(kind), Value(def.logical_type),
+                        Value(def.accuracy), Value(def.cost_ms)});
+    }
+    return out;
+  }
+  return ExecuteSelect(std::get<parser::SelectStatement>(stmt));
+}
+
+Result<QueryResult> EvaEngine::ExecuteSelect(
+    const parser::SelectStatement& stmt) {
+  auto stats_it = stats_.find(stmt.table);
+  if (stats_it == stats_.end()) {
+    return Status::BindError("video not loaded: " + stmt.table);
+  }
+  auto video_it = videos_.find(stmt.table);
+
+  QueryResult out;
+  SimClock::Snapshot before = clock_.TakeSnapshot();
+
+  // Optimize (Fig. 1 steps 1-4). EXPLAIN optimizes against a snapshot of
+  // the UdfManager so that explaining a query does not claim coverage the
+  // engine never materialized.
+  udf::UdfManager explain_manager;
+  udf::UdfManager* manager = &manager_;
+  if (stmt.explain) {
+    explain_manager = manager_;
+    manager = &explain_manager;
+  }
+  optimizer::Optimizer opt(options_.optimizer, catalog_.get(), manager,
+                           stats_it->second.get(), options_.costs,
+                           &views_);
+  EVA_ASSIGN_OR_RETURN(optimizer::OptimizedQuery optimized,
+                       opt.Optimize(stmt));
+  clock_.Charge(CostCategory::kOptimize, optimized.optimizer_ms);
+  out.report = std::move(optimized.report);
+  out.metrics.optimizer_ms = optimized.optimizer_ms;
+
+  if (stmt.explain) {
+    // EXPLAIN: return the optimized plan as rows without executing it.
+    Schema schema({{"plan", DataType::kString}});
+    out.batch = Batch(schema);
+    std::string line;
+    for (char c : out.report.plan_text) {
+      if (c == '\n') {
+        out.batch.AddRow({Value(line)});
+        line.clear();
+      } else {
+        line += c;
+      }
+    }
+    if (!line.empty()) out.batch.AddRow({Value(line)});
+    out.metrics.breakdown = clock_.TakeSnapshot() - before;
+    return out;
+  }
+
+  // Execute.
+  exec::ExecContext ctx;
+  ctx.clock = &clock_;
+  ctx.views = &views_;
+  ctx.catalog = catalog_.get();
+  ctx.udfs = &runtime_;
+  ctx.video = video_it->second.get();
+  ctx.costs = options_.costs;
+  ctx.metrics = &out.metrics;
+  ctx.batch_size = options_.batch_size;
+  if (options_.optimizer.mode == optimizer::ReuseMode::kFunCache) {
+    ctx.funcache = &funcache_;
+  }
+  EVA_ASSIGN_OR_RETURN(out.batch, exec::ExecutePlan(optimized.plan, &ctx));
+  out.metrics.breakdown = clock_.TakeSnapshot() - before;
+  return out;
+}
+
+Status EvaEngine::ExecuteCreateUdf(const parser::CreateUdfStatement& stmt) {
+  catalog::UdfDef def;
+  def.name = stmt.name;
+  def.logical_type = stmt.logical_type;
+  def.impl = stmt.impl;
+  auto get = [&stmt](const std::string& key,
+                     const std::string& fallback) -> std::string {
+    auto it = stmt.properties.find(key);
+    return it == stmt.properties.end() ? fallback : it->second;
+  };
+  def.accuracy = get("ACCURACY", "MEDIUM");
+  std::string kind = get("KIND", "DETECTOR");
+  if (kind == "CLASSIFIER") {
+    def.kind = catalog::UdfKind::kClassifier;
+  } else if (kind == "FILTER") {
+    def.kind = catalog::UdfKind::kFilter;
+  } else {
+    def.kind = catalog::UdfKind::kDetector;
+  }
+  def.cost_ms = std::stod(get("COST_MS", "10"));
+  def.accuracy_score = std::stod(get("ACCURACY_SCORE", "0"));
+  def.recall = std::stod(get("RECALL", "0.9"));
+  def.recall_small = std::stod(get("RECALL_SMALL", get("RECALL", "0.9")));
+  def.classifier_accuracy = std::stod(get("CLS_ACCURACY", "0.9"));
+  def.target_attribute = ToLower(get("TARGET", "car_type"));
+  def.is_gpu = get("DEVICE", "GPU") == "GPU";
+  return catalog_->AddUdf(std::move(def), stmt.or_replace);
+}
+
+}  // namespace eva::engine

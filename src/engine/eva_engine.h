@@ -1,0 +1,98 @@
+#ifndef EVA_ENGINE_EVA_ENGINE_H_
+#define EVA_ENGINE_EVA_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/fun_cache.h"
+#include "catalog/catalog.h"
+#include "common/row.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "optimizer/optimizer.h"
+#include "storage/statistics.h"
+#include "storage/view_store.h"
+#include "udf/udf_manager.h"
+#include "udf/udf_runtime.h"
+#include "vision/synthetic_video.h"
+
+namespace eva::engine {
+
+/// Engine-wide configuration: the reuse algorithm under test plus the
+/// simulated-cost constants (see DESIGN.md §2 on the simulation).
+struct EngineOptions {
+  optimizer::OptimizerOptions optimizer;
+  exec::CostConstants costs;
+  int64_t batch_size = 1024;
+};
+
+/// Result of one query: output rows, execution metrics (time breakdown,
+/// per-UDF invocation/reuse counts), and the optimizer's diagnostics.
+struct QueryResult {
+  Batch batch;
+  exec::QueryMetrics metrics;
+  optimizer::OptimizeReport report;
+};
+
+/// EVA's top-level facade (Fig. 1): PARSER → OPTIMIZER (with the
+/// SymbolicEngine and UdfManager) → EXECUTION ENGINE. One instance holds
+/// the materialized-view store and aggregated predicates that persist
+/// across the queries of an exploratory session.
+class EvaEngine {
+ public:
+  EvaEngine(EngineOptions options,
+            std::shared_ptr<catalog::Catalog> catalog);
+
+  /// Registers a video table and builds its synthetic frames + statistics.
+  Status CreateVideo(const catalog::VideoInfo& info);
+
+  /// Executes one EVA-QL statement. CREATE UDF statements register the
+  /// UDF; SELECT statements return rows + metrics.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Drops all reuse state (views, aggregated predicates, caches) — used
+  /// to evaluate each workload from a clean state (§5.1).
+  void ClearReuseState();
+
+  /// Persists / restores the materialized views (the on-disk views of
+  /// §4.2; aggregated predicates are rebuilt lazily as queries arrive —
+  /// a loaded view without coverage is simply consulted per tuple by the
+  /// conditional apply).
+  Status SaveViews(const std::string& dir) const;
+  Status LoadViews(const std::string& dir);
+
+  const storage::ViewStore& views() const { return views_; }
+  const udf::UdfManager& udf_manager() const { return manager_; }
+  const baselines::FunCache& funcache() const { return funcache_; }
+  const SimClock& clock() const { return clock_; }
+  const catalog::Catalog& catalog() const { return *catalog_; }
+  const EngineOptions& options() const { return options_; }
+
+  Result<const vision::SyntheticVideo*> video(const std::string& name) const;
+
+  /// Distinct UDF invocations so far: materialized view keys (EVA /
+  /// HashStash) or cache entries (FunCache) for `udf` over `video` —
+  /// Table 3's #DI column.
+  int64_t DistinctInvocations(const std::string& udf,
+                              const std::string& video) const;
+
+ private:
+  Result<QueryResult> ExecuteSelect(const parser::SelectStatement& stmt);
+  Status ExecuteCreateUdf(const parser::CreateUdfStatement& stmt);
+
+  EngineOptions options_;
+  std::shared_ptr<catalog::Catalog> catalog_;
+  std::map<std::string, std::unique_ptr<vision::SyntheticVideo>> videos_;
+  std::map<std::string, std::unique_ptr<storage::StatisticsManager>> stats_;
+  storage::ViewStore views_;
+  udf::UdfManager manager_;
+  udf::UdfRuntime runtime_;
+  baselines::FunCache funcache_;
+  SimClock clock_;
+};
+
+}  // namespace eva::engine
+
+#endif  // EVA_ENGINE_EVA_ENGINE_H_

@@ -1,0 +1,826 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+
+#include "baselines/fun_cache.h"
+#include "storage/view_store.h"
+
+namespace eva::exec {
+
+namespace {
+
+using catalog::UdfDef;
+using catalog::UdfKind;
+using plan::PlanKind;
+using storage::MaterializedView;
+using storage::ViewKey;
+
+// ---------------------------------------------------------------------------
+// VideoScan
+// ---------------------------------------------------------------------------
+
+class VideoScanOp : public Operator {
+ public:
+  VideoScanOp(ExecContext* ctx, int64_t lo, int64_t hi)
+      : Operator(ctx, Schema({{kColId, DataType::kInt64}})),
+        next_(std::max<int64_t>(lo, 0)),
+        hi_(std::min(hi, ctx->video->num_frames())) {}
+
+  Result<Batch> Next() override {
+    Batch out(output_schema_);
+    if (next_ >= hi_) return out;
+    int64_t end = std::min(hi_, next_ + ctx_->batch_size);
+    for (int64_t f = next_; f < end; ++f) {
+      out.AddRow({Value(f)});
+    }
+    ctx_->Charge(CostCategory::kReadVideo,
+                 ctx_->costs.video_read_ms_per_frame *
+                     static_cast<double>(end - next_));
+    next_ = end;
+    return out;
+  }
+
+ private:
+  int64_t next_;
+  int64_t hi_;
+};
+
+// ---------------------------------------------------------------------------
+// Filter
+// ---------------------------------------------------------------------------
+
+class FilterOp : public Operator {
+ public:
+  FilterOp(ExecContext* ctx, OperatorPtr child, expr::ExprPtr predicate)
+      : Operator(ctx, child->output_schema()),
+        child_(std::move(child)),
+        predicate_(std::move(predicate)) {}
+
+  Result<Batch> Next() override {
+    while (true) {
+      EVA_ASSIGN_OR_RETURN(Batch in, child_->Next());
+      if (in.empty()) return Batch(output_schema_);
+      Batch out(output_schema_);
+      for (const Row& row : in.rows()) {
+        EVA_ASSIGN_OR_RETURN(
+            bool keep, expr::EvaluateBool(*predicate_, in.schema(), row));
+        if (keep) out.AddRow(row);
+      }
+      if (!out.empty()) return out;
+    }
+  }
+
+ private:
+  OperatorPtr child_;
+  expr::ExprPtr predicate_;
+};
+
+// ---------------------------------------------------------------------------
+// UDF evaluation helpers shared by Apply / CondApply
+// ---------------------------------------------------------------------------
+
+// Evaluates the detector on one frame, returning output-column rows
+// (obj, label, area, score). Charges UDF cost and counts the invocation.
+Result<std::vector<Row>> RunDetector(ExecContext* ctx, const UdfDef& def,
+                                     int64_t frame) {
+  EVA_ASSIGN_OR_RETURN(const vision::DetectorModel* model,
+                       ctx->udfs->Detector(def.name));
+  ctx->Charge(CostCategory::kUdf, def.cost_ms);
+  ctx->metrics->invocations[def.name] += 1;
+  std::vector<Row> rows;
+  for (const vision::Detection& d : model->Detect(*ctx->video, frame)) {
+    rows.push_back({Value(static_cast<int64_t>(d.obj_id)), Value(d.label),
+                    Value(d.area), Value(d.score)});
+  }
+  return rows;
+}
+
+Result<Value> RunClassifier(ExecContext* ctx, const UdfDef& def,
+                            int64_t frame, int64_t obj) {
+  EVA_ASSIGN_OR_RETURN(const vision::ClassifierModel* model,
+                       ctx->udfs->Classifier(def.name));
+  ctx->Charge(CostCategory::kUdf, def.cost_ms);
+  ctx->metrics->invocations[def.name] += 1;
+  return Value(model->Classify(*ctx->video, frame, static_cast<int>(obj)));
+}
+
+Result<Value> RunFilterUdf(ExecContext* ctx, const UdfDef& def,
+                           int64_t frame) {
+  EVA_ASSIGN_OR_RETURN(const vision::FilterModel* model,
+                       ctx->udfs->Filter(def.name));
+  ctx->Charge(CostCategory::kUdf, def.cost_ms);
+  ctx->metrics->invocations[def.name] += 1;
+  return Value(model->Pass(*ctx->video, frame));
+}
+
+// FunCache hashing overhead: the cache key covers the UDF's input
+// arguments, dominated by the decoded frame bytes (§5.2).
+void ChargeFunCacheHash(ExecContext* ctx) {
+  double mb = ctx->video->info().BytesPerFrame() / 1e6;
+  ctx->Charge(CostCategory::kHashing,
+              ctx->costs.funcache_hash_ms_per_mb * mb);
+}
+
+// ---------------------------------------------------------------------------
+// Apply: evaluate the UDF for every input row (Fig. 3 rewrite). In FunCache
+// mode, consults the tuple-level cache first.
+// ---------------------------------------------------------------------------
+
+class ApplyOp : public Operator {
+ public:
+  static Result<OperatorPtr> Make(ExecContext* ctx, OperatorPtr child,
+                                  const std::string& udf,
+                                  bool emit_presence_placeholders) {
+    EVA_ASSIGN_OR_RETURN(UdfDef def, ctx->catalog->GetUdf(udf));
+    EVA_ASSIGN_OR_RETURN(
+        Schema schema,
+        child->output_schema().Extend(UdfOutputSchema(def).fields()));
+    return OperatorPtr(new ApplyOp(ctx, std::move(child), std::move(def),
+                                   std::move(schema),
+                                   emit_presence_placeholders));
+  }
+
+  Result<Batch> Next() override {
+    EVA_ASSIGN_OR_RETURN(Batch in, child_->Next());
+    Batch out(output_schema_);
+    if (in.empty()) return out;
+    int id_idx = in.schema().IndexOf(kColId);
+    int obj_idx = in.schema().IndexOf(kColObj);
+    for (const Row& row : in.rows()) {
+      int64_t frame = row[static_cast<size_t>(id_idx)].AsInt64();
+      if (def_.kind == UdfKind::kDetector) {
+        EVA_ASSIGN_OR_RETURN(std::vector<Row> dets,
+                             DetectorResults(frame));
+        if (dets.empty() && emit_presence_placeholders_) {
+          // NULL placeholder so the STORE above records presence even for
+          // frames where nothing was detected.
+          Row full = row;
+          for (size_t i = 0; i < UdfOutputSchema(def_).num_fields(); ++i) {
+            full.push_back(Value::Null());
+          }
+          out.AddRow(std::move(full));
+          continue;
+        }
+        for (Row& d : dets) {
+          Row full = row;
+          for (Value& v : d) full.push_back(std::move(v));
+          out.AddRow(std::move(full));
+        }
+      } else if (def_.kind == UdfKind::kClassifier) {
+        const Value& obj_v = row[static_cast<size_t>(obj_idx)];
+        Row full = row;
+        if (obj_v.is_null()) {
+          full.push_back(Value::Null());
+        } else {
+          EVA_ASSIGN_OR_RETURN(Value v,
+                               ClassifierResult(frame, obj_v.AsInt64()));
+          full.push_back(std::move(v));
+        }
+        out.AddRow(std::move(full));
+      } else {  // filter UDF
+        EVA_ASSIGN_OR_RETURN(Value v, FilterResult(frame));
+        Row full = row;
+        full.push_back(std::move(v));
+        out.AddRow(std::move(full));
+      }
+    }
+    return out;
+  }
+
+ private:
+  ApplyOp(ExecContext* ctx, OperatorPtr child, UdfDef def, Schema schema,
+          bool emit_presence_placeholders)
+      : Operator(ctx, std::move(schema)),
+        child_(std::move(child)),
+        def_(std::move(def)),
+        emit_presence_placeholders_(emit_presence_placeholders) {}
+
+  Result<std::vector<Row>> DetectorResults(int64_t frame) {
+    if (ctx_->funcache != nullptr) {
+      ChargeFunCacheHash(ctx_);
+      ViewKey key{frame, -1};
+      if (const std::vector<Row>* hit =
+              ctx_->funcache->Lookup(def_.name, key)) {
+        ctx_->metrics->invocations[def_.name] += 1;
+        ctx_->metrics->reused[def_.name] += 1;
+        return *hit;
+      }
+      EVA_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                           RunDetector(ctx_, def_, frame));
+      ctx_->funcache->Insert(def_.name, key, rows);
+      return rows;
+    }
+    return RunDetector(ctx_, def_, frame);
+  }
+
+  Result<Value> ClassifierResult(int64_t frame, int64_t obj) {
+    if (ctx_->funcache != nullptr) {
+      ChargeFunCacheHash(ctx_);
+      ViewKey key{frame, obj};
+      if (const std::vector<Row>* hit =
+              ctx_->funcache->Lookup(def_.name, key)) {
+        ctx_->metrics->invocations[def_.name] += 1;
+        ctx_->metrics->reused[def_.name] += 1;
+        return (*hit)[0][0];
+      }
+      EVA_ASSIGN_OR_RETURN(Value v, RunClassifier(ctx_, def_, frame, obj));
+      ctx_->funcache->Insert(def_.name, key, {{v}});
+      return v;
+    }
+    return RunClassifier(ctx_, def_, frame, obj);
+  }
+
+  Result<Value> FilterResult(int64_t frame) {
+    if (ctx_->funcache != nullptr) {
+      ChargeFunCacheHash(ctx_);
+      ViewKey key{frame, -1};
+      if (const std::vector<Row>* hit =
+              ctx_->funcache->Lookup(def_.name, key)) {
+        ctx_->metrics->invocations[def_.name] += 1;
+        ctx_->metrics->reused[def_.name] += 1;
+        return (*hit)[0][0];
+      }
+      EVA_ASSIGN_OR_RETURN(Value v, RunFilterUdf(ctx_, def_, frame));
+      ctx_->funcache->Insert(def_.name, key, {{v}});
+      return v;
+    }
+    return RunFilterUdf(ctx_, def_, frame);
+  }
+
+  OperatorPtr child_;
+  UdfDef def_;
+  bool emit_presence_placeholders_;
+};
+
+// ---------------------------------------------------------------------------
+// ViewJoin: LEFT OUTER JOIN with the materialized view (Fig. 4 step 1).
+// Rows found in the view get outputs populated (and count as reused
+// invocations); missing rows get NULL outputs for CondApply to fill.
+// ---------------------------------------------------------------------------
+
+class ViewJoinOp : public Operator {
+ public:
+  static Result<OperatorPtr> Make(ExecContext* ctx, OperatorPtr child,
+                                  const std::string& udf,
+                                  const std::string& view_name,
+                                  bool scan_all_for_dedup) {
+    EVA_ASSIGN_OR_RETURN(UdfDef def, ctx->catalog->GetUdf(udf));
+    Schema out = child->output_schema();
+    Schema udf_out = UdfOutputSchema(def);
+    // Extend only with columns not already present (multi-view chains for
+    // one logical UDF share output columns).
+    for (const Field& f : udf_out.fields()) {
+      if (!out.Contains(f.name)) out.AddField(f);
+    }
+    return OperatorPtr(new ViewJoinOp(ctx, std::move(child), std::move(def),
+                                      view_name, scan_all_for_dedup,
+                                      std::move(out)));
+  }
+
+  Result<Batch> Next() override {
+    if (scan_all_pending_) {
+      // HashStash: dedup the union of all matched operator outputs — a
+      // full read of the recycled materialization (§5.1 baseline).
+      scan_all_pending_ = false;
+      const MaterializedView* view = ctx_->views->Find(view_name_);
+      if (view != nullptr) {
+        ctx_->Charge(CostCategory::kReadView,
+                     ctx_->costs.view_read_ms_per_row *
+                         static_cast<double>(view->num_rows()));
+      }
+    }
+    EVA_ASSIGN_OR_RETURN(Batch in, child_->Next());
+    Batch out(output_schema_);
+    if (in.empty()) return out;
+    MaterializedView* view = ctx_->views->Find(view_name_);
+    int id_idx = in.schema().IndexOf(kColId);
+    int obj_idx = in.schema().IndexOf(kColObj);
+    size_t n_outputs = UdfOutputSchema(def_).num_fields();
+    bool outputs_present =
+        in.schema().Contains(def_.kind == UdfKind::kDetector
+                                 ? kColObj
+                                 : def_.name);
+    for (const Row& row : in.rows()) {
+      int64_t frame = row[static_cast<size_t>(id_idx)].AsInt64();
+      if (def_.kind == UdfKind::kDetector) {
+        // A row that already has a non-null obj was populated by an
+        // earlier view in the chain; pass it through.
+        if (outputs_present && obj_idx >= 0 &&
+            !row[static_cast<size_t>(obj_idx)].is_null()) {
+          out.AddRow(row);
+          continue;
+        }
+        ViewKey key{frame, -1};
+        ctx_->Charge(CostCategory::kOther,
+                     ctx_->costs.view_probe_ms_per_key);
+        if (view != nullptr && view->Has(key)) {
+          ctx_->metrics->invocations[def_.name] += 1;
+          ctx_->metrics->reused[def_.name] += 1;
+          const std::vector<Row>& rows = view->Get(key);
+          ctx_->Charge(CostCategory::kReadView,
+                       ctx_->costs.view_read_ms_per_row *
+                           static_cast<double>(rows.size()));
+          for (const Row& vr : rows) {
+            Row full = TrimmedBase(row);
+            for (const Value& v : vr) full.push_back(v);
+            out.AddRow(std::move(full));
+          }
+        } else {
+          Row full = TrimmedBase(row);
+          for (size_t i = 0; i < n_outputs; ++i) {
+            full.push_back(Value::Null());
+          }
+          out.AddRow(std::move(full));
+        }
+      } else {
+        // Classifier / filter UDF: single output column.
+        int out_idx = output_schema_.IndexOf(def_.name);
+        Row full = row;
+        full.resize(output_schema_.num_fields());
+        bool already =
+            in.schema().Contains(def_.name) &&
+            !row[static_cast<size_t>(in.schema().IndexOf(def_.name))]
+                 .is_null();
+        if (already) {
+          out.AddRow(std::move(full));
+          continue;
+        }
+        Value obj_v = obj_idx >= 0 ? row[static_cast<size_t>(obj_idx)]
+                                   : Value::Null();
+        if (def_.kind == UdfKind::kClassifier && obj_v.is_null()) {
+          full[static_cast<size_t>(out_idx)] = Value::Null();
+          out.AddRow(std::move(full));
+          continue;
+        }
+        ViewKey key{frame,
+                    def_.kind == UdfKind::kClassifier ? obj_v.AsInt64()
+                                                      : -1};
+        ctx_->Charge(CostCategory::kOther,
+                     ctx_->costs.view_probe_ms_per_key);
+        if (view != nullptr && view->Has(key)) {
+          ctx_->metrics->invocations[def_.name] += 1;
+          ctx_->metrics->reused[def_.name] += 1;
+          const std::vector<Row>& rows = view->Get(key);
+          ctx_->Charge(CostCategory::kReadView,
+                       ctx_->costs.view_read_ms_per_row);
+          full[static_cast<size_t>(out_idx)] =
+              rows.empty() ? Value::Null() : rows[0][0];
+        } else {
+          full[static_cast<size_t>(out_idx)] = Value::Null();
+        }
+        out.AddRow(std::move(full));
+      }
+    }
+    return out;
+  }
+
+ private:
+  ViewJoinOp(ExecContext* ctx, OperatorPtr child, UdfDef def,
+             std::string view_name, bool scan_all, Schema schema)
+      : Operator(ctx, std::move(schema)),
+        child_(std::move(child)),
+        def_(std::move(def)),
+        view_name_(std::move(view_name)),
+        scan_all_pending_(scan_all) {
+    // Width of the input columns that precede the detector outputs: when
+    // the input already carries (possibly NULL) output columns from an
+    // earlier view join, strip them before re-appending.
+    output_width_base_ = output_schema_.num_fields() -
+                         UdfOutputSchema(def_).num_fields();
+  }
+
+  Row TrimmedBase(const Row& row) const {
+    size_t base = std::min(row.size(), output_width_base_);
+    return Row(row.begin(), row.begin() + static_cast<long>(base));
+  }
+
+  OperatorPtr child_;
+  UdfDef def_;
+  std::string view_name_;
+  bool scan_all_pending_;
+  size_t output_width_base_;
+};
+
+// ---------------------------------------------------------------------------
+// CondApply: the conditional apply operator A[p*] (Fig. 4 step 2). The
+// pass-through predicate is "outputs IS NOT NULL": only rows missing from
+// the view are evaluated.
+// ---------------------------------------------------------------------------
+
+class CondApplyOp : public Operator {
+ public:
+  static Result<OperatorPtr> Make(ExecContext* ctx, OperatorPtr child,
+                                  const std::string& udf) {
+    EVA_ASSIGN_OR_RETURN(UdfDef def, ctx->catalog->GetUdf(udf));
+    Schema schema = child->output_schema();
+    if (def.kind == UdfKind::kDetector && !schema.Contains(kColObj)) {
+      return Status::Internal(
+          "CondApply(detector) requires view-joined input");
+    }
+    if (def.kind != UdfKind::kDetector && !schema.Contains(def.name)) {
+      return Status::Internal("CondApply requires the output column " +
+                              def.name);
+    }
+    return OperatorPtr(new CondApplyOp(ctx, std::move(child), std::move(def),
+                                       std::move(schema)));
+  }
+
+  Result<Batch> Next() override {
+    EVA_ASSIGN_OR_RETURN(Batch in, child_->Next());
+    Batch out(output_schema_);
+    if (in.empty()) return out;
+    int id_idx = in.schema().IndexOf(kColId);
+    int obj_idx = in.schema().IndexOf(kColObj);
+    size_t n_outputs = UdfOutputSchema(def_).num_fields();
+    size_t base_width = output_schema_.num_fields() - n_outputs;
+    ctx_->Charge(CostCategory::kOther,
+                 ctx_->costs.apply_overhead_ms_per_row *
+                     static_cast<double>(in.num_rows()));
+    for (const Row& row : in.rows()) {
+      int64_t frame = row[static_cast<size_t>(id_idx)].AsInt64();
+      if (def_.kind == UdfKind::kDetector) {
+        if (!row[static_cast<size_t>(obj_idx)].is_null()) {
+          out.AddRow(row);  // populated by the view join: pass through
+          continue;
+        }
+        EVA_ASSIGN_OR_RETURN(std::vector<Row> dets,
+                             RunDetector(ctx_, def_, frame));
+        if (dets.empty()) {
+          // Keep the NULL placeholder so STORE records "frame processed,
+          // zero objects" before dropping it.
+          out.AddRow(row);
+          continue;
+        }
+        for (Row& d : dets) {
+          Row full(row.begin(), row.begin() + static_cast<long>(base_width));
+          for (Value& v : d) full.push_back(std::move(v));
+          out.AddRow(std::move(full));
+        }
+      } else {
+        int out_idx = in.schema().IndexOf(def_.name);
+        Row full = row;
+        const Value& current = row[static_cast<size_t>(out_idx)];
+        if (current.is_null()) {
+          if (def_.kind == UdfKind::kClassifier) {
+            const Value& obj_v = row[static_cast<size_t>(obj_idx)];
+            if (!obj_v.is_null()) {
+              EVA_ASSIGN_OR_RETURN(
+                  Value v,
+                  RunClassifier(ctx_, def_, frame, obj_v.AsInt64()));
+              full[static_cast<size_t>(out_idx)] = std::move(v);
+            }
+          } else {
+            EVA_ASSIGN_OR_RETURN(Value v, RunFilterUdf(ctx_, def_, frame));
+            full[static_cast<size_t>(out_idx)] = std::move(v);
+          }
+        }
+        out.AddRow(std::move(full));
+      }
+    }
+    return out;
+  }
+
+ private:
+  CondApplyOp(ExecContext* ctx, OperatorPtr child, UdfDef def, Schema schema)
+      : Operator(ctx, std::move(schema)),
+        child_(std::move(child)),
+        def_(std::move(def)) {}
+
+  OperatorPtr child_;
+  UdfDef def_;
+};
+
+// ---------------------------------------------------------------------------
+// Store: appends fresh UDF results to the materialized view (Fig. 4 step
+// 3). Append-only and idempotent: keys already present are skipped, so
+// rows that came from the view flow through for free.
+// ---------------------------------------------------------------------------
+
+class StoreOp : public Operator {
+ public:
+  static Result<OperatorPtr> Make(ExecContext* ctx, OperatorPtr child,
+                                  const std::string& udf,
+                                  const std::string& view_name) {
+    EVA_ASSIGN_OR_RETURN(UdfDef def, ctx->catalog->GetUdf(udf));
+    return OperatorPtr(new StoreOp(ctx, std::move(child), std::move(def),
+                                   view_name));
+  }
+
+  Result<Batch> Next() override {
+    EVA_ASSIGN_OR_RETURN(Batch in, child_->Next());
+    Batch out(output_schema_);
+    if (in.empty()) return out;
+    MaterializedView* view =
+        ctx_->views->GetOrCreate(view_name_, UdfOutputSchema(def_));
+    int id_idx = in.schema().IndexOf(kColId);
+    int obj_idx = in.schema().IndexOf(kColObj);
+    if (def_.kind == UdfKind::kDetector) {
+      // Group object rows of one frame; record presence even for frames
+      // whose detector output is empty (NULL placeholder rows).
+      int64_t current_frame = -1;
+      std::vector<Row> pending;
+      bool pending_placeholder = false;
+      auto flush = [&]() {
+        if (current_frame < 0) return;
+        ViewKey key{current_frame, -1};
+        if (!view->Has(key)) {
+          ctx_->Charge(CostCategory::kMaterialize,
+                       ctx_->costs.materialize_ms_per_row *
+                           static_cast<double>(pending.size() + 1));
+          view->Put(key, pending);
+        }
+        pending.clear();
+        pending_placeholder = false;
+      };
+      size_t n_outputs = UdfOutputSchema(def_).num_fields();
+      size_t base_width = in.schema().num_fields() - n_outputs;
+      for (const Row& row : in.rows()) {
+        int64_t frame = row[static_cast<size_t>(id_idx)].AsInt64();
+        if (frame != current_frame) {
+          flush();
+          current_frame = frame;
+        }
+        if (row[static_cast<size_t>(obj_idx)].is_null()) {
+          pending_placeholder = true;  // processed frame, zero objects
+          continue;                    // placeholder rows are dropped here
+        }
+        pending.emplace_back(row.begin() + static_cast<long>(base_width),
+                             row.end());
+        out.AddRow(row);
+      }
+      flush();
+      (void)pending_placeholder;
+      return out;
+    }
+    // Classifier / filter UDF: one row per key.
+    int val_idx = in.schema().IndexOf(def_.name);
+    for (const Row& row : in.rows()) {
+      const Value& val = row[static_cast<size_t>(val_idx)];
+      if (!val.is_null()) {
+        int64_t frame = row[static_cast<size_t>(id_idx)].AsInt64();
+        int64_t obj = -1;
+        if (def_.kind == UdfKind::kClassifier) {
+          const Value& obj_v = row[static_cast<size_t>(obj_idx)];
+          if (obj_v.is_null()) {
+            out.AddRow(row);
+            continue;
+          }
+          obj = obj_v.AsInt64();
+        }
+        ViewKey key{frame, obj};
+        if (!view->Has(key)) {
+          ctx_->Charge(CostCategory::kMaterialize,
+                       ctx_->costs.materialize_ms_per_row);
+          view->Put(key, {{val}});
+        }
+      }
+      out.AddRow(row);
+    }
+    return out;
+  }
+
+ private:
+  StoreOp(ExecContext* ctx, OperatorPtr child, UdfDef def,
+          std::string view_name)
+      : Operator(ctx, child->output_schema()),
+        child_(std::move(child)),
+        def_(std::move(def)),
+        view_name_(std::move(view_name)) {}
+
+  OperatorPtr child_;
+  UdfDef def_;
+  std::string view_name_;
+};
+
+// ---------------------------------------------------------------------------
+// Project
+// ---------------------------------------------------------------------------
+
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(ExecContext* ctx, OperatorPtr child,
+            std::vector<expr::ExprPtr> exprs, Schema schema)
+      : Operator(ctx, std::move(schema)),
+        child_(std::move(child)),
+        exprs_(std::move(exprs)) {}
+
+  Result<Batch> Next() override {
+    EVA_ASSIGN_OR_RETURN(Batch in, child_->Next());
+    Batch out(output_schema_);
+    if (in.empty()) return out;
+    for (const Row& row : in.rows()) {
+      Row projected;
+      projected.reserve(exprs_.size());
+      for (const expr::ExprPtr& e : exprs_) {
+        EVA_ASSIGN_OR_RETURN(Value v,
+                             expr::EvaluateScalar(*e, in.schema(), row));
+        projected.push_back(std::move(v));
+      }
+      out.AddRow(std::move(projected));
+    }
+    return out;
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<expr::ExprPtr> exprs_;
+};
+
+// ---------------------------------------------------------------------------
+// Aggregate: COUNT(*) GROUP BY <cols>
+// ---------------------------------------------------------------------------
+
+class AggregateOp : public Operator {
+ public:
+  AggregateOp(ExecContext* ctx, OperatorPtr child,
+              std::vector<std::string> group_by, Schema schema)
+      : Operator(ctx, std::move(schema)),
+        child_(std::move(child)),
+        group_by_(std::move(group_by)) {}
+
+  Result<Batch> Next() override {
+    if (done_) return Batch(output_schema_);
+    done_ = true;
+    std::vector<Row> group_rows;
+    std::vector<int64_t> counts;
+    std::map<std::string, size_t> index;
+    while (true) {
+      EVA_ASSIGN_OR_RETURN(Batch in, child_->Next());
+      if (in.empty()) break;
+      std::vector<int> idxs;
+      for (const std::string& col : group_by_) {
+        int i = in.schema().IndexOf(col);
+        if (i < 0) return Status::BindError("unknown group column: " + col);
+        idxs.push_back(i);
+      }
+      for (const Row& row : in.rows()) {
+        std::string key;
+        Row group;
+        for (int i : idxs) {
+          const Value& v = row[static_cast<size_t>(i)];
+          key += v.ToString();
+          key += '\x1f';
+          group.push_back(v);
+        }
+        auto [it, inserted] = index.emplace(key, group_rows.size());
+        if (inserted) {
+          group_rows.push_back(std::move(group));
+          counts.push_back(0);
+        }
+        ++counts[it->second];
+      }
+    }
+    Batch out(output_schema_);
+    for (size_t i = 0; i < group_rows.size(); ++i) {
+      Row row = group_rows[i];
+      row.push_back(Value(counts[i]));
+      out.AddRow(std::move(row));
+    }
+    return out;
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<std::string> group_by_;
+  bool done_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Limit
+// ---------------------------------------------------------------------------
+
+class LimitOp : public Operator {
+ public:
+  LimitOp(ExecContext* ctx, OperatorPtr child, int64_t limit)
+      : Operator(ctx, child->output_schema()),
+        child_(std::move(child)),
+        remaining_(limit) {}
+
+  Result<Batch> Next() override {
+    Batch out(output_schema_);
+    if (remaining_ <= 0) return out;
+    EVA_ASSIGN_OR_RETURN(Batch in, child_->Next());
+    if (in.empty()) return out;
+    for (Row& row : in.mutable_rows()) {
+      if (remaining_ <= 0) break;
+      out.AddRow(std::move(row));
+      --remaining_;
+    }
+    return out;
+  }
+
+ private:
+  OperatorPtr child_;
+  int64_t remaining_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+Result<OperatorPtr> BuildOperator(const plan::PlanNodePtr& node,
+                                  ExecContext* ctx) {
+  switch (node->kind()) {
+    case PlanKind::kVideoScan: {
+      auto* scan = static_cast<const plan::VideoScanNode*>(node.get());
+      return OperatorPtr(new VideoScanOp(ctx, scan->lo(), scan->hi()));
+    }
+    case PlanKind::kFilter: {
+      auto* filter = static_cast<const plan::FilterNode*>(node.get());
+      EVA_ASSIGN_OR_RETURN(OperatorPtr child,
+                           BuildOperator(node->child(), ctx));
+      return OperatorPtr(
+          new FilterOp(ctx, std::move(child), filter->predicate()));
+    }
+    case PlanKind::kApply: {
+      auto* apply = static_cast<const plan::ApplyNode*>(node.get());
+      EVA_ASSIGN_OR_RETURN(OperatorPtr child,
+                           BuildOperator(node->child(), ctx));
+      return ApplyOp::Make(ctx, std::move(child), apply->udf(),
+                           apply->emit_presence_placeholders());
+    }
+    case PlanKind::kCondApply: {
+      auto* apply = static_cast<const plan::CondApplyNode*>(node.get());
+      EVA_ASSIGN_OR_RETURN(OperatorPtr child,
+                           BuildOperator(node->child(), ctx));
+      return CondApplyOp::Make(ctx, std::move(child), apply->udf());
+    }
+    case PlanKind::kViewJoin: {
+      auto* join = static_cast<const plan::ViewJoinNode*>(node.get());
+      EVA_ASSIGN_OR_RETURN(OperatorPtr child,
+                           BuildOperator(node->child(), ctx));
+      return ViewJoinOp::Make(ctx, std::move(child), join->udf(),
+                              join->view_name(),
+                              join->scan_all_for_dedup());
+    }
+    case PlanKind::kStore: {
+      auto* store = static_cast<const plan::StoreNode*>(node.get());
+      EVA_ASSIGN_OR_RETURN(OperatorPtr child,
+                           BuildOperator(node->child(), ctx));
+      return StoreOp::Make(ctx, std::move(child), store->udf(),
+                           store->view_name());
+    }
+    case PlanKind::kProject: {
+      auto* proj = static_cast<const plan::ProjectNode*>(node.get());
+      EVA_ASSIGN_OR_RETURN(OperatorPtr child,
+                           BuildOperator(node->child(), ctx));
+      Schema schema;
+      for (size_t i = 0; i < proj->exprs().size(); ++i) {
+        DataType type = DataType::kString;
+        const expr::ExprPtr& e = proj->exprs()[i];
+        int idx = e->kind() == expr::ExprKind::kColumn
+                      ? child->output_schema().IndexOf(e->name())
+                      : -1;
+        if (idx >= 0) type = child->output_schema().field(
+                          static_cast<size_t>(idx)).type;
+        schema.AddField({proj->names()[i], type});
+      }
+      return OperatorPtr(new ProjectOp(ctx, std::move(child), proj->exprs(),
+                                       std::move(schema)));
+    }
+    case PlanKind::kLimit: {
+      auto* limit = static_cast<const plan::LimitNode*>(node.get());
+      EVA_ASSIGN_OR_RETURN(OperatorPtr child,
+                           BuildOperator(node->child(), ctx));
+      return OperatorPtr(
+          new LimitOp(ctx, std::move(child), limit->limit()));
+    }
+    case PlanKind::kAggregate: {
+      auto* agg = static_cast<const plan::AggregateNode*>(node.get());
+      EVA_ASSIGN_OR_RETURN(OperatorPtr child,
+                           BuildOperator(node->child(), ctx));
+      Schema schema;
+      for (const std::string& col : agg->group_by()) {
+        int idx = child->output_schema().IndexOf(col);
+        DataType type = idx >= 0 ? child->output_schema()
+                                        .field(static_cast<size_t>(idx))
+                                        .type
+                                 : DataType::kString;
+        schema.AddField({col, type});
+      }
+      schema.AddField({"count", DataType::kInt64});
+      return OperatorPtr(new AggregateOp(ctx, std::move(child),
+                                         agg->group_by(),
+                                         std::move(schema)));
+    }
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+Result<Batch> ExecutePlan(const plan::PlanNodePtr& plan, ExecContext* ctx) {
+  EVA_ASSIGN_OR_RETURN(OperatorPtr root, BuildOperator(plan, ctx));
+  Batch result(root->output_schema());
+  while (true) {
+    EVA_ASSIGN_OR_RETURN(Batch batch, root->Next());
+    if (batch.empty()) break;
+    for (Row& row : batch.mutable_rows()) {
+      result.AddRow(std::move(row));
+    }
+  }
+  ctx->metrics->rows_out += static_cast<int64_t>(result.num_rows());
+  return result;
+}
+
+}  // namespace eva::exec

@@ -1,0 +1,275 @@
+#include "expr/expr.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace eva::expr {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+CompareOp MirrorOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;  // = and != are symmetric
+  }
+}
+
+ExprPtr Expr::Column(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kColumn));
+  e->name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kLiteral));
+  e->value_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kCompare));
+  e->op_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kAnd));
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kOr));
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr child) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kNot));
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ExprPtr Expr::UdfCall(std::string name, std::vector<std::string> args,
+                      std::string accuracy) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kUdfCall));
+  e->name_ = std::move(name);
+  e->args_ = std::move(args);
+  e->accuracy_ = std::move(accuracy);
+  return e;
+}
+
+ExprPtr Expr::Star() {
+  return std::shared_ptr<Expr>(new Expr(ExprKind::kStar));
+}
+
+ExprPtr Expr::CountStar() {
+  return std::shared_ptr<Expr>(new Expr(ExprKind::kCountStar));
+}
+
+bool Expr::ContainsUdf() const {
+  if (kind_ == ExprKind::kUdfCall) return true;
+  for (const ExprPtr& c : children_) {
+    if (c->ContainsUdf()) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Expr::ReferencedUdfs() const {
+  std::vector<std::string> out;
+  if (kind_ == ExprKind::kUdfCall) out.push_back(name_);
+  for (const ExprPtr& c : children_) {
+    for (std::string& u : c->ReferencedUdfs()) {
+      if (std::find(out.begin(), out.end(), u) == out.end()) {
+        out.push_back(std::move(u));
+      }
+    }
+  }
+  return out;
+}
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case ExprKind::kColumn:
+      os << name_;
+      break;
+    case ExprKind::kLiteral:
+      if (value_.type() == DataType::kString) {
+        os << "'" << value_.ToString() << "'";
+      } else {
+        os << value_.ToString();
+      }
+      break;
+    case ExprKind::kCompare:
+      os << children_[0]->ToString() << " " << CompareOpName(op_) << " "
+         << children_[1]->ToString();
+      break;
+    case ExprKind::kAnd:
+      os << "(" << children_[0]->ToString() << " AND "
+         << children_[1]->ToString() << ")";
+      break;
+    case ExprKind::kOr:
+      os << "(" << children_[0]->ToString() << " OR "
+         << children_[1]->ToString() << ")";
+      break;
+    case ExprKind::kNot:
+      os << "NOT (" << children_[0]->ToString() << ")";
+      break;
+    case ExprKind::kUdfCall: {
+      os << name_ << "(";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << args_[i];
+      }
+      os << ")";
+      if (!accuracy_.empty()) os << " ACCURACY '" << accuracy_ << "'";
+      break;
+    }
+    case ExprKind::kStar:
+      os << "*";
+      break;
+    case ExprKind::kCountStar:
+      os << "COUNT(*)";
+      break;
+  }
+  return os.str();
+}
+
+Result<Value> EvaluateScalar(const Expr& expr, const Schema& schema,
+                             const Row& row) {
+  switch (expr.kind()) {
+    case ExprKind::kColumn: {
+      int idx = schema.IndexOf(expr.name());
+      if (idx < 0) {
+        return Status::BindError("unknown column: " + expr.name());
+      }
+      return row[static_cast<size_t>(idx)];
+    }
+    case ExprKind::kUdfCall: {
+      // After the rewrite, the UDF's output lives in a column named after
+      // the UDF (annotated by the APPLY operator).
+      int idx = schema.IndexOf(expr.name());
+      if (idx < 0) {
+        return Status::BindError("UDF output column not materialized: " +
+                                 expr.name());
+      }
+      return row[static_cast<size_t>(idx)];
+    }
+    case ExprKind::kLiteral:
+      return expr.value();
+    case ExprKind::kCompare: {
+      EVA_ASSIGN_OR_RETURN(
+          Value lhs, EvaluateScalar(*expr.children()[0], schema, row));
+      EVA_ASSIGN_OR_RETURN(
+          Value rhs, EvaluateScalar(*expr.children()[1], schema, row));
+      if (lhs.is_null() || rhs.is_null()) return Value(false);
+      int c = lhs.Compare(rhs);
+      bool out = false;
+      switch (expr.op()) {
+        case CompareOp::kEq:
+          out = c == 0;
+          break;
+        case CompareOp::kNe:
+          out = c != 0;
+          break;
+        case CompareOp::kLt:
+          out = c < 0;
+          break;
+        case CompareOp::kLe:
+          out = c <= 0;
+          break;
+        case CompareOp::kGt:
+          out = c > 0;
+          break;
+        case CompareOp::kGe:
+          out = c >= 0;
+          break;
+      }
+      return Value(out);
+    }
+    case ExprKind::kAnd: {
+      EVA_ASSIGN_OR_RETURN(
+          bool l, EvaluateBool(*expr.children()[0], schema, row));
+      if (!l) return Value(false);
+      EVA_ASSIGN_OR_RETURN(
+          bool r, EvaluateBool(*expr.children()[1], schema, row));
+      return Value(r);
+    }
+    case ExprKind::kOr: {
+      EVA_ASSIGN_OR_RETURN(
+          bool l, EvaluateBool(*expr.children()[0], schema, row));
+      if (l) return Value(true);
+      EVA_ASSIGN_OR_RETURN(
+          bool r, EvaluateBool(*expr.children()[1], schema, row));
+      return Value(r);
+    }
+    case ExprKind::kNot: {
+      EVA_ASSIGN_OR_RETURN(
+          bool c, EvaluateBool(*expr.children()[0], schema, row));
+      return Value(!c);
+    }
+    case ExprKind::kStar:
+    case ExprKind::kCountStar:
+      return Status::InvalidArgument(
+          "star expressions are not scalar-evaluable");
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+Result<bool> EvaluateBool(const Expr& expr, const Schema& schema,
+                          const Row& row) {
+  EVA_ASSIGN_OR_RETURN(Value v, EvaluateScalar(expr, schema, row));
+  if (v.is_null()) return false;
+  if (v.type() == DataType::kBool) return v.AsBool();
+  return Status::InvalidArgument("expression is not boolean: " +
+                                 expr.ToString());
+}
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr) {
+  std::vector<ExprPtr> out;
+  if (!expr) return out;
+  if (expr->kind() == ExprKind::kAnd) {
+    for (const ExprPtr& c : expr->children()) {
+      for (ExprPtr& sub : SplitConjuncts(c)) out.push_back(std::move(sub));
+    }
+  } else {
+    out.push_back(expr);
+  }
+  return out;
+}
+
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr acc;
+  for (const ExprPtr& c : conjuncts) {
+    acc = acc ? Expr::And(acc, c) : c;
+  }
+  return acc;
+}
+
+}  // namespace eva::expr

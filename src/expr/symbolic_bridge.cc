@@ -1,0 +1,130 @@
+#include "expr/symbolic_bridge.h"
+
+namespace eva::expr {
+
+namespace {
+
+using symbolic::DimConstraint;
+using symbolic::DimKind;
+using symbolic::Interval;
+using symbolic::Predicate;
+using symbolic::SymbolicBudget;
+
+// Builds the constraint for "<dim> <op> <literal>".
+Result<DimConstraint> AtomConstraint(DimKind kind, CompareOp op,
+                                     const Value& literal) {
+  if (kind == DimKind::kCategorical) {
+    // Boolean literals (filter-UDF predicates) are treated as the
+    // two-value categorical domain {"true", "false"}.
+    std::string v;
+    if (literal.type() == DataType::kString) {
+      v = literal.AsString();
+    } else if (literal.type() == DataType::kBool) {
+      v = literal.AsBool() ? "true" : "false";
+    } else {
+      return Status::InvalidArgument(
+          "categorical dimension compared to non-string literal");
+    }
+    switch (op) {
+      case CompareOp::kEq:
+        return DimConstraint::Categorical({v}, false);
+      case CompareOp::kNe:
+        return DimConstraint::Categorical({v}, true);
+      default:
+        return Status::NotImplemented(
+            "ordered comparison on categorical dimension");
+    }
+  }
+  if (!literal.is_numeric()) {
+    return Status::InvalidArgument(
+        "numeric dimension compared to non-numeric literal");
+  }
+  double v = literal.AsDouble();
+  switch (op) {
+    case CompareOp::kEq:
+      return DimConstraint::Numeric(kind, Interval::Point(v));
+    case CompareOp::kNe:
+      return DimConstraint::NumericNotEqual(kind, v);
+    case CompareOp::kLt:
+      return DimConstraint::Numeric(kind, Interval::LessThan(v));
+    case CompareOp::kLe:
+      return DimConstraint::Numeric(kind, Interval::AtMost(v));
+    case CompareOp::kGt:
+      return DimConstraint::Numeric(kind, Interval::GreaterThan(v));
+    case CompareOp::kGe:
+      return DimConstraint::Numeric(kind, Interval::AtLeast(v));
+  }
+  return Status::Internal("unreachable compare op");
+}
+
+Result<Predicate> Convert(const Expr& expr, const DimKindResolver& kinds,
+                          const SymbolicBudget& budget) {
+  switch (expr.kind()) {
+    case ExprKind::kAnd: {
+      EVA_ASSIGN_OR_RETURN(
+          Predicate l, Convert(*expr.children()[0], kinds, budget));
+      EVA_ASSIGN_OR_RETURN(
+          Predicate r, Convert(*expr.children()[1], kinds, budget));
+      return Predicate::And(l, r, budget);
+    }
+    case ExprKind::kOr: {
+      EVA_ASSIGN_OR_RETURN(
+          Predicate l, Convert(*expr.children()[0], kinds, budget));
+      EVA_ASSIGN_OR_RETURN(
+          Predicate r, Convert(*expr.children()[1], kinds, budget));
+      return Predicate::Or(l, r, budget);
+    }
+    case ExprKind::kNot: {
+      EVA_ASSIGN_OR_RETURN(
+          Predicate c, Convert(*expr.children()[0], kinds, budget));
+      return Predicate::Not(c, budget);
+    }
+    case ExprKind::kCompare: {
+      const Expr& lhs = *expr.children()[0];
+      const Expr& rhs = *expr.children()[1];
+      // Normalize to <dim> <op> <literal>.
+      const Expr* dim_side = nullptr;
+      const Expr* lit_side = nullptr;
+      CompareOp op = expr.op();
+      if ((lhs.kind() == ExprKind::kColumn ||
+           lhs.kind() == ExprKind::kUdfCall) &&
+          rhs.kind() == ExprKind::kLiteral) {
+        dim_side = &lhs;
+        lit_side = &rhs;
+      } else if ((rhs.kind() == ExprKind::kColumn ||
+                  rhs.kind() == ExprKind::kUdfCall) &&
+                 lhs.kind() == ExprKind::kLiteral) {
+        dim_side = &rhs;
+        lit_side = &lhs;
+        op = MirrorOp(op);
+      } else {
+        return Status::NotImplemented(
+            "comparison is not <dim> vs <literal>: " + expr.ToString());
+      }
+      const std::string& dim = dim_side->name();
+      EVA_ASSIGN_OR_RETURN(
+          DimConstraint c,
+          AtomConstraint(kinds(dim), op, lit_side->value()));
+      return Predicate::Atom(dim, c);
+    }
+    case ExprKind::kLiteral:
+      if (expr.value().type() == DataType::kBool) {
+        return expr.value().AsBool() ? Predicate::True()
+                                     : Predicate::False();
+      }
+      return Status::InvalidArgument("non-boolean literal predicate");
+    default:
+      return Status::NotImplemented("unsupported predicate shape: " +
+                                    expr.ToString());
+  }
+}
+
+}  // namespace
+
+Result<Predicate> ExprToPredicate(const Expr& expr,
+                                  const DimKindResolver& kinds,
+                                  const SymbolicBudget& budget) {
+  return Convert(expr, kinds, budget);
+}
+
+}  // namespace eva::expr

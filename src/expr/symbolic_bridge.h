@@ -1,0 +1,30 @@
+#ifndef EVA_EXPR_SYMBOLIC_BRIDGE_H_
+#define EVA_EXPR_SYMBOLIC_BRIDGE_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "expr/expr.h"
+#include "symbolic/predicate.h"
+
+namespace eva::expr {
+
+/// Maps a predicate dimension name (column or UDF-output name) to its
+/// domain kind. Supplied by the catalog/statistics layer.
+using DimKindResolver = std::function<symbolic::DimKind(const std::string&)>;
+
+/// Converts a boolean expression into EVA's symbolic predicate form (§4.1).
+/// Supported syntax is the paper's grammar: comparisons of a column or UDF
+/// call against a constant, combined with AND/OR/NOT. A UDF call becomes a
+/// dimension named after the UDF. Unsupported shapes (e.g. column-vs-column
+/// comparisons) return NotImplemented — the optimizer then treats the
+/// predicate as opaque and skips symbolic reuse for it.
+Result<symbolic::Predicate> ExprToPredicate(const Expr& expr,
+                                            const DimKindResolver& kinds,
+                                            const symbolic::SymbolicBudget&
+                                                budget = {});
+
+}  // namespace eva::expr
+
+#endif  // EVA_EXPR_SYMBOLIC_BRIDGE_H_

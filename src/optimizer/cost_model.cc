@@ -1,0 +1,26 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+
+namespace eva::optimizer {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+double CanonicalRank(double selectivity, double cost_e_ms) {
+  return (selectivity - 1.0) / std::max(cost_e_ms, kEps);
+}
+
+double MaterializationAwareRank(const UdfCostInputs& in) {
+  double denom = in.sel_diff_fraction * in.cost_e_ms + in.cost_r_ms;
+  return (in.selectivity - 1.0) / std::max(denom, kEps);
+}
+
+double ExpectedUdfPredicateCost(const UdfCostInputs& in, double input_card,
+                                double view_read_ms_total) {
+  return 3.0 * view_read_ms_total + input_card * in.cost_r_ms +
+         input_card * in.sel_diff_fraction * in.cost_e_ms;
+}
+
+}  // namespace eva::optimizer

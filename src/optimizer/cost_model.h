@@ -1,0 +1,37 @@
+#ifndef EVA_OPTIMIZER_COST_MODEL_H_
+#define EVA_OPTIMIZER_COST_MODEL_H_
+
+namespace eva::optimizer {
+
+/// Inputs to the UDF-predicate cost/rank computation (§4.2).
+struct UdfCostInputs {
+  /// s: selectivity of the UDF-based predicate.
+  double selectivity = 1.0;
+  /// s_{p–}: fraction of the predicate's input tuples missing from the
+  /// materialized view (selectivity of the difference predicate relative
+  /// to the associated predicate). 1.0 when nothing is materialized.
+  double sel_diff_fraction = 1.0;
+  /// c_e: per-tuple UDF evaluation cost (ms).
+  double cost_e_ms = 0;
+  /// c_r: per-tuple cost of the view join (ms); negligible on disk but
+  /// kept per Eq. 4.
+  double cost_r_ms = 0;
+};
+
+/// Eq. 2 — the traditional ranking function r = (s - 1) / c. Smaller is
+/// better (evaluated earlier).
+double CanonicalRank(double selectivity, double cost_e_ms);
+
+/// Eq. 4 — EVA's materialization-aware ranking function
+/// r = (s - 1) / (s_{p–} · c_e + c_r).
+double MaterializationAwareRank(const UdfCostInputs& in);
+
+/// Eq. 3 — expected cost of evaluating a UDF-based predicate over |R|
+/// input tuples when a view with fixed read cost `view_read_ms_total` is
+/// available: T = 3·C_M + |R|·c_r + |R|·s_{p–}·c_e.
+double ExpectedUdfPredicateCost(const UdfCostInputs& in, double input_card,
+                                double view_read_ms_total);
+
+}  // namespace eva::optimizer
+
+#endif  // EVA_OPTIMIZER_COST_MODEL_H_

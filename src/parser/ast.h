@@ -1,0 +1,61 @@
+#ifndef EVA_PARSER_AST_H_
+#define EVA_PARSER_AST_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace eva::parser {
+
+/// `CROSS APPLY <udf>(<args>) [ACCURACY '<level>']` clause connecting the
+/// video with an object-detection UDF (Listing 1).
+struct ApplyClause {
+  std::string udf_name;
+  std::vector<std::string> args;
+  std::string accuracy;  // empty when unspecified
+};
+
+/// A parsed `SELECT ... FROM <video> [CROSS APPLY ...] [WHERE ...]
+/// [GROUP BY ...] [LIMIT n];` statement.
+struct SelectStatement {
+  std::vector<expr::ExprPtr> select_list;  // may contain Star / CountStar
+  std::string table;
+  std::optional<ApplyClause> apply;
+  expr::ExprPtr where;  // nullptr when absent
+  std::vector<std::string> group_by;
+  int64_t limit = -1;  // -1 = no LIMIT clause
+  /// EXPLAIN prefix: optimize and return the plan without executing.
+  bool explain = false;
+};
+
+/// A parsed `CREATE [OR REPLACE] UDF <name> INPUT=(...) OUTPUT=(...)
+/// IMPL='...' [LOGICAL_TYPE=<type>] [PROPERTIES=('K'='V', ...)];`
+/// statement (Listing 2).
+struct CreateUdfStatement {
+  std::string name;
+  bool or_replace = false;
+  std::string input_spec;   // raw text inside INPUT=( ... )
+  std::string output_spec;  // raw text inside OUTPUT=( ... )
+  std::string impl;
+  std::string logical_type;
+  std::map<std::string, std::string> properties;
+};
+
+/// `DROP UDF <name>;`
+struct DropUdfStatement {
+  std::string name;
+};
+
+/// `SHOW UDFS;` — lists registered UDFs and their properties.
+struct ShowUdfsStatement {};
+
+using Statement = std::variant<SelectStatement, CreateUdfStatement,
+                               DropUdfStatement, ShowUdfsStatement>;
+
+}  // namespace eva::parser
+
+#endif  // EVA_PARSER_AST_H_

@@ -1,0 +1,94 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace eva::parser {
+
+bool Token::IsKeyword(const std::string& kw) const {
+  return type == TokenType::kIdentifier && ToUpper(text) == ToUpper(kw);
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back(
+          {TokenType::kIdentifier, input.substr(start, i - start), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      bool seen_dot = false;
+      while (i < n &&
+             (std::isdigit(static_cast<unsigned char>(input[i])) ||
+              (input[i] == '.' && !seen_dot))) {
+        if (input[i] == '.') seen_dot = true;
+        ++i;
+      }
+      tokens.push_back(
+          {TokenType::kNumber, input.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      while (i < n && input[i] != '\'') {
+        text += input[i];
+        ++i;
+      }
+      if (i >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      ++i;  // closing quote
+      tokens.push_back({TokenType::kString, std::move(text), start});
+      continue;
+    }
+    // Comparison operators.
+    if (c == '<' || c == '>' || c == '!' || c == '=') {
+      std::string op(1, c);
+      ++i;
+      if (i < n && (input[i] == '=' || (c == '<' && input[i] == '>'))) {
+        op += input[i];
+        ++i;
+      }
+      if (op == "!") {
+        return Status::ParseError("stray '!' at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({TokenType::kCompare, std::move(op), start});
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',' || c == ';' || c == '*') {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(start));
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace eva::parser

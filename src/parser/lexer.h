@@ -1,0 +1,35 @@
+#ifndef EVA_PARSER_LEXER_H_
+#define EVA_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eva::parser {
+
+enum class TokenType {
+  kIdentifier = 0,  // includes keywords; the parser matches case-insensitively
+  kNumber,
+  kString,     // single-quoted literal, quotes stripped
+  kSymbol,     // ( ) , ; * =
+  kCompare,    // = != < <= > >= <>
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t position = 0;  // byte offset in the input, for error messages
+
+  bool Is(TokenType t) const { return type == t; }
+  /// Case-insensitive keyword/identifier match.
+  bool IsKeyword(const std::string& kw) const;
+};
+
+/// Tokenizes an EVA-QL statement. Comments (`-- ...`) are skipped.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace eva::parser
+
+#endif  // EVA_PARSER_LEXER_H_

@@ -1,0 +1,381 @@
+#include "parser/parser.h"
+
+#include "common/string_util.h"
+#include "parser/lexer.h"
+
+namespace eva::parser {
+
+namespace {
+
+using expr::CompareOp;
+using expr::Expr;
+using expr::ExprPtr;
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    bool explain = ConsumeKeyword("EXPLAIN");
+    if (Peek().IsKeyword("SELECT")) {
+      EVA_ASSIGN_OR_RETURN(SelectStatement sel, ParseSelect());
+      sel.explain = explain;
+      return Statement(std::move(sel));
+    }
+    if (explain) return Error("EXPLAIN expects a SELECT statement");
+    if (Peek().IsKeyword("CREATE")) {
+      EVA_ASSIGN_OR_RETURN(CreateUdfStatement create, ParseCreateUdf());
+      return Statement(std::move(create));
+    }
+    if (Peek().IsKeyword("DROP")) {
+      Advance();
+      EVA_RETURN_IF_ERROR(ExpectKeyword("UDF"));
+      DropUdfStatement drop;
+      EVA_ASSIGN_OR_RETURN(drop.name, ExpectIdentifier());
+      ConsumeSymbol(";");
+      return Statement(std::move(drop));
+    }
+    if (Peek().IsKeyword("SHOW")) {
+      Advance();
+      EVA_RETURN_IF_ERROR(ExpectKeyword("UDFS"));
+      ConsumeSymbol(";");
+      return Statement(ShowUdfsStatement{});
+    }
+    return Error("expected SELECT, CREATE, DROP, or SHOW");
+  }
+
+  Result<ExprPtr> ParseExpressionOnly() {
+    EVA_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (!Peek().Is(TokenType::kEnd) && !IsSymbol(Peek(), ";")) {
+      return Error("trailing tokens after expression");
+    }
+    return e;
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  static bool IsSymbol(const Token& t, const std::string& s) {
+    return t.Is(TokenType::kSymbol) && t.text == s;
+  }
+  bool ConsumeKeyword(const std::string& kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeSymbol(const std::string& s) {
+    if (IsSymbol(Peek(), s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " near offset " +
+                              std::to_string(Peek().position) + " ('" +
+                              Peek().text + "')");
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!ConsumeKeyword(kw)) return Error("expected " + kw);
+    return Status::OK();
+  }
+  Status ExpectSymbol(const std::string& s) {
+    if (!ConsumeSymbol(s)) return Error("expected '" + s + "'");
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (!Peek().Is(TokenType::kIdentifier)) {
+      return Error("expected identifier");
+    }
+    return Advance().text;
+  }
+
+  // --- statements ----------------------------------------------------------
+
+  Result<SelectStatement> ParseSelect() {
+    SelectStatement out;
+    EVA_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    // Select list.
+    while (true) {
+      EVA_ASSIGN_OR_RETURN(ExprPtr item, ParseSelectItem());
+      out.select_list.push_back(std::move(item));
+      if (!ConsumeSymbol(",")) break;
+    }
+    EVA_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    EVA_ASSIGN_OR_RETURN(out.table, ExpectIdentifier());
+    if (ConsumeKeyword("CROSS")) {
+      EVA_RETURN_IF_ERROR(ExpectKeyword("APPLY"));
+      ApplyClause apply;
+      EVA_ASSIGN_OR_RETURN(apply.udf_name, ExpectIdentifier());
+      EVA_RETURN_IF_ERROR(ExpectSymbol("("));
+      if (!IsSymbol(Peek(), ")")) {
+        while (true) {
+          EVA_ASSIGN_OR_RETURN(std::string arg, ExpectIdentifier());
+          apply.args.push_back(std::move(arg));
+          if (!ConsumeSymbol(",")) break;
+        }
+      }
+      EVA_RETURN_IF_ERROR(ExpectSymbol(")"));
+      if (ConsumeKeyword("ACCURACY")) {
+        if (!Peek().Is(TokenType::kString)) {
+          return Error("expected accuracy string literal");
+        }
+        apply.accuracy = ToUpper(Advance().text);
+      }
+      out.apply = std::move(apply);
+    }
+    if (ConsumeKeyword("WHERE")) {
+      EVA_ASSIGN_OR_RETURN(out.where, ParseExpr());
+    }
+    if (ConsumeKeyword("GROUP")) {
+      EVA_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        EVA_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        out.group_by.push_back(std::move(col));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      if (!Peek().Is(TokenType::kNumber)) {
+        return Error("LIMIT expects a number");
+      }
+      out.limit = std::stoll(Advance().text);
+      if (out.limit < 0) return Error("LIMIT must be non-negative");
+    }
+    ConsumeSymbol(";");
+    if (!Peek().Is(TokenType::kEnd)) return Error("trailing tokens");
+    return out;
+  }
+
+  Result<ExprPtr> ParseSelectItem() {
+    if (IsSymbol(Peek(), "*")) {
+      Advance();
+      return Expr::Star();
+    }
+    if (Peek().IsKeyword("COUNT") && IsSymbol(Peek(1), "(") &&
+        IsSymbol(Peek(2), "*")) {
+      Advance();  // COUNT
+      Advance();  // (
+      Advance();  // *
+      EVA_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return Expr::CountStar();
+    }
+    return ParseOperand();
+  }
+
+  Result<CreateUdfStatement> ParseCreateUdf() {
+    CreateUdfStatement out;
+    EVA_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    if (ConsumeKeyword("OR")) {
+      EVA_RETURN_IF_ERROR(ExpectKeyword("REPLACE"));
+      out.or_replace = true;
+    }
+    EVA_RETURN_IF_ERROR(ExpectKeyword("UDF"));
+    EVA_ASSIGN_OR_RETURN(out.name, ExpectIdentifier());
+    // Clause loop: KEY = value.
+    while (!Peek().Is(TokenType::kEnd) && !IsSymbol(Peek(), ";")) {
+      EVA_ASSIGN_OR_RETURN(std::string key, ExpectIdentifier());
+      std::string ukey = ToUpper(key);
+      if (!Peek().Is(TokenType::kCompare) || Peek().text != "=") {
+        return Error("expected '=' after " + key);
+      }
+      Advance();
+      if (ukey == "INPUT" || ukey == "OUTPUT") {
+        EVA_ASSIGN_OR_RETURN(std::string spec, ParseParenRaw());
+        (ukey == "INPUT" ? out.input_spec : out.output_spec) =
+            std::move(spec);
+      } else if (ukey == "IMPL") {
+        if (!Peek().Is(TokenType::kString)) {
+          return Error("IMPL expects a string literal");
+        }
+        out.impl = Advance().text;
+      } else if (ukey == "LOGICAL_TYPE") {
+        EVA_ASSIGN_OR_RETURN(out.logical_type, ExpectIdentifier());
+      } else if (ukey == "PROPERTIES") {
+        EVA_RETURN_IF_ERROR(ParseProperties(&out.properties));
+      } else {
+        return Error("unknown CREATE UDF clause: " + key);
+      }
+    }
+    ConsumeSymbol(";");
+    return out;
+  }
+
+  /// Consumes a balanced parenthesized region, returning its raw text.
+  Result<std::string> ParseParenRaw() {
+    EVA_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::string text;
+    int depth = 1;
+    while (depth > 0) {
+      if (Peek().Is(TokenType::kEnd)) return Error("unbalanced parentheses");
+      const Token& t = Advance();
+      if (IsSymbol(t, "(")) ++depth;
+      if (IsSymbol(t, ")")) {
+        --depth;
+        if (depth == 0) break;
+      }
+      if (!text.empty()) text += " ";
+      if (t.Is(TokenType::kString)) {
+        text += "'" + t.text + "'";
+      } else {
+        text += t.text;
+      }
+    }
+    return text;
+  }
+
+  Status ParseProperties(std::map<std::string, std::string>* props) {
+    EVA_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (!IsSymbol(Peek(), ")")) {
+      if (!Peek().Is(TokenType::kString)) {
+        return Error("property key must be a string literal");
+      }
+      std::string key = ToUpper(Advance().text);
+      if (!Peek().Is(TokenType::kCompare) || Peek().text != "=") {
+        return Error("expected '=' in PROPERTIES");
+      }
+      Advance();
+      if (!Peek().Is(TokenType::kString)) {
+        return Error("property value must be a string literal");
+      }
+      (*props)[key] = ToUpper(Advance().text);
+      ConsumeSymbol(",");
+    }
+    return ExpectSymbol(")");
+  }
+
+  // --- expressions (precedence: NOT > comparison > AND > OR) ---------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    EVA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Peek().IsKeyword("OR")) {
+      Advance();
+      EVA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Or(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    EVA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (Peek().IsKeyword("AND")) {
+      Advance();
+      EVA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::And(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Peek().IsKeyword("NOT")) {
+      Advance();
+      EVA_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+      return Expr::Not(child);
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    if (ConsumeSymbol("(")) {
+      EVA_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      EVA_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    EVA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseOperand());
+    if (Peek().Is(TokenType::kCompare)) {
+      std::string op_text = Advance().text;
+      CompareOp op;
+      if (op_text == "=") {
+        op = CompareOp::kEq;
+      } else if (op_text == "!=" || op_text == "<>") {
+        op = CompareOp::kNe;
+      } else if (op_text == "<") {
+        op = CompareOp::kLt;
+      } else if (op_text == "<=") {
+        op = CompareOp::kLe;
+      } else if (op_text == ">") {
+        op = CompareOp::kGt;
+      } else if (op_text == ">=") {
+        op = CompareOp::kGe;
+      } else {
+        return Error("unknown comparison operator " + op_text);
+      }
+      EVA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseOperand());
+      return Expr::Compare(op, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseOperand() {
+    const Token& t = Peek();
+    if (t.Is(TokenType::kNumber)) {
+      Advance();
+      if (t.text.find('.') != std::string::npos) {
+        return Expr::Literal(Value(std::stod(t.text)));
+      }
+      return Expr::Literal(Value(static_cast<int64_t>(std::stoll(t.text))));
+    }
+    if (t.Is(TokenType::kString)) {
+      Advance();
+      return Expr::Literal(Value(t.text));
+    }
+    if (t.IsKeyword("TRUE") || t.IsKeyword("FALSE")) {
+      Advance();
+      return Expr::Literal(Value(t.IsKeyword("TRUE")));
+    }
+    if (t.Is(TokenType::kIdentifier)) {
+      std::string name = Advance().text;
+      if (ConsumeSymbol("(")) {
+        std::vector<std::string> args;
+        if (!IsSymbol(Peek(), ")")) {
+          while (true) {
+            EVA_ASSIGN_OR_RETURN(std::string arg, ExpectIdentifier());
+            args.push_back(std::move(arg));
+            if (!ConsumeSymbol(",")) break;
+          }
+        }
+        EVA_RETURN_IF_ERROR(ExpectSymbol(")"));
+        std::string accuracy;
+        if (ConsumeKeyword("ACCURACY")) {
+          if (!Peek().Is(TokenType::kString)) {
+            return Error("expected accuracy string literal");
+          }
+          accuracy = ToUpper(Advance().text);
+        }
+        return Expr::UdfCall(std::move(name), std::move(args),
+                             std::move(accuracy));
+      }
+      return Expr::Column(std::move(name));
+    }
+    return Error("expected operand");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  EVA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  ParserImpl impl(std::move(tokens));
+  return impl.ParseStatement();
+}
+
+Result<expr::ExprPtr> ParseExpression(const std::string& text) {
+  EVA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  ParserImpl impl(std::move(tokens));
+  return impl.ParseExpressionOnly();
+}
+
+}  // namespace eva::parser

@@ -1,0 +1,28 @@
+#ifndef EVA_PARSER_PARSER_H_
+#define EVA_PARSER_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace eva::parser {
+
+/// Recursive-descent parser for EVA-QL (the paper uses an Antlr grammar;
+/// see DESIGN.md §2 for the substitution). Grammar subset:
+///
+///   select_stmt := SELECT select_list FROM ident
+///                  [CROSS APPLY ident '(' args ')' [ACCURACY string]]
+///                  [WHERE expr] [GROUP BY ident_list] ';'
+///   create_udf  := CREATE [OR REPLACE] UDF ident clauses... ';'
+///   expr        := or_expr ; standard precedence NOT > AND > OR
+///   comparison  := operand (=|!=|<>|<|<=|>|>=) operand
+///   operand     := ident | ident '(' args ')' | number | string
+Result<Statement> ParseStatement(const std::string& sql);
+
+/// Parses just an expression (used by tests and workload builders).
+Result<expr::ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace eva::parser
+
+#endif  // EVA_PARSER_PARSER_H_

@@ -1,0 +1,67 @@
+#ifndef EVA_STORAGE_STATISTICS_H_
+#define EVA_STORAGE_STATISTICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "symbolic/stats.h"
+#include "vision/synthetic_video.h"
+
+namespace eva::storage {
+
+/// Equi-width histogram over a numeric column (the classic selectivity
+/// estimation structure the paper points to, §4.2 [30, 51]).
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(double lo, double hi, int num_bins);
+
+  void Add(double v);
+  /// Fraction of observed values inside `interval`, with linear
+  /// interpolation within partially covered bins.
+  double FractionIn(const symbolic::Interval& interval) const;
+  int64_t total() const { return total_; }
+
+ private:
+  double lo_ = 0;
+  double hi_ = 1;
+  double width_ = 1;
+  std::vector<int64_t> bins_;
+  int64_t total_ = 0;
+};
+
+/// Column statistics for a video dataset, profiled from the ground-truth
+/// generator (standing in for the paper's histogram collection over
+/// decoded frames). Implements the symbolic engine's StatsProvider so the
+/// materialization-aware ranking function (Eq. 4) can estimate the
+/// selectivity of any derived predicate.
+class StatisticsManager : public symbolic::StatsProvider {
+ public:
+  /// Builds statistics by sampling up to `sample_frames` frames of `video`.
+  explicit StatisticsManager(const vision::SyntheticVideo& video,
+                             int64_t sample_frames = 2000);
+
+  symbolic::DimKind KindOf(const std::string& dim) const override;
+  double ConstraintSelectivity(
+      const std::string& dim,
+      const symbolic::DimConstraint& constraint) const override;
+
+  int64_t num_frames() const { return num_frames_; }
+
+ private:
+  double CategoricalFraction(const std::string& dim,
+                             const std::string& value) const;
+
+  int64_t num_frames_ = 0;
+  Histogram area_hist_;
+  Histogram score_hist_;
+  // Per-attribute value frequencies among sampled objects.
+  std::map<std::string, double> label_freq_;
+  std::map<std::string, double> type_freq_;
+  std::map<std::string, double> color_freq_;
+};
+
+}  // namespace eva::storage
+
+#endif  // EVA_STORAGE_STATISTICS_H_

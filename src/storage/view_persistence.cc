@@ -1,0 +1,227 @@
+#include "storage/view_persistence.h"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace eva::storage {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Percent-escapes whitespace and '%' so string cells survive the
+// whitespace-separated line format.
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (unsigned char c : s) {
+    if (std::isspace(c) || c == '%') {
+      out += StrFormat("%%%02X", c);
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> Unescape(const std::string& s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%') {
+      if (i + 2 >= s.size()) {
+        return Status::InvalidArgument("truncated escape in view file");
+      }
+      out += static_cast<char>(
+          std::stoi(s.substr(i + 1, 2), nullptr, 16));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string SanitizeFilename(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '-' || c == '.' || c == '@')
+               ? c
+               : '_';
+  }
+  return out;
+}
+
+DataType TypeFromName(const std::string& name) {
+  if (name == "BOOL") return DataType::kBool;
+  if (name == "INT64") return DataType::kInt64;
+  if (name == "DOUBLE") return DataType::kDouble;
+  if (name == "STRING") return DataType::kString;
+  return DataType::kNull;
+}
+
+}  // namespace
+
+std::string EncodeValue(const Value& v) {
+  switch (v.type()) {
+    case DataType::kNull:
+      return "N";
+    case DataType::kBool:
+      return v.AsBool() ? "B:1" : "B:0";
+    case DataType::kInt64:
+      return "I:" + std::to_string(v.AsInt64());
+    case DataType::kDouble:
+      return StrFormat("D:%.17g", v.AsDouble());
+    case DataType::kString:
+      return "S:" + Escape(v.AsString());
+  }
+  return "N";
+}
+
+Result<Value> DecodeValue(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("empty view cell");
+  if (text == "N") return Value::Null();
+  if (text.size() < 2 || text[1] != ':') {
+    return Status::InvalidArgument("malformed view cell: " + text);
+  }
+  std::string payload = text.substr(2);
+  switch (text[0]) {
+    case 'B':
+      return Value(payload == "1");
+    case 'I':
+      return Value(static_cast<int64_t>(std::stoll(payload)));
+    case 'D':
+      return Value(std::stod(payload));
+    case 'S': {
+      EVA_ASSIGN_OR_RETURN(std::string s, Unescape(payload));
+      return Value(std::move(s));
+    }
+    default:
+      return Status::InvalidArgument("unknown view cell tag: " + text);
+  }
+}
+
+Status SaveViewStore(const ViewStore& store, const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create view directory " + dir + ": " +
+                            ec.message());
+  }
+  for (const auto& [name, view] : store.views()) {
+    fs::path path = fs::path(dir) / (SanitizeFilename(name) + ".evaview");
+    std::ofstream out(path);
+    if (!out) {
+      return Status::Internal("cannot open " + path.string());
+    }
+    out << "eva-view 1\n";
+    out << "name " << Escape(name) << "\n";
+    out << "schema " << view->value_schema().num_fields();
+    for (const Field& f : view->value_schema().fields()) {
+      out << " " << Escape(f.name) << " " << DataTypeName(f.type);
+    }
+    out << "\n";
+    for (const auto& [key, rows] : view->entries()) {
+      out << "key " << key.frame << " " << key.obj << " " << rows.size()
+          << "\n";
+      for (const Row& row : rows) {
+        out << "row";
+        for (const Value& v : row) out << " " << EncodeValue(v);
+        out << "\n";
+      }
+    }
+    if (!out.good()) {
+      return Status::Internal("write failed for " + path.string());
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadViewStore(const std::string& dir, ViewStore* store) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound("view directory missing: " + dir);
+  }
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".evaview") continue;
+    std::ifstream in(entry.path());
+    if (!in) {
+      return Status::Internal("cannot open " + entry.path().string());
+    }
+    std::string line;
+    if (!std::getline(in, line) || line != "eva-view 1") {
+      return Status::InvalidArgument("bad view file header: " +
+                                     entry.path().string());
+    }
+    // name
+    if (!std::getline(in, line) || !StartsWith(line, "name ")) {
+      return Status::InvalidArgument("missing view name in " +
+                                     entry.path().string());
+    }
+    EVA_ASSIGN_OR_RETURN(std::string name, Unescape(line.substr(5)));
+    // schema
+    if (!std::getline(in, line) || !StartsWith(line, "schema ")) {
+      return Status::InvalidArgument("missing schema in " +
+                                     entry.path().string());
+    }
+    Schema schema;
+    {
+      std::istringstream is(line.substr(7));
+      int n = 0;
+      is >> n;
+      for (int i = 0; i < n; ++i) {
+        std::string col, type;
+        if (!(is >> col >> type)) {
+          return Status::InvalidArgument("truncated schema line");
+        }
+        EVA_ASSIGN_OR_RETURN(std::string col_name, Unescape(col));
+        schema.AddField({col_name, TypeFromName(type)});
+      }
+    }
+    MaterializedView* view = store->GetOrCreate(name, schema);
+    // keys + rows
+    ViewKey key{0, -1};
+    size_t pending_rows = 0;
+    std::vector<Row> rows;
+    auto flush = [&]() -> Status {
+      if (rows.size() != pending_rows) {
+        return Status::InvalidArgument(
+            "row count mismatch in " + entry.path().string() + " for key " +
+            std::to_string(key.frame));
+      }
+      view->Put(key, std::move(rows));
+      rows = {};
+      return Status::OK();
+    };
+    bool has_key = false;
+    while (std::getline(in, line)) {
+      if (StartsWith(line, "key ")) {
+        if (has_key) EVA_RETURN_IF_ERROR(flush());
+        std::istringstream is(line.substr(4));
+        is >> key.frame >> key.obj >> pending_rows;
+        has_key = true;
+        rows.clear();
+      } else if (StartsWith(line, "row ")) {
+        std::istringstream is(line.substr(4));
+        Row row;
+        std::string cell;
+        while (is >> cell) {
+          EVA_ASSIGN_OR_RETURN(Value v, DecodeValue(cell));
+          row.push_back(std::move(v));
+        }
+        rows.push_back(std::move(row));
+      } else if (!line.empty()) {
+        return Status::InvalidArgument("unexpected line in view file: " +
+                                       line);
+      }
+    }
+    if (has_key) EVA_RETURN_IF_ERROR(flush());
+  }
+  return Status::OK();
+}
+
+}  // namespace eva::storage

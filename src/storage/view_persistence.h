@@ -1,0 +1,36 @@
+#ifndef EVA_STORAGE_VIEW_PERSISTENCE_H_
+#define EVA_STORAGE_VIEW_PERSISTENCE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/view_store.h"
+
+namespace eva::storage {
+
+/// Persists materialized UDF views across sessions (the paper stores views
+/// on disk next to the Parquet-encoded video, §4.2/§5.2). One text file
+/// per view under `dir`, in a line-oriented format:
+///
+///   eva-view 1
+///   name <view name>
+///   schema <n> <col> <type> ...
+///   key <frame> <obj> <num_rows>
+///   row <cell> <cell> ...
+///
+/// Cells are type-prefixed (`N`, `B:`, `I:`, `D:`, `S:`); string cells are
+/// percent-escaped so whitespace survives the round trip.
+Status SaveViewStore(const ViewStore& store, const std::string& dir);
+
+/// Loads every `*.evaview` file in `dir` into `store` (merging with
+/// whatever is already materialized; existing keys win, matching the
+/// append-only STORE semantics).
+Status LoadViewStore(const std::string& dir, ViewStore* store);
+
+/// Cell encoding helpers (exposed for tests).
+std::string EncodeValue(const Value& v);
+Result<Value> DecodeValue(const std::string& text);
+
+}  // namespace eva::storage
+
+#endif  // EVA_STORAGE_VIEW_PERSISTENCE_H_

@@ -1,0 +1,81 @@
+#include "storage/view_store.h"
+
+namespace eva::storage {
+
+const std::vector<Row>& MaterializedView::Get(const ViewKey& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return empty_;
+  return it->second;
+}
+
+void MaterializedView::Put(const ViewKey& key, std::vector<Row> rows) {
+  auto [it, inserted] = entries_.emplace(key, std::move(rows));
+  if (inserted) {
+    num_rows_ += static_cast<int64_t>(it->second.size());
+  }
+}
+
+double MaterializedView::SizeBytes() const {
+  // Keys: 16 bytes each; values: rough per-cell estimate mirroring a
+  // Parquet-style encoding of the lightweight structured metadata the UDFs
+  // extract (§5.2).
+  double bytes = 16.0 * static_cast<double>(entries_.size());
+  double cells = static_cast<double>(num_rows_) *
+                 static_cast<double>(value_schema_.num_fields());
+  bytes += cells * 10.0;
+  return bytes;
+}
+
+MaterializedView* ViewStore::GetOrCreate(const std::string& name,
+                                         const Schema& value_schema) {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    it = views_
+             .emplace(name, std::make_unique<MaterializedView>(name,
+                                                               value_schema))
+             .first;
+  }
+  Touch(name);
+  return it->second.get();
+}
+
+MaterializedView* ViewStore::Find(const std::string& name) {
+  auto it = views_.find(name);
+  if (it == views_.end()) return nullptr;
+  Touch(name);
+  return it->second.get();
+}
+
+const MaterializedView* ViewStore::Find(const std::string& name) const {
+  auto it = views_.find(name);
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+int ViewStore::EvictToBudget(double max_bytes) {
+  int dropped = 0;
+  while (TotalSizeBytes() > max_bytes && !views_.empty()) {
+    // Find the least-recently-used view.
+    std::string victim;
+    uint64_t oldest = ~uint64_t{0};
+    for (const auto& [name, view] : views_) {
+      auto it = access_.find(name);
+      uint64_t tick = it == access_.end() ? 0 : it->second;
+      if (tick < oldest) {
+        oldest = tick;
+        victim = name;
+      }
+    }
+    views_.erase(victim);
+    access_.erase(victim);
+    ++dropped;
+  }
+  return dropped;
+}
+
+double ViewStore::TotalSizeBytes() const {
+  double total = 0;
+  for (const auto& [name, view] : views_) total += view->SizeBytes();
+  return total;
+}
+
+}  // namespace eva::storage

@@ -1,0 +1,117 @@
+#ifndef EVA_STORAGE_VIEW_STORE_H_
+#define EVA_STORAGE_VIEW_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/row.h"
+#include "common/status.h"
+
+namespace eva::storage {
+
+/// Key identifying the input tuple a UDF result belongs to: a frame for
+/// detectors/filters, a (frame, object) pair for classifiers (obj = -1 for
+/// frame-level results).
+struct ViewKey {
+  int64_t frame = 0;
+  int64_t obj = -1;
+
+  bool operator==(const ViewKey& other) const {
+    return frame == other.frame && obj == other.obj;
+  }
+};
+
+struct ViewKeyHash {
+  size_t operator()(const ViewKey& k) const {
+    return std::hash<int64_t>()(k.frame * 1000003 + k.obj);
+  }
+};
+
+/// Materialized view of a UDF's results, keyed by input tuple. Presence is
+/// tracked separately from rows so that "frame was processed, zero objects
+/// detected" is distinguishable from "frame never processed" — the LEFT
+/// OUTER JOIN + IS NULL pass-through guard of the materialization-aware
+/// rewrite (§4.4, Fig. 4) depends on this.
+class MaterializedView {
+ public:
+  MaterializedView(std::string name, Schema value_schema)
+      : name_(std::move(name)), value_schema_(std::move(value_schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& value_schema() const { return value_schema_; }
+
+  bool Has(const ViewKey& key) const { return entries_.count(key) > 0; }
+
+  /// Result rows for `key`; empty when absent or when the UDF produced no
+  /// rows for that input.
+  const std::vector<Row>& Get(const ViewKey& key) const;
+
+  /// Records the UDF's results for `key` (idempotent; re-puts of an
+  /// existing key are ignored, matching append-only STORE semantics).
+  void Put(const ViewKey& key, std::vector<Row> rows);
+
+  int64_t num_keys() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t num_rows() const { return num_rows_; }
+
+  /// Iteration over all (key, rows) entries (persistence, eviction).
+  const std::unordered_map<ViewKey, std::vector<Row>, ViewKeyHash>&
+  entries() const {
+    return entries_;
+  }
+
+  /// Estimated on-disk footprint of the materialized results (§5.2).
+  double SizeBytes() const;
+
+ private:
+  std::string name_;
+  Schema value_schema_;
+  std::unordered_map<ViewKey, std::vector<Row>, ViewKeyHash> entries_;
+  int64_t num_rows_ = 0;
+  std::vector<Row> empty_;
+};
+
+/// Registry of materialized views, one per UDF signature (§3.1 step 2).
+class ViewStore {
+ public:
+  /// Returns the view for `name`, creating it with `value_schema` when
+  /// missing.
+  MaterializedView* GetOrCreate(const std::string& name,
+                                const Schema& value_schema);
+  /// Returns the view or nullptr.
+  MaterializedView* Find(const std::string& name);
+  const MaterializedView* Find(const std::string& name) const;
+
+  /// Total footprint across all views (the §5.2 storage number).
+  double TotalSizeBytes() const;
+
+  /// Evicts least-recently-used views (whole views — coarse granularity)
+  /// until the total footprint is at most `max_bytes`. Returns the number
+  /// of views dropped. Safe at any time: a query whose view was evicted
+  /// simply recomputes and re-materializes through the conditional apply.
+  int EvictToBudget(double max_bytes);
+
+  void Clear() {
+    views_.clear();
+    access_.clear();
+  }
+
+  const std::map<std::string, std::unique_ptr<MaterializedView>>& views()
+      const {
+    return views_;
+  }
+
+ private:
+  void Touch(const std::string& name) { access_[name] = ++access_clock_; }
+
+  std::map<std::string, std::unique_ptr<MaterializedView>> views_;
+  std::map<std::string, uint64_t> access_;  // name -> last access tick
+  uint64_t access_clock_ = 0;
+};
+
+}  // namespace eva::storage
+
+#endif  // EVA_STORAGE_VIEW_STORE_H_

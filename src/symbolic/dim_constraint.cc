@@ -1,0 +1,453 @@
+#include "symbolic/dim_constraint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace eva::symbolic {
+
+namespace {
+
+std::vector<std::string> SortedUnique(std::vector<std::string> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+std::vector<std::string> SetIntersect(const std::vector<std::string>& a,
+                                      const std::vector<std::string>& b) {
+  std::vector<std::string> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<std::string> SetUnion(const std::vector<std::string>& a,
+                                  const std::vector<std::string>& b) {
+  std::vector<std::string> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<std::string> SetDifference(const std::vector<std::string>& a,
+                                       const std::vector<std::string>& b) {
+  std::vector<std::string> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+bool SetContains(const std::vector<std::string>& a, const std::string& v) {
+  return std::binary_search(a.begin(), a.end(), v);
+}
+
+bool SetIsSubset(const std::vector<std::string>& a,
+                 const std::vector<std::string>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+bool ListContains(const std::vector<double>& v, double p) {
+  return std::binary_search(v.begin(), v.end(), p);
+}
+
+}  // namespace
+
+DimConstraint DimConstraint::Full(DimKind kind) {
+  DimConstraint c(kind);
+  if (kind == DimKind::kCategorical) {
+    c.cat_exclude_ = true;  // exclude nothing
+  } else {
+    c.interval_ = Interval::Full();
+  }
+  return c;
+}
+
+DimConstraint DimConstraint::Empty(DimKind kind) {
+  DimConstraint c(kind);
+  if (kind == DimKind::kCategorical) {
+    c.cat_exclude_ = false;  // include nothing
+  } else {
+    c.interval_ = Interval::Empty();
+  }
+  return c;
+}
+
+DimConstraint DimConstraint::Numeric(DimKind kind, Interval interval) {
+  DimConstraint c(kind);
+  c.interval_ = interval;
+  if (kind == DimKind::kInteger) c.NormalizeInteger();
+  c.PruneExcluded();
+  return c;
+}
+
+DimConstraint DimConstraint::NumericNotEqual(DimKind kind, double v) {
+  DimConstraint c(kind);
+  c.interval_ = Interval::Full();
+  c.excluded_ = {v};
+  if (kind == DimKind::kInteger) c.NormalizeInteger();
+  c.PruneExcluded();
+  return c;
+}
+
+DimConstraint DimConstraint::Categorical(std::vector<std::string> values,
+                                         bool exclude) {
+  DimConstraint c(DimKind::kCategorical);
+  c.cat_exclude_ = exclude;
+  c.cat_values_ = SortedUnique(std::move(values));
+  return c;
+}
+
+void DimConstraint::NormalizeInteger() {
+  // Integer dimensions always use closed integral bounds so that adjacency
+  // is exact (id <= 4 OR id >= 5 covers the whole line).
+  Bound lo = interval_.lo();
+  Bound hi = interval_.hi();
+  if (!lo.infinite) {
+    double v = lo.value;
+    double iv = lo.closed ? std::ceil(v) : std::floor(v) + 1;
+    lo = Bound::Closed(iv);
+  }
+  if (!hi.infinite) {
+    double v = hi.value;
+    double iv = hi.closed ? std::floor(v) : std::ceil(v) - 1;
+    hi = Bound::Closed(iv);
+  }
+  interval_ = Interval(lo, hi);
+  // Drop non-integral excluded points; they cannot hit integers.
+  std::vector<double> keep;
+  for (double p : excluded_) {
+    if (p == std::floor(p)) keep.push_back(p);
+  }
+  excluded_ = std::move(keep);
+  std::sort(excluded_.begin(), excluded_.end());
+  excluded_.erase(std::unique(excluded_.begin(), excluded_.end()),
+                  excluded_.end());
+  // Tighten bounds past excluded boundary integers.
+  bool changed = true;
+  while (changed && !interval_.IsEmpty()) {
+    changed = false;
+    Bound l = interval_.lo();
+    Bound h = interval_.hi();
+    if (!l.infinite && ListContains(excluded_, l.value)) {
+      interval_ = Interval(Bound::Closed(l.value + 1), h);
+      changed = true;
+      continue;
+    }
+    if (!h.infinite && ListContains(excluded_, h.value)) {
+      interval_ = Interval(l, Bound::Closed(h.value - 1));
+      changed = true;
+    }
+  }
+}
+
+void DimConstraint::PruneExcluded() {
+  std::sort(excluded_.begin(), excluded_.end());
+  excluded_.erase(std::unique(excluded_.begin(), excluded_.end()),
+                  excluded_.end());
+  std::vector<double> keep;
+  for (double p : excluded_) {
+    if (interval_.Contains(p)) keep.push_back(p);
+  }
+  excluded_ = std::move(keep);
+  // Shrink closed real endpoints that are themselves excluded.
+  if (kind_ == DimKind::kReal) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      Bound l = interval_.lo();
+      Bound h = interval_.hi();
+      if (!l.infinite && l.closed && ListContains(excluded_, l.value)) {
+        interval_ = Interval(Bound::Open(l.value), h);
+        excluded_.erase(
+            std::find(excluded_.begin(), excluded_.end(), l.value));
+        changed = true;
+        continue;
+      }
+      if (!h.infinite && h.closed && ListContains(excluded_, h.value)) {
+        interval_ = Interval(l, Bound::Open(h.value));
+        excluded_.erase(
+            std::find(excluded_.begin(), excluded_.end(), h.value));
+        changed = true;
+      }
+    }
+  }
+}
+
+bool DimConstraint::IsFull() const {
+  if (is_categorical()) return cat_exclude_ && cat_values_.empty();
+  return interval_.IsFull() && excluded_.empty();
+}
+
+bool DimConstraint::IsEmpty() const {
+  if (is_categorical()) return !cat_exclude_ && cat_values_.empty();
+  if (interval_.IsEmpty()) return true;
+  if (kind_ == DimKind::kInteger && !interval_.lo().infinite &&
+      !interval_.hi().infinite) {
+    // A finite integer range is empty if every integer in it is excluded.
+    double n = interval_.hi().value - interval_.lo().value + 1;
+    if (n <= static_cast<double>(excluded_.size())) {
+      for (double v = interval_.lo().value; v <= interval_.hi().value;
+           v += 1) {
+        if (!ListContains(excluded_, v)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DimConstraint::Contains(const Value& v) const {
+  if (is_categorical()) {
+    if (v.type() != DataType::kString) return false;
+    bool in_set = SetContains(cat_values_, v.AsString());
+    return cat_exclude_ ? !in_set : in_set;
+  }
+  if (!v.is_numeric()) return false;
+  double d = v.AsDouble();
+  return interval_.Contains(d) && !ListContains(excluded_, d);
+}
+
+DimConstraint DimConstraint::Intersect(const DimConstraint& other) const {
+  DimConstraint c(kind_);
+  if (is_categorical()) {
+    if (!cat_exclude_ && !other.cat_exclude_) {
+      c.cat_exclude_ = false;
+      c.cat_values_ = SetIntersect(cat_values_, other.cat_values_);
+    } else if (!cat_exclude_ && other.cat_exclude_) {
+      c.cat_exclude_ = false;
+      c.cat_values_ = SetDifference(cat_values_, other.cat_values_);
+    } else if (cat_exclude_ && !other.cat_exclude_) {
+      c.cat_exclude_ = false;
+      c.cat_values_ = SetDifference(other.cat_values_, cat_values_);
+    } else {
+      c.cat_exclude_ = true;
+      c.cat_values_ = SetUnion(cat_values_, other.cat_values_);
+    }
+    return c;
+  }
+  c.interval_ = interval_.Intersect(other.interval_);
+  c.excluded_ = excluded_;
+  c.excluded_.insert(c.excluded_.end(), other.excluded_.begin(),
+                     other.excluded_.end());
+  if (kind_ == DimKind::kInteger) c.NormalizeInteger();
+  c.PruneExcluded();
+  return c;
+}
+
+bool DimConstraint::IsSubsetOf(const DimConstraint& other) const {
+  if (IsEmpty()) return true;
+  if (other.IsFull()) return true;
+  if (is_categorical()) {
+    if (!cat_exclude_ && !other.cat_exclude_) {
+      return SetIsSubset(cat_values_, other.cat_values_);
+    }
+    if (!cat_exclude_ && other.cat_exclude_) {
+      return SetIntersect(cat_values_, other.cat_values_).empty();
+    }
+    if (cat_exclude_ && !other.cat_exclude_) {
+      return false;  // co-finite set cannot fit in a finite set
+    }
+    return SetIsSubset(other.cat_values_, cat_values_);
+  }
+  // Numeric: this ⊆ other iff our interval fits and every point `other`
+  // excludes is also absent from us. (Endpoint-excluded cases were already
+  // folded into the interval by PruneExcluded/NormalizeInteger.)
+  if (!interval_.IsSubsetOf(other.interval_)) return false;
+  for (double p : other.excluded_) {
+    if (interval_.Contains(p) && !ListContains(excluded_, p)) return false;
+  }
+  return true;
+}
+
+bool DimConstraint::Equals(const DimConstraint& other) const {
+  if (kind_ != other.kind_) return false;
+  if (IsEmpty() && other.IsEmpty()) return true;
+  if (is_categorical()) {
+    return cat_exclude_ == other.cat_exclude_ &&
+           cat_values_ == other.cat_values_;
+  }
+  return interval_ == other.interval_ && excluded_ == other.excluded_;
+}
+
+std::optional<DimConstraint> DimConstraint::UnionIfSingle(
+    const DimConstraint& other) const {
+  if (IsEmpty()) return other;
+  if (other.IsEmpty()) return *this;
+  if (is_categorical()) {
+    DimConstraint c(DimKind::kCategorical);
+    if (!cat_exclude_ && !other.cat_exclude_) {
+      c.cat_exclude_ = false;
+      c.cat_values_ = SetUnion(cat_values_, other.cat_values_);
+    } else if (!cat_exclude_ && other.cat_exclude_) {
+      c.cat_exclude_ = true;
+      c.cat_values_ = SetDifference(other.cat_values_, cat_values_);
+    } else if (cat_exclude_ && !other.cat_exclude_) {
+      c.cat_exclude_ = true;
+      c.cat_values_ = SetDifference(cat_values_, other.cat_values_);
+    } else {
+      c.cat_exclude_ = true;
+      c.cat_values_ = SetIntersect(cat_values_, other.cat_values_);
+    }
+    return c;
+  }
+  // Numeric. A point `p` stays excluded in the union only if neither side
+  // contains it.
+  auto union_excluded = [this, &other](const Interval& merged) {
+    std::vector<double> out;
+    std::vector<double> candidates = excluded_;
+    candidates.insert(candidates.end(), other.excluded_.begin(),
+                      other.excluded_.end());
+    for (double p : candidates) {
+      if (merged.Contains(p) && !Contains(Value(p)) &&
+          !other.Contains(Value(p))) {
+        out.push_back(p);
+      }
+    }
+    return out;
+  };
+  if (auto merged = interval_.UnionIfContiguous(other.interval_)) {
+    DimConstraint c(kind_);
+    c.interval_ = *merged;
+    c.excluded_ = union_excluded(*merged);
+    if (kind_ == DimKind::kInteger) c.NormalizeInteger();
+    c.PruneExcluded();
+    return c;
+  }
+  double gap = 0;
+  if (kind_ == DimKind::kReal &&
+      interval_.UnionWithPointGap(other.interval_, &gap)) {
+    // x < 5 OR x > 5  ==>  x != 5 (within the merged hull).
+    Interval merged = interval_.Hull(other.interval_);
+    DimConstraint c(kind_);
+    c.interval_ = merged;
+    c.excluded_ = union_excluded(merged);
+    c.excluded_.push_back(gap);
+    c.PruneExcluded();
+    return c;
+  }
+  if (kind_ == DimKind::kInteger && !interval_.hi().infinite &&
+      !other.interval_.lo().infinite) {
+    // [a,b] OR [b+2,c]  ==>  [a,c] minus {b+1} for integers.
+    const Interval& a = interval_.lo().infinite ||
+                                (!other.interval_.lo().infinite &&
+                                 interval_.lo().value <=
+                                     other.interval_.lo().value)
+                            ? interval_
+                            : other.interval_;
+    const Interval& b = (&a == &interval_) ? other.interval_ : interval_;
+    if (!a.hi().infinite && !b.lo().infinite &&
+        b.lo().value - a.hi().value == 1) {
+      // Adjacent integer ranges: [a,b] OR [b+1,c] = [a,c].
+      DimConstraint c(kind_);
+      c.interval_ = Interval(a.lo(), b.hi());
+      c.excluded_ = union_excluded(c.interval_);
+      c.NormalizeInteger();
+      c.PruneExcluded();
+      if (!c.IsEmpty()) return c;
+    }
+    if (!a.hi().infinite && !b.lo().infinite &&
+        b.lo().value - a.hi().value == 2) {
+      DimConstraint c(kind_);
+      c.interval_ = Interval(a.lo(), b.hi());
+      c.excluded_ = union_excluded(c.interval_);
+      c.excluded_.push_back(a.hi().value + 1);
+      c.NormalizeInteger();
+      c.PruneExcluded();
+      if (!c.IsEmpty()) return c;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<DimConstraint> DimConstraint::DifferenceIfSingle(
+    const DimConstraint& other) const {
+  if (other.IsEmpty()) return *this;
+  if (IsSubsetOf(other)) return Empty(kind_);
+  if (is_categorical()) {
+    // Categorical sets are closed under difference: A \ B = A ∩ ¬B.
+    DimConstraint not_b(DimKind::kCategorical);
+    not_b.cat_exclude_ = !other.cat_exclude_;
+    not_b.cat_values_ = other.cat_values_;
+    return Intersect(not_b);
+  }
+  // If `other` merely excludes points inside us, those points would remain
+  // as isolated members of the difference: not representable.
+  for (double p : other.excluded_) {
+    if (Contains(Value(p)) && other.interval_.Contains(p)) {
+      return std::nullopt;
+    }
+  }
+  auto diff = interval_.DifferenceIfSingle(other.interval_);
+  if (!diff.has_value()) return std::nullopt;
+  DimConstraint c(kind_);
+  c.interval_ = *diff;
+  c.excluded_ = excluded_;
+  if (kind_ == DimKind::kInteger) c.NormalizeInteger();
+  c.PruneExcluded();
+  return c;
+}
+
+std::vector<DimConstraint> DimConstraint::Complement() const {
+  std::vector<DimConstraint> out;
+  if (IsEmpty()) {
+    out.push_back(Full(kind_));
+    return out;
+  }
+  if (IsFull()) return out;  // complement of full is empty: no pieces
+  if (is_categorical()) {
+    DimConstraint c(DimKind::kCategorical);
+    c.cat_exclude_ = !cat_exclude_;
+    c.cat_values_ = cat_values_;
+    out.push_back(std::move(c));
+    return out;
+  }
+  const Bound& lo = interval_.lo();
+  const Bound& hi = interval_.hi();
+  if (!lo.infinite) {
+    Bound b = lo;
+    b.closed = !b.closed;
+    out.push_back(Numeric(kind_, Interval(Bound::Infinite(), b)));
+  }
+  if (!hi.infinite) {
+    Bound b = hi;
+    b.closed = !b.closed;
+    out.push_back(Numeric(kind_, Interval(b, Bound::Infinite())));
+  }
+  for (double p : excluded_) {
+    out.push_back(Numeric(kind_, Interval::Point(p)));
+  }
+  return out;
+}
+
+int DimConstraint::AtomCount() const {
+  if (IsFull()) return 0;
+  if (IsEmpty()) return 1;
+  if (is_categorical()) return static_cast<int>(cat_values_.size());
+  return interval_.AtomCount() + static_cast<int>(excluded_.size());
+}
+
+std::string DimConstraint::ToString(const std::string& dim) const {
+  if (IsFull()) return "true";
+  if (IsEmpty()) return "false";
+  std::ostringstream os;
+  if (is_categorical()) {
+    if (cat_values_.size() == 1) {
+      os << dim << (cat_exclude_ ? " != '" : " = '") << cat_values_[0]
+         << "'";
+    } else {
+      os << dim << (cat_exclude_ ? " NOT IN (" : " IN (");
+      for (size_t i = 0; i < cat_values_.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << "'" << cat_values_[i] << "'";
+      }
+      os << ")";
+    }
+    return os.str();
+  }
+  os << interval_.ToString(dim);
+  for (double p : excluded_) os << " AND " << dim << " != " << p;
+  return os.str();
+}
+
+}  // namespace eva::symbolic

@@ -1,0 +1,97 @@
+#ifndef EVA_SYMBOLIC_DIM_CONSTRAINT_H_
+#define EVA_SYMBOLIC_DIM_CONSTRAINT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "symbolic/interval.h"
+
+namespace eva::symbolic {
+
+/// Domain kind of a predicate dimension. Integer dimensions (frame ids)
+/// normalize open bounds to closed ones so adjacency is exact (id <= 4 OR
+/// id >= 5 reduces to true); categorical dimensions (labels, UDF outputs)
+/// use finite include/exclude sets which are closed under all boolean ops.
+enum class DimKind {
+  kReal = 0,
+  kInteger,
+  kCategorical,
+};
+
+/// The constraint a single conjunct places on one dimension: either a
+/// numeric interval minus a finite set of excluded points, or a categorical
+/// include/exclude set. This is the unit that Algorithm 1's
+/// ReduceUnionConjunctives manipulates per dimension.
+class DimConstraint {
+ public:
+  /// Unconstrained dimension of the given kind.
+  static DimConstraint Full(DimKind kind);
+  static DimConstraint Empty(DimKind kind);
+
+  /// Numeric interval constraint (kind kReal or kInteger; integer bounds
+  /// are normalized to closed form).
+  static DimConstraint Numeric(DimKind kind, Interval interval);
+  /// Numeric "!= v" constraint: full line minus one point.
+  static DimConstraint NumericNotEqual(DimKind kind, double v);
+  /// Categorical "= v" (include {v}) or, with exclude=true, "!= v".
+  static DimConstraint Categorical(std::vector<std::string> values,
+                                   bool exclude);
+
+  DimKind kind() const { return kind_; }
+  bool is_categorical() const { return kind_ == DimKind::kCategorical; }
+
+  const Interval& interval() const { return interval_; }
+  const std::vector<double>& excluded_points() const { return excluded_; }
+  bool categorical_exclude() const { return cat_exclude_; }
+  const std::vector<std::string>& categorical_values() const {
+    return cat_values_;
+  }
+
+  bool IsFull() const;
+  bool IsEmpty() const;
+
+  /// Membership test for a concrete value.
+  bool Contains(const Value& v) const;
+
+  DimConstraint Intersect(const DimConstraint& other) const;
+  bool IsSubsetOf(const DimConstraint& other) const;
+  bool Equals(const DimConstraint& other) const;
+
+  /// Union when representable as one DimConstraint (Fig. 2's "reduce the
+  /// union of the remaining dimension"); nullopt otherwise.
+  std::optional<DimConstraint> UnionIfSingle(const DimConstraint& other) const;
+
+  /// this \ other when representable as one DimConstraint (Fig. 2 case iii
+  /// overlap-carving); nullopt otherwise.
+  std::optional<DimConstraint> DifferenceIfSingle(
+      const DimConstraint& other) const;
+
+  /// Complement as a union of DimConstraints (used by predicate negation).
+  std::vector<DimConstraint> Complement() const;
+
+  /// Number of atomic formulas needed to express this constraint (the
+  /// Fig. 7 metric).
+  int AtomCount() const;
+
+  std::string ToString(const std::string& dim) const;
+
+ private:
+  explicit DimConstraint(DimKind kind) : kind_(kind) {}
+
+  void NormalizeInteger();
+  void PruneExcluded();
+
+  DimKind kind_ = DimKind::kReal;
+  // Numeric payload: interval minus excluded points (sorted, deduped).
+  Interval interval_;
+  std::vector<double> excluded_;
+  // Categorical payload: include-set (cat_exclude_=false) or exclude-set.
+  bool cat_exclude_ = true;            // Full categorical = exclude {}
+  std::vector<std::string> cat_values_;  // sorted, deduped
+};
+
+}  // namespace eva::symbolic
+
+#endif  // EVA_SYMBOLIC_DIM_CONSTRAINT_H_

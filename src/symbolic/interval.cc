@@ -1,0 +1,162 @@
+#include "symbolic/interval.h"
+
+#include <sstream>
+
+namespace eva::symbolic {
+
+namespace {
+
+// Returns -1/0/1 comparing two lower bounds (-1 = a is looser / further
+// left). Infinite lower bound is loosest.
+int CompareLo(const Bound& a, const Bound& b) {
+  if (a.infinite && b.infinite) return 0;
+  if (a.infinite) return -1;
+  if (b.infinite) return 1;
+  if (a.value != b.value) return a.value < b.value ? -1 : 1;
+  if (a.closed == b.closed) return 0;
+  return a.closed ? -1 : 1;  // closed lower bound admits more
+}
+
+// Returns -1/0/1 comparing two upper bounds (1 = a is looser / further
+// right). Infinite upper bound is loosest.
+int CompareHi(const Bound& a, const Bound& b) {
+  if (a.infinite && b.infinite) return 0;
+  if (a.infinite) return 1;
+  if (b.infinite) return -1;
+  if (a.value != b.value) return a.value < b.value ? -1 : 1;
+  if (a.closed == b.closed) return 0;
+  return a.closed ? 1 : -1;  // closed upper bound admits more
+}
+
+}  // namespace
+
+bool Interval::IsEmpty() const {
+  if (lo_.infinite || hi_.infinite) return false;
+  if (lo_.value > hi_.value) return true;
+  if (lo_.value == hi_.value) return !(lo_.closed && hi_.closed);
+  return false;
+}
+
+bool Interval::IsPoint() const {
+  return !lo_.infinite && !hi_.infinite && lo_.value == hi_.value &&
+         lo_.closed && hi_.closed;
+}
+
+bool Interval::Contains(double v) const {
+  if (!lo_.infinite) {
+    if (v < lo_.value) return false;
+    if (v == lo_.value && !lo_.closed) return false;
+  }
+  if (!hi_.infinite) {
+    if (v > hi_.value) return false;
+    if (v == hi_.value && !hi_.closed) return false;
+  }
+  return true;
+}
+
+Interval Interval::Intersect(const Interval& other) const {
+  Bound lo = CompareLo(lo_, other.lo_) >= 0 ? lo_ : other.lo_;
+  Bound hi = CompareHi(hi_, other.hi_) <= 0 ? hi_ : other.hi_;
+  return Interval(lo, hi);
+}
+
+bool Interval::IsSubsetOf(const Interval& other) const {
+  if (IsEmpty()) return true;
+  return CompareLo(lo_, other.lo_) >= 0 && CompareHi(hi_, other.hi_) <= 0;
+}
+
+bool Interval::operator==(const Interval& other) const {
+  if (IsEmpty() && other.IsEmpty()) return true;
+  return CompareLo(lo_, other.lo_) == 0 && CompareHi(hi_, other.hi_) == 0;
+}
+
+std::optional<Interval> Interval::UnionIfContiguous(
+    const Interval& other) const {
+  if (IsEmpty()) return other;
+  if (other.IsEmpty()) return *this;
+  // Order the two so that a has the smaller lower bound.
+  const Interval& a = CompareLo(lo_, other.lo_) <= 0 ? *this : other;
+  const Interval& b = CompareLo(lo_, other.lo_) <= 0 ? other : *this;
+  // They can be merged iff a's upper bound reaches b's lower bound.
+  bool touch = false;
+  if (a.hi_.infinite || b.lo_.infinite) {
+    touch = true;
+  } else if (a.hi_.value > b.lo_.value) {
+    touch = true;
+  } else if (a.hi_.value == b.lo_.value && (a.hi_.closed || b.lo_.closed)) {
+    touch = true;
+  }
+  if (!touch) return std::nullopt;
+  Bound lo = CompareLo(a.lo_, b.lo_) <= 0 ? a.lo_ : b.lo_;
+  Bound hi = CompareHi(a.hi_, b.hi_) >= 0 ? a.hi_ : b.hi_;
+  return Interval(lo, hi);
+}
+
+Interval Interval::Hull(const Interval& other) const {
+  if (IsEmpty()) return other;
+  if (other.IsEmpty()) return *this;
+  Bound lo = CompareLo(lo_, other.lo_) <= 0 ? lo_ : other.lo_;
+  Bound hi = CompareHi(hi_, other.hi_) >= 0 ? hi_ : other.hi_;
+  return Interval(lo, hi);
+}
+
+bool Interval::UnionWithPointGap(const Interval& other, double* gap) const {
+  if (IsEmpty() || other.IsEmpty()) return false;
+  const Interval& a = CompareLo(lo_, other.lo_) <= 0 ? *this : other;
+  const Interval& b = CompareLo(lo_, other.lo_) <= 0 ? other : *this;
+  if (a.hi_.infinite || b.lo_.infinite) return false;
+  if (a.hi_.value == b.lo_.value && !a.hi_.closed && !b.lo_.closed) {
+    *gap = a.hi_.value;
+    return true;
+  }
+  return false;
+}
+
+std::optional<Interval> Interval::DifferenceIfSingle(
+    const Interval& other) const {
+  if (IsEmpty()) return Empty();
+  Interval inter = Intersect(other);
+  if (inter.IsEmpty()) return *this;          // nothing removed
+  if (IsSubsetOf(other)) return Empty();      // everything removed
+  // `other` clips one side of this. Left remainder: [this.lo, other.lo).
+  bool has_left = CompareLo(lo_, other.lo_) < 0;
+  bool has_right = CompareHi(hi_, other.hi_) > 0;
+  if (has_left && has_right) return std::nullopt;  // split in two
+  if (has_left) {
+    Bound hi = other.lo_;
+    hi.closed = !hi.closed;  // complement of lower bound flips closedness
+    return Interval(lo_, hi);
+  }
+  Bound lo = other.hi_;
+  lo.closed = !lo.closed;
+  return Interval(lo, hi_);
+}
+
+int Interval::AtomCount() const {
+  if (IsFull()) return 0;
+  if (IsEmpty()) return 1;  // "false" still counts as one formula
+  if (IsPoint()) return 1;
+  int n = 0;
+  if (!lo_.infinite) ++n;
+  if (!hi_.infinite) ++n;
+  return n;
+}
+
+std::string Interval::ToString(const std::string& var) const {
+  if (IsFull()) return "true";
+  if (IsEmpty()) return "false";
+  if (IsPoint()) return var + " = " + std::to_string(lo_.value);
+  std::ostringstream os;
+  bool first = true;
+  if (!lo_.infinite) {
+    os << var << (lo_.closed ? " >= " : " > ") << lo_.value;
+    first = false;
+  }
+  if (!hi_.infinite) {
+    if (!first) os << " AND ";
+    os << var << (hi_.closed ? " <= " : " < ") << hi_.value;
+  }
+  return os.str();
+}
+
+}  // namespace eva::symbolic

@@ -1,0 +1,95 @@
+#ifndef EVA_SYMBOLIC_INTERVAL_H_
+#define EVA_SYMBOLIC_INTERVAL_H_
+
+#include <optional>
+#include <string>
+
+namespace eva::symbolic {
+
+/// One endpoint of an interval. `infinite` endpoints ignore value/closed.
+struct Bound {
+  double value = 0;
+  bool closed = false;
+  bool infinite = true;
+
+  static Bound Infinite() { return Bound{}; }
+  static Bound Closed(double v) { return Bound{v, true, false}; }
+  static Bound Open(double v) { return Bound{v, false, false}; }
+};
+
+/// A (possibly unbounded, possibly degenerate) interval over the reals.
+/// This is the numeric building block of EVA's symbolic predicate algebra
+/// (§4.1): every atomic comparison over a numeric column becomes an interval.
+class Interval {
+ public:
+  /// Full line (-inf, +inf).
+  Interval() = default;
+  Interval(Bound lo, Bound hi) : lo_(lo), hi_(hi) {}
+
+  static Interval Full() { return Interval(); }
+  static Interval Empty() {
+    return Interval(Bound::Open(0), Bound::Open(0));
+  }
+  static Interval Point(double v) {
+    return Interval(Bound::Closed(v), Bound::Closed(v));
+  }
+  static Interval AtLeast(double v) {
+    return Interval(Bound::Closed(v), Bound::Infinite());
+  }
+  static Interval GreaterThan(double v) {
+    return Interval(Bound::Open(v), Bound::Infinite());
+  }
+  static Interval AtMost(double v) {
+    return Interval(Bound::Infinite(), Bound::Closed(v));
+  }
+  static Interval LessThan(double v) {
+    return Interval(Bound::Infinite(), Bound::Open(v));
+  }
+
+  const Bound& lo() const { return lo_; }
+  const Bound& hi() const { return hi_; }
+
+  bool IsEmpty() const;
+  bool IsFull() const { return lo_.infinite && hi_.infinite; }
+  bool IsPoint() const;
+
+  bool Contains(double v) const;
+
+  Interval Intersect(const Interval& other) const;
+
+  /// True if this ⊆ other.
+  bool IsSubsetOf(const Interval& other) const;
+
+  bool operator==(const Interval& other) const;
+
+  /// Union when the result is one interval: the inputs overlap or touch.
+  /// Returns nullopt when they are separated by more than a point.
+  std::optional<Interval> UnionIfContiguous(const Interval& other) const;
+
+  /// Convex hull: smallest interval containing both inputs.
+  Interval Hull(const Interval& other) const;
+
+  /// True if the two intervals are disjoint but separated by exactly one
+  /// point, which is stored in *gap (e.g. x<5 and x>5 with gap 5). The union
+  /// is then "merged interval minus {gap}".
+  bool UnionWithPointGap(const Interval& other, double* gap) const;
+
+  /// this \ other, when the result is a single interval (other clips one
+  /// side of this, or misses entirely, or swallows it). nullopt when `other`
+  /// splits this into two pieces.
+  std::optional<Interval> DifferenceIfSingle(const Interval& other) const;
+
+  /// Number of atomic comparison formulas needed to express this interval
+  /// (0 for full, 1 for one-sided or a point, 2 for two-sided).
+  int AtomCount() const;
+
+  std::string ToString(const std::string& var = "x") const;
+
+ private:
+  Bound lo_;  // lower endpoint
+  Bound hi_;  // upper endpoint
+};
+
+}  // namespace eva::symbolic
+
+#endif  // EVA_SYMBOLIC_INTERVAL_H_

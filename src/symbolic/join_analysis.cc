@@ -1,0 +1,133 @@
+#include "symbolic/join_analysis.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace eva::symbolic {
+
+namespace {
+
+// Mathematical (always non-negative) remainder.
+int64_t Mod(int64_t v, int64_t m) {
+  int64_t r = v % m;
+  return r < 0 ? r + m : r;
+}
+
+constexpr int64_t kBruteForceLimit = 1 << 20;
+
+}  // namespace
+
+JoinPredicate JoinPredicate::Affine(std::string left, std::string right,
+                                    int64_t scale, int64_t offset) {
+  JoinPredicate p;
+  p.form = Form::kAffine;
+  p.left_col = std::move(left);
+  p.right_col = std::move(right);
+  p.scale = scale;
+  p.offset = offset;
+  return p;
+}
+
+JoinPredicate JoinPredicate::Modular(std::string left, std::string right,
+                                     int64_t modulus) {
+  JoinPredicate p;
+  p.form = Form::kModular;
+  p.left_col = std::move(left);
+  p.right_col = std::move(right);
+  p.modulus = modulus;
+  return p;
+}
+
+bool JoinPredicate::Matches(int64_t left_value, int64_t right_value) const {
+  if (form == Form::kAffine) {
+    return left_value == scale * right_value + offset;
+  }
+  if (modulus == 0) return false;
+  return left_value == Mod(right_value, modulus);
+}
+
+std::string JoinPredicate::ToString() const {
+  std::ostringstream os;
+  os << left_col << " = ";
+  if (form == Form::kAffine) {
+    if (scale != 1) os << scale << " * ";
+    os << right_col;
+    if (offset > 0) os << " + " << offset;
+    if (offset < 0) os << " - " << -offset;
+  } else {
+    os << right_col << " mod " << modulus;
+  }
+  return os.str();
+}
+
+bool Equivalent(const JoinPredicate& a, const JoinPredicate& b) {
+  if (a.left_col != b.left_col || a.right_col != b.right_col) return false;
+  if (a.form != b.form) return false;
+  if (a.form == JoinPredicate::Form::kAffine) {
+    return a.scale == b.scale && a.offset == b.offset;
+  }
+  return a.modulus == b.modulus;
+}
+
+bool Subsumes(const JoinPredicate& prior, const JoinPredicate& query,
+              int64_t domain_lo, int64_t domain_hi) {
+  if (prior.left_col != query.left_col ||
+      prior.right_col != query.right_col) {
+    return false;
+  }
+  if (domain_lo > domain_hi) return true;  // empty domain: vacuous
+  if (Equivalent(prior, query)) return true;
+
+  using Form = JoinPredicate::Form;
+  // The query's pairs are (f_query(r), r) for r in the domain; they are
+  // subsumed iff f_query(r) also satisfies the prior for every r.
+  if (prior.form == Form::kAffine && query.form == Form::kAffine) {
+    // a_q r + b_q == a_p r + b_p for all r: either identical (handled) or
+    // the lines intersect in at most one point — covered iff the domain
+    // is that single point.
+    if (prior.scale == query.scale) return false;  // parallel lines
+    int64_t num = query.offset - prior.offset;
+    int64_t den = prior.scale - query.scale;
+    if (num % den != 0) return false;
+    int64_t r0 = num / den;
+    return domain_lo == domain_hi && r0 == domain_lo;
+  }
+  if (prior.form == Form::kAffine && query.form == Form::kModular) {
+    // (r mod m, r) satisfies "l = a r + b" for all r in domain. With the
+    // identity prior this means r mod m == r, i.e. domain ⊆ [0, m).
+    if (prior.scale == 1 && prior.offset == 0) {
+      return domain_lo >= 0 && domain_hi < query.modulus;
+    }
+    // Other affine priors: fall through to bounded enumeration.
+  }
+  if (prior.form == Form::kModular && query.form == Form::kAffine) {
+    // (a r + b, r) satisfies "l = r mod m". Identity query: r == r mod m.
+    if (query.scale == 1 && query.offset == 0) {
+      return domain_lo >= 0 && domain_hi < prior.modulus;
+    }
+  }
+  if (prior.form == Form::kModular && query.form == Form::kModular) {
+    // r mod m_q == r mod m_p for all r in the domain: true when the
+    // domain fits below both moduli.
+    int64_t m = std::min(prior.modulus, query.modulus);
+    if (domain_lo >= 0 && domain_hi < m) return true;
+    // Also true when m_p divides nothing useful in general — enumerate.
+  }
+  // Bounded enumeration fallback: exact for small domains, conservative
+  // (false) beyond the limit.
+  if (domain_hi - domain_lo + 1 > kBruteForceLimit) return false;
+  for (int64_t r = domain_lo; r <= domain_hi; ++r) {
+    int64_t left;
+    if (query.form == Form::kAffine) {
+      left = query.scale * r + query.offset;
+    } else {
+      if (query.modulus == 0) return false;
+      left = r % query.modulus < 0 ? r % query.modulus + query.modulus
+                                   : r % query.modulus;
+    }
+    if (!prior.Matches(left, r)) return false;
+  }
+  return true;
+}
+
+}  // namespace eva::symbolic

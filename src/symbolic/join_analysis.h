@@ -1,0 +1,66 @@
+#ifndef EVA_SYMBOLIC_JOIN_ANALYSIS_H_
+#define EVA_SYMBOLIC_JOIN_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace eva::symbolic {
+
+/// Symbolic analysis of join predicates — listed as future work in §6 of
+/// the paper ("While it is possible to do symbolic analysis of join
+/// predicates, EVA currently does not support it") and implemented here
+/// for the two families the paper's example uses:
+///
+///   Q1: A ⋈_{A.id = B.id}        B   (affine, scale 1 offset 0)
+///   Q2: A ⋈_{A.id = B.id + 1}    B   (affine, scale 1 offset 1)
+///   Q3: A ⋈_{A.id = B.id mod 2}  B   (modular)
+///
+/// The analysis decides, for a UDF evaluated over the join output, whether
+/// the (left, right) input pairs produced by a new join predicate are a
+/// subset of the pairs an earlier predicate produced — in which case the
+/// earlier UDF results cover the new query. Unlike the paper's informal
+/// claim that "Q1 subsumes Q3", the precise pair-level semantics makes the
+/// subsumption conditional on the right column's domain: the Q3 pair
+/// (r mod 2, r) is a Q1 pair (r, r) exactly when r ∈ [0, 2). Subsumes()
+/// therefore takes the joined column's integer domain and is exact over
+/// it (verified against brute force in the tests).
+struct JoinPredicate {
+  enum class Form {
+    kAffine,   // left = scale * right + offset
+    kModular,  // left = right mod modulus
+  };
+
+  Form form = Form::kAffine;
+  std::string left_col;
+  std::string right_col;
+  int64_t scale = 1;
+  int64_t offset = 0;
+  int64_t modulus = 0;
+
+  static JoinPredicate Affine(std::string left, std::string right,
+                              int64_t scale = 1, int64_t offset = 0);
+  static JoinPredicate Modular(std::string left, std::string right,
+                               int64_t modulus);
+
+  /// True if the concrete pair (left_value, right_value) satisfies this
+  /// predicate. Modular uses the mathematical (non-negative) remainder.
+  bool Matches(int64_t left_value, int64_t right_value) const;
+
+  std::string ToString() const;
+};
+
+/// Syntactic/semantic equivalence of two join predicates.
+bool Equivalent(const JoinPredicate& a, const JoinPredicate& b);
+
+/// True if every (left, right) pair that `query` produces — with the right
+/// column ranging over the integer domain [domain_lo, domain_hi] — also
+/// satisfies `prior`, i.e. the prior join's UDF results subsume the new
+/// query's. Exact for affine/modular combinations; falls back to bounded
+/// enumeration for small domains and answers conservatively (false)
+/// otherwise.
+bool Subsumes(const JoinPredicate& prior, const JoinPredicate& query,
+              int64_t domain_lo, int64_t domain_hi);
+
+}  // namespace eva::symbolic
+
+#endif  // EVA_SYMBOLIC_JOIN_ANALYSIS_H_

@@ -1,0 +1,249 @@
+#include "symbolic/naive_simplify.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace eva::symbolic {
+
+namespace {
+
+const char* OpName(NaiveOp op) {
+  switch (op) {
+    case NaiveOp::kEq:
+      return "=";
+    case NaiveOp::kNe:
+      return "!=";
+    case NaiveOp::kLt:
+      return "<";
+    case NaiveOp::kLe:
+      return "<=";
+    case NaiveOp::kGt:
+      return ">";
+    case NaiveOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+// True when the two atoms on the same dimension are a contradiction that
+// simple pattern matching would catch: exact complements, or conflicting
+// equalities.
+bool PatternContradiction(const NaiveAtom& a, const NaiveAtom& b) {
+  if (a.dim != b.dim) return false;
+  if (a == b.Negated()) return true;
+  if (a.op == NaiveOp::kEq && b.op == NaiveOp::kEq &&
+      !(a.value == b.value)) {
+    return true;
+  }
+  return false;
+}
+
+// Sorted-insert an atom, returning false if the conjunct became
+// contradictory.
+bool AddAtom(std::vector<NaiveAtom>* conjunct, const NaiveAtom& atom) {
+  for (const NaiveAtom& existing : *conjunct) {
+    if (existing == atom) return true;  // duplicate
+    if (PatternContradiction(existing, atom)) return false;
+  }
+  conjunct->insert(
+      std::upper_bound(conjunct->begin(), conjunct->end(), atom), atom);
+  return true;
+}
+
+// True if a ⊆ b as atom sets (b's constraints are a subset of a's, so the
+// conjunct a implies conjunct b).
+bool AtomSubset(const std::vector<NaiveAtom>& inner,
+                const std::vector<NaiveAtom>& outer) {
+  return std::includes(inner.begin(), inner.end(), outer.begin(),
+                       outer.end());
+}
+
+}  // namespace
+
+NaiveAtom NaiveAtom::Negated() const {
+  NaiveOp neg;
+  switch (op) {
+    case NaiveOp::kEq:
+      neg = NaiveOp::kNe;
+      break;
+    case NaiveOp::kNe:
+      neg = NaiveOp::kEq;
+      break;
+    case NaiveOp::kLt:
+      neg = NaiveOp::kGe;
+      break;
+    case NaiveOp::kLe:
+      neg = NaiveOp::kGt;
+      break;
+    case NaiveOp::kGt:
+      neg = NaiveOp::kLe;
+      break;
+    case NaiveOp::kGe:
+      neg = NaiveOp::kLt;
+      break;
+    default:
+      neg = op;
+  }
+  return NaiveAtom(dim, neg, value);
+}
+
+bool NaiveAtom::operator==(const NaiveAtom& other) const {
+  return dim == other.dim && op == other.op && value == other.value;
+}
+
+bool NaiveAtom::operator<(const NaiveAtom& other) const {
+  if (dim != other.dim) return dim < other.dim;
+  if (op != other.op) return op < other.op;
+  return value < other.value;
+}
+
+std::string NaiveAtom::ToString() const {
+  return dim + " " + OpName(op) + " " + value.ToString();
+}
+
+NaivePredicate NaivePredicate::True() {
+  NaivePredicate p;
+  p.conjuncts_.push_back({});
+  return p;
+}
+
+NaivePredicate NaivePredicate::Atom(NaiveAtom atom) {
+  NaivePredicate p;
+  p.conjuncts_.push_back({std::move(atom)});
+  return p;
+}
+
+NaivePredicate NaivePredicate::And(const NaivePredicate& a,
+                                   const NaivePredicate& b,
+                                   size_t max_conjuncts) {
+  NaivePredicate out;
+  for (const Conjunct& ca : a.conjuncts_) {
+    for (const Conjunct& cb : b.conjuncts_) {
+      Conjunct merged = ca;
+      bool sat = true;
+      for (const NaiveAtom& atom : cb) {
+        if (!AddAtom(&merged, atom)) {
+          sat = false;
+          break;
+        }
+      }
+      if (sat) {
+        out.conjuncts_.push_back(std::move(merged));
+        if (out.conjuncts_.size() > max_conjuncts) {
+          out.Simplify();
+          if (out.conjuncts_.size() > max_conjuncts) return out;
+        }
+      }
+    }
+  }
+  out.Simplify();
+  return out;
+}
+
+NaivePredicate NaivePredicate::Or(const NaivePredicate& a,
+                                  const NaivePredicate& b,
+                                  size_t max_conjuncts) {
+  NaivePredicate out = a;
+  for (const Conjunct& c : b.conjuncts_) {
+    out.conjuncts_.push_back(c);
+    if (out.conjuncts_.size() > max_conjuncts) break;
+  }
+  out.Simplify();
+  return out;
+}
+
+NaivePredicate NaivePredicate::Not(const NaivePredicate& p,
+                                   size_t max_conjuncts) {
+  if (p.IsFalse()) return True();
+  NaivePredicate acc = True();
+  for (const Conjunct& ci : p.conjuncts_) {
+    if (ci.empty()) return False();
+    NaivePredicate not_ci;
+    for (const NaiveAtom& atom : ci) {
+      not_ci.conjuncts_.push_back({atom.Negated()});
+    }
+    acc = And(acc, not_ci, max_conjuncts);
+    if (acc.IsFalse()) return acc;
+  }
+  return acc;
+}
+
+void NaivePredicate::Simplify() {
+  // TRUE conjunct dominates everything.
+  for (const Conjunct& c : conjuncts_) {
+    if (c.empty()) {
+      conjuncts_ = {{}};
+      return;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Dedup + absorption.
+    for (size_t i = 0; i < conjuncts_.size(); ++i) {
+      for (size_t j = conjuncts_.size(); j-- > 0;) {
+        if (i == j) continue;
+        if (AtomSubset(conjuncts_[j], conjuncts_[i])) {
+          // conjunct j implies conjunct i, so j is redundant in the union.
+          conjuncts_.erase(conjuncts_.begin() + static_cast<long>(j));
+          if (j < i) --i;
+          changed = true;
+        }
+      }
+    }
+    // Consensus merge: two conjuncts differing in exactly one complemented
+    // atom collapse into their common part (the QM merge step).
+    for (size_t i = 0; i < conjuncts_.size() && !changed; ++i) {
+      for (size_t j = i + 1; j < conjuncts_.size() && !changed; ++j) {
+        const Conjunct& a = conjuncts_[i];
+        const Conjunct& b = conjuncts_[j];
+        if (a.size() != b.size()) continue;
+        int mismatches = 0;
+        size_t mismatch_idx = 0;
+        for (size_t k = 0; k < a.size(); ++k) {
+          if (!(a[k] == b[k])) {
+            ++mismatches;
+            mismatch_idx = k;
+          }
+        }
+        if (mismatches == 1 &&
+            a[mismatch_idx] == b[mismatch_idx].Negated()) {
+          Conjunct merged;
+          for (size_t k = 0; k < a.size(); ++k) {
+            if (k != mismatch_idx) merged.push_back(a[k]);
+          }
+          conjuncts_[i] = std::move(merged);
+          conjuncts_.erase(conjuncts_.begin() + static_cast<long>(j));
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+int NaivePredicate::AtomCount() const {
+  int n = 0;
+  for (const Conjunct& c : conjuncts_) {
+    n += std::max<size_t>(1, c.size());
+  }
+  if (conjuncts_.empty()) return 1;  // "false"
+  return n;
+}
+
+std::string NaivePredicate::ToString() const {
+  if (conjuncts_.empty()) return "false";
+  std::ostringstream os;
+  for (size_t i = 0; i < conjuncts_.size(); ++i) {
+    if (i > 0) os << " OR ";
+    os << "(";
+    if (conjuncts_[i].empty()) os << "true";
+    for (size_t k = 0; k < conjuncts_[i].size(); ++k) {
+      if (k > 0) os << " AND ";
+      os << conjuncts_[i][k].ToString();
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+}  // namespace eva::symbolic

@@ -1,0 +1,75 @@
+#ifndef EVA_SYMBOLIC_NAIVE_SIMPLIFY_H_
+#define EVA_SYMBOLIC_NAIVE_SIMPLIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace eva::symbolic {
+
+/// Comparison operator of a naive (propositional-level) atom.
+enum class NaiveOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// An atomic formula treated as an opaque propositional variable. This is
+/// the Fig. 7 baseline: it models SymPy's pattern-matching `simplify`
+/// (Quine–McCluskey style), which understands boolean structure and exact
+/// complements but not the interaction between inequalities — so unions of
+/// overlapping ranges never shrink.
+struct NaiveAtom {
+  std::string dim;
+  NaiveOp op = NaiveOp::kEq;
+  Value value;
+
+  NaiveAtom() = default;
+  NaiveAtom(std::string d, NaiveOp o, Value v)
+      : dim(std::move(d)), op(o), value(std::move(v)) {}
+
+  /// Exact logical complement (x > 5 ↔ x <= 5).
+  NaiveAtom Negated() const;
+
+  bool operator==(const NaiveAtom& other) const;
+  bool operator<(const NaiveAtom& other) const;
+
+  std::string ToString() const;
+};
+
+/// A DNF predicate over propositional atoms. Empty disjunction = FALSE;
+/// a disjunct with no atoms = TRUE.
+class NaivePredicate {
+ public:
+  using Conjunct = std::vector<NaiveAtom>;  // sorted, deduped
+
+  NaivePredicate() = default;
+
+  static NaivePredicate False() { return NaivePredicate(); }
+  static NaivePredicate True();
+  static NaivePredicate Atom(NaiveAtom atom);
+
+  const std::vector<Conjunct>& conjuncts() const { return conjuncts_; }
+  bool IsFalse() const { return conjuncts_.empty(); }
+
+  static NaivePredicate And(const NaivePredicate& a, const NaivePredicate& b,
+                            size_t max_conjuncts = 100000);
+  static NaivePredicate Or(const NaivePredicate& a, const NaivePredicate& b,
+                           size_t max_conjuncts = 100000);
+  static NaivePredicate Not(const NaivePredicate& p,
+                            size_t max_conjuncts = 100000);
+
+  /// Quine–McCluskey-flavored minimization: dedup, absorption (drop
+  /// conjuncts subsumed by a subset conjunct), and consensus merging of
+  /// conjuncts differing only in one complemented atom.
+  void Simplify();
+
+  /// Total number of atomic formulas — the Fig. 7 metric.
+  int AtomCount() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Conjunct> conjuncts_;
+};
+
+}  // namespace eva::symbolic
+
+#endif  // EVA_SYMBOLIC_NAIVE_SIMPLIFY_H_

@@ -1,0 +1,31 @@
+#include "symbolic/stats.h"
+
+#include <algorithm>
+
+namespace eva::symbolic {
+
+double ConjunctSelectivity(const Conjunct& conjunct,
+                           const StatsProvider& stats) {
+  double s = 1.0;
+  for (const auto& [dim, c] : conjunct.dims()) {
+    s *= std::clamp(stats.ConstraintSelectivity(dim, c), 0.0, 1.0);
+  }
+  return s;
+}
+
+double PredicateSelectivity(const Predicate& predicate,
+                            const StatsProvider& stats) {
+  const auto& cs = predicate.conjuncts();
+  double total = 0.0;
+  for (const Conjunct& c : cs) total += ConjunctSelectivity(c, stats);
+  for (size_t i = 0; i < cs.size(); ++i) {
+    for (size_t j = i + 1; j < cs.size(); ++j) {
+      if (auto inter = cs[i].Intersect(cs[j])) {
+        total -= ConjunctSelectivity(*inter, stats);
+      }
+    }
+  }
+  return std::clamp(total, 0.0, 1.0);
+}
+
+}  // namespace eva::symbolic

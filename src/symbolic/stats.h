@@ -1,0 +1,39 @@
+#ifndef EVA_SYMBOLIC_STATS_H_
+#define EVA_SYMBOLIC_STATS_H_
+
+#include <string>
+
+#include "symbolic/predicate.h"
+
+namespace eva::symbolic {
+
+/// Supplies per-dimension statistics for selectivity estimation. The
+/// storage layer implements this with equi-width histograms per column
+/// ("EVA leverages existing histogram-based methods", §4.2).
+class StatsProvider {
+ public:
+  virtual ~StatsProvider() = default;
+
+  /// Domain kind of a dimension.
+  virtual DimKind KindOf(const std::string& dim) const = 0;
+
+  /// Fraction of tuples whose `dim` value satisfies `constraint`, in [0,1].
+  virtual double ConstraintSelectivity(
+      const std::string& dim, const DimConstraint& constraint) const = 0;
+};
+
+/// Selectivity of a conjunct under the usual attribute-independence
+/// assumption (product of per-dimension selectivities).
+double ConjunctSelectivity(const Conjunct& conjunct,
+                           const StatsProvider& stats);
+
+/// Selectivity of a DNF predicate. After Algorithm 1 reduction conjuncts
+/// are largely disjoint, so we use a second-order Bonferroni estimate:
+/// sum of conjunct selectivities minus pairwise intersections, clamped to
+/// [0, 1].
+double PredicateSelectivity(const Predicate& predicate,
+                            const StatsProvider& stats);
+
+}  // namespace eva::symbolic
+
+#endif  // EVA_SYMBOLIC_STATS_H_

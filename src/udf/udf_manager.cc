@@ -1,0 +1,37 @@
+#include "udf/udf_manager.h"
+
+namespace eva::udf {
+
+const symbolic::Predicate& UdfManager::Coverage(
+    const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false_;
+  return it->second.coverage;
+}
+
+bool UdfManager::HasCoverage(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() && !it->second.coverage.IsFalse();
+}
+
+void UdfManager::UpdateCoverage(const std::string& key,
+                                const symbolic::Predicate& q,
+                                const symbolic::SymbolicBudget& budget) {
+  UdfEntry& entry = entries_[key];
+  entry.coverage = symbolic::Predicate::Union(entry.coverage, q, budget);
+}
+
+void UdfManager::RecordInvocations(const std::string& key, int64_t total,
+                                   int64_t distinct_new) {
+  UdfEntry& entry = entries_[key];
+  entry.total_invocations += total;
+  entry.distinct_invocations += distinct_new;
+}
+
+int UdfManager::CoverageAtomCount(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return 0;
+  return it->second.coverage.AtomCount();
+}
+
+}  // namespace eva::udf

@@ -1,0 +1,65 @@
+#ifndef EVA_UDF_UDF_MANAGER_H_
+#define EVA_UDF_UDF_MANAGER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "symbolic/predicate.h"
+
+namespace eva::udf {
+
+/// A UDF's signature: its unique fingerprint across queries (§3.1 step 2).
+/// `name` is the physical UDF, `inputs` the source table/view it reads.
+struct UdfSignature {
+  std::string name;
+  std::string inputs;
+
+  std::string Key() const { return name + "@" + inputs; }
+};
+
+/// Per-signature bookkeeping: the aggregated predicate p_u (union of the
+/// predicates under which the UDF has been evaluated so far) plus
+/// invocation statistics for reporting (Table 3).
+struct UdfEntry {
+  symbolic::Predicate coverage;  // p_u; starts FALSE (§4.1)
+  int64_t total_invocations = 0;
+  int64_t distinct_invocations = 0;
+};
+
+/// The paper's UDFMANAGER: maps UDF signatures to their aggregated
+/// predicates and materialized-view bindings. The optimizer consults it to
+/// derive p∩ / p– / p∪ for every candidate UDF occurrence.
+class UdfManager {
+ public:
+  /// Aggregated predicate p_u for `key`; FALSE when the UDF was never
+  /// evaluated.
+  const symbolic::Predicate& Coverage(const std::string& key) const;
+
+  bool HasCoverage(const std::string& key) const;
+
+  /// p_u ← UNION(p_u, q) after the optimizer schedules evaluation of the
+  /// UDF under predicate `q` (§4.1).
+  void UpdateCoverage(const std::string& key, const symbolic::Predicate& q,
+                      const symbolic::SymbolicBudget& budget = {});
+
+  /// Invocation accounting (drives Table 3's #DI / #TI columns).
+  void RecordInvocations(const std::string& key, int64_t total,
+                         int64_t distinct_new);
+
+  const std::map<std::string, UdfEntry>& entries() const { return entries_; }
+
+  /// Atom count of p_u — what Fig. 8b/Fig. 7 track over a workload.
+  int CoverageAtomCount(const std::string& key) const;
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::map<std::string, UdfEntry> entries_;
+  symbolic::Predicate false_;
+};
+
+}  // namespace eva::udf
+
+#endif  // EVA_UDF_UDF_MANAGER_H_

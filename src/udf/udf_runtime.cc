@@ -1,0 +1,51 @@
+#include "udf/udf_runtime.h"
+
+namespace eva::udf {
+
+Result<const vision::DetectorModel*> UdfRuntime::Detector(
+    const std::string& name) {
+  auto it = detectors_.find(name);
+  if (it != detectors_.end()) return it->second.get();
+  EVA_ASSIGN_OR_RETURN(catalog::UdfDef def, catalog_->GetUdf(name));
+  if (def.kind != catalog::UdfKind::kDetector) {
+    return Status::InvalidArgument(name + " is not a detector UDF");
+  }
+  auto model = std::make_unique<vision::DetectorModel>(std::move(def));
+  const vision::DetectorModel* ptr = model.get();
+  detectors_.emplace(name, std::move(model));
+  return ptr;
+}
+
+Result<const vision::ClassifierModel*> UdfRuntime::Classifier(
+    const std::string& name) {
+  auto it = classifiers_.find(name);
+  if (it != classifiers_.end()) return it->second.get();
+  EVA_ASSIGN_OR_RETURN(catalog::UdfDef def, catalog_->GetUdf(name));
+  if (def.kind != catalog::UdfKind::kClassifier) {
+    return Status::InvalidArgument(name + " is not a classifier UDF");
+  }
+  auto model = std::make_unique<vision::ClassifierModel>(std::move(def));
+  const vision::ClassifierModel* ptr = model.get();
+  classifiers_.emplace(name, std::move(model));
+  return ptr;
+}
+
+Result<const vision::FilterModel*> UdfRuntime::Filter(
+    const std::string& name) {
+  auto it = filters_.find(name);
+  if (it != filters_.end()) return it->second.get();
+  EVA_ASSIGN_OR_RETURN(catalog::UdfDef def, catalog_->GetUdf(name));
+  if (def.kind != catalog::UdfKind::kFilter) {
+    return Status::InvalidArgument(name + " is not a filter UDF");
+  }
+  auto model = std::make_unique<vision::FilterModel>(std::move(def));
+  const vision::FilterModel* ptr = model.get();
+  filters_.emplace(name, std::move(model));
+  return ptr;
+}
+
+Result<catalog::UdfDef> UdfRuntime::Def(const std::string& name) const {
+  return catalog_->GetUdf(name);
+}
+
+}  // namespace eva::udf

@@ -1,0 +1,84 @@
+#ifndef EVA_VBENCH_VBENCH_H_
+#define EVA_VBENCH_VBENCH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "engine/eva_engine.h"
+
+namespace eva::vbench {
+
+/// Registers the paper's models through EVA-QL CREATE UDF statements
+/// (Listing 2): FasterRCNNResNet50/101, YoloTiny (logical ObjectDetector;
+/// Table 5 costs/accuracies), CarType, ColorDet (Table 3), and the
+/// VehicleFilter specialized filter (§5.6).
+Status RegisterStandardUdfs(engine::EvaEngine* engine);
+
+/// §5.1 video datasets (synthetic stand-ins, DESIGN.md §2).
+catalog::VideoInfo ShortUaDetrac();   // 7.5k frames, 8.3 vehicles/frame
+catalog::VideoInfo MediumUaDetrac();  // 14k frames
+catalog::VideoInfo LongUaDetrac();    // 28k frames
+catalog::VideoInfo Jackson();         // 14k frames, 0.1 vehicles/frame
+
+/// The two §5.1 query sets over `video` (8 queries each; id ranges scale
+/// with the frame count, §5.5). VBENCH-HIGH models iterative refinement
+/// over one part of the video (≈50% overlap); VBENCH-LOW models skimming
+/// different parts (≈4.5% overlap).
+std::vector<std::string> VbenchHigh(const std::string& video,
+                                    int64_t num_frames);
+std::vector<std::string> VbenchLow(const std::string& video,
+                                   int64_t num_frames);
+
+/// VBENCH-HIGH with the physical detector replaced by the logical
+/// ObjectDetector and per-query accuracy requirements (§5.4, Fig. 10).
+std::vector<std::string> VbenchHighLogical(const std::string& video,
+                                           int64_t num_frames);
+
+/// VBENCH-HIGH with a specialized-filter predicate prepended to every
+/// query (§5.6).
+std::vector<std::string> VbenchHighFiltered(const std::string& video,
+                                            int64_t num_frames);
+
+/// Deterministic permutation of a query set (Fig. 8's VBENCH-HIGH-1..4).
+std::vector<std::string> Permute(std::vector<std::string> queries,
+                                 uint64_t seed);
+
+/// Per-query record of a workload run.
+struct QueryRecord {
+  std::string sql;
+  exec::QueryMetrics metrics;
+  optimizer::OptimizeReport report;
+};
+
+struct WorkloadResult {
+  std::vector<QueryRecord> queries;
+  double total_ms = 0;
+  int64_t total_invocations = 0;
+  int64_t total_reused = 0;
+  double view_bytes = 0;
+
+  double HitPercentage() const {
+    return total_invocations == 0
+               ? 0
+               : 100.0 * static_cast<double>(total_reused) /
+                     static_cast<double>(total_invocations);
+  }
+};
+
+/// Runs a query list against `engine`, accumulating metrics.
+Result<WorkloadResult> RunWorkload(engine::EvaEngine* engine,
+                                   const std::vector<std::string>& queries);
+
+/// Builds a ready-to-run engine: catalog with the standard UDFs, the given
+/// video loaded, and the requested reuse mode.
+Result<std::unique_ptr<engine::EvaEngine>> MakeEngine(
+    optimizer::ReuseMode mode, const catalog::VideoInfo& video);
+Result<std::unique_ptr<engine::EvaEngine>> MakeEngine(
+    engine::EngineOptions options, const catalog::VideoInfo& video);
+
+}  // namespace eva::vbench
+
+#endif  // EVA_VBENCH_VBENCH_H_

@@ -1,0 +1,132 @@
+#include "vision/models.h"
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/value.h"
+
+namespace eva::vision {
+
+namespace {
+
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Stable per-(model, frame, object) random stream.
+Rng ObjectRng(uint64_t name_seed, int64_t frame_id, int obj_id) {
+  uint64_t s = Rng::MixSeed(name_seed, static_cast<uint64_t>(frame_id));
+  s = Rng::MixSeed(s, static_cast<uint64_t>(obj_id) + 0x51ed);
+  return Rng(s);
+}
+
+}  // namespace
+
+DetectorModel::DetectorModel(catalog::UdfDef def)
+    : def_(std::move(def)), name_seed_(HashName(def_.name)) {}
+
+std::vector<Detection> DetectorModel::Detect(const SyntheticVideo& video,
+                                             int64_t frame_id) const {
+  std::vector<Detection> out;
+  const auto& objects = video.FrameObjects(frame_id);
+  out.reserve(objects.size());
+  for (const GtObject& gt : objects) {
+    Rng rng = ObjectRng(name_seed_, frame_id, gt.obj_id);
+    double recall = gt.area >= 0.2 ? def_.recall : def_.recall_small;
+    if (!rng.NextBool(recall)) continue;
+    Detection d;
+    d.obj_id = gt.obj_id;
+    d.label = gt.label;
+    d.area = gt.area;
+    // Confidence shrinks for low-accuracy models.
+    d.score = gt.score * (0.6 + 0.4 * def_.recall);
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+ClassifierModel::ClassifierModel(catalog::UdfDef def)
+    : def_(std::move(def)),
+      name_seed_(HashName(def_.name)),
+      target_is_color_(def_.target_attribute == "color") {
+  vocabulary_ = target_is_color_ ? &VehicleColors() : &VehicleTypes();
+  // Monolithic UDF target "is:<Color>:<Type>" (see header). Property
+  // values arrive case-folded from the DDL layer, so resolve against the
+  // vocabularies case-insensitively.
+  const std::string& t = def_.target_attribute;
+  if (t.rfind("is:", 0) == 0) {
+    size_t sep = t.find(':', 3);
+    if (sep != std::string::npos) {
+      monolithic_ = true;
+      mono_color_ = t.substr(3, sep - 3);
+      mono_type_ = t.substr(sep + 1);
+      auto canonicalize = [](std::string* value,
+                             const std::vector<std::string>& vocab) {
+        for (const std::string& v : vocab) {
+          if (ToLower(v) == ToLower(*value)) {
+            *value = v;
+            return;
+          }
+        }
+      };
+      canonicalize(&mono_color_, VehicleColors());
+      canonicalize(&mono_type_, VehicleTypes());
+    }
+  }
+}
+
+std::string ClassifierModel::Classify(const SyntheticVideo& video,
+                                      int64_t frame_id, int obj_id) const {
+  const auto& objects = video.FrameObjects(frame_id);
+  const GtObject* gt = nullptr;
+  for (const GtObject& o : objects) {
+    if (o.obj_id == obj_id) {
+      gt = &o;
+      break;
+    }
+  }
+  if (gt == nullptr) return "unknown";
+  Rng rng = ObjectRng(name_seed_, frame_id, obj_id);
+  if (monolithic_) {
+    bool truth = gt->color == mono_color_ && gt->car_type == mono_type_;
+    if (!rng.NextBool(def_.classifier_accuracy)) truth = !truth;
+    return truth ? "true" : "false";
+  }
+  const std::string& truth = target_is_color_ ? gt->color : gt->car_type;
+  if (rng.NextBool(def_.classifier_accuracy)) return truth;
+  // Deterministic wrong answer: the next vocabulary entry.
+  for (size_t i = 0; i < vocabulary_->size(); ++i) {
+    if ((*vocabulary_)[i] == truth) {
+      return (*vocabulary_)[(i + 1) % vocabulary_->size()];
+    }
+  }
+  return (*vocabulary_)[0];
+}
+
+FilterModel::FilterModel(catalog::UdfDef def)
+    : def_(std::move(def)), name_seed_(HashName(def_.name)) {}
+
+bool FilterModel::Pass(const SyntheticVideo& video, int64_t frame_id) const {
+  bool has_vehicle = false;
+  for (const GtObject& o : video.FrameObjects(frame_id)) {
+    if (o.label == "car" || o.label == "truck" || o.label == "bus") {
+      has_vehicle = true;
+      break;
+    }
+  }
+  Rng rng = ObjectRng(name_seed_, frame_id, /*obj_id=*/-7);
+  if (has_vehicle) {
+    // Conservative filter: very low false-negative rate (missing a frame
+    // with a vehicle would change query answers downstream).
+    return !rng.NextBool(0.02);
+  }
+  // High false-positive rate: lightweight two-conv-layer filters are tuned
+  // for recall and pass many empty frames through (§5.6).
+  return rng.NextBool(0.5);
+}
+
+}  // namespace eva::vision

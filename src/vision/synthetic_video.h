@@ -1,0 +1,55 @@
+#ifndef EVA_VISION_SYNTHETIC_VIDEO_H_
+#define EVA_VISION_SYNTHETIC_VIDEO_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace eva::vision {
+
+/// Ground-truth object present in a frame. Attributes mirror what the
+/// paper's UDFs extract: detection label, vehicle type (CarType), color
+/// (ColorDet), relative bounding-box area, and detector confidence.
+struct GtObject {
+  int obj_id = 0;  // index within the frame
+  std::string label;
+  std::string car_type;
+  std::string color;
+  double area = 0;
+  double score = 0;
+};
+
+/// Vocabularies used by the generator and the simulated classifiers.
+const std::vector<std::string>& ObjectLabels();    // car, truck, bus, person
+const std::vector<std::string>& VehicleTypes();    // Nissan, Toyota, ...
+const std::vector<std::string>& VehicleColors();   // Gray, Red, ...
+
+/// Deterministic synthetic video: each frame carries a ground-truth object
+/// list generated from (seed, frame_id). This replaces the real UA-DETRAC /
+/// JACKSON datasets (DESIGN.md §2): the reuse machinery only observes
+/// tuples, predicates, and per-tuple costs, so matching the paper's object
+/// densities reproduces its invocation counts.
+class SyntheticVideo {
+ public:
+  explicit SyntheticVideo(catalog::VideoInfo info);
+
+  const catalog::VideoInfo& info() const { return info_; }
+  int64_t num_frames() const { return info_.num_frames; }
+
+  /// Ground truth of one frame (empty vector for out-of-range ids).
+  const std::vector<GtObject>& FrameObjects(int64_t frame_id) const;
+
+  /// Average number of vehicles (label == "car") per frame; reported by
+  /// the Fig. 12 harness.
+  double MeanVehiclesPerFrame() const;
+
+ private:
+  catalog::VideoInfo info_;
+  std::vector<std::vector<GtObject>> frames_;
+  std::vector<GtObject> empty_;
+};
+
+}  // namespace eva::vision
+
+#endif  // EVA_VISION_SYNTHETIC_VIDEO_H_

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace eva::catalog {
+namespace {
+
+VideoInfo Video(const std::string& name, int64_t frames) {
+  VideoInfo v;
+  v.name = name;
+  v.num_frames = frames;
+  return v;
+}
+
+UdfDef Detector(const std::string& name, const std::string& accuracy,
+                double cost) {
+  UdfDef d;
+  d.name = name;
+  d.kind = UdfKind::kDetector;
+  d.logical_type = "ObjectDetector";
+  d.accuracy = accuracy;
+  d.cost_ms = cost;
+  return d;
+}
+
+TEST(CatalogTest, AccuracyRanks) {
+  EXPECT_LT(AccuracyRank("LOW"), AccuracyRank("MEDIUM"));
+  EXPECT_LT(AccuracyRank("MEDIUM"), AccuracyRank("HIGH"));
+  EXPECT_EQ(AccuracyRank("low"), AccuracyRank("LOW"));
+  EXPECT_EQ(AccuracyRank(""), 0);
+  EXPECT_EQ(AccuracyRank("bogus"), 0);
+}
+
+TEST(CatalogTest, VideoRegistrationAndLookup) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddVideo(Video("v", 100)).ok());
+  EXPECT_TRUE(cat.HasVideo("v"));
+  EXPECT_FALSE(cat.HasVideo("w"));
+  auto r = cat.GetVideo("v");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_frames, 100);
+  EXPECT_EQ(cat.GetVideo("w").status().code(), StatusCode::kNotFound);
+  // Duplicates rejected.
+  EXPECT_EQ(cat.AddVideo(Video("v", 50)).code(),
+            StatusCode::kAlreadyExists);
+  // Invalid frame counts rejected.
+  EXPECT_EQ(cat.AddVideo(Video("x", 0)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, BytesPerFrame) {
+  VideoInfo v = Video("v", 10);
+  v.width = 960;
+  v.height = 540;
+  EXPECT_DOUBLE_EQ(v.BytesPerFrame(), 3.0 * 960 * 540);
+}
+
+TEST(CatalogTest, UdfRegistrationAndReplace) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddUdf(Detector("D", "HIGH", 120)).ok());
+  EXPECT_TRUE(cat.HasUdf("D"));
+  EXPECT_EQ(cat.AddUdf(Detector("D", "LOW", 9)).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(cat.AddUdf(Detector("D", "LOW", 9), /*or_replace=*/true).ok());
+  EXPECT_DOUBLE_EQ(cat.GetUdf("D").value().cost_ms, 9);
+  UdfDef bad = Detector("E", "LOW", -1);
+  EXPECT_EQ(cat.AddUdf(bad).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, PhysicalUdfsForLogicalTypeSortedByCost) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddUdf(Detector("R101", "HIGH", 120)).ok());
+  ASSERT_TRUE(cat.AddUdf(Detector("Yolo", "LOW", 9)).ok());
+  ASSERT_TRUE(cat.AddUdf(Detector("R50", "MEDIUM", 99)).ok());
+  UdfDef other;
+  other.name = "CarType";
+  other.kind = UdfKind::kClassifier;
+  other.cost_ms = 6;
+  ASSERT_TRUE(cat.AddUdf(other).ok());
+
+  auto low = cat.PhysicalUdfsFor("ObjectDetector", "LOW");
+  ASSERT_EQ(low.size(), 3u);
+  EXPECT_EQ(low[0].name, "Yolo");
+  EXPECT_EQ(low[1].name, "R50");
+  EXPECT_EQ(low[2].name, "R101");
+
+  auto medium = cat.PhysicalUdfsFor("ObjectDetector", "MEDIUM");
+  ASSERT_EQ(medium.size(), 2u);
+  EXPECT_EQ(medium[0].name, "R50");
+
+  auto high = cat.PhysicalUdfsFor("ObjectDetector", "HIGH");
+  ASSERT_EQ(high.size(), 1u);
+  EXPECT_EQ(high[0].name, "R101");
+
+  EXPECT_TRUE(cat.PhysicalUdfsFor("Segmenter", "LOW").empty());
+}
+
+}  // namespace
+}  // namespace eva::catalog

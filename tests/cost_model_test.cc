@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "optimizer/cost_model.h"
+
+namespace eva::optimizer {
+namespace {
+
+TEST(CostModelTest, CanonicalRankPrefersSelectiveCheapPredicates) {
+  // Eq. 2: smaller rank runs first.
+  double selective_cheap = CanonicalRank(0.1, 5);
+  double selective_expensive = CanonicalRank(0.1, 99);
+  double unselective_cheap = CanonicalRank(0.9, 5);
+  EXPECT_LT(selective_cheap, selective_expensive);
+  EXPECT_LT(selective_cheap, unselective_cheap);
+  EXPECT_LT(CanonicalRank(0.5, 10), 0);  // always negative for s < 1
+}
+
+TEST(CostModelTest, MaterializationAwareRankDiscountsCoveredUdfs) {
+  // Eq. 4: a fully materialized UDF (s_{p–} = 0) becomes nearly free to
+  // evaluate, so it ranks far earlier than its canonical rank suggests.
+  UdfCostInputs covered{0.3, 0.0, 99, 0.005};
+  UdfCostInputs uncovered{0.3, 1.0, 5, 0.005};
+  EXPECT_LT(MaterializationAwareRank(covered),
+            MaterializationAwareRank(uncovered));
+  // Canonical ordering would pick the cheap uncovered UDF first.
+  EXPECT_LT(CanonicalRank(uncovered.selectivity, uncovered.cost_e_ms),
+            CanonicalRank(covered.selectivity, covered.cost_e_ms));
+}
+
+TEST(CostModelTest, ReducesToCanonicalWithoutMaterialization) {
+  // With s_{p–} = 1 and c_r ≈ 0, Eq. 4 degenerates to Eq. 2.
+  UdfCostInputs in{0.4, 1.0, 10, 0.0};
+  EXPECT_NEAR(MaterializationAwareRank(in), CanonicalRank(0.4, 10), 1e-12);
+}
+
+TEST(CostModelTest, ExpectedCostEquation3) {
+  // T = 3 C_M + |R| c_r + |R| s_{p–} c_e.
+  UdfCostInputs in{0.3, 0.25, 100, 2};
+  double t = ExpectedUdfPredicateCost(in, /*input_card=*/1000,
+                                      /*view_read_ms_total=*/50);
+  EXPECT_DOUBLE_EQ(t, 3 * 50 + 1000 * 2 + 1000 * 0.25 * 100);
+}
+
+// Theorem 4.1: exhaustively verify on random instances that ordering by
+// Eq. 4 minimizes the expected evaluation cost among all permutations of
+// independent predicates.
+class RankOptimalityTest : public ::testing::TestWithParam<uint64_t> {};
+
+double OrderingCost(const std::vector<UdfCostInputs>& preds,
+                    const std::vector<size_t>& order, double n) {
+  double cost = 0;
+  double card = n;
+  for (size_t idx : order) {
+    const UdfCostInputs& p = preds[idx];
+    cost += card * (p.cost_r_ms + p.sel_diff_fraction * p.cost_e_ms);
+    card *= p.selectivity;
+  }
+  return cost;
+}
+
+TEST_P(RankOptimalityTest, RankOrderIsOptimal) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    size_t n = 2 + rng.NextBelow(3);  // 2-4 predicates
+    std::vector<UdfCostInputs> preds;
+    for (size_t i = 0; i < n; ++i) {
+      UdfCostInputs p;
+      p.selectivity = 0.05 + 0.9 * rng.NextDouble();
+      p.sel_diff_fraction = rng.NextDouble();
+      p.cost_e_ms = 1 + rng.NextDouble() * 120;
+      p.cost_r_ms = 0.01;
+      preds.push_back(p);
+    }
+    // Ordering by Eq. 4.
+    std::vector<size_t> by_rank(n);
+    for (size_t i = 0; i < n; ++i) by_rank[i] = i;
+    std::sort(by_rank.begin(), by_rank.end(), [&](size_t a, size_t b) {
+      return MaterializationAwareRank(preds[a]) <
+             MaterializationAwareRank(preds[b]);
+    });
+    double rank_cost = OrderingCost(preds, by_rank, 10000);
+    // Exhaustive minimum.
+    std::vector<size_t> perm(n);
+    for (size_t i = 0; i < n; ++i) perm[i] = i;
+    std::sort(perm.begin(), perm.end());
+    double best = rank_cost;
+    do {
+      best = std::min(best, OrderingCost(preds, perm, 10000));
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_LE(rank_cost, best * (1 + 1e-9))
+        << "Eq. 4 ordering was not optimal (seed " << GetParam()
+        << ", iter " << iter << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankOptimalityTest,
+                         ::testing::Values(3, 7, 11, 19, 41));
+
+}  // namespace
+}  // namespace eva::optimizer

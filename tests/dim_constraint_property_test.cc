@@ -1,0 +1,192 @@
+// Property-based tests for the per-dimension constraint algebra: every
+// operation (Intersect / UnionIfSingle / DifferenceIfSingle / Complement /
+// IsSubsetOf / IsEmpty) must agree with brute-force membership over a
+// sample universe, for randomly generated constraints of every kind.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+// GCC 12 emits spurious -Wmaybe-uninitialized for copies of
+// std::variant-holding Values through inlined vector constructions here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include "common/rng.h"
+#include "symbolic/dim_constraint.h"
+
+namespace eva::symbolic {
+namespace {
+
+// Sample universes per kind.
+std::vector<Value> IntegerPoints() {
+  std::vector<Value> pts;
+  for (int64_t v = -3; v <= 25; ++v) pts.push_back(Value(v));
+  return pts;
+}
+std::vector<Value> RealPoints() {
+  std::vector<Value> pts;
+  for (int i = -6; i <= 50; ++i) {
+    pts.push_back(Value(i * 0.25));
+    pts.push_back(Value(i * 0.25 + 0.125));
+  }
+  return pts;
+}
+std::vector<Value> CategoricalPoints() {
+  std::vector<Value> pts;
+  for (const char* s : {"a", "b", "c", "d", "e"}) {
+    pts.push_back(Value(s));
+  }
+  return pts;
+}
+
+const std::vector<Value>& PointsFor(DimKind kind) {
+  static const std::vector<Value>* kInts =
+      new std::vector<Value>(IntegerPoints());
+  static const std::vector<Value>* kReals =
+      new std::vector<Value>(RealPoints());
+  static const std::vector<Value>* kCats =
+      new std::vector<Value>(CategoricalPoints());
+  switch (kind) {
+    case DimKind::kInteger:
+      return *kInts;
+    case DimKind::kReal:
+      return *kReals;
+    case DimKind::kCategorical:
+      return *kCats;
+  }
+  return *kInts;
+}
+
+DimConstraint RandomConstraint(Rng& rng, DimKind kind) {
+  if (kind == DimKind::kCategorical) {
+    std::vector<std::string> values;
+    const char* vocab[] = {"a", "b", "c", "d", "e"};
+    size_t n = rng.NextBelow(4);
+    for (size_t i = 0; i < n; ++i) {
+      values.push_back(vocab[rng.NextBelow(5)]);
+    }
+    return DimConstraint::Categorical(std::move(values),
+                                      rng.NextBool(0.5));
+  }
+  double a = static_cast<double>(rng.NextBelow(20));
+  double b = a + static_cast<double>(rng.NextBelow(12));
+  Bound lo = rng.NextBool(0.25)
+                 ? Bound::Infinite()
+                 : (rng.NextBool(0.5) ? Bound::Closed(a) : Bound::Open(a));
+  Bound hi = rng.NextBool(0.25)
+                 ? Bound::Infinite()
+                 : (rng.NextBool(0.5) ? Bound::Closed(b) : Bound::Open(b));
+  DimConstraint c = DimConstraint::Numeric(kind, Interval(lo, hi));
+  if (rng.NextBool(0.3)) {
+    c = c.Intersect(DimConstraint::NumericNotEqual(
+        kind, static_cast<double>(rng.NextBelow(22))));
+  }
+  return c;
+}
+
+class DimConstraintPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DimConstraintPropertyTest, OperationsMatchMembership) {
+  Rng rng(GetParam());
+  const DimKind kinds[] = {DimKind::kInteger, DimKind::kReal,
+                           DimKind::kCategorical};
+  for (int iter = 0; iter < 120; ++iter) {
+    DimKind kind = kinds[rng.NextBelow(3)];
+    const auto& universe = PointsFor(kind);
+    DimConstraint a = RandomConstraint(rng, kind);
+    DimConstraint b = RandomConstraint(rng, kind);
+
+    DimConstraint inter = a.Intersect(b);
+    std::optional<DimConstraint> uni = a.UnionIfSingle(b);
+    std::optional<DimConstraint> diff = a.DifferenceIfSingle(b);
+    std::vector<DimConstraint> comp = a.Complement();
+    bool subset = a.IsSubsetOf(b);
+
+    bool a_nonempty_on_universe = false;
+    for (const Value& v : universe) {
+      bool in_a = a.Contains(v);
+      bool in_b = b.Contains(v);
+      a_nonempty_on_universe = a_nonempty_on_universe || in_a;
+      ASSERT_EQ(inter.Contains(v), in_a && in_b)
+          << "Intersect mismatch at " << v.ToString() << "\n  a="
+          << a.ToString("x") << "\n  b=" << b.ToString("x");
+      if (uni.has_value()) {
+        ASSERT_EQ(uni->Contains(v), in_a || in_b)
+            << "UnionIfSingle mismatch at " << v.ToString() << "\n  a="
+            << a.ToString("x") << "\n  b=" << b.ToString("x") << "\n  u="
+            << uni->ToString("x");
+      }
+      if (diff.has_value()) {
+        ASSERT_EQ(diff->Contains(v), in_a && !in_b)
+            << "DifferenceIfSingle mismatch at " << v.ToString()
+            << "\n  a=" << a.ToString("x") << "\n  b=" << b.ToString("x")
+            << "\n  d=" << diff->ToString("x");
+      }
+      bool in_comp = false;
+      for (const DimConstraint& piece : comp) {
+        in_comp = in_comp || piece.Contains(v);
+      }
+      ASSERT_EQ(in_comp, !in_a)
+          << "Complement mismatch at " << v.ToString() << " for "
+          << a.ToString("x");
+      if (subset && in_a) {
+        ASSERT_TRUE(in_b) << a.ToString("x") << " claimed subset of "
+                          << b.ToString("x") << " but " << v.ToString()
+                          << " violates it";
+      }
+    }
+    // IsEmpty must never claim empty while the universe has a member.
+    if (a_nonempty_on_universe) {
+      ASSERT_FALSE(a.IsEmpty()) << a.ToString("x");
+    }
+  }
+}
+
+TEST_P(DimConstraintPropertyTest, EqualsIsAnEquivalenceOnSamples) {
+  Rng rng(GetParam() * 71 + 5);
+  const DimKind kinds[] = {DimKind::kInteger, DimKind::kReal,
+                           DimKind::kCategorical};
+  for (int iter = 0; iter < 80; ++iter) {
+    DimKind kind = kinds[rng.NextBelow(3)];
+    DimConstraint a = RandomConstraint(rng, kind);
+    DimConstraint b = RandomConstraint(rng, kind);
+    EXPECT_TRUE(a.Equals(a));
+    if (a.Equals(b)) {
+      for (const Value& v : PointsFor(kind)) {
+        ASSERT_EQ(a.Contains(v), b.Contains(v))
+            << a.ToString("x") << " == " << b.ToString("x")
+            << " but membership differs at " << v.ToString();
+      }
+      EXPECT_TRUE(b.Equals(a));
+    }
+  }
+}
+
+TEST_P(DimConstraintPropertyTest, SubsetIsConsistentWithIntersection) {
+  // a ⊆ b implies a ∩ b has the same members as a (checked pointwise).
+  Rng rng(GetParam() * 37 + 11);
+  const DimKind kinds[] = {DimKind::kInteger, DimKind::kReal,
+                           DimKind::kCategorical};
+  for (int iter = 0; iter < 80; ++iter) {
+    DimKind kind = kinds[rng.NextBelow(3)];
+    DimConstraint a = RandomConstraint(rng, kind);
+    DimConstraint b = RandomConstraint(rng, kind);
+    if (!a.IsSubsetOf(b)) continue;
+    DimConstraint inter = a.Intersect(b);
+    for (const Value& v : PointsFor(kind)) {
+      ASSERT_EQ(inter.Contains(v), a.Contains(v))
+          << a.ToString("x") << " subset-of " << b.ToString("x");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DimConstraintPropertyTest,
+                         ::testing::Values(11, 23, 31, 47, 59, 61, 73,
+                                           97));
+
+}  // namespace
+}  // namespace eva::symbolic

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "symbolic/dim_constraint.h"
+
+namespace eva::symbolic {
+namespace {
+
+DimConstraint RealRange(double lo, double hi) {
+  return DimConstraint::Numeric(
+      DimKind::kReal, Interval(Bound::Closed(lo), Bound::Closed(hi)));
+}
+
+DimConstraint IntRange(double lo, double hi) {
+  return DimConstraint::Numeric(
+      DimKind::kInteger, Interval(Bound::Closed(lo), Bound::Closed(hi)));
+}
+
+TEST(DimConstraintTest, FullAndEmpty) {
+  EXPECT_TRUE(DimConstraint::Full(DimKind::kReal).IsFull());
+  EXPECT_TRUE(DimConstraint::Empty(DimKind::kReal).IsEmpty());
+  EXPECT_TRUE(DimConstraint::Full(DimKind::kCategorical).IsFull());
+  EXPECT_TRUE(DimConstraint::Empty(DimKind::kCategorical).IsEmpty());
+}
+
+TEST(DimConstraintTest, IntegerNormalizationOpenBounds) {
+  // id > 4 AND id < 10  ==>  [5, 9] for integers.
+  auto c = DimConstraint::Numeric(
+      DimKind::kInteger, Interval(Bound::Open(4), Bound::Open(10)));
+  EXPECT_TRUE(c.interval() == Interval(Bound::Closed(5), Bound::Closed(9)));
+  EXPECT_TRUE(c.Contains(Value(int64_t{5})));
+  EXPECT_FALSE(c.Contains(Value(int64_t{4})));
+}
+
+TEST(DimConstraintTest, IntegerNormalizationFractionalBounds) {
+  // id >= 4.5  ==>  id >= 5.
+  auto c = DimConstraint::Numeric(
+      DimKind::kInteger, Interval(Bound::Closed(4.5), Bound::Infinite()));
+  EXPECT_TRUE(c.Contains(Value(int64_t{5})));
+  EXPECT_FALSE(c.Contains(Value(int64_t{4})));
+}
+
+TEST(DimConstraintTest, IntegerAdjacentUnionMerges) {
+  // id <= 4 OR id >= 5 covers all integers.
+  auto a = DimConstraint::Numeric(DimKind::kInteger, Interval::AtMost(4));
+  auto b = DimConstraint::Numeric(DimKind::kInteger, Interval::AtLeast(5));
+  auto u = a.UnionIfSingle(b);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_TRUE(u->IsFull());
+}
+
+TEST(DimConstraintTest, IntegerGapOfOneBecomesExcludedPoint) {
+  // [1,3] ∪ [5,7] = [1,7] \ {4} for integers.
+  auto u = IntRange(1, 3).UnionIfSingle(IntRange(5, 7));
+  ASSERT_TRUE(u.has_value());
+  EXPECT_FALSE(u->Contains(Value(int64_t{4})));
+  EXPECT_TRUE(u->Contains(Value(int64_t{3})));
+  EXPECT_TRUE(u->Contains(Value(int64_t{5})));
+  EXPECT_TRUE(u->Contains(Value(int64_t{7})));
+}
+
+TEST(DimConstraintTest, RealPointGapUnion) {
+  // x < 5 OR x > 5  ==>  x != 5.
+  auto a = DimConstraint::Numeric(DimKind::kReal, Interval::LessThan(5));
+  auto b = DimConstraint::Numeric(DimKind::kReal, Interval::GreaterThan(5));
+  auto u = a.UnionIfSingle(b);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_TRUE(u->interval().IsFull());
+  EXPECT_FALSE(u->Contains(Value(5.0)));
+  EXPECT_TRUE(u->Contains(Value(4.0)));
+  EXPECT_EQ(u->AtomCount(), 1);
+}
+
+TEST(DimConstraintTest, NotEqualIsFullMinusPoint) {
+  auto c = DimConstraint::NumericNotEqual(DimKind::kReal, 0.3);
+  EXPECT_FALSE(c.Contains(Value(0.3)));
+  EXPECT_TRUE(c.Contains(Value(0.4)));
+  EXPECT_EQ(c.AtomCount(), 1);
+}
+
+TEST(DimConstraintTest, ExcludedEndpointFoldsIntoBound) {
+  // [1,5] AND x != 5  ==>  [1,5).
+  auto c = RealRange(1, 5).Intersect(
+      DimConstraint::NumericNotEqual(DimKind::kReal, 5));
+  EXPECT_TRUE(c.interval() == Interval(Bound::Closed(1), Bound::Open(5)));
+  EXPECT_TRUE(c.excluded_points().empty());
+}
+
+TEST(DimConstraintTest, IntegerExcludedBoundaryTightens) {
+  // [1,5] AND id != 5  ==>  [1,4] for integers.
+  auto c = IntRange(1, 5).Intersect(
+      DimConstraint::NumericNotEqual(DimKind::kInteger, 5));
+  EXPECT_TRUE(c.interval() == Interval(Bound::Closed(1), Bound::Closed(4)));
+}
+
+TEST(DimConstraintTest, IntegerAllPointsExcludedIsEmpty) {
+  auto c = IntRange(3, 4)
+               .Intersect(DimConstraint::NumericNotEqual(DimKind::kInteger, 3))
+               .Intersect(
+                   DimConstraint::NumericNotEqual(DimKind::kInteger, 4));
+  EXPECT_TRUE(c.IsEmpty());
+}
+
+TEST(DimConstraintTest, NumericSubset) {
+  EXPECT_TRUE(RealRange(2, 4).IsSubsetOf(RealRange(1, 5)));
+  EXPECT_FALSE(RealRange(0, 4).IsSubsetOf(RealRange(1, 5)));
+  // [2,4] ⊆ [1,5] \ {3} is false (3 is in the left side).
+  auto holey = RealRange(1, 5).Intersect(
+      DimConstraint::NumericNotEqual(DimKind::kReal, 3));
+  EXPECT_FALSE(RealRange(2, 4).IsSubsetOf(holey));
+  // But [2,4] \ {3} is a subset.
+  auto lhs = RealRange(2, 4).Intersect(
+      DimConstraint::NumericNotEqual(DimKind::kReal, 3));
+  EXPECT_TRUE(lhs.IsSubsetOf(holey));
+}
+
+TEST(DimConstraintTest, CategoricalBasics) {
+  auto car = DimConstraint::Categorical({"car"}, /*exclude=*/false);
+  auto not_car = DimConstraint::Categorical({"car"}, /*exclude=*/true);
+  EXPECT_TRUE(car.Contains(Value("car")));
+  EXPECT_FALSE(car.Contains(Value("bus")));
+  EXPECT_FALSE(not_car.Contains(Value("car")));
+  EXPECT_TRUE(not_car.Contains(Value("bus")));
+}
+
+TEST(DimConstraintTest, CategoricalIntersect) {
+  auto ab = DimConstraint::Categorical({"a", "b"}, false);
+  auto bc = DimConstraint::Categorical({"b", "c"}, false);
+  auto i = ab.Intersect(bc);
+  EXPECT_TRUE(i.Contains(Value("b")));
+  EXPECT_FALSE(i.Contains(Value("a")));
+  // include {a} ∧ exclude {a} = empty.
+  auto e = DimConstraint::Categorical({"a"}, false)
+               .Intersect(DimConstraint::Categorical({"a"}, true));
+  EXPECT_TRUE(e.IsEmpty());
+}
+
+TEST(DimConstraintTest, CategoricalUnionAlwaysSingle) {
+  auto ab = DimConstraint::Categorical({"a", "b"}, false);
+  auto bc = DimConstraint::Categorical({"b", "c"}, false);
+  auto u = ab.UnionIfSingle(bc);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_TRUE(u->Contains(Value("a")));
+  EXPECT_TRUE(u->Contains(Value("c")));
+  EXPECT_FALSE(u->Contains(Value("d")));
+  // include {a} ∪ exclude {a,b} = exclude {b}.
+  auto u2 = DimConstraint::Categorical({"a"}, false)
+                .UnionIfSingle(DimConstraint::Categorical({"a", "b"}, true));
+  ASSERT_TRUE(u2.has_value());
+  EXPECT_TRUE(u2->Contains(Value("a")));
+  EXPECT_FALSE(u2->Contains(Value("b")));
+}
+
+TEST(DimConstraintTest, CategoricalSubset) {
+  auto a = DimConstraint::Categorical({"a"}, false);
+  auto ab = DimConstraint::Categorical({"a", "b"}, false);
+  auto not_c = DimConstraint::Categorical({"c"}, true);
+  EXPECT_TRUE(a.IsSubsetOf(ab));
+  EXPECT_FALSE(ab.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(not_c));
+  EXPECT_FALSE(DimConstraint::Categorical({"c"}, false).IsSubsetOf(not_c));
+  EXPECT_FALSE(not_c.IsSubsetOf(ab));
+  EXPECT_TRUE(DimConstraint::Categorical({"a", "c"}, true)
+                  .IsSubsetOf(not_c));
+}
+
+TEST(DimConstraintTest, CategoricalDifference) {
+  auto ab = DimConstraint::Categorical({"a", "b"}, false);
+  auto b = DimConstraint::Categorical({"b"}, false);
+  auto d = ab.DifferenceIfSingle(b);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->Contains(Value("a")));
+  EXPECT_FALSE(d->Contains(Value("b")));
+}
+
+TEST(DimConstraintTest, NumericDifferenceCarvesOneSide) {
+  auto d = RealRange(0, 10).DifferenceIfSingle(RealRange(6, 20));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->Contains(Value(5.9)));
+  EXPECT_FALSE(d->Contains(Value(6.0)));
+  // Splitting difference is rejected.
+  EXPECT_FALSE(RealRange(0, 10).DifferenceIfSingle(RealRange(4, 6)));
+}
+
+TEST(DimConstraintTest, ComplementPieces) {
+  auto pieces = RealRange(2, 4).Complement();
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_TRUE(pieces[0].Contains(Value(1.0)) ||
+              pieces[1].Contains(Value(1.0)));
+  EXPECT_TRUE(pieces[0].Contains(Value(5.0)) ||
+              pieces[1].Contains(Value(5.0)));
+  for (const auto& p : pieces) {
+    EXPECT_FALSE(p.Contains(Value(3.0)));
+  }
+  // Complement of full is empty (no pieces).
+  EXPECT_TRUE(DimConstraint::Full(DimKind::kReal).Complement().empty());
+  // Complement of categorical include is exclude.
+  auto cat = DimConstraint::Categorical({"x"}, false).Complement();
+  ASSERT_EQ(cat.size(), 1u);
+  EXPECT_FALSE(cat[0].Contains(Value("x")));
+  EXPECT_TRUE(cat[0].Contains(Value("y")));
+}
+
+TEST(DimConstraintTest, AtomCounts) {
+  EXPECT_EQ(DimConstraint::Full(DimKind::kReal).AtomCount(), 0);
+  EXPECT_EQ(RealRange(1, 5).AtomCount(), 2);
+  EXPECT_EQ(DimConstraint::Categorical({"a", "b"}, false).AtomCount(), 2);
+}
+
+}  // namespace
+}  // namespace eva::symbolic

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "symbolic/interval.h"
+
+namespace eva::symbolic {
+namespace {
+
+TEST(IntervalTest, EmptyAndFull) {
+  EXPECT_TRUE(Interval::Empty().IsEmpty());
+  EXPECT_TRUE(Interval::Full().IsFull());
+  EXPECT_FALSE(Interval::Full().IsEmpty());
+  EXPECT_TRUE(Interval(Bound::Open(5), Bound::Open(5)).IsEmpty());
+  EXPECT_TRUE(Interval(Bound::Closed(5), Bound::Open(5)).IsEmpty());
+  EXPECT_FALSE(Interval::Point(5).IsEmpty());
+  EXPECT_TRUE(Interval::Point(5).IsPoint());
+  EXPECT_TRUE(Interval(Bound::Closed(6), Bound::Closed(5)).IsEmpty());
+}
+
+TEST(IntervalTest, Contains) {
+  Interval i(Bound::Closed(1), Bound::Open(5));  // [1, 5)
+  EXPECT_TRUE(i.Contains(1));
+  EXPECT_TRUE(i.Contains(4.999));
+  EXPECT_FALSE(i.Contains(5));
+  EXPECT_FALSE(i.Contains(0.999));
+  EXPECT_TRUE(Interval::GreaterThan(3).Contains(1e9));
+  EXPECT_FALSE(Interval::GreaterThan(3).Contains(3));
+  EXPECT_TRUE(Interval::AtLeast(3).Contains(3));
+}
+
+TEST(IntervalTest, Intersect) {
+  Interval a(Bound::Closed(1), Bound::Closed(10));
+  Interval b(Bound::Open(5), Bound::Closed(20));
+  Interval c = a.Intersect(b);  // (5, 10]
+  EXPECT_FALSE(c.Contains(5));
+  EXPECT_TRUE(c.Contains(10));
+  EXPECT_TRUE(a.Intersect(Interval::LessThan(1)).IsEmpty());
+  EXPECT_TRUE(a.Intersect(Interval::Full()) == a);
+}
+
+TEST(IntervalTest, Subset) {
+  EXPECT_TRUE(Interval::Point(3).IsSubsetOf(Interval::AtLeast(3)));
+  EXPECT_FALSE(Interval::Point(3).IsSubsetOf(Interval::GreaterThan(3)));
+  EXPECT_TRUE(Interval(Bound::Closed(2), Bound::Closed(4))
+                  .IsSubsetOf(Interval(Bound::Closed(1), Bound::Open(5))));
+  EXPECT_TRUE(Interval::Empty().IsSubsetOf(Interval::Point(0)));
+  EXPECT_FALSE(Interval::Full().IsSubsetOf(Interval::AtLeast(0)));
+}
+
+TEST(IntervalTest, UnionIfContiguousOverlap) {
+  // The paper's monadic example: (5,15) ∪ (10,20) = (5,20).
+  Interval a(Bound::Open(5), Bound::Open(15));
+  Interval b(Bound::Open(10), Bound::Open(20));
+  auto u = a.UnionIfContiguous(b);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_TRUE(*u == Interval(Bound::Open(5), Bound::Open(20)));
+}
+
+TEST(IntervalTest, UnionIfContiguousTouching) {
+  // [1,5) ∪ [5,9] = [1,9]; the shared endpoint is covered by one side.
+  Interval a(Bound::Closed(1), Bound::Open(5));
+  Interval b(Bound::Closed(5), Bound::Closed(9));
+  auto u = a.UnionIfContiguous(b);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_TRUE(*u == Interval(Bound::Closed(1), Bound::Closed(9)));
+}
+
+TEST(IntervalTest, UnionIfContiguousRejectsGap) {
+  Interval a(Bound::Closed(1), Bound::Open(5));
+  Interval b(Bound::Open(5), Bound::Closed(9));
+  EXPECT_FALSE(a.UnionIfContiguous(b).has_value());
+  Interval c(Bound::Closed(7), Bound::Closed(9));
+  EXPECT_FALSE(a.UnionIfContiguous(c).has_value());
+}
+
+TEST(IntervalTest, UnionWithPointGap) {
+  // x<5 ∪ x>5 are separated exactly by {5}.
+  double gap = 0;
+  EXPECT_TRUE(
+      Interval::LessThan(5).UnionWithPointGap(Interval::GreaterThan(5), &gap));
+  EXPECT_DOUBLE_EQ(gap, 5.0);
+  EXPECT_FALSE(
+      Interval::LessThan(5).UnionWithPointGap(Interval::AtLeast(5), &gap));
+  EXPECT_FALSE(
+      Interval::LessThan(4).UnionWithPointGap(Interval::GreaterThan(5), &gap));
+}
+
+TEST(IntervalTest, Hull) {
+  Interval h = Interval::Point(1).Hull(Interval::Point(9));
+  EXPECT_TRUE(h == Interval(Bound::Closed(1), Bound::Closed(9)));
+  EXPECT_TRUE(Interval::Full() == Interval::Full().Hull(Interval::Point(3)));
+}
+
+TEST(IntervalTest, DifferenceClipsOneSide) {
+  Interval a(Bound::Closed(0), Bound::Closed(10));
+  auto d = a.DifferenceIfSingle(Interval::AtLeast(6));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(*d == Interval(Bound::Closed(0), Bound::Open(6)));
+  d = a.DifferenceIfSingle(Interval::AtMost(3));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(*d == Interval(Bound::Open(3), Bound::Closed(10)));
+}
+
+TEST(IntervalTest, DifferenceDisjointAndSwallowed) {
+  Interval a(Bound::Closed(0), Bound::Closed(10));
+  auto d = a.DifferenceIfSingle(Interval::AtLeast(11));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(*d == a);
+  d = a.DifferenceIfSingle(Interval::Full());
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->IsEmpty());
+}
+
+TEST(IntervalTest, DifferenceRejectsSplit) {
+  Interval a(Bound::Closed(0), Bound::Closed(10));
+  Interval mid(Bound::Closed(4), Bound::Closed(6));
+  EXPECT_FALSE(a.DifferenceIfSingle(mid).has_value());
+}
+
+TEST(IntervalTest, AtomCount) {
+  EXPECT_EQ(Interval::Full().AtomCount(), 0);
+  EXPECT_EQ(Interval::AtLeast(3).AtomCount(), 1);
+  EXPECT_EQ(Interval::Point(3).AtomCount(), 1);
+  EXPECT_EQ(Interval(Bound::Closed(1), Bound::Open(5)).AtomCount(), 2);
+}
+
+}  // namespace
+}  // namespace eva::symbolic

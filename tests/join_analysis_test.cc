@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "symbolic/join_analysis.h"
+
+namespace eva::symbolic {
+namespace {
+
+using Form = JoinPredicate::Form;
+
+// Brute-force oracle for Subsumes.
+bool BruteSubsumes(const JoinPredicate& prior, const JoinPredicate& query,
+                   int64_t lo, int64_t hi) {
+  for (int64_t r = lo; r <= hi; ++r) {
+    int64_t left;
+    if (query.form == Form::kAffine) {
+      left = query.scale * r + query.offset;
+    } else {
+      left = r % query.modulus;
+      if (left < 0) left += query.modulus;
+    }
+    if (!prior.Matches(left, r)) return false;
+  }
+  return true;
+}
+
+TEST(JoinPredicateTest, MatchesAffine) {
+  auto p = JoinPredicate::Affine("A.id", "B.id", 1, 1);
+  EXPECT_TRUE(p.Matches(5, 4));
+  EXPECT_FALSE(p.Matches(5, 5));
+  auto scaled = JoinPredicate::Affine("A.id", "B.id", 2, -1);
+  EXPECT_TRUE(scaled.Matches(9, 5));
+}
+
+TEST(JoinPredicateTest, MatchesModular) {
+  auto p = JoinPredicate::Modular("A.id", "B.id", 2);
+  EXPECT_TRUE(p.Matches(1, 3));
+  EXPECT_TRUE(p.Matches(0, 4));
+  EXPECT_FALSE(p.Matches(2, 4));
+  EXPECT_TRUE(p.Matches(1, -3));  // mathematical remainder
+}
+
+TEST(JoinPredicateTest, ToStringForms) {
+  EXPECT_EQ(JoinPredicate::Affine("A.id", "B.id").ToString(),
+            "A.id = B.id");
+  EXPECT_EQ(JoinPredicate::Affine("A.id", "B.id", 1, 1).ToString(),
+            "A.id = B.id + 1");
+  EXPECT_EQ(JoinPredicate::Modular("A.id", "B.id", 2).ToString(),
+            "A.id = B.id mod 2");
+}
+
+TEST(JoinAnalysisTest, EquivalenceRequiresSameShape) {
+  auto q1 = JoinPredicate::Affine("A.id", "B.id");
+  auto q1b = JoinPredicate::Affine("A.id", "B.id");
+  auto q2 = JoinPredicate::Affine("A.id", "B.id", 1, 1);
+  auto q3 = JoinPredicate::Modular("A.id", "B.id", 2);
+  EXPECT_TRUE(Equivalent(q1, q1b));
+  EXPECT_FALSE(Equivalent(q1, q2));
+  EXPECT_FALSE(Equivalent(q1, q3));
+  EXPECT_FALSE(Equivalent(
+      q1, JoinPredicate::Affine("A.id", "C.id")));  // different columns
+}
+
+TEST(JoinAnalysisTest, PaperExampleQ1Q2Q3) {
+  // §6: "no reuse opportunities exist between Q1 and Q2, while Q1
+  // subsumes Q3". Under the precise pair-level semantics the Q3
+  // subsumption holds exactly when the joined id domain fits in [0, 2).
+  auto q1 = JoinPredicate::Affine("A.id", "B.id");
+  auto q2 = JoinPredicate::Affine("A.id", "B.id", 1, 1);
+  auto q3 = JoinPredicate::Modular("A.id", "B.id", 2);
+  EXPECT_FALSE(Subsumes(q1, q2, 0, 100));
+  EXPECT_FALSE(Subsumes(q2, q1, 0, 100));
+  EXPECT_TRUE(Subsumes(q1, q3, 0, 1));    // ids ∈ {0,1}: Q1 covers Q3
+  EXPECT_FALSE(Subsumes(q1, q3, 0, 100));  // wider domain: it does not
+  EXPECT_TRUE(Subsumes(q3, q1, 0, 1));
+  EXPECT_FALSE(Subsumes(q3, q1, 0, 100));
+}
+
+TEST(JoinAnalysisTest, IdenticalPredicatesSubsume) {
+  auto p = JoinPredicate::Affine("A.id", "B.id", 3, -2);
+  EXPECT_TRUE(Subsumes(p, p, -1000, 1000));
+  auto m = JoinPredicate::Modular("A.id", "B.id", 7);
+  EXPECT_TRUE(Subsumes(m, m, 0, 1000));
+}
+
+TEST(JoinAnalysisTest, SinglePointDomainIntersection) {
+  // x + 2 and 2x intersect at r = 2 only.
+  auto a = JoinPredicate::Affine("A.id", "B.id", 1, 2);
+  auto b = JoinPredicate::Affine("A.id", "B.id", 2, 0);
+  EXPECT_TRUE(Subsumes(a, b, 2, 2));
+  EXPECT_FALSE(Subsumes(a, b, 1, 2));
+  EXPECT_FALSE(Subsumes(a, b, 0, 10));
+}
+
+TEST(JoinAnalysisTest, ModularPairSubsumption) {
+  auto m2 = JoinPredicate::Modular("A.id", "B.id", 2);
+  auto m4 = JoinPredicate::Modular("A.id", "B.id", 4);
+  EXPECT_TRUE(Subsumes(m4, m2, 0, 1));    // below both moduli
+  EXPECT_FALSE(Subsumes(m4, m2, 0, 10));  // 2 mod 2=0 but 2 mod 4=2
+  EXPECT_TRUE(Subsumes(m2, m4, 0, 1));
+}
+
+TEST(JoinAnalysisTest, EmptyDomainIsVacuouslySubsumed) {
+  auto q1 = JoinPredicate::Affine("A.id", "B.id");
+  auto q2 = JoinPredicate::Affine("A.id", "B.id", 1, 5);
+  EXPECT_TRUE(Subsumes(q1, q2, 10, 9));
+}
+
+TEST(JoinAnalysisTest, AgreesWithBruteForceOnRandomInstances) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 300; ++iter) {
+    auto random_pred = [&rng]() {
+      if (rng.NextBool(0.5)) {
+        return JoinPredicate::Affine(
+            "A.id", "B.id", 1 + static_cast<int64_t>(rng.NextBelow(3)),
+            static_cast<int64_t>(rng.NextBelow(5)) - 2);
+      }
+      return JoinPredicate::Modular(
+          "A.id", "B.id", 2 + static_cast<int64_t>(rng.NextBelow(6)));
+    };
+    JoinPredicate prior = random_pred();
+    JoinPredicate query = random_pred();
+    int64_t lo = static_cast<int64_t>(rng.NextBelow(10));
+    int64_t hi = lo + static_cast<int64_t>(rng.NextBelow(40));
+    bool got = Subsumes(prior, query, lo, hi);
+    bool expected = BruteSubsumes(prior, query, lo, hi);
+    // The analysis must never claim subsumption that does not hold
+    // (soundness); within the enumeration limit it is also complete.
+    ASSERT_EQ(got, expected)
+        << prior.ToString() << " vs " << query.ToString() << " on [" << lo
+        << ", " << hi << "]";
+  }
+}
+
+}  // namespace
+}  // namespace eva::symbolic

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "optimizer/model_selection.h"
+
+namespace eva::optimizer {
+namespace {
+
+using symbolic::DimConstraint;
+using symbolic::DimKind;
+using symbolic::Interval;
+using symbolic::Predicate;
+
+Predicate IdRange(double lo, double hi) {
+  symbolic::Conjunct c;
+  c.Constrain("id", DimConstraint::Numeric(DimKind::kInteger,
+                                           Interval::AtLeast(lo)));
+  c.Constrain("id", DimConstraint::Numeric(DimKind::kInteger,
+                                           Interval::LessThan(hi)));
+  return Predicate::FromConjunct(std::move(c));
+}
+
+// Uniform id domain over [0, 10000).
+class UniformStats : public symbolic::StatsProvider {
+ public:
+  symbolic::DimKind KindOf(const std::string&) const override {
+    return DimKind::kInteger;
+  }
+  double ConstraintSelectivity(
+      const std::string&, const DimConstraint& c) const override {
+    if (c.IsFull()) return 1;
+    if (c.IsEmpty()) return 0;
+    const Interval& iv = c.interval();
+    double lo = iv.lo().infinite ? 0 : std::max(0.0, iv.lo().value);
+    double hi = iv.hi().infinite ? 9999 : std::min(9999.0, iv.hi().value);
+    if (lo > hi) return 0;
+    return (hi - lo + 1) / 10000.0;
+  }
+};
+
+class ModelSelectionTest : public ::testing::Test {
+ protected:
+  ModelSelectionTest() {
+    auto det = [](const char* name, const char* acc, double cost) {
+      catalog::UdfDef d;
+      d.name = name;
+      d.kind = catalog::UdfKind::kDetector;
+      d.logical_type = "ObjectDetector";
+      d.accuracy = acc;
+      d.cost_ms = cost;
+      return d;
+    };
+    EXPECT_TRUE(catalog_.AddUdf(det("Yolo", "LOW", 9)).ok());
+    EXPECT_TRUE(catalog_.AddUdf(det("R50", "MEDIUM", 99)).ok());
+    EXPECT_TRUE(catalog_.AddUdf(det("R101", "HIGH", 120)).ok());
+  }
+
+  Result<ModelSelection> Select(const std::string& accuracy,
+                                const Predicate& q, bool reuse = true) {
+    return SelectPhysicalUdfs(catalog_, manager_, "ObjectDetector",
+                              accuracy, "v", q, stats_, costs_, reuse);
+  }
+
+  catalog::Catalog catalog_;
+  udf::UdfManager manager_;
+  UniformStats stats_;
+  exec::CostConstants costs_;
+};
+
+TEST_F(ModelSelectionTest, NoViewsPicksCheapestSatisfyingModel) {
+  auto r = Select("LOW", IdRange(0, 1000));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().execute_udf, "Yolo");
+  EXPECT_TRUE(r.value().view_udfs.empty());
+
+  r = Select("MEDIUM", IdRange(0, 1000));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().execute_udf, "R50");
+
+  r = Select("HIGH", IdRange(0, 1000));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().execute_udf, "R101");
+}
+
+TEST_F(ModelSelectionTest, UnknownLogicalTypeFails) {
+  auto r = SelectPhysicalUdfs(catalog_, manager_, "Segmenter", "LOW", "v",
+                              IdRange(0, 10), stats_, costs_, true);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(ModelSelectionTest, ReusesHigherAccuracyView) {
+  manager_.UpdateCoverage("R50@v", IdRange(0, 5000));
+  auto r = Select("LOW", IdRange(0, 5000));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().view_udfs.size(), 1u);
+  EXPECT_EQ(r.value().view_udfs[0], "R50");
+  EXPECT_TRUE(r.value().remainder.DefinitelyFalse());
+}
+
+TEST_F(ModelSelectionTest, AccuracyConstraintExcludesLowerViews) {
+  // A HIGH query must not read the MEDIUM model's view.
+  manager_.UpdateCoverage("R50@v", IdRange(0, 5000));
+  auto r = Select("HIGH", IdRange(0, 5000));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().view_udfs.empty());
+  EXPECT_EQ(r.value().execute_udf, "R101");
+}
+
+TEST_F(ModelSelectionTest, GreedyCoverCombinesMultipleViews) {
+  manager_.UpdateCoverage("R50@v", IdRange(0, 4000));
+  manager_.UpdateCoverage("R101@v", IdRange(3000, 8000));
+  auto r = Select("LOW", IdRange(0, 8000));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().view_udfs.size(), 2u);
+  EXPECT_TRUE(r.value().remainder.DefinitelyFalse());
+  EXPECT_EQ(r.value().execute_udf, "Yolo");
+}
+
+TEST_F(ModelSelectionTest, RemainderIsDifferenceOfPickedViews) {
+  manager_.UpdateCoverage("R50@v", IdRange(0, 3000));
+  auto r = Select("LOW", IdRange(0, 8000));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().view_udfs.size(), 1u);
+  auto at = [&](int64_t id) {
+    return r.value().remainder.Evaluate(
+        [id](const std::string&) { return Value(id); });
+  };
+  EXPECT_FALSE(at(1000));  // covered by the view
+  EXPECT_TRUE(at(5000));   // left for Yolo
+}
+
+TEST_F(ModelSelectionTest, SkipsViewWithDisjointCoverage) {
+  manager_.UpdateCoverage("R50@v", IdRange(9000, 10000));
+  auto r = Select("LOW", IdRange(0, 1000));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().view_udfs.empty());
+}
+
+TEST_F(ModelSelectionTest, SkipsViewWhenReadingCostsMoreThanCheapUdf) {
+  // A huge view covering a sliver of the query: cost per uncovered tuple
+  // exceeds running Yolo (9 ms).
+  manager_.UpdateCoverage("R50@v", IdRange(0, 10000));
+  exec::CostConstants expensive = costs_;
+  expensive.view_read_ms_per_row = 100.0;  // absurd read cost
+  auto r = SelectPhysicalUdfs(catalog_, manager_, "ObjectDetector", "LOW",
+                              "v", IdRange(0, 1000), stats_, expensive,
+                              true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().view_udfs.empty());
+  EXPECT_EQ(r.value().execute_udf, "Yolo");
+}
+
+TEST_F(ModelSelectionTest, ReuseDisabledIgnoresViews) {
+  manager_.UpdateCoverage("R50@v", IdRange(0, 10000));
+  auto r = Select("LOW", IdRange(0, 1000), /*reuse=*/false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().view_udfs.empty());
+  EXPECT_EQ(r.value().execute_udf, "Yolo");
+}
+
+}  // namespace
+}  // namespace eva::optimizer

@@ -1,0 +1,132 @@
+// §3.3 — Modular vs. monolithic UDFs. A user may create a specialized
+// "is this a red Nissan?" UDF; EVA reuses it when the identical monolithic
+// UDF recurs, but modular CarType/ColorDet results recombine across any
+// attribute constants — which a monolithic UDF cannot.
+
+#include <gtest/gtest.h>
+
+#include "engine/eva_engine.h"
+#include "vbench/vbench.h"
+
+namespace eva::engine {
+namespace {
+
+class MonolithicUdfTest : public ::testing::Test {
+ protected:
+  MonolithicUdfTest() {
+    catalog::VideoInfo video;
+    video.name = "mono";
+    video.num_frames = 200;
+    video.mean_objects_per_frame = 6;
+    video.seed = 41;
+    auto er = vbench::MakeEngine(optimizer::ReuseMode::kEva, video);
+    EXPECT_TRUE(er.ok());
+    engine_ = er.MoveValue();
+    // A specialized monolithic classifier: is this object a red Nissan?
+    auto r = engine_->Execute(
+        "CREATE UDF RedNissanDet "
+        "INPUT=(frame NDARRAY UINT8(3, ANYDIM, ANYDIM), bbox NDARRAY "
+        "FLOAT32(4)) OUTPUT=(match NDARRAY STR(ANYDIM)) "
+        "IMPL='udfs/red_nissan.py' "
+        "PROPERTIES=('KIND'='CLASSIFIER', 'COST_MS'='8', "
+        "'TARGET'='is:Red:Nissan', 'CLS_ACCURACY'='1.0');");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  }
+  std::unique_ptr<EvaEngine> engine_;
+};
+
+TEST_F(MonolithicUdfTest, MatchesModularConjunction) {
+  // With perfect classifiers, the monolithic UDF must select exactly the
+  // rows the modular conjunction selects.
+  auto mono = engine_->Execute(
+      "SELECT id, obj FROM mono CROSS APPLY FasterRCNNResNet50(frame) "
+      "WHERE id < 200 AND label = 'car' AND "
+      "RedNissanDet(frame, bbox) = 'true';");
+  ASSERT_TRUE(mono.ok()) << mono.status().ToString();
+  // Fresh engine for the modular variant (independent reuse state), with
+  // perfect modular classifiers for an exact comparison.
+  catalog::VideoInfo video;
+  video.name = "mono";
+  video.num_frames = 200;
+  video.mean_objects_per_frame = 6;
+  video.seed = 41;
+  auto er = vbench::MakeEngine(optimizer::ReuseMode::kEva, video);
+  ASSERT_TRUE(er.ok());
+  auto modular_engine = er.MoveValue();
+  ASSERT_TRUE(modular_engine
+                  ->Execute("CREATE OR REPLACE UDF CarType "
+                            "IMPL='udfs/car_type.py' "
+                            "PROPERTIES=('KIND'='CLASSIFIER', "
+                            "'COST_MS'='6', 'TARGET'='car_type', "
+                            "'CLS_ACCURACY'='1.0');")
+                  .ok());
+  ASSERT_TRUE(modular_engine
+                  ->Execute("CREATE OR REPLACE UDF ColorDet "
+                            "IMPL='udfs/color_det.py' "
+                            "PROPERTIES=('KIND'='CLASSIFIER', "
+                            "'COST_MS'='5', 'TARGET'='color', "
+                            "'CLS_ACCURACY'='1.0');")
+                  .ok());
+  auto modular = modular_engine->Execute(
+      "SELECT id, obj FROM mono CROSS APPLY FasterRCNNResNet50(frame) "
+      "WHERE id < 200 AND label = 'car' AND "
+      "CarType(frame, bbox) = 'Nissan' AND "
+      "ColorDet(frame, bbox) = 'Red';");
+  ASSERT_TRUE(modular.ok()) << modular.status().ToString();
+  EXPECT_EQ(mono.value().batch.num_rows(),
+            modular.value().batch.num_rows());
+  EXPECT_GT(mono.value().batch.num_rows(), 0u);
+}
+
+TEST_F(MonolithicUdfTest, MonolithicReusedOnExactRepeat) {
+  const char* sql =
+      "SELECT id, obj FROM mono CROSS APPLY FasterRCNNResNet50(frame) "
+      "WHERE id < 150 AND label = 'car' AND "
+      "RedNissanDet(frame, bbox) = 'true';";
+  ASSERT_TRUE(engine_->Execute(sql).ok());
+  auto repeat = engine_->Execute(sql);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(repeat.value().metrics.reused.at("RedNissanDet"),
+            repeat.value().metrics.invocations.at("RedNissanDet"));
+}
+
+TEST_F(MonolithicUdfTest, MonolithicCannotServeDifferentCombination) {
+  // After a red-Nissan session, searching for gray Toyotas gets zero help
+  // from the monolithic view — but full help from modular views had the
+  // analyst used CarType/ColorDet (§3.3's flexibility argument).
+  ASSERT_TRUE(engine_
+                  ->Execute("SELECT id, obj FROM mono CROSS APPLY "
+                            "FasterRCNNResNet50(frame) WHERE id < 150 "
+                            "AND label = 'car' AND "
+                            "RedNissanDet(frame, bbox) = 'true';")
+                  .ok());
+  auto other = engine_->Execute(
+      "SELECT id, obj FROM mono CROSS APPLY FasterRCNNResNet50(frame) "
+      "WHERE id < 150 AND label = 'car' AND "
+      "CarType(frame, bbox) = 'Toyota' AND "
+      "ColorDet(frame, bbox) = 'Gray';");
+  ASSERT_TRUE(other.ok());
+  // The detector is reused; the classifiers start cold (the monolithic
+  // view is useless here).
+  EXPECT_EQ(other.value().metrics.reused.at("FasterRCNNResNet50"), 150);
+  EXPECT_EQ(other.value().metrics.reused.count("CarType"), 0u);
+  EXPECT_EQ(other.value().metrics.reused.count("ColorDet"), 0u);
+  // Whereas modular sessions recombine: a *gray Honda* search next reuses
+  // the ColorDet results fully (they were evaluated for all cars) and the
+  // CarType results for every gray object it inspects.
+  auto recombined = engine_->Execute(
+      "SELECT id, obj FROM mono CROSS APPLY FasterRCNNResNet50(frame) "
+      "WHERE id < 150 AND label = 'car' AND "
+      "CarType(frame, bbox) = 'Honda' AND "
+      "ColorDet(frame, bbox) = 'Gray';");
+  ASSERT_TRUE(recombined.ok());
+  ASSERT_EQ(recombined.value().metrics.reused.count("ColorDet"), 1u);
+  EXPECT_EQ(recombined.value().metrics.reused.at("ColorDet"),
+            recombined.value().metrics.invocations.at("ColorDet"));
+  ASSERT_EQ(recombined.value().metrics.reused.count("CarType"), 1u);
+  EXPECT_EQ(recombined.value().metrics.reused.at("CarType"),
+            recombined.value().metrics.invocations.at("CarType"));
+}
+
+}  // namespace
+}  // namespace eva::engine

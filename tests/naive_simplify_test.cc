@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "symbolic/naive_simplify.h"
+
+namespace eva::symbolic {
+namespace {
+
+NaiveAtom Gt(const std::string& d, double v) {
+  return NaiveAtom(d, NaiveOp::kGt, Value(v));
+}
+NaiveAtom Lt(const std::string& d, double v) {
+  return NaiveAtom(d, NaiveOp::kLt, Value(v));
+}
+NaiveAtom Eq(const std::string& d, const std::string& v) {
+  return NaiveAtom(d, NaiveOp::kEq, Value(v));
+}
+
+TEST(NaiveAtomTest, NegationRoundTrips) {
+  NaiveAtom a = Gt("x", 5);
+  EXPECT_EQ(a.Negated().op, NaiveOp::kLe);
+  EXPECT_TRUE(a.Negated().Negated() == a);
+  EXPECT_EQ(Eq("l", "car").Negated().op, NaiveOp::kNe);
+}
+
+TEST(NaivePredicateTest, DuplicateAtomsDeduped) {
+  NaivePredicate p =
+      NaivePredicate::And(NaivePredicate::Atom(Gt("x", 5)),
+                          NaivePredicate::Atom(Gt("x", 5)));
+  EXPECT_EQ(p.AtomCount(), 1);
+}
+
+TEST(NaivePredicateTest, ExactComplementContradiction) {
+  // x > 5 AND x <= 5 is a pattern-level contradiction.
+  NaivePredicate p = NaivePredicate::And(
+      NaivePredicate::Atom(Gt("x", 5)),
+      NaivePredicate::Atom(NaiveAtom("x", NaiveOp::kLe, Value(5.0))));
+  EXPECT_TRUE(p.IsFalse());
+}
+
+TEST(NaivePredicateTest, ConflictingEqualities) {
+  NaivePredicate p = NaivePredicate::And(NaivePredicate::Atom(Eq("l", "car")),
+                                         NaivePredicate::Atom(Eq("l", "bus")));
+  EXPECT_TRUE(p.IsFalse());
+}
+
+TEST(NaivePredicateTest, AbsorptionDropsSubsumedConjunct) {
+  // (x>5) OR (x>5 AND y>1)  =>  (x>5).
+  NaivePredicate a = NaivePredicate::Atom(Gt("x", 5));
+  NaivePredicate b = NaivePredicate::And(NaivePredicate::Atom(Gt("x", 5)),
+                                         NaivePredicate::Atom(Gt("y", 1)));
+  NaivePredicate u = NaivePredicate::Or(a, b);
+  EXPECT_EQ(u.conjuncts().size(), 1u);
+  EXPECT_EQ(u.AtomCount(), 1);
+}
+
+TEST(NaivePredicateTest, ConsensusMerge) {
+  // (a AND x>5) OR (a AND x<=5)  =>  (a)  — the QM merge step.
+  NaiveAtom a = Eq("l", "car");
+  NaivePredicate p = NaivePredicate::Or(
+      NaivePredicate::And(NaivePredicate::Atom(a),
+                          NaivePredicate::Atom(Gt("x", 5))),
+      NaivePredicate::And(NaivePredicate::Atom(a),
+                          NaivePredicate::Atom(Gt("x", 5).Negated())));
+  EXPECT_EQ(p.conjuncts().size(), 1u);
+  EXPECT_EQ(p.AtomCount(), 1);
+}
+
+TEST(NaivePredicateTest, CannotMergeOverlappingRanges) {
+  // This is the crucial gap vs. EVA's reduction (Fig. 7): the union of
+  // (5<x AND x<15) and (10<x AND x<20) stays at 4 atoms because the naive
+  // simplifier does not understand inequality interaction.
+  NaivePredicate r1 = NaivePredicate::And(NaivePredicate::Atom(Gt("x", 5)),
+                                          NaivePredicate::Atom(Lt("x", 15)));
+  NaivePredicate r2 = NaivePredicate::And(NaivePredicate::Atom(Gt("x", 10)),
+                                          NaivePredicate::Atom(Lt("x", 20)));
+  NaivePredicate u = NaivePredicate::Or(r1, r2);
+  EXPECT_EQ(u.conjuncts().size(), 2u);
+  EXPECT_EQ(u.AtomCount(), 4);
+}
+
+TEST(NaivePredicateTest, NotDeMorgan) {
+  // NOT (x>5 AND y>1) = (x<=5) OR (y<=1).
+  NaivePredicate p = NaivePredicate::And(NaivePredicate::Atom(Gt("x", 5)),
+                                         NaivePredicate::Atom(Gt("y", 1)));
+  NaivePredicate n = NaivePredicate::Not(p);
+  EXPECT_EQ(n.conjuncts().size(), 2u);
+  NaivePredicate nn = NaivePredicate::Not(n);
+  // Double negation recovers a 2-atom conjunct.
+  EXPECT_EQ(nn.conjuncts().size(), 1u);
+  EXPECT_EQ(nn.AtomCount(), 2);
+}
+
+TEST(NaivePredicateTest, GrowthUnderRepeatedUnions) {
+  // Repeatedly unioning shifted ranges grows the naive predicate linearly —
+  // the pathology Fig. 7 shows for SymPy's simplify on CarType/ColorDet.
+  NaivePredicate acc = NaivePredicate::False();
+  for (int i = 0; i < 6; ++i) {
+    NaivePredicate r = NaivePredicate::And(
+        NaivePredicate::Atom(Gt("x", i * 2.0)),
+        NaivePredicate::Atom(Lt("x", i * 2.0 + 5.0)));
+    acc = NaivePredicate::Or(acc, r);
+  }
+  EXPECT_GE(acc.conjuncts().size(), 6u);
+  EXPECT_GE(acc.AtomCount(), 12);
+}
+
+}  // namespace
+}  // namespace eva::symbolic

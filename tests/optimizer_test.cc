@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "optimizer/optimizer.h"
+#include "parser/parser.h"
+#include "storage/statistics.h"
+#include "vbench/vbench.h"
+#include "vision/synthetic_video.h"
+
+namespace eva::optimizer {
+namespace {
+
+// Collects plan node kinds leaf-to-root (execution order).
+void CollectKinds(const plan::PlanNodePtr& node,
+                  std::vector<plan::PlanKind>* out) {
+  for (const auto& c : node->children()) CollectKinds(c, out);
+  out->push_back(node->kind());
+}
+
+// Finds the first node of a kind (pre-order).
+const plan::PlanNode* FindNode(const plan::PlanNodePtr& node,
+                               plan::PlanKind kind) {
+  if (node->kind() == kind) return node.get();
+  for (const auto& c : node->children()) {
+    if (const plan::PlanNode* f = FindNode(c, kind)) return f;
+  }
+  return nullptr;
+}
+
+int CountKind(const std::vector<plan::PlanKind>& kinds,
+              plan::PlanKind kind) {
+  int n = 0;
+  for (auto k : kinds) n += k == kind;
+  return n;
+}
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest() {
+    catalog_ = std::make_shared<catalog::Catalog>();
+    auto det = [](const char* name, const char* acc, double cost,
+                  double recall) {
+      catalog::UdfDef d;
+      d.name = name;
+      d.kind = catalog::UdfKind::kDetector;
+      d.logical_type = "ObjectDetector";
+      d.accuracy = acc;
+      d.cost_ms = cost;
+      d.recall = recall;
+      d.recall_small = recall;
+      return d;
+    };
+    EXPECT_TRUE(catalog_->AddUdf(det("Det", "MEDIUM", 99, 0.9)).ok());
+    EXPECT_TRUE(catalog_->AddUdf(det("Tiny", "LOW", 9, 0.5)).ok());
+    auto cls = [](const char* name, double cost, const char* target) {
+      catalog::UdfDef d;
+      d.name = name;
+      d.kind = catalog::UdfKind::kClassifier;
+      d.cost_ms = cost;
+      d.target_attribute = target;
+      return d;
+    };
+    EXPECT_TRUE(catalog_->AddUdf(cls("CarType", 6, "car_type")).ok());
+    EXPECT_TRUE(catalog_->AddUdf(cls("ColorDet", 5, "color")).ok());
+    catalog::UdfDef filter;
+    filter.name = "VFilter";
+    filter.kind = catalog::UdfKind::kFilter;
+    filter.cost_ms = 1;
+    EXPECT_TRUE(catalog_->AddUdf(filter).ok());
+
+    catalog::VideoInfo info;
+    info.name = "v";
+    info.num_frames = 1000;
+    info.mean_objects_per_frame = 8;
+    EXPECT_TRUE(catalog_->AddVideo(info).ok());
+    video_ = std::make_unique<vision::SyntheticVideo>(info);
+    stats_ = std::make_unique<storage::StatisticsManager>(*video_);
+  }
+
+  Result<OptimizedQuery> Optimize(const std::string& sql,
+                                  OptimizerOptions options = {}) {
+    auto stmt = parser::ParseStatement(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    Optimizer opt(options, catalog_.get(), &manager_, stats_.get(),
+                  costs_);
+    return opt.Optimize(
+        std::get<parser::SelectStatement>(stmt.value()));
+  }
+
+  std::shared_ptr<catalog::Catalog> catalog_;
+  std::unique_ptr<vision::SyntheticVideo> video_;
+  std::unique_ptr<storage::StatisticsManager> stats_;
+  udf::UdfManager manager_;
+  exec::CostConstants costs_;
+};
+
+TEST_F(OptimizerTest, ScanRangePushdown) {
+  auto r = Optimize(
+      "SELECT id, obj FROM v CROSS APPLY Det(frame) WHERE id >= 100 AND "
+      "id < 300;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto* scan = static_cast<const plan::VideoScanNode*>(
+      FindNode(r.value().plan, plan::PlanKind::kVideoScan));
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->lo(), 100);
+  EXPECT_EQ(scan->hi(), 300);
+}
+
+TEST_F(OptimizerTest, ColdQueryUsesApplyPlusStore) {
+  auto r = Optimize(
+      "SELECT id, obj FROM v CROSS APPLY Det(frame) WHERE id < 100 AND "
+      "label = 'car' AND CarType(frame, bbox) = 'Nissan';");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<plan::PlanKind> kinds;
+  CollectKinds(r.value().plan, &kinds);
+  // No coverage yet: Apply (not ViewJoin/CondApply), but Store present for
+  // both candidate UDFs.
+  EXPECT_EQ(CountKind(kinds, plan::PlanKind::kApply), 2);
+  EXPECT_EQ(CountKind(kinds, plan::PlanKind::kViewJoin), 0);
+  EXPECT_EQ(CountKind(kinds, plan::PlanKind::kStore), 2);
+  // Coverage recorded for both signatures.
+  EXPECT_TRUE(manager_.HasCoverage("Det@v"));
+  EXPECT_TRUE(manager_.HasCoverage("CarType@v"));
+}
+
+TEST_F(OptimizerTest, WarmQueryUsesMaterializationAwareTriple) {
+  ASSERT_TRUE(Optimize("SELECT id, obj FROM v CROSS APPLY Det(frame) "
+                       "WHERE id < 100 AND label = 'car' AND "
+                       "CarType(frame, bbox) = 'Nissan';")
+                  .ok());
+  auto r = Optimize(
+      "SELECT id, obj FROM v CROSS APPLY Det(frame) WHERE id < 150 AND "
+      "label = 'car' AND CarType(frame, bbox) = 'Nissan';");
+  ASSERT_TRUE(r.ok());
+  std::vector<plan::PlanKind> kinds;
+  CollectKinds(r.value().plan, &kinds);
+  // Fig. 4: LEFT OUTER JOIN + conditional apply + store, per UDF.
+  EXPECT_EQ(CountKind(kinds, plan::PlanKind::kViewJoin), 2);
+  EXPECT_EQ(CountKind(kinds, plan::PlanKind::kCondApply), 2);
+  EXPECT_EQ(CountKind(kinds, plan::PlanKind::kStore), 2);
+  EXPECT_EQ(CountKind(kinds, plan::PlanKind::kApply), 0);
+}
+
+TEST_F(OptimizerTest, NoReuseModeNeverMaterializes) {
+  OptimizerOptions options;
+  options.mode = ReuseMode::kNoReuse;
+  options.reuse_enabled = false;
+  auto r = Optimize(
+      "SELECT id, obj FROM v CROSS APPLY Det(frame) WHERE id < 100 AND "
+      "CarType(frame, bbox) = 'Nissan';",
+      options);
+  ASSERT_TRUE(r.ok());
+  std::vector<plan::PlanKind> kinds;
+  CollectKinds(r.value().plan, &kinds);
+  EXPECT_EQ(CountKind(kinds, plan::PlanKind::kStore), 0);
+  EXPECT_EQ(CountKind(kinds, plan::PlanKind::kViewJoin), 0);
+  EXPECT_FALSE(manager_.HasCoverage("Det@v"));
+}
+
+TEST_F(OptimizerTest, HashStashMaterializesOnlyDetector) {
+  OptimizerOptions options;
+  options.mode = ReuseMode::kHashStash;
+  auto r = Optimize(
+      "SELECT id, obj FROM v CROSS APPLY Det(frame) WHERE id < 100 AND "
+      "CarType(frame, bbox) = 'Nissan';",
+      options);
+  ASSERT_TRUE(r.ok());
+  std::vector<plan::PlanKind> kinds;
+  CollectKinds(r.value().plan, &kinds);
+  EXPECT_EQ(CountKind(kinds, plan::PlanKind::kStore), 1);  // detector only
+  EXPECT_TRUE(manager_.HasCoverage("Det@v"));
+  EXPECT_FALSE(manager_.HasCoverage("CarType@v"));
+}
+
+TEST_F(OptimizerTest, CandidateThresholdSkipsCheapUdfs) {
+  OptimizerOptions options;
+  options.candidate_cost_threshold_ms = 50;  // classifiers no longer worth it
+  auto r = Optimize(
+      "SELECT id, obj FROM v CROSS APPLY Det(frame) WHERE id < 100 AND "
+      "CarType(frame, bbox) = 'Nissan';",
+      options);
+  ASSERT_TRUE(r.ok());
+  std::vector<plan::PlanKind> kinds;
+  CollectKinds(r.value().plan, &kinds);
+  EXPECT_EQ(CountKind(kinds, plan::PlanKind::kStore), 1);  // detector only
+  EXPECT_FALSE(manager_.HasCoverage("CarType@v"));
+}
+
+TEST_F(OptimizerTest, MaterializationAwareReorderingPrefersCoveredUdf) {
+  // Warm CarType over the full query region; ColorDet stays cold.
+  ASSERT_TRUE(Optimize("SELECT id, obj FROM v CROSS APPLY Det(frame) "
+                       "WHERE id < 1000 AND label = 'car' AND "
+                       "CarType(frame, bbox) = 'Nissan';")
+                  .ok());
+  auto r = Optimize(
+      "SELECT id, obj FROM v CROSS APPLY Det(frame) WHERE id < 500 AND "
+      "label = 'car' AND CarType(frame, bbox) = 'Nissan' AND "
+      "ColorDet(frame, bbox) = 'Gray';");
+  ASSERT_TRUE(r.ok());
+  const auto& preds = r.value().report.udf_predicates;
+  ASSERT_EQ(preds.size(), 2u);
+  // Eq. 4 puts the covered CarType first even though ColorDet is cheaper.
+  EXPECT_EQ(preds[0].udf, "CarType");
+  EXPECT_LT(preds[0].sel_diff_fraction, 0.05);
+  EXPECT_DOUBLE_EQ(preds[1].sel_diff_fraction, 1.0);
+  // Canonical ranking (Eq. 2) would have ordered ColorDet (5 ms) first.
+  EXPECT_LT(preds[1].rank_canonical, preds[0].rank_canonical);
+}
+
+TEST_F(OptimizerTest, CanonicalRankingIgnoresViews) {
+  ASSERT_TRUE(Optimize("SELECT id, obj FROM v CROSS APPLY Det(frame) "
+                       "WHERE id < 1000 AND label = 'car' AND "
+                       "CarType(frame, bbox) = 'Nissan';")
+                  .ok());
+  OptimizerOptions options;
+  options.materialization_aware_ranking = false;
+  auto r = Optimize(
+      "SELECT id, obj FROM v CROSS APPLY Det(frame) WHERE id < 500 AND "
+      "label = 'car' AND CarType(frame, bbox) = 'Nissan' AND "
+      "ColorDet(frame, bbox) = 'Gray';",
+      options);
+  ASSERT_TRUE(r.ok());
+  const auto& preds = r.value().report.udf_predicates;
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_EQ(preds[0].udf, "ColorDet");  // cheaper c_e wins under Eq. 2
+}
+
+TEST_F(OptimizerTest, FrameLevelFilterRunsBeforeDetector) {
+  auto r = Optimize(
+      "SELECT id, obj FROM v CROSS APPLY Det(frame) WHERE id < 100 AND "
+      "VFilter(frame) = true AND label = 'car';");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<plan::PlanKind> kinds;
+  CollectKinds(r.value().plan, &kinds);
+  // Execution order: the filter UDF apply appears before the detector's.
+  int filter_pos = -1, det_pos = -1, pos = 0;
+  for (auto k : kinds) {
+    if (k == plan::PlanKind::kApply) {
+      if (filter_pos < 0) {
+        filter_pos = pos;
+      } else if (det_pos < 0) {
+        det_pos = pos;
+      }
+    }
+    ++pos;
+  }
+  ASSERT_GE(filter_pos, 0);
+  ASSERT_GE(det_pos, 0);
+  EXPECT_LT(filter_pos, det_pos);
+}
+
+TEST_F(OptimizerTest, SelectListUdfIsApplied) {
+  auto r = Optimize(
+      "SELECT id, obj, ColorDet(frame, bbox) FROM v CROSS APPLY "
+      "Det(frame) WHERE id < 100 AND label = 'car';");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(manager_.HasCoverage("ColorDet@v"));
+  std::vector<plan::PlanKind> kinds;
+  CollectKinds(r.value().plan, &kinds);
+  EXPECT_EQ(CountKind(kinds, plan::PlanKind::kProject), 1);
+}
+
+TEST_F(OptimizerTest, LogicalUdfMinCostWithoutAlg2) {
+  OptimizerOptions options;
+  options.logical_udf_reuse = false;
+  auto r = Optimize(
+      "SELECT id, obj FROM v CROSS APPLY ObjectDetector(frame) ACCURACY "
+      "'LOW' WHERE id < 100;",
+      options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().report.detector_exec, "Tiny");
+  EXPECT_TRUE(r.value().report.detector_views.empty());
+}
+
+TEST_F(OptimizerTest, EmptyIdRangeYieldsEmptyScan) {
+  auto r = Optimize(
+      "SELECT id, obj FROM v CROSS APPLY Det(frame) WHERE id < 100 AND "
+      "id > 200;");
+  ASSERT_TRUE(r.ok());
+  auto* scan = static_cast<const plan::VideoScanNode*>(
+      FindNode(r.value().plan, plan::PlanKind::kVideoScan));
+  ASSERT_NE(scan, nullptr);
+  EXPECT_GE(scan->lo(), scan->hi());
+}
+
+TEST_F(OptimizerTest, ObjectPredicateWithoutDetectorIsBindError) {
+  auto r = Optimize(
+      "SELECT id FROM v WHERE CarType(frame, bbox) = 'Nissan';");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(OptimizerTest, GroupByProducesAggregate) {
+  auto r = Optimize(
+      "SELECT id, COUNT(*) FROM v CROSS APPLY Det(frame) WHERE id < 50 "
+      "GROUP BY id;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().plan->kind(), plan::PlanKind::kAggregate);
+}
+
+TEST_F(OptimizerTest, ReportContainsDerivedPredicateSizes) {
+  ASSERT_TRUE(Optimize("SELECT id, obj FROM v CROSS APPLY Det(frame) "
+                       "WHERE id < 500 AND label = 'car' AND "
+                       "CarType(frame, bbox) = 'Nissan';")
+                  .ok());
+  auto r = Optimize(
+      "SELECT id, obj FROM v CROSS APPLY Det(frame) WHERE id >= 250 AND "
+      "id < 750 AND label = 'car' AND CarType(frame, bbox) = 'Nissan';");
+  ASSERT_TRUE(r.ok());
+  const auto& preds = r.value().report.udf_predicates;
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_GT(preds[0].inter_atoms, 0);
+  EXPECT_GT(preds[0].diff_atoms, 0);
+  EXPECT_GT(preds[0].sel_diff_fraction, 0.1);
+  EXPECT_LT(preds[0].sel_diff_fraction, 0.9);
+}
+
+}  // namespace
+}  // namespace eva::optimizer

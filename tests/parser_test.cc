@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace eva::parser {
+namespace {
+
+using expr::ExprKind;
+
+const SelectStatement& AsSelect(const Statement& stmt) {
+  return std::get<SelectStatement>(stmt);
+}
+const CreateUdfStatement& AsCreate(const Statement& stmt) {
+  return std::get<CreateUdfStatement>(stmt);
+}
+
+// --- Lexer ---------------------------------------------------------------
+
+TEST(LexerTest, TokenizesBasics) {
+  auto r = Tokenize("SELECT id, area FROM v WHERE id >= 10.5;");
+  ASSERT_TRUE(r.ok());
+  const auto& t = r.value();
+  EXPECT_TRUE(t[0].IsKeyword("select"));
+  EXPECT_TRUE(t[1].Is(TokenType::kIdentifier));
+  EXPECT_EQ(t[2].text, ",");
+  EXPECT_TRUE(t[8].Is(TokenType::kCompare));
+  EXPECT_EQ(t[8].text, ">=");
+  EXPECT_EQ(t[9].text, "10.5");
+  EXPECT_TRUE(t.back().Is(TokenType::kEnd));
+}
+
+TEST(LexerTest, StringsAndComments) {
+  auto r = Tokenize("-- a comment\n'red SUV' <> x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value()[0].Is(TokenType::kString));
+  EXPECT_EQ(r.value()[0].text, "red SUV");
+  EXPECT_EQ(r.value()[1].text, "<>");
+}
+
+TEST(LexerTest, ErrorsOnUnterminatedString) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+}
+
+// --- SELECT --------------------------------------------------------------
+
+TEST(ParserTest, ParsesListingOneStyleQuery) {
+  auto r = ParseStatement(
+      "SELECT timestamp, bbox FROM video CROSS APPLY "
+      "OBJECT_DETECTOR(frame) ACCURACY 'HIGH' "
+      "WHERE timestamp > 18 AND label = 'car' AND AREA(bbox) > 0.3 AND "
+      "VEHICLE_MODEL(bbox, frame) = 'SUV';");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& sel = AsSelect(r.value());
+  EXPECT_EQ(sel.table, "video");
+  ASSERT_TRUE(sel.apply.has_value());
+  EXPECT_EQ(sel.apply->udf_name, "OBJECT_DETECTOR");
+  EXPECT_EQ(sel.apply->args, std::vector<std::string>{"frame"});
+  EXPECT_EQ(sel.apply->accuracy, "HIGH");
+  ASSERT_TRUE(sel.where != nullptr);
+  auto conjuncts = expr::SplitConjuncts(sel.where);
+  EXPECT_EQ(conjuncts.size(), 4u);
+  EXPECT_EQ(sel.select_list.size(), 2u);
+}
+
+TEST(ParserTest, ParsesGroupByCount) {
+  auto r = ParseStatement(
+      "SELECT timestamp, COUNT(*) FROM video CROSS APPLY det(frame) "
+      "ACCURACY 'LOW' WHERE label = 'car' GROUP BY timestamp;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& sel = AsSelect(r.value());
+  EXPECT_EQ(sel.group_by, std::vector<std::string>{"timestamp"});
+  EXPECT_EQ(sel.select_list[1]->kind(), ExprKind::kCountStar);
+  EXPECT_EQ(sel.apply->accuracy, "LOW");
+}
+
+TEST(ParserTest, ParsesStarAndNoWhere) {
+  auto r = ParseStatement("SELECT * FROM v;");
+  ASSERT_TRUE(r.ok());
+  const auto& sel = AsSelect(r.value());
+  EXPECT_EQ(sel.select_list[0]->kind(), ExprKind::kStar);
+  EXPECT_FALSE(sel.apply.has_value());
+  EXPECT_EQ(sel.where, nullptr);
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  auto r = ParseStatement("select id from V cross apply D(frame) where "
+                          "id < 5 and label = 'car';");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(ParserTest, OperatorPrecedenceOrBindsLoosest) {
+  auto e = ParseExpression("a = 'x' OR b = 'y' AND NOT c = 'z'");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value()->kind(), ExprKind::kOr);
+  EXPECT_EQ(e.value()->children()[1]->kind(), ExprKind::kAnd);
+  EXPECT_EQ(e.value()->children()[1]->children()[1]->kind(),
+            ExprKind::kNot);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto e = ParseExpression("(a = 'x' OR b = 'y') AND c = 'z'");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value()->kind(), ExprKind::kAnd);
+  EXPECT_EQ(e.value()->children()[0]->kind(), ExprKind::kOr);
+}
+
+TEST(ParserTest, ComparisonOperators) {
+  for (const char* op : {"=", "!=", "<>", "<", "<=", ">", ">="}) {
+    auto e = ParseExpression(std::string("id ") + op + " 5");
+    ASSERT_TRUE(e.ok()) << op;
+    EXPECT_EQ(e.value()->kind(), ExprKind::kCompare) << op;
+  }
+}
+
+TEST(ParserTest, NumberLiterals) {
+  auto e = ParseExpression("area > 0.25");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value()->children()[1]->value().type(), DataType::kDouble);
+  e = ParseExpression("id > 25");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value()->children()[1]->value().type(), DataType::kInt64);
+}
+
+TEST(ParserTest, BooleanLiterals) {
+  auto e = ParseExpression("Filter(frame) = true");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value()->children()[1]->value().type(), DataType::kBool);
+  EXPECT_TRUE(e.value()->children()[1]->value().AsBool());
+}
+
+TEST(ParserTest, RejectsMalformedSelect) {
+  EXPECT_FALSE(ParseStatement("SELECT FROM v;").ok());
+  EXPECT_FALSE(ParseStatement("SELECT id v;").ok());
+  EXPECT_FALSE(ParseStatement("SELECT id FROM v WHERE;").ok());
+  EXPECT_FALSE(ParseStatement("SELECT id FROM v GROUP;").ok());
+  EXPECT_FALSE(ParseStatement("SELECT id FROM v CROSS v;").ok());
+  EXPECT_FALSE(ParseStatement("SELECT id FROM v trailing;").ok());
+}
+
+// --- CREATE UDF (Listing 2) -----------------------------------------------
+
+TEST(ParserTest, ParsesCreateUdfListing2) {
+  auto r = ParseStatement(
+      "CREATE UDF YOLO "
+      "INPUT = (frame NDARRAY UINT8(3, ANYDIM, ANYDIM)) "
+      "OUTPUT = (labels NDARRAY STR(ANYDIM), bboxes NDARRAY "
+      "FLOAT32(ANYDIM, 4)) "
+      "IMPL = 'udfs/yolo.py' "
+      "LOGICAL_TYPE = ObjectDetector "
+      "PROPERTIES = ('ACCURACY'='HIGH');");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& create = AsCreate(r.value());
+  EXPECT_EQ(create.name, "YOLO");
+  EXPECT_FALSE(create.or_replace);
+  EXPECT_EQ(create.impl, "udfs/yolo.py");
+  EXPECT_EQ(create.logical_type, "ObjectDetector");
+  ASSERT_EQ(create.properties.count("ACCURACY"), 1u);
+  EXPECT_EQ(create.properties.at("ACCURACY"), "HIGH");
+  EXPECT_NE(create.input_spec.find("ANYDIM"), std::string::npos);
+  EXPECT_NE(create.output_spec.find("bboxes"), std::string::npos);
+}
+
+TEST(ParserTest, CreateOrReplaceUdf) {
+  auto r = ParseStatement(
+      "CREATE OR REPLACE UDF F IMPL='x.py' "
+      "PROPERTIES=('KIND'='FILTER', 'COST_MS'='1');");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(AsCreate(r.value()).or_replace);
+  EXPECT_EQ(AsCreate(r.value()).properties.at("COST_MS"), "1");
+}
+
+TEST(ParserTest, CreateUdfRejectsUnknownClause) {
+  EXPECT_FALSE(ParseStatement("CREATE UDF F BOGUS='x';").ok());
+  EXPECT_FALSE(ParseStatement("CREATE UDF F IMPL=notastring;").ok());
+  EXPECT_FALSE(
+      ParseStatement("CREATE UDF F PROPERTIES=('K'=notastring);").ok());
+}
+
+TEST(ParserTest, MultipleProperties) {
+  auto r = ParseStatement(
+      "CREATE UDF M PROPERTIES=('A'='1', 'B'='2', 'C'='three');");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(AsCreate(r.value()).properties.size(), 3u);
+}
+
+}  // namespace
+}  // namespace eva::parser

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "engine/eva_engine.h"
+#include "storage/view_persistence.h"
+#include "vbench/vbench.h"
+
+namespace eva::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  PersistenceTest() {
+    dir_ = fs::temp_directory_path() /
+           ("eva_views_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  ~PersistenceTest() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(PersistenceTest, ValueEncodingRoundTrips) {
+  const Value values[] = {Value::Null(),      Value(true),
+                          Value(false),       Value(int64_t{-42}),
+                          Value(0.3125),      Value("Nissan"),
+                          Value("two words"), Value("50%")};
+  for (const Value& v : values) {
+    auto decoded = DecodeValue(EncodeValue(v));
+    ASSERT_TRUE(decoded.ok()) << v.ToString();
+    EXPECT_TRUE(decoded.value() == v)
+        << v.ToString() << " -> " << EncodeValue(v) << " -> "
+        << decoded.value().ToString();
+  }
+  EXPECT_FALSE(DecodeValue("").ok());
+  EXPECT_FALSE(DecodeValue("X:1").ok());
+  EXPECT_FALSE(DecodeValue("Bnocolon").ok());
+}
+
+TEST_F(PersistenceTest, ViewStoreRoundTrips) {
+  ViewStore store;
+  Schema det({{"obj", DataType::kInt64},
+              {"label", DataType::kString},
+              {"area", DataType::kDouble},
+              {"score", DataType::kDouble}});
+  MaterializedView* view = store.GetOrCreate("Det@v", det);
+  view->Put({0, -1}, {{Value(int64_t{0}), Value("car"), Value(0.25),
+                       Value(0.9)},
+                      {Value(int64_t{1}), Value("bus"), Value(0.5),
+                       Value(0.8)}});
+  view->Put({1, -1}, {});  // presence-only entry must survive
+  MaterializedView* cls =
+      store.GetOrCreate("CarType@v", Schema({{"CarType",
+                                              DataType::kString}}));
+  cls->Put({0, 0}, {{Value("Nissan")}});
+  cls->Put({0, 1}, {{Value("Toyota")}});
+
+  ASSERT_TRUE(SaveViewStore(store, dir_.string()).ok());
+
+  ViewStore loaded;
+  ASSERT_TRUE(LoadViewStore(dir_.string(), &loaded).ok());
+  MaterializedView* lv = loaded.Find("Det@v");
+  ASSERT_NE(lv, nullptr);
+  EXPECT_EQ(lv->num_keys(), 2);
+  EXPECT_EQ(lv->num_rows(), 2);
+  EXPECT_TRUE(lv->Has({1, -1}));
+  EXPECT_TRUE(lv->Get({1, -1}).empty());
+  ASSERT_EQ(lv->Get({0, -1}).size(), 2u);
+  EXPECT_EQ(lv->Get({0, -1})[0][1].AsString(), "car");
+  EXPECT_DOUBLE_EQ(lv->Get({0, -1})[1][2].AsDouble(), 0.5);
+  MaterializedView* lc = loaded.Find("CarType@v");
+  ASSERT_NE(lc, nullptr);
+  EXPECT_EQ(lc->Get({0, 1})[0][0].AsString(), "Toyota");
+  EXPECT_TRUE(lc->value_schema() ==
+              Schema({{"CarType", DataType::kString}}));
+}
+
+TEST_F(PersistenceTest, LoadMergesWithoutOverwriting) {
+  ViewStore store;
+  Schema schema({{"CarType", DataType::kString}});
+  store.GetOrCreate("CarType@v", schema)->Put({0, 0}, {{Value("Nissan")}});
+  ASSERT_TRUE(SaveViewStore(store, dir_.string()).ok());
+
+  ViewStore target;
+  target.GetOrCreate("CarType@v", schema)->Put({0, 0}, {{Value("Ford")}});
+  target.GetOrCreate("CarType@v", schema)->Put({0, 1}, {{Value("BMW")}});
+  ASSERT_TRUE(LoadViewStore(dir_.string(), &target).ok());
+  // Existing keys win (append-only semantics); new keys merge in.
+  EXPECT_EQ(target.Find("CarType@v")->Get({0, 0})[0][0].AsString(),
+            "Ford");
+  EXPECT_EQ(target.Find("CarType@v")->num_keys(), 2);
+}
+
+TEST_F(PersistenceTest, MissingDirectoryIsNotFound) {
+  ViewStore store;
+  EXPECT_EQ(LoadViewStore((dir_ / "nope").string(), &store).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(PersistenceTest, EngineSurvivesRestart) {
+  catalog::VideoInfo video;
+  video.name = "pv";
+  video.num_frames = 120;
+  video.mean_objects_per_frame = 6;
+  video.seed = 3;
+  const char* sql =
+      "SELECT id, obj FROM pv CROSS APPLY FasterRCNNResNet50(frame) "
+      "WHERE id < 120 AND label = 'car' AND CarType(frame, bbox) = "
+      "'Nissan';";
+  // Session 1: run and persist.
+  {
+    auto er = vbench::MakeEngine(optimizer::ReuseMode::kEva, video);
+    ASSERT_TRUE(er.ok());
+    auto engine = er.MoveValue();
+    ASSERT_TRUE(engine->Execute(sql).ok());
+    ASSERT_TRUE(engine->SaveViews(dir_.string()).ok());
+  }
+  // Session 2: load views; the same query needs zero UDF evaluations even
+  // though the aggregated predicates were not persisted (the conditional
+  // apply consults the view per tuple).
+  {
+    auto er = vbench::MakeEngine(optimizer::ReuseMode::kEva, video);
+    ASSERT_TRUE(er.ok());
+    auto engine = er.MoveValue();
+    ASSERT_TRUE(engine->LoadViews(dir_.string()).ok());
+    auto r = engine->Execute(sql);
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(r.value().metrics.breakdown[CostCategory::kUdf], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace eva::storage

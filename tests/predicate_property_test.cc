@@ -1,0 +1,241 @@
+// Property-based tests: every symbolic operation (And/Or/Not/Inter/Diff/
+// Union/Reduce) must agree pointwise with brute-force boolean evaluation
+// over a grid of sample tuples, for randomly generated predicates.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "symbolic/predicate.h"
+
+namespace eva::symbolic {
+namespace {
+
+// The dimension universe mirrors vbench: an integer frame id, a real area,
+// and two categorical columns.
+const char* kIntDim = "id";
+const char* kRealDim = "area";
+const char* kCatDim1 = "label";
+const char* kCatDim2 = "type";
+
+const std::vector<std::string> kLabels = {"car", "bus", "truck"};
+const std::vector<std::string> kTypes = {"Nissan", "Toyota", "Ford"};
+
+struct SamplePoint {
+  int64_t id;
+  double area;
+  std::string label;
+  std::string type;
+
+  ValueLookup Lookup() const {
+    return [this](const std::string& dim) -> Value {
+      if (dim == kIntDim) return Value(id);
+      if (dim == kRealDim) return Value(area);
+      if (dim == kCatDim1) return Value(label);
+      if (dim == kCatDim2) return Value(type);
+      return Value::Null();
+    };
+  }
+};
+
+std::vector<SamplePoint> MakeGrid() {
+  std::vector<SamplePoint> pts;
+  for (int64_t id = -1; id <= 21; ++id) {
+    for (double area : {0.0, 0.1, 0.25, 0.5, 0.9}) {
+      for (const auto& label : kLabels) {
+        for (const auto& type : kTypes) {
+          pts.push_back({id, area, label, type});
+        }
+      }
+    }
+  }
+  return pts;
+}
+
+// Generates a random atomic constraint on a random dimension.
+std::pair<std::string, DimConstraint> RandomAtom(Rng& rng) {
+  switch (rng.NextBelow(4)) {
+    case 0: {
+      double v = static_cast<double>(rng.NextBelow(20));
+      switch (rng.NextBelow(4)) {
+        case 0:
+          return {kIntDim,
+                  DimConstraint::Numeric(DimKind::kInteger,
+                                         Interval::AtLeast(v))};
+        case 1:
+          return {kIntDim, DimConstraint::Numeric(DimKind::kInteger,
+                                                  Interval::LessThan(v))};
+        case 2:
+          return {kIntDim,
+                  DimConstraint::Numeric(DimKind::kInteger,
+                                         Interval::Point(v))};
+        default:
+          return {kIntDim,
+                  DimConstraint::NumericNotEqual(DimKind::kInteger, v)};
+      }
+    }
+    case 1: {
+      double v = 0.05 * static_cast<double>(rng.NextBelow(20));
+      if (rng.NextBool(0.5)) {
+        return {kRealDim, DimConstraint::Numeric(DimKind::kReal,
+                                                 Interval::GreaterThan(v))};
+      }
+      return {kRealDim,
+              DimConstraint::Numeric(DimKind::kReal, Interval::AtMost(v))};
+    }
+    case 2: {
+      const std::string& v = kLabels[rng.NextBelow(kLabels.size())];
+      return {kCatDim1, DimConstraint::Categorical({v}, rng.NextBool(0.3))};
+    }
+    default: {
+      const std::string& v = kTypes[rng.NextBelow(kTypes.size())];
+      return {kCatDim2, DimConstraint::Categorical({v}, rng.NextBool(0.3))};
+    }
+  }
+}
+
+Predicate RandomPredicate(Rng& rng, int max_conjuncts, int max_atoms) {
+  Predicate p;
+  int nc = 1 + static_cast<int>(rng.NextBelow(max_conjuncts));
+  for (int i = 0; i < nc; ++i) {
+    Conjunct c;
+    int na = 1 + static_cast<int>(rng.NextBelow(max_atoms));
+    bool sat = true;
+    for (int a = 0; a < na; ++a) {
+      auto [dim, constraint] = RandomAtom(rng);
+      if (!c.Constrain(dim, constraint)) {
+        sat = false;
+        break;
+      }
+    }
+    if (sat) p.AddConjunct(std::move(c));
+  }
+  return p;
+}
+
+class PredicatePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PredicatePropertyTest, ReducePreservesSemantics) {
+  Rng rng(GetParam());
+  auto grid = MakeGrid();
+  for (int iter = 0; iter < 20; ++iter) {
+    Predicate p = RandomPredicate(rng, 5, 4);
+    Predicate reduced = p;
+    reduced.Reduce();
+    for (const auto& pt : grid) {
+      ASSERT_EQ(p.Evaluate(pt.Lookup()), reduced.Evaluate(pt.Lookup()))
+          << "seed=" << GetParam() << " iter=" << iter << "\n  before: "
+          << p.ToString() << "\n  after:  " << reduced.ToString()
+          << "\n  at id=" << pt.id << " area=" << pt.area
+          << " label=" << pt.label << " type=" << pt.type;
+    }
+    // Reduction never increases the number of conjuncts (overlap carving
+    // keeps the count, merges and subset-drops shrink it).
+    ASSERT_LE(reduced.conjuncts().size(), p.conjuncts().size());
+  }
+}
+
+TEST_P(PredicatePropertyTest, BooleanOpsMatchPointwise) {
+  Rng rng(GetParam() * 31 + 7);
+  auto grid = MakeGrid();
+  for (int iter = 0; iter < 12; ++iter) {
+    Predicate a = RandomPredicate(rng, 3, 3);
+    Predicate b = RandomPredicate(rng, 3, 3);
+    auto land = Predicate::And(a, b);
+    ASSERT_TRUE(land.ok());
+    Predicate lor = Predicate::Or(a, b);
+    auto lnot = Predicate::Not(a);
+    ASSERT_TRUE(lnot.ok());
+    for (const auto& pt : grid) {
+      bool ea = a.Evaluate(pt.Lookup());
+      bool eb = b.Evaluate(pt.Lookup());
+      ASSERT_EQ(land.value().Evaluate(pt.Lookup()), ea && eb)
+          << "AND mismatch: a=" << a.ToString() << " b=" << b.ToString();
+      ASSERT_EQ(lor.Evaluate(pt.Lookup()), ea || eb)
+          << "OR mismatch: a=" << a.ToString() << " b=" << b.ToString();
+      ASSERT_EQ(lnot.value().Evaluate(pt.Lookup()), !ea)
+          << "NOT mismatch: a=" << a.ToString()
+          << " not=" << lnot.value().ToString();
+    }
+  }
+}
+
+TEST_P(PredicatePropertyTest, InterDiffUnionPartitionQuery) {
+  // For any coverage p_u and query q: INTER ∨ DIFF ≡ q, INTER ∧ DIFF ≡ ⊥,
+  // and UNION ≡ p_u ∨ q. This is exactly the invariant the reuse rewrite
+  // (§4.4) depends on for correctness.
+  Rng rng(GetParam() * 977 + 3);
+  auto grid = MakeGrid();
+  for (int iter = 0; iter < 12; ++iter) {
+    Predicate pu = RandomPredicate(rng, 3, 3);
+    Predicate q = RandomPredicate(rng, 2, 3);
+    auto inter = Predicate::Inter(pu, q);
+    auto diff = Predicate::Diff(pu, q);
+    Predicate uni = Predicate::Union(pu, q);
+    ASSERT_TRUE(inter.ok());
+    ASSERT_TRUE(diff.ok());
+    for (const auto& pt : grid) {
+      bool epu = pu.Evaluate(pt.Lookup());
+      bool eq = q.Evaluate(pt.Lookup());
+      bool ei = inter.value().Evaluate(pt.Lookup());
+      bool ed = diff.value().Evaluate(pt.Lookup());
+      ASSERT_EQ(ei, epu && eq);
+      ASSERT_EQ(ed, !epu && eq);
+      ASSERT_EQ(ei || ed, eq);        // partition covers the query
+      ASSERT_FALSE(ei && ed);         // and is disjoint
+      ASSERT_EQ(uni.Evaluate(pt.Lookup()), epu || eq);
+    }
+  }
+}
+
+TEST_P(PredicatePropertyTest, SubsetAgreesWithEvaluation) {
+  Rng rng(GetParam() * 131 + 17);
+  auto grid = MakeGrid();
+  for (int iter = 0; iter < 30; ++iter) {
+    Predicate a = RandomPredicate(rng, 2, 3);
+    Predicate b = RandomPredicate(rng, 2, 3);
+    for (const auto& ca : a.conjuncts()) {
+      for (const auto& cb : b.conjuncts()) {
+        if (ca.IsSubsetOf(cb)) {
+          // Subset claim must hold pointwise (no false positives).
+          for (const auto& pt : grid) {
+            if (ca.Evaluate(pt.Lookup())) {
+              ASSERT_TRUE(cb.Evaluate(pt.Lookup()))
+                  << ca.ToString() << " claimed subset of " << cb.ToString();
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PredicatePropertyTest, RepeatedCoverageGrowthConverges) {
+  // Simulates the UDFMANAGER loop: p_u starts FALSE and absorbs query
+  // predicates one by one; coverage must be monotone and stay compact for
+  // overlapping range queries (this is what Fig. 8b measures).
+  Rng rng(GetParam() * 7919 + 1);
+  Predicate pu = Predicate::False();
+  auto grid = MakeGrid();
+  std::vector<Predicate> seen;
+  for (int step = 0; step < 8; ++step) {
+    Predicate q = RandomPredicate(rng, 2, 2);
+    seen.push_back(q);
+    pu = Predicate::Union(pu, q);
+    for (const auto& pt : grid) {
+      bool any = false;
+      for (const auto& s : seen) any = any || s.Evaluate(pt.Lookup());
+      ASSERT_EQ(pu.Evaluate(pt.Lookup()), any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredicatePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace eva::symbolic

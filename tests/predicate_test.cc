@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "symbolic/predicate.h"
+#include "symbolic/stats.h"
+
+namespace eva::symbolic {
+namespace {
+
+// --- helpers -------------------------------------------------------------
+
+DimConstraint IntAtLeast(double v) {
+  return DimConstraint::Numeric(DimKind::kInteger, Interval::AtLeast(v));
+}
+DimConstraint IntLess(double v) {
+  return DimConstraint::Numeric(DimKind::kInteger, Interval::LessThan(v));
+}
+DimConstraint RealGreater(double v) {
+  return DimConstraint::Numeric(DimKind::kReal, Interval::GreaterThan(v));
+}
+DimConstraint CatEq(const std::string& v) {
+  return DimConstraint::Categorical({v}, false);
+}
+
+ValueLookup MakeLookup(std::map<std::string, Value> vals) {
+  return [vals = std::move(vals)](const std::string& dim) -> Value {
+    auto it = vals.find(dim);
+    return it == vals.end() ? Value::Null() : it->second;
+  };
+}
+
+// --- Conjunct ------------------------------------------------------------
+
+TEST(ConjunctTest, ConstrainMergesSameDimension) {
+  Conjunct c;
+  ASSERT_TRUE(c.Constrain("id", IntAtLeast(5)));
+  ASSERT_TRUE(c.Constrain("id", IntLess(10)));
+  EXPECT_EQ(c.dims().size(), 1u);
+  EXPECT_TRUE(c.Evaluate(MakeLookup({{"id", Value(int64_t{7})}})));
+  EXPECT_FALSE(c.Evaluate(MakeLookup({{"id", Value(int64_t{10})}})));
+}
+
+TEST(ConjunctTest, ConstrainDetectsContradiction) {
+  Conjunct c;
+  ASSERT_TRUE(c.Constrain("id", IntAtLeast(10)));
+  EXPECT_FALSE(c.Constrain("id", IntLess(5)));
+}
+
+TEST(ConjunctTest, SubsetAcrossDimensions) {
+  Conjunct small;
+  small.Constrain("id", IntAtLeast(5));
+  small.Constrain("label", CatEq("car"));
+  Conjunct big;
+  big.Constrain("id", IntAtLeast(0));
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(Conjunct()));  // TRUE is a superset of all
+}
+
+TEST(ConjunctTest, IntersectUnsatReturnsNull) {
+  Conjunct a, b;
+  a.Constrain("label", CatEq("car"));
+  b.Constrain("label", CatEq("bus"));
+  EXPECT_FALSE(a.Intersect(b).has_value());
+}
+
+// --- Predicate: basic algebra ---------------------------------------------
+
+TEST(PredicateTest, TrueFalse) {
+  EXPECT_TRUE(Predicate::False().IsFalse());
+  EXPECT_TRUE(Predicate::True().IsTrue());
+  EXPECT_TRUE(Predicate::True().Evaluate(MakeLookup({})));
+  EXPECT_FALSE(Predicate::False().Evaluate(MakeLookup({})));
+}
+
+TEST(PredicateTest, PaperMonadicReduction) {
+  // "timestamp > 6pm OR timestamp > 9pm" reduces to "timestamp > 6pm" (§2).
+  Predicate p = Predicate::Or(Predicate::Atom("timestamp", RealGreater(18)),
+                              Predicate::Atom("timestamp", RealGreater(21)));
+  ASSERT_EQ(p.conjuncts().size(), 1u);
+  EXPECT_TRUE(p.Evaluate(MakeLookup({{"timestamp", Value(19.0)}})));
+  EXPECT_FALSE(p.Evaluate(MakeLookup({{"timestamp", Value(17.0)}})));
+  EXPECT_EQ(p.AtomCount(), 1);
+}
+
+TEST(PredicateTest, PaperPolyadicReduction) {
+  // UNION(5<x ∧ 10<y, 10<x ∧ 15<y) => 5<x ∧ 10<y, since the second
+  // conjunct is a subset of the first (§4.1 challenge example).
+  Conjunct c1;
+  c1.Constrain("x", RealGreater(5));
+  c1.Constrain("y", RealGreater(10));
+  Conjunct c2;
+  c2.Constrain("x", RealGreater(10));
+  c2.Constrain("y", RealGreater(15));
+  Predicate p =
+      Predicate::Or(Predicate::FromConjunct(c1), Predicate::FromConjunct(c2));
+  ASSERT_EQ(p.conjuncts().size(), 1u);
+  EXPECT_EQ(p.AtomCount(), 2);
+}
+
+TEST(PredicateTest, Fig2CaseIiConcatenation) {
+  // Equal y-ranges, adjacent x-ranges concatenate along x.
+  Conjunct c1;
+  c1.Constrain("x", DimConstraint::Numeric(
+                        DimKind::kReal,
+                        Interval(Bound::Closed(0), Bound::Closed(5))));
+  c1.Constrain("y", DimConstraint::Numeric(
+                        DimKind::kReal,
+                        Interval(Bound::Closed(0), Bound::Closed(1))));
+  Conjunct c2;
+  c2.Constrain("x", DimConstraint::Numeric(
+                        DimKind::kReal,
+                        Interval(Bound::Closed(5), Bound::Closed(9))));
+  c2.Constrain("y", DimConstraint::Numeric(
+                        DimKind::kReal,
+                        Interval(Bound::Closed(0), Bound::Closed(1))));
+  Predicate p =
+      Predicate::Or(Predicate::FromConjunct(c1), Predicate::FromConjunct(c2));
+  ASSERT_EQ(p.conjuncts().size(), 1u);
+  EXPECT_TRUE(p.Evaluate(MakeLookup({{"x", Value(7.0)}, {"y", Value(0.5)}})));
+  EXPECT_FALSE(
+      p.Evaluate(MakeLookup({{"x", Value(10.0)}, {"y", Value(0.5)}})));
+}
+
+TEST(PredicateTest, Fig2CaseIiiOverlapCarving) {
+  // c2 ⊆ c1 in y; overlapping x gets carved out of c2 so the union is
+  // disjoint (c1 ∨ carved-c2).
+  Conjunct c1;
+  c1.Constrain("x", DimConstraint::Numeric(
+                        DimKind::kReal,
+                        Interval(Bound::Closed(0), Bound::Closed(6))));
+  c1.Constrain("y", DimConstraint::Numeric(
+                        DimKind::kReal,
+                        Interval(Bound::Closed(0), Bound::Closed(2))));
+  Conjunct c2;
+  c2.Constrain("x", DimConstraint::Numeric(
+                        DimKind::kReal,
+                        Interval(Bound::Closed(4), Bound::Closed(9))));
+  c2.Constrain("y", DimConstraint::Numeric(
+                        DimKind::kReal,
+                        Interval(Bound::Closed(1), Bound::Closed(2))));
+  Predicate p =
+      Predicate::Or(Predicate::FromConjunct(c1), Predicate::FromConjunct(c2));
+  ASSERT_EQ(p.conjuncts().size(), 2u);
+  // Semantics preserved at sample points.
+  EXPECT_TRUE(p.Evaluate(MakeLookup({{"x", Value(5.0)}, {"y", Value(1.5)}})));
+  EXPECT_TRUE(p.Evaluate(MakeLookup({{"x", Value(8.0)}, {"y", Value(1.5)}})));
+  EXPECT_FALSE(
+      p.Evaluate(MakeLookup({{"x", Value(8.0)}, {"y", Value(0.5)}})));
+  // Disjointness: the conjuncts no longer overlap.
+  ASSERT_FALSE(p.conjuncts()[0].Intersect(p.conjuncts()[1]).has_value());
+}
+
+TEST(PredicateTest, AndPrunesUnsat) {
+  Predicate a = Predicate::Atom("label", CatEq("car"));
+  Predicate b = Predicate::Atom("label", CatEq("bus"));
+  auto r = Predicate::And(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().IsFalse());
+}
+
+TEST(PredicateTest, NotOfAtom) {
+  auto r = Predicate::Not(Predicate::Atom("id", IntAtLeast(5)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().Evaluate(MakeLookup({{"id", Value(int64_t{4})}})));
+  EXPECT_FALSE(r.value().Evaluate(MakeLookup({{"id", Value(int64_t{5})}})));
+}
+
+TEST(PredicateTest, NotOfTrueAndFalse) {
+  auto nt = Predicate::Not(Predicate::True());
+  ASSERT_TRUE(nt.ok());
+  EXPECT_TRUE(nt.value().IsFalse());
+  auto nf = Predicate::Not(Predicate::False());
+  ASSERT_TRUE(nf.ok());
+  EXPECT_TRUE(nf.value().IsTrue());
+}
+
+// --- INTER / DIFF / UNION (§3.2) -------------------------------------------
+
+TEST(PredicateTest, InterDiffUnionSemantics) {
+  // p_u = (id >= 0 AND id < 10000): coverage after an earlier query.
+  Conjunct cu;
+  cu.Constrain("id", IntAtLeast(0));
+  cu.Constrain("id", IntLess(10000));
+  Predicate pu = Predicate::FromConjunct(cu);
+
+  // q = (id >= 7500): the new query predicate (Q6 "shifting" in Table 1).
+  Predicate q = Predicate::Atom("id", IntAtLeast(7500));
+
+  auto inter = Predicate::Inter(pu, q);
+  auto diff = Predicate::Diff(pu, q);
+  Predicate uni = Predicate::Union(pu, q);
+  ASSERT_TRUE(inter.ok());
+  ASSERT_TRUE(diff.ok());
+
+  auto at = [](int64_t id) {
+    return MakeLookup({{"id", Value(id)}});
+  };
+  // 8000 is covered by both: reuse.
+  EXPECT_TRUE(inter.value().Evaluate(at(8000)));
+  EXPECT_FALSE(diff.value().Evaluate(at(8000)));
+  // 12000 only in q: must evaluate.
+  EXPECT_FALSE(inter.value().Evaluate(at(12000)));
+  EXPECT_TRUE(diff.value().Evaluate(at(12000)));
+  // 5000 only in p_u.
+  EXPECT_FALSE(inter.value().Evaluate(at(5000)));
+  EXPECT_FALSE(diff.value().Evaluate(at(5000)));
+  EXPECT_TRUE(uni.Evaluate(at(5000)));
+  EXPECT_TRUE(uni.Evaluate(at(12000)));
+  EXPECT_FALSE(uni.Evaluate(at(-1)));
+  // The union [0,10000) ∪ [7500,∞) reduces to a single conjunct [0,∞).
+  EXPECT_EQ(uni.conjuncts().size(), 1u);
+}
+
+TEST(PredicateTest, DiffAgainstEmptyCoverageIsQuery) {
+  Predicate q = Predicate::Atom("id", IntAtLeast(5));
+  auto diff = Predicate::Diff(Predicate::False(), q);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff.value().Evaluate(MakeLookup({{"id", Value(int64_t{6})}})));
+  auto inter = Predicate::Inter(Predicate::False(), q);
+  ASSERT_TRUE(inter.ok());
+  EXPECT_TRUE(inter.value().IsFalse());
+}
+
+TEST(PredicateTest, MultiDimensionalDiff) {
+  // Earlier: label=car AND area>0.3. Now: label=car AND area>0.15.
+  // DIFF must be label=car AND 0.15 < area <= 0.3.
+  Conjunct cu;
+  cu.Constrain("label", CatEq("car"));
+  cu.Constrain("area", RealGreater(0.3));
+  Conjunct cq;
+  cq.Constrain("label", CatEq("car"));
+  cq.Constrain("area", RealGreater(0.15));
+  auto diff =
+      Predicate::Diff(Predicate::FromConjunct(cu), Predicate::FromConjunct(cq));
+  ASSERT_TRUE(diff.ok());
+  auto at = [](double area, const std::string& label) {
+    return MakeLookup({{"area", Value(area)}, {"label", Value(label)}});
+  };
+  EXPECT_TRUE(diff.value().Evaluate(at(0.2, "car")));
+  EXPECT_FALSE(diff.value().Evaluate(at(0.4, "car")));
+  EXPECT_FALSE(diff.value().Evaluate(at(0.2, "bus")));
+}
+
+// --- Selectivity ------------------------------------------------------------
+
+// Uniform stats: t in [0,100), area in [0,1), label car with prob 0.8.
+class UniformStats : public StatsProvider {
+ public:
+  DimKind KindOf(const std::string& dim) const override {
+    if (dim == "label") return DimKind::kCategorical;
+    return DimKind::kReal;
+  }
+  double ConstraintSelectivity(const std::string& dim,
+                               const DimConstraint& c) const override {
+    if (dim == "label") {
+      double s = 0;
+      if (c.is_categorical()) {
+        for (const auto& v : c.categorical_values()) {
+          if (v == "car") s += 0.8;
+          if (v == "bus") s += 0.2;
+        }
+        return c.categorical_exclude() ? 1.0 - s : s;
+      }
+      return 1.0;
+    }
+    double lo = 0, hi = dim == "t" ? 100 : 1;
+    const Interval& iv = c.interval();
+    double l = iv.lo().infinite ? lo : std::max(lo, iv.lo().value);
+    double h = iv.hi().infinite ? hi : std::min(hi, iv.hi().value);
+    return std::max(0.0, (h - l) / (hi - lo));
+  }
+};
+
+DimConstraint RealLess(double v) {
+  return DimConstraint::Numeric(DimKind::kReal, Interval::LessThan(v));
+}
+DimConstraint RealAtLeast(double v) {
+  return DimConstraint::Numeric(DimKind::kReal, Interval::AtLeast(v));
+}
+
+TEST(SelectivityTest, ConjunctProduct) {
+  UniformStats stats;
+  Conjunct c;
+  c.Constrain("t", RealLess(50));
+  c.Constrain("label", CatEq("car"));
+  EXPECT_NEAR(ConjunctSelectivity(c, stats), 0.5 * 0.8, 1e-9);
+}
+
+TEST(SelectivityTest, DisjointUnionAdds) {
+  UniformStats stats;
+  Conjunct c1, c2;
+  c1.Constrain("t", RealLess(30));
+  c2.Constrain("t", RealAtLeast(70));
+  Predicate p;
+  p.AddConjunct(c1);
+  p.AddConjunct(c2);
+  EXPECT_NEAR(PredicateSelectivity(p, stats), 0.6, 1e-9);
+}
+
+TEST(SelectivityTest, OverlapSubtracted) {
+  UniformStats stats;
+  Conjunct c1, c2;
+  c1.Constrain("t", RealLess(60));
+  c2.Constrain("t", RealAtLeast(40));
+  Predicate p;
+  p.AddConjunct(c1);
+  p.AddConjunct(c2);
+  // 0.6 + 0.6 - 0.2 overlap, clamped to 1. Tests the raw estimator
+  // (Reduce() would merge these two conjuncts).
+  EXPECT_NEAR(PredicateSelectivity(p, stats), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace eva::symbolic

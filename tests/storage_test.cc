@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "storage/statistics.h"
+#include "storage/view_store.h"
+#include "vbench/vbench.h"
+
+namespace eva::storage {
+namespace {
+
+Schema DetSchema() {
+  return Schema({{"obj", DataType::kInt64},
+                 {"label", DataType::kString},
+                 {"area", DataType::kDouble},
+                 {"score", DataType::kDouble}});
+}
+
+TEST(MaterializedViewTest, PresenceDistinctFromEmptiness) {
+  MaterializedView view("det@v", DetSchema());
+  EXPECT_FALSE(view.Has({5, -1}));
+  view.Put({5, -1}, {});  // processed frame, zero detections
+  EXPECT_TRUE(view.Has({5, -1}));
+  EXPECT_TRUE(view.Get({5, -1}).empty());
+  EXPECT_EQ(view.num_keys(), 1);
+  EXPECT_EQ(view.num_rows(), 0);
+}
+
+TEST(MaterializedViewTest, PutIsIdempotentAppendOnly) {
+  MaterializedView view("det@v", DetSchema());
+  view.Put({1, -1}, {{Value(int64_t{0}), Value("car"), Value(0.3),
+                      Value(0.9)}});
+  EXPECT_EQ(view.num_rows(), 1);
+  // Re-putting an existing key is a no-op (STORE semantics).
+  view.Put({1, -1}, {{Value(int64_t{0}), Value("bus"), Value(0.1),
+                      Value(0.2)},
+                     {Value(int64_t{1}), Value("car"), Value(0.2),
+                      Value(0.8)}});
+  EXPECT_EQ(view.num_rows(), 1);
+  EXPECT_EQ(view.Get({1, -1})[0][1].AsString(), "car");
+}
+
+TEST(MaterializedViewTest, ObjectLevelKeys) {
+  MaterializedView view("CarType@v", Schema({{"CarType",
+                                              DataType::kString}}));
+  view.Put({3, 0}, {{Value("Nissan")}});
+  view.Put({3, 1}, {{Value("Toyota")}});
+  EXPECT_TRUE(view.Has({3, 0}));
+  EXPECT_FALSE(view.Has({3, 2}));
+  EXPECT_FALSE(view.Has({3, -1}));
+  EXPECT_EQ(view.Get({3, 1})[0][0].AsString(), "Toyota");
+}
+
+TEST(MaterializedViewTest, SizeGrowsWithContent) {
+  MaterializedView view("det@v", DetSchema());
+  double empty_size = view.SizeBytes();
+  for (int64_t f = 0; f < 100; ++f) {
+    view.Put({f, -1}, {{Value(int64_t{0}), Value("car"), Value(0.3),
+                        Value(0.9)}});
+  }
+  EXPECT_GT(view.SizeBytes(), empty_size);
+  EXPECT_LT(view.SizeBytes(), 100 * 1024);  // lightweight metadata (§5.2)
+}
+
+TEST(ViewStoreTest, GetOrCreateAndFind) {
+  ViewStore store;
+  EXPECT_EQ(store.Find("x"), nullptr);
+  MaterializedView* v = store.GetOrCreate("x", DetSchema());
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(store.GetOrCreate("x", DetSchema()), v);
+  EXPECT_EQ(store.Find("x"), v);
+  v->Put({1, -1}, {});
+  store.Clear();
+  EXPECT_EQ(store.Find("x"), nullptr);
+}
+
+TEST(ViewStoreTest, TotalSizeSumsViews) {
+  ViewStore store;
+  store.GetOrCreate("a", DetSchema())->Put({1, -1}, {{Value(int64_t{0}),
+                                                      Value("car"),
+                                                      Value(0.1),
+                                                      Value(0.9)}});
+  store.GetOrCreate("b", DetSchema())->Put({2, -1}, {});
+  EXPECT_GT(store.TotalSizeBytes(), 0);
+  EXPECT_DOUBLE_EQ(store.TotalSizeBytes(),
+                   store.Find("a")->SizeBytes() +
+                       store.Find("b")->SizeBytes());
+}
+
+TEST(ViewStoreTest, EvictionDropsLeastRecentlyUsed) {
+  ViewStore store;
+  Schema schema({{"x", DataType::kString}});
+  for (int v = 0; v < 4; ++v) {
+    MaterializedView* view =
+        store.GetOrCreate("view" + std::to_string(v), schema);
+    for (int64_t k = 0; k < 50; ++k) view->Put({k, -1}, {{Value("y")}});
+  }
+  // Touch view0 and view2 so view1 and view3 are the LRU victims.
+  store.Find("view0");
+  store.Find("view2");
+  double per_view = store.TotalSizeBytes() / 4;
+  int dropped = store.EvictToBudget(per_view * 2.5);
+  EXPECT_EQ(dropped, 2);
+  EXPECT_NE(store.Find("view0"), nullptr);
+  EXPECT_EQ(store.Find("view1"), nullptr);
+  EXPECT_NE(store.Find("view2"), nullptr);
+  EXPECT_EQ(store.Find("view3"), nullptr);
+}
+
+TEST(ViewStoreTest, EvictionToZeroDropsEverything) {
+  ViewStore store;
+  Schema schema({{"x", DataType::kString}});
+  store.GetOrCreate("a", schema)->Put({0, -1}, {{Value("y")}});
+  store.GetOrCreate("b", schema)->Put({0, -1}, {{Value("y")}});
+  EXPECT_EQ(store.EvictToBudget(0), 2);
+  EXPECT_DOUBLE_EQ(store.TotalSizeBytes(), 0);
+  EXPECT_EQ(store.EvictToBudget(0), 0);  // idempotent on empty store
+}
+
+// --- Histogram --------------------------------------------------------------
+
+TEST(HistogramTest, UniformFractions) {
+  Histogram h(0, 1, 20);
+  for (int i = 0; i < 1000; ++i) h.Add((i % 100) / 100.0);
+  EXPECT_NEAR(h.FractionIn(symbolic::Interval::LessThan(0.5)), 0.5, 0.03);
+  EXPECT_NEAR(h.FractionIn(symbolic::Interval(
+                  symbolic::Bound::Closed(0.25),
+                  symbolic::Bound::Closed(0.75))),
+              0.5, 0.05);
+  EXPECT_DOUBLE_EQ(h.FractionIn(symbolic::Interval::Full()), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionIn(symbolic::Interval::Empty()), 0.0);
+  EXPECT_NEAR(h.FractionIn(symbolic::Interval::GreaterThan(2.0)), 0.0,
+              1e-9);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h(0, 1, 10);
+  EXPECT_DOUBLE_EQ(h.FractionIn(symbolic::Interval::LessThan(0.5)), 0);
+}
+
+// --- StatisticsManager -------------------------------------------------------
+
+class StatsTest : public ::testing::Test {
+ protected:
+  StatsTest()
+      : video_([] {
+          catalog::VideoInfo info = vbench::ShortUaDetrac();
+          info.num_frames = 2000;
+          return info;
+        }()),
+        stats_(video_) {}
+
+  vision::SyntheticVideo video_;
+  StatisticsManager stats_;
+};
+
+TEST_F(StatsTest, DimKinds) {
+  EXPECT_EQ(stats_.KindOf("id"), symbolic::DimKind::kInteger);
+  EXPECT_EQ(stats_.KindOf("area"), symbolic::DimKind::kReal);
+  EXPECT_EQ(stats_.KindOf("score"), symbolic::DimKind::kReal);
+  EXPECT_EQ(stats_.KindOf("label"), symbolic::DimKind::kCategorical);
+  EXPECT_EQ(stats_.KindOf("CarType"), symbolic::DimKind::kCategorical);
+}
+
+TEST_F(StatsTest, IdRangeSelectivity) {
+  auto c = symbolic::DimConstraint::Numeric(
+      symbolic::DimKind::kInteger, symbolic::Interval::LessThan(1000));
+  EXPECT_NEAR(stats_.ConstraintSelectivity("id", c), 0.5, 0.01);
+  auto full = symbolic::DimConstraint::Full(symbolic::DimKind::kInteger);
+  EXPECT_DOUBLE_EQ(stats_.ConstraintSelectivity("id", full), 1.0);
+  auto empty = symbolic::DimConstraint::Empty(symbolic::DimKind::kInteger);
+  EXPECT_DOUBLE_EQ(stats_.ConstraintSelectivity("id", empty), 0.0);
+}
+
+TEST_F(StatsTest, IdExcludedPointsSubtract) {
+  auto c = symbolic::DimConstraint::Numeric(
+               symbolic::DimKind::kInteger,
+               symbolic::Interval(symbolic::Bound::Closed(0),
+                                  symbolic::Bound::Closed(9)))
+               .Intersect(symbolic::DimConstraint::NumericNotEqual(
+                   symbolic::DimKind::kInteger, 5));
+  EXPECT_NEAR(stats_.ConstraintSelectivity("id", c), 9.0 / 2000, 1e-6);
+}
+
+TEST_F(StatsTest, LabelFrequenciesMatchGenerator) {
+  auto car = symbolic::DimConstraint::Categorical({"car"}, false);
+  EXPECT_NEAR(stats_.ConstraintSelectivity("label", car), 0.8, 0.05);
+  auto not_car = symbolic::DimConstraint::Categorical({"car"}, true);
+  EXPECT_NEAR(stats_.ConstraintSelectivity("label", not_car), 0.2, 0.05);
+}
+
+TEST_F(StatsTest, VehicleTypeSkewReflected) {
+  auto nissan = symbolic::DimConstraint::Categorical({"Nissan"}, false);
+  auto bmw = symbolic::DimConstraint::Categorical({"BMW"}, false);
+  double s_nissan = stats_.ConstraintSelectivity("CarType", nissan);
+  double s_bmw = stats_.ConstraintSelectivity("CarType", bmw);
+  EXPECT_NEAR(s_nissan, 0.30, 0.05);
+  EXPECT_NEAR(s_bmw, 0.10, 0.05);
+  EXPECT_GT(s_nissan, s_bmw);
+}
+
+TEST_F(StatsTest, AreaHistogramSkewsSmall) {
+  auto large = symbolic::DimConstraint::Numeric(
+      symbolic::DimKind::kReal, symbolic::Interval::GreaterThan(0.3));
+  auto small = symbolic::DimConstraint::Numeric(
+      symbolic::DimKind::kReal, symbolic::Interval::AtMost(0.15));
+  double s_large = stats_.ConstraintSelectivity("area", large);
+  double s_small = stats_.ConstraintSelectivity("area", small);
+  // area = u^2 * 0.6: P(area > 0.3) = 1 - sqrt(0.5) ≈ 0.29,
+  // P(area <= 0.15) = 0.5.
+  EXPECT_NEAR(s_large, 0.29, 0.05);
+  EXPECT_NEAR(s_small, 0.50, 0.05);
+}
+
+}  // namespace
+}  // namespace eva::storage

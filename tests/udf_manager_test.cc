@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "udf/udf_manager.h"
+
+namespace eva::udf {
+namespace {
+
+using symbolic::DimConstraint;
+using symbolic::DimKind;
+using symbolic::Interval;
+using symbolic::Predicate;
+
+Predicate IdRange(double lo, double hi) {
+  symbolic::Conjunct c;
+  c.Constrain("id", DimConstraint::Numeric(DimKind::kInteger,
+                                           Interval::AtLeast(lo)));
+  c.Constrain("id", DimConstraint::Numeric(DimKind::kInteger,
+                                           Interval::LessThan(hi)));
+  return Predicate::FromConjunct(std::move(c));
+}
+
+TEST(UdfSignatureTest, KeyFormat) {
+  UdfSignature sig{"CarType", "medium_ua_detrac"};
+  EXPECT_EQ(sig.Key(), "CarType@medium_ua_detrac");
+}
+
+TEST(UdfManagerTest, CoverageStartsFalse) {
+  UdfManager manager;
+  EXPECT_FALSE(manager.HasCoverage("x"));
+  EXPECT_TRUE(manager.Coverage("x").IsFalse());
+}
+
+TEST(UdfManagerTest, CoverageUnionsAcrossQueries) {
+  UdfManager manager;
+  manager.UpdateCoverage("det@v", IdRange(0, 100));
+  manager.UpdateCoverage("det@v", IdRange(50, 200));
+  ASSERT_TRUE(manager.HasCoverage("det@v"));
+  const Predicate& cov = manager.Coverage("det@v");
+  // The overlapping ranges reduce to one conjunct [0, 200).
+  EXPECT_EQ(cov.conjuncts().size(), 1u);
+  auto at = [&](int64_t id) {
+    return cov.Evaluate([id](const std::string&) { return Value(id); });
+  };
+  EXPECT_TRUE(at(0));
+  EXPECT_TRUE(at(150));
+  EXPECT_FALSE(at(200));
+}
+
+TEST(UdfManagerTest, SignaturesAreIndependent) {
+  UdfManager manager;
+  manager.UpdateCoverage("det@v1", IdRange(0, 100));
+  EXPECT_TRUE(manager.HasCoverage("det@v1"));
+  EXPECT_FALSE(manager.HasCoverage("det@v2"));
+  EXPECT_FALSE(manager.HasCoverage("other@v1"));
+}
+
+TEST(UdfManagerTest, InvocationAccounting) {
+  UdfManager manager;
+  manager.RecordInvocations("det@v", 100, 100);
+  manager.RecordInvocations("det@v", 80, 20);
+  const auto& entry = manager.entries().at("det@v");
+  EXPECT_EQ(entry.total_invocations, 180);
+  EXPECT_EQ(entry.distinct_invocations, 120);
+}
+
+TEST(UdfManagerTest, CoverageAtomCountStaysSmallOnOverlaps) {
+  // Fig. 8b's premise: overlapping session predicates keep p_u compact.
+  UdfManager manager;
+  for (int i = 0; i < 16; ++i) {
+    manager.UpdateCoverage("det@v", IdRange(i * 50, i * 50 + 400));
+  }
+  EXPECT_LE(manager.CoverageAtomCount("det@v"), 2);
+  EXPECT_EQ(manager.CoverageAtomCount("missing"), 0);
+}
+
+TEST(UdfManagerTest, ClearDropsEverything) {
+  UdfManager manager;
+  manager.UpdateCoverage("det@v", IdRange(0, 10));
+  manager.Clear();
+  EXPECT_FALSE(manager.HasCoverage("det@v"));
+  EXPECT_TRUE(manager.entries().empty());
+}
+
+}  // namespace
+}  // namespace eva::udf

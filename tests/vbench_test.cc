@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "parser/parser.h"
+#include "vbench/vbench.h"
+
+namespace eva::vbench {
+namespace {
+
+TEST(VbenchTest, DatasetsMatchPaperParameters) {
+  EXPECT_EQ(ShortUaDetrac().num_frames, 7500);
+  EXPECT_EQ(MediumUaDetrac().num_frames, 14000);
+  EXPECT_EQ(LongUaDetrac().num_frames, 28000);
+  EXPECT_EQ(Jackson().num_frames, 14000);
+  EXPECT_EQ(Jackson().width, 600);
+  EXPECT_LT(Jackson().mean_objects_per_frame,
+            MediumUaDetrac().mean_objects_per_frame / 10);
+}
+
+TEST(VbenchTest, QuerySetsHaveEightParsableQueries) {
+  for (auto queries : {VbenchHigh("v", 14000), VbenchLow("v", 14000)}) {
+    EXPECT_EQ(queries.size(), 8u);
+    for (const std::string& sql : queries) {
+      auto r = parser::ParseStatement(sql);
+      EXPECT_TRUE(r.ok()) << sql << "\n" << r.status().ToString();
+    }
+  }
+}
+
+TEST(VbenchTest, IdRangesScaleWithVideoLength) {
+  // §5.5: id < 10000 on MEDIUM translates to id < 5000 on SHORT.
+  auto medium = VbenchHigh("v", 14000);
+  auto half = VbenchHigh("v", 7000);
+  EXPECT_NE(medium[0], half[0]);
+  EXPECT_NE(half[0].find("4970"), std::string::npos)
+      << half[0];  // 0.71 * 7000
+}
+
+TEST(VbenchTest, LogicalVariantUsesObjectDetector) {
+  auto queries = VbenchHighLogical("v", 14000);
+  EXPECT_EQ(queries.size(), 9u);  // + traffic-monitoring count query
+  for (const std::string& sql : queries) {
+    EXPECT_NE(sql.find("ObjectDetector"), std::string::npos) << sql;
+    EXPECT_EQ(sql.find("FasterRCNNResNet50(frame)"), std::string::npos);
+    auto r = parser::ParseStatement(sql);
+    EXPECT_TRUE(r.ok()) << sql;
+  }
+  EXPECT_NE(queries[3].find("COUNT(*)"), std::string::npos);
+}
+
+TEST(VbenchTest, FilteredVariantPrependsFilterPredicate) {
+  auto queries = VbenchHighFiltered("v", 14000);
+  for (const std::string& sql : queries) {
+    EXPECT_NE(sql.find("VehicleFilter(frame) = true AND"),
+              std::string::npos);
+    EXPECT_TRUE(parser::ParseStatement(sql).ok()) << sql;
+  }
+}
+
+TEST(VbenchTest, PermuteIsDeterministicAndComplete) {
+  auto base = VbenchHigh("v", 14000);
+  auto p1 = Permute(base, 4);
+  auto p2 = Permute(base, 4);
+  EXPECT_EQ(p1, p2);
+  EXPECT_NE(p1, base);
+  std::multiset<std::string> a(base.begin(), base.end());
+  std::multiset<std::string> b(p1.begin(), p1.end());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(Permute(base, 1), Permute(base, 2));
+}
+
+TEST(VbenchTest, RunWorkloadAggregatesMetrics) {
+  catalog::VideoInfo video = MediumUaDetrac();
+  video.name = "mini";
+  video.num_frames = 200;
+  auto er = MakeEngine(optimizer::ReuseMode::kEva, video);
+  ASSERT_TRUE(er.ok()) << er.status().ToString();
+  auto engine = er.MoveValue();
+  auto result = RunWorkload(engine.get(), VbenchHigh("mini", 200));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().queries.size(), 8u);
+  EXPECT_GT(result.value().total_ms, 0);
+  EXPECT_GT(result.value().total_invocations, 0);
+  EXPECT_GT(result.value().total_reused, 0);
+  EXPECT_GT(result.value().view_bytes, 0);
+  EXPECT_GT(result.value().HitPercentage(), 0);
+  EXPECT_LT(result.value().HitPercentage(), 100);
+}
+
+TEST(VbenchTest, HighReuseBeatsLowReuse) {
+  catalog::VideoInfo video = MediumUaDetrac();
+  video.name = "mini2";
+  video.num_frames = 400;
+  double hits[2];
+  int i = 0;
+  for (auto queries :
+       {VbenchLow("mini2", 400), VbenchHigh("mini2", 400)}) {
+    auto er = MakeEngine(optimizer::ReuseMode::kEva, video);
+    ASSERT_TRUE(er.ok());
+    auto engine = er.MoveValue();
+    auto result = RunWorkload(engine.get(), queries);
+    ASSERT_TRUE(result.ok());
+    hits[i++] = result.value().HitPercentage();
+  }
+  EXPECT_GT(hits[1], hits[0] * 1.5)
+      << "VBENCH-HIGH must exhibit much more reuse than VBENCH-LOW";
+}
+
+TEST(VbenchTest, StandardUdfsMatchTable3Costs) {
+  auto er = MakeEngine(optimizer::ReuseMode::kEva, MediumUaDetrac());
+  ASSERT_TRUE(er.ok());
+  auto engine = er.MoveValue();
+  EXPECT_DOUBLE_EQ(
+      engine->catalog().GetUdf("FasterRCNNResNet50").value().cost_ms, 99);
+  EXPECT_DOUBLE_EQ(engine->catalog().GetUdf("CarType").value().cost_ms, 6);
+  EXPECT_DOUBLE_EQ(engine->catalog().GetUdf("ColorDet").value().cost_ms,
+                   5);
+  EXPECT_DOUBLE_EQ(engine->catalog().GetUdf("YoloTiny").value().cost_ms,
+                   9);
+  EXPECT_DOUBLE_EQ(
+      engine->catalog().GetUdf("FasterRCNNResNet101").value().cost_ms,
+      120);
+  EXPECT_FALSE(engine->catalog().GetUdf("ColorDet").value().is_gpu);
+}
+
+}  // namespace
+}  // namespace eva::vbench
