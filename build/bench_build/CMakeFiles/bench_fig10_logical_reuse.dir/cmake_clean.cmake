@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_logical_reuse"
+  "../bench/bench_fig10_logical_reuse.pdb"
+  "CMakeFiles/bench_fig10_logical_reuse.dir/bench_fig10_logical_reuse.cc.o"
+  "CMakeFiles/bench_fig10_logical_reuse.dir/bench_fig10_logical_reuse.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_logical_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

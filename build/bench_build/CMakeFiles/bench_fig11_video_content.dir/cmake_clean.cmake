@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_video_content"
+  "../bench/bench_fig11_video_content.pdb"
+  "CMakeFiles/bench_fig11_video_content.dir/bench_fig11_video_content.cc.o"
+  "CMakeFiles/bench_fig11_video_content.dir/bench_fig11_video_content.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_video_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_symbolic_reduction"
+  "../bench/bench_fig7_symbolic_reduction.pdb"
+  "CMakeFiles/bench_fig7_symbolic_reduction.dir/bench_fig7_symbolic_reduction.cc.o"
+  "CMakeFiles/bench_fig7_symbolic_reduction.dir/bench_fig7_symbolic_reduction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_symbolic_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_query_order"
+  "../bench/bench_fig8_query_order.pdb"
+  "CMakeFiles/bench_fig8_query_order.dir/bench_fig8_query_order.cc.o"
+  "CMakeFiles/bench_fig8_query_order.dir/bench_fig8_query_order.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_query_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

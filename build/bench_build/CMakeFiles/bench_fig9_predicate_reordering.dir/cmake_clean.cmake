@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_predicate_reordering"
+  "../bench/bench_fig9_predicate_reordering.pdb"
+  "CMakeFiles/bench_fig9_predicate_reordering.dir/bench_fig9_predicate_reordering.cc.o"
+  "CMakeFiles/bench_fig9_predicate_reordering.dir/bench_fig9_predicate_reordering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_predicate_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_symbolic"
+  "../bench/bench_micro_symbolic.pdb"
+  "CMakeFiles/bench_micro_symbolic.dir/bench_micro_symbolic.cc.o"
+  "CMakeFiles/bench_micro_symbolic.dir/bench_micro_symbolic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

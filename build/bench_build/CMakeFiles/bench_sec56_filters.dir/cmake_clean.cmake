@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec56_filters"
+  "../bench/bench_sec56_filters.pdb"
+  "CMakeFiles/bench_sec56_filters.dir/bench_sec56_filters.cc.o"
+  "CMakeFiles/bench_sec56_filters.dir/bench_sec56_filters.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec56_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_hit_percentage"
+  "../bench/bench_table2_hit_percentage.pdb"
+  "CMakeFiles/bench_table2_hit_percentage.dir/bench_table2_hit_percentage.cc.o"
+  "CMakeFiles/bench_table2_hit_percentage.dir/bench_table2_hit_percentage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_hit_percentage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_q8_breakdown"
+  "../bench/bench_table4_q8_breakdown.pdb"
+  "CMakeFiles/bench_table4_q8_breakdown.dir/bench_table4_q8_breakdown.cc.o"
+  "CMakeFiles/bench_table4_q8_breakdown.dir/bench_table4_q8_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_q8_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

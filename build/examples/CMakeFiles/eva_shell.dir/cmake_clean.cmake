@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eva_shell.dir/eva_shell.cpp.o"
+  "CMakeFiles/eva_shell.dir/eva_shell.cpp.o.d"
+  "eva_shell"
+  "eva_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eva_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

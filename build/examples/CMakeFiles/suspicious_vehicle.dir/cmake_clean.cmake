@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suspicious_vehicle.dir/suspicious_vehicle.cpp.o"
+  "CMakeFiles/suspicious_vehicle.dir/suspicious_vehicle.cpp.o.d"
+  "suspicious_vehicle"
+  "suspicious_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suspicious_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbolic_playground.dir/symbolic_playground.cpp.o"
+  "CMakeFiles/symbolic_playground.dir/symbolic_playground.cpp.o.d"
+  "symbolic_playground"
+  "symbolic_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbolic_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fun_cache.cc" "src/CMakeFiles/eva_core.dir/baselines/fun_cache.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/baselines/fun_cache.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/eva_core.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/eva_core.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/row.cc" "src/CMakeFiles/eva_core.dir/common/row.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/common/row.cc.o.d"
+  "/root/repo/src/common/schema.cc" "src/CMakeFiles/eva_core.dir/common/schema.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/common/schema.cc.o.d"
+  "/root/repo/src/common/sim_clock.cc" "src/CMakeFiles/eva_core.dir/common/sim_clock.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/common/sim_clock.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/eva_core.dir/common/status.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/eva_core.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/eva_core.dir/common/value.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/common/value.cc.o.d"
+  "/root/repo/src/engine/eva_engine.cc" "src/CMakeFiles/eva_core.dir/engine/eva_engine.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/engine/eva_engine.cc.o.d"
+  "/root/repo/src/exec/exec_context.cc" "src/CMakeFiles/eva_core.dir/exec/exec_context.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/exec/exec_context.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/eva_core.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/exec/operators.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/eva_core.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/expr/expr.cc.o.d"
+  "/root/repo/src/expr/symbolic_bridge.cc" "src/CMakeFiles/eva_core.dir/expr/symbolic_bridge.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/expr/symbolic_bridge.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/eva_core.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/model_selection.cc" "src/CMakeFiles/eva_core.dir/optimizer/model_selection.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/optimizer/model_selection.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/eva_core.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/eva_core.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/eva_core.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/parser/parser.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "src/CMakeFiles/eva_core.dir/plan/plan.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/plan/plan.cc.o.d"
+  "/root/repo/src/storage/statistics.cc" "src/CMakeFiles/eva_core.dir/storage/statistics.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/storage/statistics.cc.o.d"
+  "/root/repo/src/storage/view_persistence.cc" "src/CMakeFiles/eva_core.dir/storage/view_persistence.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/storage/view_persistence.cc.o.d"
+  "/root/repo/src/storage/view_store.cc" "src/CMakeFiles/eva_core.dir/storage/view_store.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/storage/view_store.cc.o.d"
+  "/root/repo/src/symbolic/dim_constraint.cc" "src/CMakeFiles/eva_core.dir/symbolic/dim_constraint.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/symbolic/dim_constraint.cc.o.d"
+  "/root/repo/src/symbolic/interval.cc" "src/CMakeFiles/eva_core.dir/symbolic/interval.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/symbolic/interval.cc.o.d"
+  "/root/repo/src/symbolic/join_analysis.cc" "src/CMakeFiles/eva_core.dir/symbolic/join_analysis.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/symbolic/join_analysis.cc.o.d"
+  "/root/repo/src/symbolic/naive_simplify.cc" "src/CMakeFiles/eva_core.dir/symbolic/naive_simplify.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/symbolic/naive_simplify.cc.o.d"
+  "/root/repo/src/symbolic/predicate.cc" "src/CMakeFiles/eva_core.dir/symbolic/predicate.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/symbolic/predicate.cc.o.d"
+  "/root/repo/src/symbolic/stats.cc" "src/CMakeFiles/eva_core.dir/symbolic/stats.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/symbolic/stats.cc.o.d"
+  "/root/repo/src/udf/udf_manager.cc" "src/CMakeFiles/eva_core.dir/udf/udf_manager.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/udf/udf_manager.cc.o.d"
+  "/root/repo/src/udf/udf_runtime.cc" "src/CMakeFiles/eva_core.dir/udf/udf_runtime.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/udf/udf_runtime.cc.o.d"
+  "/root/repo/src/vbench/vbench.cc" "src/CMakeFiles/eva_core.dir/vbench/vbench.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/vbench/vbench.cc.o.d"
+  "/root/repo/src/vision/models.cc" "src/CMakeFiles/eva_core.dir/vision/models.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/vision/models.cc.o.d"
+  "/root/repo/src/vision/synthetic_video.cc" "src/CMakeFiles/eva_core.dir/vision/synthetic_video.cc.o" "gcc" "src/CMakeFiles/eva_core.dir/vision/synthetic_video.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dim_constraint_property_test.dir/dim_constraint_property_test.cc.o"
+  "CMakeFiles/dim_constraint_property_test.dir/dim_constraint_property_test.cc.o.d"
+  "dim_constraint_property_test"
+  "dim_constraint_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dim_constraint_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

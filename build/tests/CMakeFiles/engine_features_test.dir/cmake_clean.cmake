@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_features_test.dir/engine_features_test.cc.o"
+  "CMakeFiles/engine_features_test.dir/engine_features_test.cc.o.d"
+  "engine_features_test"
+  "engine_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

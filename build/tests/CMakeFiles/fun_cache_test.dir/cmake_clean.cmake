@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fun_cache_test.dir/fun_cache_test.cc.o"
+  "CMakeFiles/fun_cache_test.dir/fun_cache_test.cc.o.d"
+  "fun_cache_test"
+  "fun_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fun_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

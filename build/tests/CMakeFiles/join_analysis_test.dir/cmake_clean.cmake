@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_analysis_test.dir/join_analysis_test.cc.o"
+  "CMakeFiles/join_analysis_test.dir/join_analysis_test.cc.o.d"
+  "join_analysis_test"
+  "join_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monolithic_udf_test.dir/monolithic_udf_test.cc.o"
+  "CMakeFiles/monolithic_udf_test.dir/monolithic_udf_test.cc.o.d"
+  "monolithic_udf_test"
+  "monolithic_udf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monolithic_udf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_property_test.dir/predicate_property_test.cc.o"
+  "CMakeFiles/predicate_property_test.dir/predicate_property_test.cc.o.d"
+  "predicate_property_test"
+  "predicate_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

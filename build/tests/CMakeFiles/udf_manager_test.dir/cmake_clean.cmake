@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udf_manager_test.dir/udf_manager_test.cc.o"
+  "CMakeFiles/udf_manager_test.dir/udf_manager_test.cc.o.d"
+  "udf_manager_test"
+  "udf_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udf_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbench_test.dir/vbench_test.cc.o"
+  "CMakeFiles/vbench_test.dir/vbench_test.cc.o.d"
+  "vbench_test"
+  "vbench_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
