@@ -6,8 +6,14 @@
 // below EVA on VBENCH-HIGH; HashStash ≈ 2x on VBENCH-HIGH. No-reuse
 // totals ≈ 0.96 h (LOW) and ≈ 3.1 h (HIGH) of simulated time. The §5.2
 // upper bound (Eq. 7) is printed per workload.
+//
+// Set $EVA_BENCH_JSON to also write the table (plus per-mode aggregate
+// metrics) as a JSON file — BENCH_baseline.json in the repo root was
+// recorded this way. $EVA_METRICS_DUMP appends per-workload metrics lines.
 
 #include <cstdio>
+#include <fstream>
+#include <vector>
 
 #include "bench_util.h"
 
@@ -39,6 +45,46 @@ double SpeedupUpperBound(const vbench::WorkloadResult& noreuse,
   return distinct_cost > 0 ? total_cost / distinct_cost : 1.0;
 }
 
+struct BenchRow {
+  std::string workload;
+  std::string mode;
+  double total_ms = 0;
+  double speedup = 1;
+  double hit_pct = 0;
+  double view_bytes = 0;
+  std::string metrics_json;
+};
+
+void MaybeWriteJson(const std::string& video,
+                    const std::vector<BenchRow>& rows) {
+  const char* path = std::getenv("EVA_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "WARN cannot write %s\n", path);
+    return;
+  }
+  out << "{\n  \"benchmark\": \"fig5_workload_speedup\",\n  \"video\": ";
+  std::string v;
+  obs::AppendJsonString(&v, video);
+  out << v << ",\n  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    std::string w, m;
+    obs::AppendJsonString(&w, r.workload);
+    obs::AppendJsonString(&m, r.mode);
+    out << "    {\"workload\": " << w << ", \"mode\": " << m
+        << ", \"total_ms\": " << obs::FormatJsonNumber(r.total_ms)
+        << ", \"speedup\": " << obs::FormatJsonNumber(r.speedup)
+        << ", \"hit_pct\": " << obs::FormatJsonNumber(r.hit_pct)
+        << ", \"view_bytes\": " << obs::FormatJsonNumber(r.view_bytes)
+        << ", \"metrics\": " << r.metrics_json << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
 int main() {
@@ -55,6 +101,7 @@ int main() {
   PrintHeader("Figure 5: Workload speedup (MEDIUM-UA-DETRAC)");
   std::printf("%-12s %-10s %12s %10s %8s\n", "workload", "mode",
               "total(h)", "speedup", "hit%");
+  std::vector<BenchRow> rows;
   for (auto& set : sets) {
     double baseline_ms = 0;
     vbench::WorkloadResult noreuse_result;
@@ -77,9 +124,14 @@ int main() {
       std::printf("%-12s %-10s %12.3f %9.2fx %7.2f%%\n", set.name,
                   optimizer::ReuseModeName(mode), Hours(r.total_ms),
                   baseline_ms / r.total_ms, r.HitPercentage());
+      MaybeDumpMetrics(set.name, optimizer::ReuseModeName(mode), r);
+      rows.push_back({set.name, optimizer::ReuseModeName(mode), r.total_ms,
+                      baseline_ms / r.total_ms, r.HitPercentage(),
+                      r.view_bytes, r.AggregateJson()});
     }
     std::printf("%-12s upper bound on speedup (Eq. 7): %.2fx\n", set.name,
                 SpeedupUpperBound(noreuse_result, eva_engine.get(), video));
   }
+  MaybeWriteJson(video.name, rows);
   return 0;
 }

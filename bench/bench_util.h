@@ -3,9 +3,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "common/status.h"
+#include "obs/json_util.h"
 #include "vbench/vbench.h"
 
 namespace eva::bench {
@@ -34,6 +36,31 @@ inline vbench::WorkloadResult RunMode(
 }
 
 inline double Hours(double ms) { return ms / 3.6e6; }
+
+/// Appends one `{"workload","mode","metrics"}` JSON line for the workload
+/// run to the file named by $EVA_METRICS_DUMP; no-op when unset. Gives
+/// every benchmark a per-workload metrics dump without touching its code.
+inline void MaybeDumpMetrics(const std::string& workload,
+                             const std::string& mode,
+                             const vbench::WorkloadResult& result) {
+  const char* path = std::getenv("EVA_METRICS_DUMP");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "WARN cannot append metrics to %s\n", path);
+    return;
+  }
+  std::string line = "{";
+  obs::AppendJsonString(&line, "workload");
+  line += ':';
+  obs::AppendJsonString(&line, workload);
+  line += ',';
+  obs::AppendJsonString(&line, "mode");
+  line += ':';
+  obs::AppendJsonString(&line, mode);
+  line += ",\"metrics\":" + result.AggregateJson() + "}";
+  out << line << "\n";
+}
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());

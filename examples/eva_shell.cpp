@@ -2,17 +2,24 @@
 // the reuse machinery work. Supports all EVA-QL statements (SELECT /
 // EXPLAIN / CREATE UDF / DROP UDF / SHOW UDFS) plus shell commands:
 //
-//   \views     list materialized views and their sizes
-//   \coverage  print each UDF signature's aggregated predicate p_u
-//   \clear     drop all reuse state
-//   \save DIR  persist views to a directory     \load DIR  restore them
-//   \quit
+//   .views     list materialized views and their sizes
+//   .coverage  print each UDF signature's aggregated predicate p_u
+//   .metrics   Prometheus exposition of the session's metrics
+//              (.metrics json / .metrics reset variants)
+//   .trace     session span tree   (.trace chrome FILE writes Chrome
+//              trace-event JSON for chrome://tracing / Perfetto)
+//   .clear     drop all reuse state
+//   .save DIR  persist views to a directory     .load DIR  restore them
+//   .quit
+//
+// Commands accept either a '.' or the legacy '\' prefix.
 //
 // Usage: ./build/examples/eva_shell   (then e.g.:)
 //   SELECT id, obj FROM demo CROSS APPLY FasterRCNNResNet50(frame)
 //     WHERE id < 300 AND label = 'car' LIMIT 5;
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -58,8 +65,40 @@ int main() {
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
     // Shell commands.
-    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+    if (buffer.empty() && !line.empty() &&
+        (line[0] == '\\' || line[0] == '.')) {
+      line[0] = '\\';  // normalize the '.' prefix to the legacy one
       if (line == "\\quit" || line == "\\q") break;
+      if (line == "\\metrics" || line.rfind("\\metrics ", 0) == 0) {
+        obs::MetricsRegistry* registry = engine->metrics_registry();
+        if (registry == nullptr) {
+          std::printf("observability is disabled.\n");
+        } else if (line == "\\metrics json") {
+          std::printf("%s\n", registry->RenderJson().c_str());
+        } else if (line == "\\metrics reset") {
+          registry->Reset();
+          std::printf("metrics reset.\n");
+        } else {
+          std::printf("%s", registry->RenderPrometheus().c_str());
+        }
+        continue;
+      }
+      if (line == "\\trace" || line.rfind("\\trace ", 0) == 0) {
+        if (line.rfind("\\trace chrome ", 0) == 0) {
+          const std::string path = line.substr(14);
+          std::ofstream out(path);
+          if (!out) {
+            std::printf("cannot write %s\n", path.c_str());
+          } else {
+            out << engine->tracer().RenderChromeTrace();
+            std::printf("wrote %s (load via chrome://tracing).\n",
+                        path.c_str());
+          }
+        } else {
+          std::printf("%s", engine->tracer().RenderText().c_str());
+        }
+        continue;
+      }
       if (line == "\\views") {
         for (const auto& [name, view] : engine->views().views()) {
           std::printf("  %-40s %8lld keys %8lld rows %10.1f KiB\n",

@@ -2,16 +2,98 @@
 
 #include "common/string_util.h"
 #include "exec/operators.h"
+#include "obs/explain.h"
 #include "parser/parser.h"
 #include "storage/view_persistence.h"
 
 namespace eva::engine {
 
+namespace {
+
+/// Span category for a synthesized per-operator span (EXPLAIN ANALYZE):
+/// the reuse-relevant operators get their own taxonomy entries.
+const char* OperatorSpanCategory(plan::PlanKind kind) {
+  switch (kind) {
+    case plan::PlanKind::kViewJoin:
+      return "view-probe";
+    case plan::PlanKind::kStore:
+      return "materialize";
+    default:
+      return "execute";
+  }
+}
+
+/// Synthesizes one completed span per analyzed plan node, nested to mirror
+/// the plan tree under the query's execute span. Start times are inherited
+/// from the execute span (operator drains interleave, so only durations are
+/// meaningful); reuse-related stats become span attributes.
+void AttachOperatorSpans(obs::Tracer& tracer, const plan::PlanNodePtr& node,
+                         const obs::PlanStatsMap& stats, int parent,
+                         double sim_start_ms, double wall_start_us) {
+  auto it = stats.find(node.get());
+  int index = parent;
+  if (it != stats.end()) {
+    const obs::OperatorStats& s = it->second;
+    index = tracer.AddCompletedSpan(
+        plan::PlanKindName(node->kind()), OperatorSpanCategory(node->kind()),
+        parent, sim_start_ms, sim_start_ms + s.sim_ms, wall_start_us,
+        wall_start_us + s.wall_us);
+    if (index < 0) {
+      index = parent;
+    } else {
+      tracer.AddAttribute(index, "rows", std::to_string(s.rows_out));
+      tracer.AddAttribute(index, "batches", std::to_string(s.batches));
+      if (s.view_hits + s.view_misses > 0) {
+        tracer.AddAttribute(index, "view_hits",
+                            std::to_string(s.view_hits));
+        tracer.AddAttribute(index, "view_misses",
+                            std::to_string(s.view_misses));
+      }
+      if (s.udf_invocations > 0) {
+        tracer.AddAttribute(index, "udf_calls",
+                            std::to_string(s.udf_invocations));
+      }
+      if (s.rows_reused > 0) {
+        tracer.AddAttribute(index, "reused", std::to_string(s.rows_reused));
+      }
+      if (s.rows_materialized > 0) {
+        tracer.AddAttribute(index, "materialized",
+                            std::to_string(s.rows_materialized));
+      }
+    }
+  }
+  for (const plan::PlanNodePtr& child : node->children()) {
+    AttachOperatorSpans(tracer, child, stats, index, sim_start_ms,
+                        wall_start_us);
+  }
+}
+
+/// Splits `text` into one batch row per line under a single string column.
+Batch TextToBatch(const std::string& column, const std::string& text) {
+  Batch batch{Schema({{column, DataType::kString}})};
+  std::string line;
+  for (char c : text) {
+    if (c == '\n') {
+      batch.AddRow({Value(line)});
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  if (!line.empty()) batch.AddRow({Value(line)});
+  return batch;
+}
+
+}  // namespace
+
 EvaEngine::EvaEngine(EngineOptions options,
                      std::shared_ptr<catalog::Catalog> catalog)
     : options_(std::move(options)),
       catalog_(std::move(catalog)),
-      runtime_(catalog_.get()) {}
+      runtime_(catalog_.get()) {
+  tracer_.set_enabled(options_.observability);
+  if (!options_.observability) registry_ = nullptr;
+}
 
 Status EvaEngine::CreateVideo(const catalog::VideoInfo& info) {
   if (!catalog_->HasVideo(info.name)) {
@@ -46,6 +128,7 @@ void EvaEngine::ClearReuseState() {
   manager_.Clear();
   funcache_.Clear();
   clock_.Reset();
+  tracer_.Clear();
 }
 
 int64_t EvaEngine::DistinctInvocations(const std::string& udf,
@@ -58,7 +141,20 @@ int64_t EvaEngine::DistinctInvocations(const std::string& udf,
 }
 
 Result<QueryResult> EvaEngine::Execute(const std::string& sql) {
-  EVA_ASSIGN_OR_RETURN(parser::Statement stmt, parser::ParseStatement(sql));
+  obs::Span query_span = tracer_.StartSpan("query", "query");
+  query_span.SetAttribute("sql", sql);
+  if (registry_ != nullptr) {
+    if (auto* c = registry_->GetCounter(
+            "eva_queries_total", "Statements executed by the engine.",
+            {{"mode", optimizer::ReuseModeName(options_.optimizer.mode)}})) {
+      c->Increment();
+    }
+  }
+  obs::Span parse_span = tracer_.StartSpan("parse", "parse");
+  Result<parser::Statement> parsed = parser::ParseStatement(sql);
+  parse_span.End();
+  if (!parsed.ok()) return parsed.status();
+  parser::Statement stmt = std::move(parsed.value());
   if (std::holds_alternative<parser::CreateUdfStatement>(stmt)) {
     EVA_RETURN_IF_ERROR(
         ExecuteCreateUdf(std::get<parser::CreateUdfStatement>(stmt)));
@@ -103,39 +199,42 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
 
   QueryResult out;
   SimClock::Snapshot before = clock_.TakeSnapshot();
+  // Plain EXPLAIN never executes; EXPLAIN ANALYZE runs the query for real
+  // (views materialize, coverage grows) and returns the annotated plan.
+  const bool plain_explain = stmt.explain && !stmt.analyze;
 
-  // Optimize (Fig. 1 steps 1-4). EXPLAIN optimizes against a snapshot of
-  // the UdfManager so that explaining a query does not claim coverage the
-  // engine never materialized.
+  // Optimize (Fig. 1 steps 1-4). Plain EXPLAIN optimizes against a
+  // snapshot of the UdfManager so that explaining a query does not claim
+  // coverage the engine never materialized.
   udf::UdfManager explain_manager;
   udf::UdfManager* manager = &manager_;
-  if (stmt.explain) {
+  if (plain_explain) {
     explain_manager = manager_;
     manager = &explain_manager;
   }
   optimizer::Optimizer opt(options_.optimizer, catalog_.get(), manager,
                            stats_it->second.get(), options_.costs,
-                           &views_);
+                           &views_, &tracer_, registry_);
+  obs::Span opt_span = tracer_.StartSpan("optimize", "optimize");
   EVA_ASSIGN_OR_RETURN(optimizer::OptimizedQuery optimized,
                        opt.Optimize(stmt));
   clock_.Charge(CostCategory::kOptimize, optimized.optimizer_ms);
+  opt_span.SetAttribute("sim_charged_ms", optimized.optimizer_ms);
+  opt_span.End();
   out.report = std::move(optimized.report);
   out.metrics.optimizer_ms = optimized.optimizer_ms;
-
-  if (stmt.explain) {
-    // EXPLAIN: return the optimized plan as rows without executing it.
-    Schema schema({{"plan", DataType::kString}});
-    out.batch = Batch(schema);
-    std::string line;
-    for (char c : out.report.plan_text) {
-      if (c == '\n') {
-        out.batch.AddRow({Value(line)});
-        line.clear();
-      } else {
-        line += c;
-      }
+  if (registry_ != nullptr) {
+    if (auto* h = registry_->GetHistogram(
+            "eva_optimizer_sim_ms",
+            "Simulated optimizer latency per SELECT (Fig. 6 OPT bars).",
+            obs::DefaultLatencyBucketsMs())) {
+      h->Observe(optimized.optimizer_ms);
     }
-    if (!line.empty()) out.batch.AddRow({Value(line)});
+  }
+
+  if (plain_explain) {
+    // EXPLAIN: return the optimized plan as rows without executing it.
+    out.batch = TextToBatch("plan", out.report.plan_text);
     out.metrics.breakdown = clock_.TakeSnapshot() - before;
     return out;
   }
@@ -153,8 +252,56 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
   if (options_.optimizer.mode == optimizer::ReuseMode::kFunCache) {
     ctx.funcache = &funcache_;
   }
+  ctx.obs_registry = registry_;
+  obs::PlanStatsMap node_stats;
+  if (stmt.analyze) ctx.node_stats = &node_stats;
+
+  obs::Span exec_span = tracer_.StartSpan("execute", "execute");
+  const int exec_index = exec_span.index();
   EVA_ASSIGN_OR_RETURN(out.batch, exec::ExecutePlan(optimized.plan, &ctx));
+  exec_span.SetAttribute("rows", out.metrics.rows_out);
+  exec_span.End();
   out.metrics.breakdown = clock_.TakeSnapshot() - before;
+
+  if (stmt.analyze) {
+    if (exec_index >= 0) {
+      const obs::SpanRecord& rec =
+          tracer_.spans()[static_cast<size_t>(exec_index)];
+      AttachOperatorSpans(tracer_, optimized.plan, node_stats, exec_index,
+                          rec.sim_start_ms, rec.wall_start_us);
+    }
+    out.report.plan_text =
+        obs::RenderAnalyzedPlan(*optimized.plan, node_stats);
+    out.batch = TextToBatch("plan", out.report.plan_text);
+  }
+
+  if (registry_ != nullptr) {
+    if (auto* h = registry_->GetHistogram(
+            "eva_query_sim_ms",
+            "Simulated end-to-end latency per SELECT (Fig. 5 raw data).",
+            obs::DefaultLatencyBucketsMs(),
+            {{"mode",
+              optimizer::ReuseModeName(options_.optimizer.mode)}})) {
+      h->Observe(out.metrics.TotalMs());
+    }
+    if (auto* g = registry_->GetGauge(
+            "eva_view_store_bytes",
+            "Total materialized-view footprint (the §5.2 storage number).")) {
+      g->Set(views_.TotalSizeBytes());
+    }
+    int64_t view_rows = 0;
+    for (const auto& [name, view] : views_.views()) {
+      view_rows += view->num_rows();
+    }
+    if (auto* g = registry_->GetGauge(
+            "eva_view_store_rows", "Rows across all materialized views.")) {
+      g->Set(static_cast<double>(view_rows));
+    }
+    if (auto* g = registry_->GetGauge("eva_view_store_views",
+                                      "Number of materialized views.")) {
+      g->Set(static_cast<double>(views_.views().size()));
+    }
+  }
   return out;
 }
 

@@ -11,6 +11,8 @@
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "exec/exec_context.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "optimizer/optimizer.h"
 #include "storage/statistics.h"
 #include "storage/view_store.h"
@@ -26,6 +28,10 @@ struct EngineOptions {
   optimizer::OptimizerOptions optimizer;
   exec::CostConstants costs;
   int64_t batch_size = 1024;
+  /// Master switch for the observability subsystem (src/obs/): spans,
+  /// registry metrics, and per-operator row counters. Never charges the
+  /// simulated clock either way.
+  bool observability = true;
 };
 
 /// Result of one query: output rows, execution metrics (time breakdown,
@@ -65,6 +71,17 @@ class EvaEngine {
 
   const storage::ViewStore& views() const { return views_; }
   const udf::UdfManager& udf_manager() const { return manager_; }
+  /// Session trace (parse / optimize / symbolic-diff / execute spans plus
+  /// per-operator spans synthesized by EXPLAIN ANALYZE).
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+  /// Metrics sink; nullptr when options().observability is false.
+  obs::MetricsRegistry* metrics_registry() const { return registry_; }
+  /// Redirects metrics away from the process-wide registry (tests use a
+  /// local registry to isolate counts). Pass nullptr to disable.
+  void set_metrics_registry(obs::MetricsRegistry* registry) {
+    registry_ = registry;
+  }
   const baselines::FunCache& funcache() const { return funcache_; }
   const SimClock& clock() const { return clock_; }
   const catalog::Catalog& catalog() const { return *catalog_; }
@@ -91,6 +108,8 @@ class EvaEngine {
   udf::UdfRuntime runtime_;
   baselines::FunCache funcache_;
   SimClock clock_;
+  obs::MetricsRegistry* registry_ = &obs::MetricsRegistry::Global();
+  obs::Tracer tracer_{&clock_};
 };
 
 }  // namespace eva::engine

@@ -7,6 +7,8 @@
 
 #include "catalog/catalog.h"
 #include "common/sim_clock.h"
+#include "obs/metrics.h"
+#include "obs/op_stats.h"
 #include "storage/view_store.h"
 #include "udf/udf_runtime.h"
 #include "vision/synthetic_video.h"
@@ -14,6 +16,10 @@
 namespace eva::baselines {
 class FunCache;
 }  // namespace eva::baselines
+
+namespace eva::plan {
+class PlanNode;
+}  // namespace eva::plan
 
 namespace eva::exec {
 
@@ -77,6 +83,18 @@ struct ExecContext {
   /// Non-null only in FunCache mode: tuple-level result cache (§5.1).
   baselines::FunCache* funcache = nullptr;
   int64_t batch_size = 1024;
+
+  // --- observability (src/obs/) -------------------------------------------
+  /// Metrics sink; nullptr when observability is off, which is the single
+  /// cheap check all executor instrumentation hides behind.
+  obs::MetricsRegistry* obs_registry = nullptr;
+  /// Per-plan-node stat collection (EXPLAIN ANALYZE). When non-null, the
+  /// operator builder wraps every operator in a stats decorator.
+  std::map<const plan::PlanNode*, obs::OperatorStats>* node_stats = nullptr;
+  /// Stats cell of the operator currently inside Next(); maintained by the
+  /// decorator so leaf helpers (UDF runners, view probes) attribute their
+  /// counters to the right node.
+  obs::OperatorStats* active_stats = nullptr;
 
   void Charge(CostCategory cat, double ms) const { clock->Charge(cat, ms); }
 };

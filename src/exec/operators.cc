@@ -1,6 +1,7 @@
 #include "exec/operators.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "baselines/fun_cache.h"
 #include "storage/view_store.h"
@@ -16,6 +17,43 @@ using storage::MaterializedView;
 using storage::ViewKey;
 
 // ---------------------------------------------------------------------------
+// Observability plumbing. Registry cells are resolved once per operator
+// instance (label rendering + map lookup happen at build time); the hot
+// path pays one null check per event. All of this is inert when
+// ctx->obs_registry is null.
+// ---------------------------------------------------------------------------
+
+// Cached per-UDF counters shared by Apply / CondApply / ViewJoin.
+struct UdfObsCounters {
+  obs::Counter* invocations = nullptr;  // fresh model evaluations
+  obs::Counter* reused = nullptr;       // tuples answered from a view/cache
+};
+
+UdfObsCounters MakeUdfCounters(ExecContext* ctx, const std::string& udf) {
+  UdfObsCounters c;
+  if (ctx->obs_registry == nullptr) return c;
+  c.invocations = ctx->obs_registry->GetCounter(
+      "eva_udf_invocations_total", "Fresh UDF model evaluations",
+      {{"udf", udf}});
+  c.reused = ctx->obs_registry->GetCounter(
+      "eva_udf_reused_total",
+      "UDF results satisfied from a materialized view or cache",
+      {{"udf", udf}});
+  return c;
+}
+
+void CountInvocation(ExecContext* ctx, const UdfObsCounters& counters) {
+  if (ctx->active_stats != nullptr) ++ctx->active_stats->udf_invocations;
+  if (counters.invocations != nullptr) counters.invocations->Increment();
+}
+
+void CountReuse(ExecContext* ctx, const UdfObsCounters& counters,
+                int64_t rows = 1) {
+  if (ctx->active_stats != nullptr) ctx->active_stats->rows_reused += rows;
+  if (counters.reused != nullptr) counters.reused->Increment();
+}
+
+// ---------------------------------------------------------------------------
 // VideoScan
 // ---------------------------------------------------------------------------
 
@@ -24,7 +62,13 @@ class VideoScanOp : public Operator {
   VideoScanOp(ExecContext* ctx, int64_t lo, int64_t hi)
       : Operator(ctx, Schema({{kColId, DataType::kInt64}})),
         next_(std::max<int64_t>(lo, 0)),
-        hi_(std::min(hi, ctx->video->num_frames())) {}
+        hi_(std::min(hi, ctx->video->num_frames())) {
+    if (ctx->obs_registry != nullptr) {
+      frames_scanned_ = ctx->obs_registry->GetCounter(
+          "eva_frames_scanned_total", "Video frames decoded by scans",
+          {{"video", ctx->video->info().name}});
+    }
+  }
 
   Result<Batch> Next() override {
     Batch out(output_schema_);
@@ -36,6 +80,9 @@ class VideoScanOp : public Operator {
     ctx_->Charge(CostCategory::kReadVideo,
                  ctx_->costs.video_read_ms_per_frame *
                      static_cast<double>(end - next_));
+    if (frames_scanned_ != nullptr) {
+      frames_scanned_->Increment(static_cast<double>(end - next_));
+    }
     next_ = end;
     return out;
   }
@@ -43,6 +90,7 @@ class VideoScanOp : public Operator {
  private:
   int64_t next_;
   int64_t hi_;
+  obs::Counter* frames_scanned_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -82,11 +130,13 @@ class FilterOp : public Operator {
 // Evaluates the detector on one frame, returning output-column rows
 // (obj, label, area, score). Charges UDF cost and counts the invocation.
 Result<std::vector<Row>> RunDetector(ExecContext* ctx, const UdfDef& def,
-                                     int64_t frame) {
+                                     int64_t frame,
+                                     const UdfObsCounters& obs) {
   EVA_ASSIGN_OR_RETURN(const vision::DetectorModel* model,
                        ctx->udfs->Detector(def.name));
   ctx->Charge(CostCategory::kUdf, def.cost_ms);
   ctx->metrics->invocations[def.name] += 1;
+  CountInvocation(ctx, obs);
   std::vector<Row> rows;
   for (const vision::Detection& d : model->Detect(*ctx->video, frame)) {
     rows.push_back({Value(static_cast<int64_t>(d.obj_id)), Value(d.label),
@@ -96,20 +146,23 @@ Result<std::vector<Row>> RunDetector(ExecContext* ctx, const UdfDef& def,
 }
 
 Result<Value> RunClassifier(ExecContext* ctx, const UdfDef& def,
-                            int64_t frame, int64_t obj) {
+                            int64_t frame, int64_t obj,
+                            const UdfObsCounters& obs) {
   EVA_ASSIGN_OR_RETURN(const vision::ClassifierModel* model,
                        ctx->udfs->Classifier(def.name));
   ctx->Charge(CostCategory::kUdf, def.cost_ms);
   ctx->metrics->invocations[def.name] += 1;
+  CountInvocation(ctx, obs);
   return Value(model->Classify(*ctx->video, frame, static_cast<int>(obj)));
 }
 
 Result<Value> RunFilterUdf(ExecContext* ctx, const UdfDef& def,
-                           int64_t frame) {
+                           int64_t frame, const UdfObsCounters& obs) {
   EVA_ASSIGN_OR_RETURN(const vision::FilterModel* model,
                        ctx->udfs->Filter(def.name));
   ctx->Charge(CostCategory::kUdf, def.cost_ms);
   ctx->metrics->invocations[def.name] += 1;
+  CountInvocation(ctx, obs);
   return Value(model->Pass(*ctx->video, frame));
 }
 
@@ -193,7 +246,8 @@ class ApplyOp : public Operator {
       : Operator(ctx, std::move(schema)),
         child_(std::move(child)),
         def_(std::move(def)),
-        emit_presence_placeholders_(emit_presence_placeholders) {}
+        emit_presence_placeholders_(emit_presence_placeholders),
+        obs_(MakeUdfCounters(ctx, def_.name)) {}
 
   Result<std::vector<Row>> DetectorResults(int64_t frame) {
     if (ctx_->funcache != nullptr) {
@@ -203,14 +257,15 @@ class ApplyOp : public Operator {
               ctx_->funcache->Lookup(def_.name, key)) {
         ctx_->metrics->invocations[def_.name] += 1;
         ctx_->metrics->reused[def_.name] += 1;
+        CountReuse(ctx_, obs_);
         return *hit;
       }
       EVA_ASSIGN_OR_RETURN(std::vector<Row> rows,
-                           RunDetector(ctx_, def_, frame));
+                           RunDetector(ctx_, def_, frame, obs_));
       ctx_->funcache->Insert(def_.name, key, rows);
       return rows;
     }
-    return RunDetector(ctx_, def_, frame);
+    return RunDetector(ctx_, def_, frame, obs_);
   }
 
   Result<Value> ClassifierResult(int64_t frame, int64_t obj) {
@@ -221,13 +276,15 @@ class ApplyOp : public Operator {
               ctx_->funcache->Lookup(def_.name, key)) {
         ctx_->metrics->invocations[def_.name] += 1;
         ctx_->metrics->reused[def_.name] += 1;
+        CountReuse(ctx_, obs_);
         return (*hit)[0][0];
       }
-      EVA_ASSIGN_OR_RETURN(Value v, RunClassifier(ctx_, def_, frame, obj));
+      EVA_ASSIGN_OR_RETURN(Value v,
+                           RunClassifier(ctx_, def_, frame, obj, obs_));
       ctx_->funcache->Insert(def_.name, key, {{v}});
       return v;
     }
-    return RunClassifier(ctx_, def_, frame, obj);
+    return RunClassifier(ctx_, def_, frame, obj, obs_);
   }
 
   Result<Value> FilterResult(int64_t frame) {
@@ -238,18 +295,20 @@ class ApplyOp : public Operator {
               ctx_->funcache->Lookup(def_.name, key)) {
         ctx_->metrics->invocations[def_.name] += 1;
         ctx_->metrics->reused[def_.name] += 1;
+        CountReuse(ctx_, obs_);
         return (*hit)[0][0];
       }
-      EVA_ASSIGN_OR_RETURN(Value v, RunFilterUdf(ctx_, def_, frame));
+      EVA_ASSIGN_OR_RETURN(Value v, RunFilterUdf(ctx_, def_, frame, obs_));
       ctx_->funcache->Insert(def_.name, key, {{v}});
       return v;
     }
-    return RunFilterUdf(ctx_, def_, frame);
+    return RunFilterUdf(ctx_, def_, frame, obs_);
   }
 
   OperatorPtr child_;
   UdfDef def_;
   bool emit_presence_placeholders_;
+  UdfObsCounters obs_;
 };
 
 // ---------------------------------------------------------------------------
@@ -316,6 +375,7 @@ class ViewJoinOp : public Operator {
         if (view != nullptr && view->Has(key)) {
           ctx_->metrics->invocations[def_.name] += 1;
           ctx_->metrics->reused[def_.name] += 1;
+          CountProbe(true);
           const std::vector<Row>& rows = view->Get(key);
           ctx_->Charge(CostCategory::kReadView,
                        ctx_->costs.view_read_ms_per_row *
@@ -326,6 +386,7 @@ class ViewJoinOp : public Operator {
             out.AddRow(std::move(full));
           }
         } else {
+          CountProbe(false);
           Row full = TrimmedBase(row);
           for (size_t i = 0; i < n_outputs; ++i) {
             full.push_back(Value::Null());
@@ -360,12 +421,14 @@ class ViewJoinOp : public Operator {
         if (view != nullptr && view->Has(key)) {
           ctx_->metrics->invocations[def_.name] += 1;
           ctx_->metrics->reused[def_.name] += 1;
+          CountProbe(true);
           const std::vector<Row>& rows = view->Get(key);
           ctx_->Charge(CostCategory::kReadView,
                        ctx_->costs.view_read_ms_per_row);
           full[static_cast<size_t>(out_idx)] =
               rows.empty() ? Value::Null() : rows[0][0];
         } else {
+          CountProbe(false);
           full[static_cast<size_t>(out_idx)] = Value::Null();
         }
         out.AddRow(std::move(full));
@@ -387,6 +450,29 @@ class ViewJoinOp : public Operator {
     // earlier view join, strip them before re-appending.
     output_width_base_ = output_schema_.num_fields() -
                          UdfOutputSchema(def_).num_fields();
+    if (ctx->obs_registry != nullptr) {
+      probe_hits_ = ctx->obs_registry->GetCounter(
+          "eva_view_probe_hits_total",
+          "Materialized-view probes answered from the view",
+          {{"udf", def_.name}});
+      probe_misses_ = ctx->obs_registry->GetCounter(
+          "eva_view_probe_misses_total",
+          "Materialized-view probes that fell through to the UDF",
+          {{"udf", def_.name}});
+    }
+  }
+
+  void CountProbe(bool hit) {
+    if (ctx_->active_stats != nullptr) {
+      if (hit) {
+        ++ctx_->active_stats->view_hits;
+        ++ctx_->active_stats->rows_reused;
+      } else {
+        ++ctx_->active_stats->view_misses;
+      }
+    }
+    if (hit && probe_hits_ != nullptr) probe_hits_->Increment();
+    if (!hit && probe_misses_ != nullptr) probe_misses_->Increment();
   }
 
   Row TrimmedBase(const Row& row) const {
@@ -399,6 +485,8 @@ class ViewJoinOp : public Operator {
   std::string view_name_;
   bool scan_all_pending_;
   size_t output_width_base_;
+  obs::Counter* probe_hits_ = nullptr;
+  obs::Counter* probe_misses_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -444,7 +532,7 @@ class CondApplyOp : public Operator {
           continue;
         }
         EVA_ASSIGN_OR_RETURN(std::vector<Row> dets,
-                             RunDetector(ctx_, def_, frame));
+                             RunDetector(ctx_, def_, frame, obs_));
         if (dets.empty()) {
           // Keep the NULL placeholder so STORE records "frame processed,
           // zero objects" before dropping it.
@@ -466,11 +554,12 @@ class CondApplyOp : public Operator {
             if (!obj_v.is_null()) {
               EVA_ASSIGN_OR_RETURN(
                   Value v,
-                  RunClassifier(ctx_, def_, frame, obj_v.AsInt64()));
+                  RunClassifier(ctx_, def_, frame, obj_v.AsInt64(), obs_));
               full[static_cast<size_t>(out_idx)] = std::move(v);
             }
           } else {
-            EVA_ASSIGN_OR_RETURN(Value v, RunFilterUdf(ctx_, def_, frame));
+            EVA_ASSIGN_OR_RETURN(Value v,
+                                 RunFilterUdf(ctx_, def_, frame, obs_));
             full[static_cast<size_t>(out_idx)] = std::move(v);
           }
         }
@@ -484,10 +573,12 @@ class CondApplyOp : public Operator {
   CondApplyOp(ExecContext* ctx, OperatorPtr child, UdfDef def, Schema schema)
       : Operator(ctx, std::move(schema)),
         child_(std::move(child)),
-        def_(std::move(def)) {}
+        def_(std::move(def)),
+        obs_(MakeUdfCounters(ctx, def_.name)) {}
 
   OperatorPtr child_;
   UdfDef def_;
+  UdfObsCounters obs_;
 };
 
 // ---------------------------------------------------------------------------
@@ -527,6 +618,7 @@ class StoreOp : public Operator {
           ctx_->Charge(CostCategory::kMaterialize,
                        ctx_->costs.materialize_ms_per_row *
                            static_cast<double>(pending.size() + 1));
+          CountMaterialized(static_cast<int64_t>(pending.size()) + 1);
           view->Put(key, pending);
         }
         pending.clear();
@@ -571,6 +663,7 @@ class StoreOp : public Operator {
         if (!view->Has(key)) {
           ctx_->Charge(CostCategory::kMaterialize,
                        ctx_->costs.materialize_ms_per_row);
+          CountMaterialized(1);
           view->Put(key, {{val}});
         }
       }
@@ -585,11 +678,28 @@ class StoreOp : public Operator {
       : Operator(ctx, child->output_schema()),
         child_(std::move(child)),
         def_(std::move(def)),
-        view_name_(std::move(view_name)) {}
+        view_name_(std::move(view_name)) {
+    if (ctx->obs_registry != nullptr) {
+      materialized_ = ctx->obs_registry->GetCounter(
+          "eva_materialized_rows_total",
+          "Rows appended to materialized views",
+          {{"view", view_name_}});
+    }
+  }
+
+  void CountMaterialized(int64_t rows) {
+    if (ctx_->active_stats != nullptr) {
+      ctx_->active_stats->rows_materialized += rows;
+    }
+    if (materialized_ != nullptr) {
+      materialized_->Increment(static_cast<double>(rows));
+    }
+  }
 
   OperatorPtr child_;
   UdfDef def_;
   std::string view_name_;
+  obs::Counter* materialized_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -714,14 +824,73 @@ class LimitOp : public Operator {
   int64_t remaining_;
 };
 
+// ---------------------------------------------------------------------------
+// StatsOp: transparent decorator that meters the wrapped operator. Rows
+// out per operator kind always flow to the metrics registry; when an
+// EXPLAIN ANALYZE drain supplies a node-stats map, it additionally tracks
+// per-node rows/batches/time and scopes ctx->active_stats so leaf helpers
+// (UDF runners, view probes, stores) attribute their events to this node.
+// ---------------------------------------------------------------------------
+
+class StatsOp : public Operator {
+ public:
+  StatsOp(ExecContext* ctx, OperatorPtr inner, const plan::PlanNode* node,
+          obs::OperatorStats* stats)
+      : Operator(ctx, inner->output_schema()),
+        inner_(std::move(inner)),
+        stats_(stats) {
+    if (ctx->obs_registry != nullptr) {
+      rows_out_ = ctx->obs_registry->GetCounter(
+          "eva_operator_rows_total", "Rows emitted per physical operator",
+          {{"op", plan::PlanKindName(node->kind())}});
+    }
+  }
+
+  Result<Batch> Next() override {
+    if (stats_ == nullptr) {
+      EVA_ASSIGN_OR_RETURN(Batch out, inner_->Next());
+      if (rows_out_ != nullptr) {
+        rows_out_->Increment(static_cast<double>(out.num_rows()));
+      }
+      return out;
+    }
+    obs::OperatorStats* prev = ctx_->active_stats;
+    ctx_->active_stats = stats_;
+    double sim0 = ctx_->clock->TotalMs();
+    auto wall0 = std::chrono::steady_clock::now();
+    Result<Batch> r = inner_->Next();
+    stats_->sim_ms += ctx_->clock->TotalMs() - sim0;
+    stats_->wall_us +=
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            std::chrono::steady_clock::now() - wall0)
+            .count();
+    ++stats_->batches;
+    if (r.ok()) {
+      stats_->rows_out += static_cast<int64_t>(r.value().num_rows());
+      if (rows_out_ != nullptr) {
+        rows_out_->Increment(static_cast<double>(r.value().num_rows()));
+      }
+    }
+    ctx_->active_stats = prev;
+    return r;
+  }
+
+ private:
+  OperatorPtr inner_;
+  obs::OperatorStats* stats_;
+  obs::Counter* rows_out_ = nullptr;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Builder
 // ---------------------------------------------------------------------------
 
-Result<OperatorPtr> BuildOperator(const plan::PlanNodePtr& node,
-                                  ExecContext* ctx) {
+namespace {
+
+Result<OperatorPtr> BuildOperatorImpl(const plan::PlanNodePtr& node,
+                                      ExecContext* ctx) {
   switch (node->kind()) {
     case PlanKind::kVideoScan: {
       auto* scan = static_cast<const plan::VideoScanNode*>(node.get());
@@ -807,6 +976,20 @@ Result<OperatorPtr> BuildOperator(const plan::PlanNodePtr& node,
     }
   }
   return Status::Internal("unknown plan node kind");
+}
+
+}  // namespace
+
+Result<OperatorPtr> BuildOperator(const plan::PlanNodePtr& node,
+                                  ExecContext* ctx) {
+  EVA_ASSIGN_OR_RETURN(OperatorPtr op, BuildOperatorImpl(node, ctx));
+  // Wrap only when someone is listening: per-node stats (EXPLAIN ANALYZE)
+  // or the metrics registry. The plain execution path keeps its exact
+  // pre-observability operator tree.
+  if (ctx->node_stats == nullptr && ctx->obs_registry == nullptr) return op;
+  obs::OperatorStats* stats =
+      ctx->node_stats != nullptr ? &(*ctx->node_stats)[node.get()] : nullptr;
+  return OperatorPtr(new StatsOp(ctx, std::move(op), node.get(), stats));
 }
 
 Result<Batch> ExecutePlan(const plan::PlanNodePtr& plan, ExecContext* ctx) {

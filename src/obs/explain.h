@@ -1,0 +1,24 @@
+#ifndef EVA_OBS_EXPLAIN_H_
+#define EVA_OBS_EXPLAIN_H_
+
+#include <map>
+#include <string>
+
+#include "obs/op_stats.h"
+#include "plan/plan.h"
+
+namespace eva::obs {
+
+/// Map from plan node to the stats its operator collected during a drain.
+using PlanStatsMap = std::map<const plan::PlanNode*, OperatorStats>;
+
+/// Renders the EXPLAIN ANALYZE tree: the physical plan annotated per node
+/// with rows/batches, cumulative and self simulated time, and — where the
+/// operator touches reuse machinery — view hits/misses, fresh UDF calls,
+/// and materialized rows.
+std::string RenderAnalyzedPlan(const plan::PlanNode& root,
+                               const PlanStatsMap& stats);
+
+}  // namespace eva::obs
+
+#endif  // EVA_OBS_EXPLAIN_H_

@@ -1,0 +1,67 @@
+#ifndef EVA_OBS_JSON_UTIL_H_
+#define EVA_OBS_JSON_UTIL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eva::obs {
+
+/// Appends `s` to `out` as a JSON string literal (quotes included).
+void AppendJsonString(std::string* out, const std::string& s);
+
+/// Formats a double losslessly and compactly: integral values print
+/// without a fraction ("42"), everything else uses max_digits10 so a
+/// strtod round-trip recovers the exact bits.
+std::string FormatJsonNumber(double v);
+
+/// Minimal owned JSON value for the observability exporters' round-trip
+/// tests and importers. Supports the full JSON grammar; numbers are kept
+/// as doubles (sufficient for every exported field).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+
+  double number() const { return number_; }
+  bool boolean() const { return bool_; }
+  const std::string& str() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  /// Find(key)->number() with a fallback for absent members.
+  double NumberOr(const std::string& key, double fallback) const;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed).
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace eva::obs
+
+#endif  // EVA_OBS_JSON_UTIL_H_

@@ -1,0 +1,310 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "obs/json_util.h"
+
+namespace eva::obs {
+
+namespace {
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Renders a normalized (sorted) label set as 'k1="v1",k2="v2"' with
+// Prometheus escaping for values.
+std::string LabelKey(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [k, v] : sorted) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += "=\"";
+    for (char c : v) {
+      if (c == '\\') {
+        out += "\\\\";
+      } else if (c == '"') {
+        out += "\\\"";
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    out += '"';
+  }
+  return out;
+}
+
+// 'name{labels}' or 'name{labels,extra}' sample-line prefix.
+std::string SampleName(const std::string& name, const std::string& labels,
+                       const std::string& extra = "") {
+  std::string out = name;
+  if (labels.empty() && extra.empty()) return out;
+  out += '{';
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ',';
+  out += extra;
+  out += '}';
+  return out;
+}
+
+const char* TypeName(int type) {
+  switch (type) {
+    case 0:
+      return "counter";
+    case 1:
+      return "gauge";
+    default:
+      return "histogram";
+  }
+}
+
+// Parses back the rendered label key into JSON members. Values were only
+// ever escaped with \\, \" and \n, so unescaping is local.
+void AppendLabelsJson(std::string* out, const std::string& label_key) {
+  *out += "\"labels\":{";
+  bool first = true;
+  size_t i = 0;
+  while (i < label_key.size()) {
+    size_t eq = label_key.find("=\"", i);
+    if (eq == std::string::npos) break;
+    std::string key = label_key.substr(i, eq - i);
+    std::string value;
+    size_t j = eq + 2;
+    while (j < label_key.size()) {
+      char c = label_key[j];
+      if (c == '\\' && j + 1 < label_key.size()) {
+        char n = label_key[j + 1];
+        value.push_back(n == 'n' ? '\n' : n);
+        j += 2;
+        continue;
+      }
+      if (c == '"') break;
+      value.push_back(c);
+      ++j;
+    }
+    if (!first) *out += ',';
+    first = false;
+    AppendJsonString(out, key);
+    *out += ':';
+    AppendJsonString(out, value);
+    i = j + 1;
+    if (i < label_key.size() && label_key[i] == ',') ++i;
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double v) {
+  size_t i =
+      static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(), v)
+                          - bounds_.begin());
+  ++counts_[i];
+  ++count_;
+  sum_ += v;
+}
+
+int64_t Histogram::CumulativeCount(size_t i) const {
+  int64_t total = 0;
+  for (size_t b = 0; b <= i && b < counts_.size(); ++b) total += counts_[b];
+  return total;
+}
+
+std::vector<double> DefaultLatencyBucketsMs() {
+  return {0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
+          10000, 30000, 60000};
+}
+
+MetricsRegistry::Family* MetricsRegistry::GetFamily(const std::string& name,
+                                                    Type type,
+                                                    const std::string& help) {
+  if (!ValidMetricName(name)) return nullptr;
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family f;
+    f.type = type;
+    f.help = help;
+    it = families_.emplace(name, std::move(f)).first;
+  }
+  return it->second.type == type ? &it->second : nullptr;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const Labels& labels) {
+  if (!enabled_) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* f = GetFamily(name, Type::kCounter, help);
+  if (f == nullptr) return nullptr;
+  auto& cell = f->counters[LabelKey(labels)];
+  if (cell == nullptr) cell = std::make_unique<Counter>();
+  return cell.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const Labels& labels) {
+  if (!enabled_) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* f = GetFamily(name, Type::kGauge, help);
+  if (f == nullptr) return nullptr;
+  auto& cell = f->gauges[LabelKey(labels)];
+  if (cell == nullptr) cell = std::make_unique<Gauge>();
+  return cell.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const std::vector<double>& bounds,
+                                         const Labels& labels) {
+  if (!enabled_) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* f = GetFamily(name, Type::kHistogram, help);
+  if (f == nullptr) return nullptr;
+  if (f->bounds.empty()) f->bounds = bounds;
+  auto& cell = f->histograms[LabelKey(labels)];
+  if (cell == nullptr) cell = std::make_unique<Histogram>(f->bounds);
+  return cell.get();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " " + family.help + "\n";
+    out += "# TYPE " + name + " ";
+    out += TypeName(static_cast<int>(family.type));
+    out += "\n";
+    switch (family.type) {
+      case Type::kCounter:
+        for (const auto& [labels, cell] : family.counters) {
+          out += SampleName(name, labels) + " " +
+                 FormatJsonNumber(cell->Value()) + "\n";
+        }
+        break;
+      case Type::kGauge:
+        for (const auto& [labels, cell] : family.gauges) {
+          out += SampleName(name, labels) + " " +
+                 FormatJsonNumber(cell->Value()) + "\n";
+        }
+        break;
+      case Type::kHistogram:
+        for (const auto& [labels, cell] : family.histograms) {
+          const auto& bounds = cell->bounds();
+          for (size_t i = 0; i < bounds.size(); ++i) {
+            out += SampleName(name + "_bucket", labels,
+                              "le=\"" + FormatJsonNumber(bounds[i]) +
+                                  "\"") +
+                   " " + std::to_string(cell->CumulativeCount(i)) + "\n";
+          }
+          out += SampleName(name + "_bucket", labels, "le=\"+Inf\"") + " " +
+                 std::to_string(cell->count()) + "\n";
+          out += SampleName(name + "_sum", labels) + " " +
+                 FormatJsonNumber(cell->sum()) + "\n";
+          out += SampleName(name + "_count", labels) + " " +
+                 std::to_string(cell->count()) + "\n";
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"metrics\":[";
+  bool first_family = true;
+  for (const auto& [name, family] : families_) {
+    if (!first_family) out += ',';
+    first_family = false;
+    out += "{\"name\":";
+    AppendJsonString(&out, name);
+    out += ",\"type\":\"";
+    out += TypeName(static_cast<int>(family.type));
+    out += "\",\"help\":";
+    AppendJsonString(&out, family.help);
+    out += ",\"series\":[";
+    bool first_series = true;
+    auto series_header = [&](const std::string& labels) {
+      if (!first_series) out += ',';
+      first_series = false;
+      out += '{';
+      AppendLabelsJson(&out, labels);
+    };
+    switch (family.type) {
+      case Type::kCounter:
+        for (const auto& [labels, cell] : family.counters) {
+          series_header(labels);
+          out += ",\"value\":" + FormatJsonNumber(cell->Value()) + "}";
+        }
+        break;
+      case Type::kGauge:
+        for (const auto& [labels, cell] : family.gauges) {
+          series_header(labels);
+          out += ",\"value\":" + FormatJsonNumber(cell->Value()) + "}";
+        }
+        break;
+      case Type::kHistogram:
+        for (const auto& [labels, cell] : family.histograms) {
+          series_header(labels);
+          out += ",\"count\":" + std::to_string(cell->count());
+          out += ",\"sum\":" + FormatJsonNumber(cell->sum());
+          out += ",\"buckets\":[";
+          const auto& bounds = cell->bounds();
+          for (size_t i = 0; i < bounds.size(); ++i) {
+            if (i > 0) out += ',';
+            out += "{\"le\":" + FormatJsonNumber(bounds[i]) +
+                   ",\"count\":" + std::to_string(cell->CumulativeCount(i)) +
+                   "}";
+          }
+          if (!bounds.empty()) out += ',';
+          out += "{\"le\":\"+Inf\",\"count\":" +
+                 std::to_string(cell->count()) + "}]}";
+        }
+        break;
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  families_.clear();
+}
+
+size_t MetricsRegistry::NumFamilies() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return families_.size();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace eva::obs

@@ -1,0 +1,141 @@
+#ifndef EVA_OBS_METRICS_H_
+#define EVA_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eva::obs {
+
+/// Ordered label key/value pairs identifying one time series within a
+/// metric family ({{"udf", "CarType"}}). Order is normalized internally.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing counter (Prometheus `counter`).
+class Counter {
+ public:
+  void Increment(double delta = 1.0) { value_ += delta; }
+  double Value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Instantaneous value (Prometheus `gauge`).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double delta) { value_ += delta; }
+  double Value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-bucket histogram (Prometheus `histogram`). Bucket semantics match
+/// the exposition format: bucket i counts observations <= bounds[i]; an
+/// implicit +Inf bucket catches the rest. Counts are stored per-bucket and
+/// rendered cumulatively.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1,
+  /// the last entry being the +Inf bucket.
+  const std::vector<int64_t>& bucket_counts() const { return counts_; }
+  /// Cumulative count of observations <= bounds()[i] (or all observations
+  /// when i == bounds().size()), as exposed in `_bucket{le=...}`.
+  int64_t CumulativeCount(size_t i) const;
+
+ private:
+  std::vector<double> bounds_;   // strictly increasing
+  std::vector<int64_t> counts_;  // bounds_.size() + 1 (+Inf)
+  int64_t count_ = 0;
+  double sum_ = 0;
+};
+
+/// Default bucket boundaries for millisecond-scale latency histograms.
+std::vector<double> DefaultLatencyBucketsMs();
+
+/// Process-wide registry of counters, gauges, and histograms with
+/// Prometheus text-format and JSON exposition. Zero external dependencies.
+///
+/// Cells returned by the Get* methods are stable for the registry's
+/// lifetime, so hot paths look a series up once and increment through the
+/// cached pointer. Registration is mutex-guarded; cell updates are not
+/// (the engine is single-threaded per session — see docs/OBSERVABILITY.md).
+///
+/// The `enabled` flag is the single cheap check instrumentation sites are
+/// gated behind: when false, Get* returns nullptr and callers skip all
+/// bookkeeping.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool v) { enabled_ = v; }
+
+  /// Find-or-create. Returns nullptr when the registry is disabled or the
+  /// name is already registered with a different type. Metric names must
+  /// match [a-zA-Z_:][a-zA-Z0-9_:]*.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          const std::vector<double>& bounds,
+                          const Labels& labels = {});
+
+  /// Prometheus text exposition format (version 0.0.4): HELP/TYPE comments
+  /// followed by one sample line per series, families and series in
+  /// deterministic (sorted) order.
+  std::string RenderPrometheus() const;
+
+  /// JSON exposition: {"metrics": [{name, type, help, series: [...]}]}.
+  std::string RenderJson() const;
+
+  /// Drops every registered family. Invalidate all cached cell pointers —
+  /// only for tests and explicit operator commands (shell `.metrics reset`).
+  void Reset();
+
+  size_t NumFamilies() const;
+
+  /// The process-wide registry every engine feeds by default.
+  static MetricsRegistry& Global();
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Family {
+    Type type;
+    std::string help;
+    std::vector<double> bounds;  // histograms only
+    // Keyed by the rendered label text ('udf="CarType"') for deterministic
+    // exposition order; unique_ptr keeps cell addresses stable.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Family* GetFamily(const std::string& name, Type type,
+                    const std::string& help);
+
+  bool enabled_ = true;
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace eva::obs
+
+#endif  // EVA_OBS_METRICS_H_

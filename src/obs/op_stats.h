@@ -1,0 +1,26 @@
+#ifndef EVA_OBS_OP_STATS_H_
+#define EVA_OBS_OP_STATS_H_
+
+#include <cstdint>
+
+namespace eva::obs {
+
+/// Per-plan-node runtime counters collected while an EXPLAIN ANALYZE (or
+/// any stats-enabled execution) drains the operator tree. Time is
+/// cumulative — it includes the children's time, mirroring how pull-based
+/// operators nest; the renderer derives self-time by subtraction.
+struct OperatorStats {
+  int64_t batches = 0;
+  int64_t rows_out = 0;
+  double sim_ms = 0;   // simulated time, cumulative over children
+  double wall_us = 0;  // host wall time, cumulative over children
+  int64_t view_hits = 0;
+  int64_t view_misses = 0;
+  int64_t udf_invocations = 0;  // fresh model evaluations
+  int64_t rows_reused = 0;      // tuples answered from a view / cache
+  int64_t rows_materialized = 0;
+};
+
+}  // namespace eva::obs
+
+#endif  // EVA_OBS_OP_STATS_H_

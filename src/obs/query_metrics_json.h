@@ -1,0 +1,28 @@
+#ifndef EVA_OBS_QUERY_METRICS_JSON_H_
+#define EVA_OBS_QUERY_METRICS_JSON_H_
+
+#include <string>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "exec/exec_context.h"
+
+namespace eva::obs {
+
+/// Serializes a SimClock snapshot as {"udf": ms, "read_video": ms, ...}
+/// with every cost category present. Numbers are printed losslessly
+/// (max_digits10), so FromJson recovers the exact doubles.
+std::string SnapshotToJson(const SimClock::Snapshot& snapshot);
+Result<SimClock::Snapshot> SnapshotFromJson(const std::string& json);
+
+/// Serializes the full per-query metrics record: invocations/reused maps,
+/// rows_out, optimizer_ms, and the simulated-time breakdown. The pair
+/// round-trips losslessly: FromJson(ToJson(m)) compares equal field by
+/// field, which the vbench per-workload dumps and any future persisted
+/// session logs rely on.
+std::string QueryMetricsToJson(const exec::QueryMetrics& metrics);
+Result<exec::QueryMetrics> QueryMetricsFromJson(const std::string& json);
+
+}  // namespace eva::obs
+
+#endif  // EVA_OBS_QUERY_METRICS_JSON_H_

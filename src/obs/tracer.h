@@ -1,0 +1,134 @@
+#ifndef EVA_OBS_TRACER_H_
+#define EVA_OBS_TRACER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace eva::obs {
+
+/// One completed (or still-open) span. Durations are tracked on both
+/// clocks: the engine's deterministic simulated clock (what the paper's
+/// figures measure) and the host wall clock (what the repro itself costs).
+struct SpanRecord {
+  std::string name;
+  std::string category;  // span taxonomy — see docs/OBSERVABILITY.md
+  int parent = -1;       // index into Tracer::spans(); -1 = root span
+  int depth = 0;
+  bool open = false;
+  double sim_start_ms = 0;
+  double sim_end_ms = 0;
+  double wall_start_us = 0;
+  double wall_end_us = 0;
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  double sim_ms() const { return sim_end_ms - sim_start_ms; }
+  double wall_us() const { return wall_end_us - wall_start_us; }
+};
+
+class Tracer;
+
+/// RAII handle for an open span. Default-constructed (or moved-from)
+/// handles are inert — StartSpan on a disabled tracer returns one, making
+/// the disabled path a single branch.
+class Span {
+ public:
+  Span() = default;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  ~Span() { End(); }
+
+  bool active() const { return tracer_ != nullptr; }
+  int index() const { return index_; }
+
+  void SetAttribute(const std::string& key, const std::string& value);
+  void SetAttribute(const std::string& key, double value);
+  void SetAttribute(const std::string& key, int64_t value);
+
+  /// Closes the span (idempotent; also run by the destructor).
+  void End();
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, int index) : tracer_(tracer), index_(index) {}
+
+  Tracer* tracer_ = nullptr;
+  int index_ = -1;
+};
+
+/// Hierarchical span collector for one engine session. Parentage follows
+/// the open-span stack: a span started while another is open becomes its
+/// child. Exports as an indented text tree and as Chrome `chrome://tracing`
+/// / Perfetto JSON (timestamps on the simulated clock, wall time in args).
+///
+/// Span storage is bounded (`max_spans`); once full, new spans are counted
+/// as dropped instead of recorded, so long sessions cannot grow without
+/// limit.
+class Tracer {
+ public:
+  explicit Tracer(const SimClock* clock = nullptr) : clock_(clock) {}
+
+  void set_clock(const SimClock* clock) { clock_ = clock; }
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool v) { enabled_ = v; }
+  void set_max_spans(size_t n) { max_spans_ = n; }
+
+  /// Opens a span as a child of the innermost open span.
+  Span StartSpan(const std::string& name, const std::string& category = "");
+
+  /// Records an already-measured span (used to attach per-operator
+  /// execution stats to the trace after a plan drain). Returns the span
+  /// index, or -1 when disabled/full.
+  int AddCompletedSpan(const std::string& name, const std::string& category,
+                       int parent, double sim_start_ms, double sim_end_ms,
+                       double wall_start_us, double wall_end_us);
+
+  void AddAttribute(int index, const std::string& key,
+                    const std::string& value);
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  int64_t dropped() const { return dropped_; }
+  /// Index of the innermost open span, -1 when none.
+  int current() const {
+    return open_stack_.empty() ? -1 : open_stack_.back();
+  }
+
+  void Clear();
+
+  /// Indented text tree: one line per span with both durations and
+  /// attributes.
+  std::string RenderText() const;
+
+  /// Chrome trace-event JSON (array of "X" complete events, ts/dur in
+  /// simulated microseconds; wall-clock duration in args). Load via
+  /// chrome://tracing or https://ui.perfetto.dev.
+  std::string RenderChromeTrace() const;
+
+  /// Current simulated-clock total in ms (0 when no clock attached).
+  double SimNowMs() const;
+  /// Microseconds of wall time since this tracer was constructed.
+  double WallNowUs() const;
+
+ private:
+  friend class Span;
+  void EndSpan(int index);
+
+  const SimClock* clock_ = nullptr;
+  bool enabled_ = true;
+  size_t max_spans_ = 100000;
+  int64_t dropped_ = 0;
+  std::vector<SpanRecord> spans_;
+  std::vector<int> open_stack_;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace eva::obs
+
+#endif  // EVA_OBS_TRACER_H_

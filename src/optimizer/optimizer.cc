@@ -1,6 +1,7 @@
 #include "optimizer/optimizer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <set>
 
@@ -39,6 +40,17 @@ struct UdfPredicate {
   UdfPredicateReport report;
   double rank = 0;
 };
+
+// Coverage predicates grow by whole conjuncts per query, so powers of two
+// give even resolution on the Fig. 7 x-axis.
+std::vector<double> AtomCountBuckets() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256};
+}
+
+// Predicate Inter/Diff is microsecond-scale; buckets span 1us–50ms.
+std::vector<double> DiffWallBucketsUs() {
+  return {1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 50000};
+}
 
 }  // namespace
 
@@ -178,9 +190,35 @@ Result<OptimizedQuery> Optimizer::Optimize(
     bool candidate =
         up.primary_def.cost_ms >= options_.candidate_cost_threshold_ms;
     if (eva_reuse && candidate && !coverage.IsFalse()) {
+      obs::Span diff_span;
+      if (tracer_ != nullptr) {
+        diff_span = tracer_->StartSpan("symbolic-diff", "symbolic-diff");
+        diff_span.SetAttribute("udf", up.primary_def.name);
+        diff_span.SetAttribute("coverage_atoms",
+                               static_cast<int64_t>(coverage.AtomCount()));
+      }
+      auto wall0 = std::chrono::steady_clock::now();
       auto inter =
           Predicate::Inter(coverage, assoc_base, options_.budget);
       auto diff = Predicate::Diff(coverage, assoc_base, options_.budget);
+      if (obs_ != nullptr) {
+        double wall_us =
+            std::chrono::duration_cast<
+                std::chrono::duration<double, std::micro>>(
+                std::chrono::steady_clock::now() - wall0)
+                .count();
+        if (auto* h = obs_->GetHistogram(
+                "eva_symbolic_diff_wall_us",
+                "Wall-clock latency of one coverage Inter+Diff "
+                "(predicate-difference computation, Algorithm 1 input).",
+                DiffWallBucketsUs())) {
+          h->Observe(wall_us);
+        }
+        if (diff.ok()) {
+          diff_span.SetAttribute(
+              "diff_atoms", static_cast<int64_t>(diff.value().AtomCount()));
+        }
+      }
       symbolic_atoms += coverage.AtomCount();
       if (inter.ok()) symbolic_atoms += inter.value().AtomCount();
       if (diff.ok()) symbolic_atoms += diff.value().AtomCount();
@@ -205,6 +243,23 @@ Result<OptimizedQuery> Optimizer::Optimize(
     bool use_ma = eva_reuse && options_.materialization_aware_ranking;
     up.rank = use_ma ? up.report.rank_materialization_aware
                      : up.report.rank_canonical;
+    if (obs_ != nullptr) {
+      obs::Labels labels{{"udf", up.primary_def.name}};
+      if (auto* g = obs_->GetGauge(
+              "eva_optimizer_rank",
+              "Eq. 4 materialization-aware rank of the UDF predicate "
+              "(last optimized query).",
+              labels)) {
+        g->Set(up.report.rank_materialization_aware);
+      }
+      if (auto* g = obs_->GetGauge(
+              "eva_optimizer_rank_canonical",
+              "Eq. 2 canonical rank of the UDF predicate (last optimized "
+              "query).",
+              labels)) {
+        g->Set(up.report.rank_canonical);
+      }
+    }
   }
   std::stable_sort(udf_preds.begin(), udf_preds.end(),
                    [](const UdfPredicate& a, const UdfPredicate& b) {
@@ -220,6 +275,27 @@ Result<OptimizedQuery> Optimizer::Optimize(
   // (ViewJoin + CondApply + Store). `assoc` is the UDF's associated
   // predicate, recorded into the UdfManager as the new coverage.
   Predicate assoc = id_sym;  // grows as filters are appended
+  // Wraps UdfManager::UpdateCoverage with the Algorithm-1 atom-count
+  // histograms: `before` is the naive union size (old coverage + the new
+  // associated predicate), `after` what the reduction actually kept.
+  auto update_coverage = [&](const std::string& key, const Predicate& q) {
+    int atoms_before = manager_->CoverageAtomCount(key) + q.AtomCount();
+    manager_->UpdateCoverage(key, q, options_.budget);
+    if (obs_ == nullptr) return;
+    if (auto* h = obs_->GetHistogram(
+            "eva_symbolic_coverage_atoms_before",
+            "Aggregated-predicate atom count before Algorithm 1 reduction "
+            "(old coverage + new associated predicate).",
+            AtomCountBuckets())) {
+      h->Observe(atoms_before);
+    }
+    if (auto* h = obs_->GetHistogram(
+            "eva_symbolic_coverage_atoms_after",
+            "Aggregated-predicate atom count after Algorithm 1 reduction.",
+            AtomCountBuckets())) {
+      h->Observe(manager_->CoverageAtomCount(key));
+    }
+  };
   auto chain_udf = [&](const std::string& udf_name,
                        const catalog::UdfDef& def,
                        const Predicate& assoc_now) -> Status {
@@ -271,7 +347,7 @@ Result<OptimizedQuery> Optimizer::Optimize(
     auto store = std::make_shared<plan::StoreNode>(udf_name, key);
     store->AddChild(node);
     node = store;
-    manager_->UpdateCoverage(key, assoc_now, options_.budget);
+    update_coverage(key, assoc_now);
     return Status::OK();
   };
 
@@ -314,6 +390,24 @@ Result<OptimizedQuery> Optimizer::Optimize(
           SelectPhysicalUdfs(*catalog_, *manager_, det_name, accuracy,
                              video.name, q_det, *stats_, costs_, use_alg2,
                              options_.budget));
+      if (obs_ != nullptr) {
+        if (auto* c = obs_->GetCounter(
+                "eva_model_selection_total",
+                "Physical models chosen for logical UDFs (Algorithm 2 "
+                "when logical reuse is on, MIN-COST otherwise).",
+                {{"udf", sel.execute_udf}})) {
+          c->Increment();
+        }
+        for (const std::string& view_udf : sel.view_udfs) {
+          if (auto* c = obs_->GetCounter(
+                  "eva_model_selection_view_reuse_total",
+                  "Sibling physical-model views Algorithm 2 scheduled for "
+                  "reuse instead of re-running a model.",
+                  {{"udf", view_udf}})) {
+            c->Increment();
+          }
+        }
+      }
       for (const std::string& view_udf : sel.view_udfs) {
         ++udf_occurrences;
         auto join = std::make_shared<plan::ViewJoinNode>(
@@ -357,10 +451,8 @@ Result<OptimizedQuery> Optimizer::Optimize(
                                                        exec_key);
         store->AddChild(node);
         node = store;
-        manager_->UpdateCoverage(exec_key,
-                                 sel.view_udfs.empty() ? q_det
-                                                       : sel.remainder,
-                                 options_.budget);
+        update_coverage(exec_key,
+                        sel.view_udfs.empty() ? q_det : sel.remainder);
       }
       out.report.detector_exec = sel.execute_udf;
     }

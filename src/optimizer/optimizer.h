@@ -7,6 +7,8 @@
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "exec/exec_context.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "parser/ast.h"
 #include "plan/plan.h"
 #include "storage/view_store.h"
@@ -77,16 +79,22 @@ class Optimizer {
   /// `views` (optional) lets the optimizer detect materializations that
   /// exist without aggregated-predicate coverage — e.g. views loaded from
   /// disk by a fresh session. Such views are joined and probed per tuple.
+  /// `tracer` / `obs` (optional) receive symbolic-diff spans, coverage-atom
+  /// histograms, and rank/model-selection metrics.
   Optimizer(OptimizerOptions options, const catalog::Catalog* catalog,
             udf::UdfManager* manager, const symbolic::StatsProvider* stats,
             exec::CostConstants costs,
-            const storage::ViewStore* views = nullptr)
+            const storage::ViewStore* views = nullptr,
+            obs::Tracer* tracer = nullptr,
+            obs::MetricsRegistry* obs = nullptr)
       : options_(options),
         catalog_(catalog),
         manager_(manager),
         stats_(stats),
         costs_(costs),
-        views_(views) {}
+        views_(views),
+        tracer_(tracer),
+        obs_(obs) {}
 
   /// Rewrites a bound SELECT statement into a physical plan, updating the
   /// UdfManager's aggregated predicates for every scheduled UDF.
@@ -101,6 +109,8 @@ class Optimizer {
   const symbolic::StatsProvider* stats_;
   exec::CostConstants costs_;
   const storage::ViewStore* views_;
+  obs::Tracer* tracer_;
+  obs::MetricsRegistry* obs_;
 };
 
 }  // namespace eva::optimizer

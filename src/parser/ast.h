@@ -30,6 +30,9 @@ struct SelectStatement {
   int64_t limit = -1;  // -1 = no LIMIT clause
   /// EXPLAIN prefix: optimize and return the plan without executing.
   bool explain = false;
+  /// EXPLAIN ANALYZE prefix: execute the query (with its usual reuse side
+  /// effects) and return the plan annotated with per-operator metrics.
+  bool analyze = false;
 };
 
 /// A parsed `CREATE [OR REPLACE] UDF <name> INPUT=(...) OUTPUT=(...)

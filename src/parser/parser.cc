@@ -18,12 +18,17 @@ class ParserImpl {
 
   Result<Statement> ParseStatement() {
     bool explain = ConsumeKeyword("EXPLAIN");
+    bool analyze = explain && ConsumeKeyword("ANALYZE");
     if (Peek().IsKeyword("SELECT")) {
       EVA_ASSIGN_OR_RETURN(SelectStatement sel, ParseSelect());
       sel.explain = explain;
+      sel.analyze = analyze;
       return Statement(std::move(sel));
     }
-    if (explain) return Error("EXPLAIN expects a SELECT statement");
+    if (explain) {
+      return Error(analyze ? "EXPLAIN ANALYZE expects a SELECT statement"
+                           : "EXPLAIN expects a SELECT statement");
+    }
     if (Peek().IsKeyword("CREATE")) {
       EVA_ASSIGN_OR_RETURN(CreateUdfStatement create, ParseCreateUdf());
       return Statement(std::move(create));

@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "obs/query_metrics_json.h"
 
 namespace eva::vbench {
 
@@ -259,6 +260,7 @@ Result<WorkloadResult> RunWorkload(engine::EvaEngine* engine,
     out.total_ms += r.metrics.TotalMs();
     out.total_invocations += r.metrics.TotalInvocations();
     out.total_reused += r.metrics.TotalReused();
+    out.aggregate.Accumulate(r.metrics);
     QueryRecord record;
     record.sql = sql;
     record.metrics = std::move(r.metrics);
@@ -267,6 +269,10 @@ Result<WorkloadResult> RunWorkload(engine::EvaEngine* engine,
   }
   out.view_bytes = engine->views().TotalSizeBytes();
   return out;
+}
+
+std::string WorkloadResult::AggregateJson() const {
+  return obs::QueryMetricsToJson(aggregate);
 }
 
 Result<std::unique_ptr<engine::EvaEngine>> MakeEngine(

@@ -59,6 +59,9 @@ struct WorkloadResult {
   int64_t total_invocations = 0;
   int64_t total_reused = 0;
   double view_bytes = 0;
+  /// Workload-wide metric totals (per-UDF counts + sim-time breakdown
+  /// summed over every query).
+  exec::QueryMetrics aggregate;
 
   double HitPercentage() const {
     return total_invocations == 0
@@ -66,6 +69,10 @@ struct WorkloadResult {
                : 100.0 * static_cast<double>(total_reused) /
                      static_cast<double>(total_invocations);
   }
+
+  /// JSON dump of `aggregate` (obs::QueryMetricsToJson), used by the
+  /// benchmark harnesses for per-workload metrics files.
+  std::string AggregateJson() const;
 };
 
 /// Runs a query list against `engine`, accumulating metrics.

@@ -1,0 +1,462 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "obs/json_util.h"
+#include "obs/metrics.h"
+#include "obs/query_metrics_json.h"
+#include "obs/tracer.h"
+
+namespace eva::obs {
+namespace {
+
+// ---------------------------------------------------------------- tracer --
+
+TEST(TracerTest, SpanNestingFollowsOpenStack) {
+  Tracer tracer;
+  Span a = tracer.StartSpan("query", "query");
+  Span b = tracer.StartSpan("parse", "parse");
+  b.End();
+  Span c = tracer.StartSpan("optimize", "optimize");
+  c.End();
+  a.End();
+
+  ASSERT_EQ(tracer.spans().size(), 3u);
+  EXPECT_EQ(tracer.spans()[0].name, "query");
+  EXPECT_EQ(tracer.spans()[0].parent, -1);
+  EXPECT_EQ(tracer.spans()[0].depth, 0);
+  EXPECT_EQ(tracer.spans()[1].name, "parse");
+  EXPECT_EQ(tracer.spans()[1].parent, 0);
+  EXPECT_EQ(tracer.spans()[1].depth, 1);
+  EXPECT_EQ(tracer.spans()[2].name, "optimize");
+  EXPECT_EQ(tracer.spans()[2].parent, 0);
+  EXPECT_EQ(tracer.spans()[2].depth, 1);
+  for (const SpanRecord& rec : tracer.spans()) EXPECT_FALSE(rec.open);
+}
+
+TEST(TracerTest, DeepNestingOrdersParents) {
+  Tracer tracer;
+  Span a = tracer.StartSpan("a");
+  Span b = tracer.StartSpan("b");
+  Span c = tracer.StartSpan("c");
+  EXPECT_EQ(tracer.current(), 2);
+  c.End();
+  EXPECT_EQ(tracer.current(), 1);
+  b.End();
+  a.End();
+  EXPECT_EQ(tracer.current(), -1);
+  EXPECT_EQ(tracer.spans()[2].parent, 1);
+  EXPECT_EQ(tracer.spans()[2].depth, 2);
+}
+
+TEST(TracerTest, OutOfOrderEndTolerated) {
+  Tracer tracer;
+  Span a = tracer.StartSpan("a");
+  Span b = tracer.StartSpan("b");
+  a.End();  // parent ends before child
+  b.End();
+  EXPECT_FALSE(tracer.spans()[0].open);
+  EXPECT_FALSE(tracer.spans()[1].open);
+  // The stack fully unwound: a new span is a root again.
+  Span c = tracer.StartSpan("c");
+  c.End();
+  EXPECT_EQ(tracer.spans()[2].parent, -1);
+}
+
+TEST(TracerTest, DisabledTracerIsInert) {
+  Tracer tracer;
+  tracer.set_enabled(false);
+  Span s = tracer.StartSpan("never");
+  EXPECT_FALSE(s.active());
+  s.SetAttribute("k", "v");  // must not crash
+  s.End();
+  EXPECT_TRUE(tracer.spans().empty());
+  EXPECT_EQ(tracer.dropped(), 0);
+}
+
+TEST(TracerTest, SpanCapDropsAndReports) {
+  Tracer tracer;
+  tracer.set_max_spans(2);
+  Span a = tracer.StartSpan("a");
+  Span b = tracer.StartSpan("b");
+  Span c = tracer.StartSpan("c");
+  EXPECT_FALSE(c.active());
+  EXPECT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 1);
+  b.End();
+  a.End();
+  EXPECT_NE(tracer.RenderText().find("1 spans dropped"), std::string::npos);
+}
+
+TEST(TracerTest, SimulatedDurationComesFromClock) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  Span s = tracer.StartSpan("udf-batch");
+  clock.Charge(CostCategory::kUdf, 42.5);
+  s.End();
+  EXPECT_DOUBLE_EQ(tracer.spans()[0].sim_ms(), 42.5);
+  EXPECT_GE(tracer.spans()[0].wall_us(), 0.0);
+}
+
+TEST(TracerTest, AttributesRenderInText) {
+  Tracer tracer;
+  Span s = tracer.StartSpan("optimize", "optimize");
+  s.SetAttribute("udf", std::string("CarType"));
+  s.SetAttribute("atoms", static_cast<int64_t>(7));
+  s.End();
+  std::string text = tracer.RenderText();
+  EXPECT_NE(text.find("optimize [optimize]"), std::string::npos);
+  EXPECT_NE(text.find("udf=CarType"), std::string::npos);
+  EXPECT_NE(text.find("atoms=7"), std::string::npos);
+  EXPECT_NE(text.find("sim="), std::string::npos);
+}
+
+TEST(TracerTest, TextTreeIndentsChildren) {
+  Tracer tracer;
+  Span a = tracer.StartSpan("query");
+  Span b = tracer.StartSpan("parse");
+  b.End();
+  a.End();
+  std::string text = tracer.RenderText();
+  EXPECT_EQ(text.rfind("query", 0), 0u);  // root unindented
+  EXPECT_NE(text.find("\n  parse"), std::string::npos);
+}
+
+TEST(TracerTest, AddCompletedSpanNestsUnderParent) {
+  Tracer tracer;
+  Span exec = tracer.StartSpan("execute");
+  int parent = exec.index();
+  exec.End();
+  int idx = tracer.AddCompletedSpan("ViewJoin", "view-probe", parent, 1.0,
+                                    3.5, 10.0, 20.0);
+  ASSERT_GE(idx, 0);
+  tracer.AddAttribute(idx, "rows", "12");
+  const SpanRecord& rec = tracer.spans()[static_cast<size_t>(idx)];
+  EXPECT_EQ(rec.parent, parent);
+  EXPECT_EQ(rec.depth, 1);
+  EXPECT_DOUBLE_EQ(rec.sim_ms(), 2.5);
+  EXPECT_EQ(rec.category, "view-probe");
+  EXPECT_NE(tracer.RenderText().find("rows=12"), std::string::npos);
+}
+
+TEST(TracerTest, ChromeTraceIsValidJson) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  Span a = tracer.StartSpan("query", "query");
+  a.SetAttribute("sql", std::string("SELECT \"x\"\nFROM t;"));
+  clock.Charge(CostCategory::kOther, 3.0);
+  Span b = tracer.StartSpan("execute");
+  b.End();
+  a.End();
+  auto parsed = ParseJson(tracer.RenderChromeTrace());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed.value().is_array());
+  ASSERT_EQ(parsed.value().array().size(), 2u);
+  const JsonValue& ev = parsed.value().array()[0];
+  EXPECT_EQ(ev.Find("name")->str(), "query");
+  EXPECT_EQ(ev.Find("ph")->str(), "X");
+  EXPECT_DOUBLE_EQ(ev.Find("dur")->number(), 3000.0);  // 3 sim-ms in us
+  EXPECT_NE(ev.Find("args")->Find("wall_us"), nullptr);
+  EXPECT_EQ(ev.Find("args")->Find("sql")->str(), "SELECT \"x\"\nFROM t;");
+}
+
+TEST(TracerTest, ClearDropsEverything) {
+  Tracer tracer;
+  Span a = tracer.StartSpan("a");
+  tracer.Clear();
+  EXPECT_TRUE(tracer.spans().empty());
+  a.End();  // handle outlived Clear; must not crash or resurrect
+  Span b = tracer.StartSpan("b");
+  b.End();
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].parent, -1);
+}
+
+// ------------------------------------------------------------- histogram --
+
+TEST(HistogramTest, BucketBoundariesAreInclusive) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.Observe(1.0);   // == bound -> bucket 0 (le="1")
+  h.Observe(1.5);   // bucket 1
+  h.Observe(2.0);   // == bound -> bucket 1
+  h.Observe(5.0);   // bucket 2
+  h.Observe(5.01);  // +Inf bucket
+  h.Observe(0.0);   // bucket 0
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2);
+  EXPECT_EQ(h.bucket_counts()[1], 2);
+  EXPECT_EQ(h.bucket_counts()[2], 1);
+  EXPECT_EQ(h.bucket_counts()[3], 1);
+  EXPECT_EQ(h.CumulativeCount(0), 2);
+  EXPECT_EQ(h.CumulativeCount(1), 4);
+  EXPECT_EQ(h.CumulativeCount(2), 5);
+  EXPECT_EQ(h.CumulativeCount(3), 6);
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0 + 1.5 + 2.0 + 5.0 + 5.01 + 0.0);
+}
+
+TEST(HistogramTest, BoundsAreSortedAndDeduped) {
+  Histogram h({5.0, 1.0, 2.0, 2.0});
+  EXPECT_EQ(h.bounds(), (std::vector<double>{1.0, 2.0, 5.0}));
+  EXPECT_EQ(h.bucket_counts().size(), 4u);
+}
+
+// -------------------------------------------------------------- registry --
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableCells) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("eva_test_total", "help",
+                                   {{"udf", "CarType"}});
+  ASSERT_NE(a, nullptr);
+  a->Increment();
+  Counter* b = registry.GetCounter("eva_test_total", "help",
+                                   {{"udf", "CarType"}});
+  EXPECT_EQ(a, b);
+  Counter* c = registry.GetCounter("eva_test_total", "help",
+                                   {{"udf", "ColorDet"}});
+  EXPECT_NE(a, c);
+  EXPECT_EQ(registry.NumFamilies(), 1u);
+}
+
+TEST(MetricsRegistryTest, LabelOrderIsNormalized) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("m_total", "h",
+                                   {{"a", "1"}, {"b", "2"}});
+  Counter* b = registry.GetCounter("m_total", "h",
+                                   {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricsRegistryTest, TypeMismatchAndBadNamesRejected) {
+  MetricsRegistry registry;
+  ASSERT_NE(registry.GetCounter("eva_mixed", "h"), nullptr);
+  EXPECT_EQ(registry.GetGauge("eva_mixed", "h"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("eva_mixed", "h", {1.0}), nullptr);
+  EXPECT_EQ(registry.GetCounter("0bad", "h"), nullptr);
+  EXPECT_EQ(registry.GetCounter("bad-name", "h"), nullptr);
+  EXPECT_EQ(registry.GetCounter("", "h"), nullptr);
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryHandsOutNothing) {
+  MetricsRegistry registry;
+  registry.set_enabled(false);
+  EXPECT_EQ(registry.GetCounter("eva_c_total", "h"), nullptr);
+  EXPECT_EQ(registry.GetGauge("eva_g", "h"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("eva_h", "h", {1.0}), nullptr);
+  EXPECT_EQ(registry.NumFamilies(), 0u);
+}
+
+MetricsRegistry* MakeGoldenRegistry() {
+  auto* registry = new MetricsRegistry();
+  registry->GetCounter("test_counter_total", "Counts things.",
+                       {{"udf", "CarType"}})
+      ->Increment(3);
+  registry->GetGauge("test_gauge", "Current value.")->Set(2.5);
+  Histogram* h =
+      registry->GetHistogram("test_hist", "Latency.", {1.0, 2.0});
+  h->Observe(0.5);
+  h->Observe(3.0);
+  return registry;
+}
+
+TEST(MetricsRegistryTest, PrometheusGolden) {
+  std::unique_ptr<MetricsRegistry> registry(MakeGoldenRegistry());
+  const std::string expected =
+      "# HELP test_counter_total Counts things.\n"
+      "# TYPE test_counter_total counter\n"
+      "test_counter_total{udf=\"CarType\"} 3\n"
+      "# HELP test_gauge Current value.\n"
+      "# TYPE test_gauge gauge\n"
+      "test_gauge 2.5\n"
+      "# HELP test_hist Latency.\n"
+      "# TYPE test_hist histogram\n"
+      "test_hist_bucket{le=\"1\"} 1\n"
+      "test_hist_bucket{le=\"2\"} 1\n"
+      "test_hist_bucket{le=\"+Inf\"} 2\n"
+      "test_hist_sum 3.5\n"
+      "test_hist_count 2\n";
+  EXPECT_EQ(registry->RenderPrometheus(), expected);
+}
+
+// Validates one pass of exposition-format text: every line is either a
+// HELP/TYPE comment or `name{labels} value` with a parseable value.
+void CheckExpositionFormat(const std::string& text) {
+  size_t start = 0;
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n');
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      continue;
+    }
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string series = line.substr(0, space);
+    std::string value = line.substr(space + 1);
+    char* value_end = nullptr;
+    std::strtod(value.c_str(), &value_end);
+    EXPECT_EQ(*value_end, '\0') << "bad sample value in: " << line;
+    std::string name = series.substr(0, series.find('{'));
+    ASSERT_FALSE(name.empty()) << line;
+    for (size_t i = 0; i < name.size(); ++i) {
+      char c = name[i];
+      bool ok = std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+                c == ':' ||
+                (i > 0 && std::isdigit(static_cast<unsigned char>(c)));
+      EXPECT_TRUE(ok) << "bad metric name in: " << line;
+    }
+    if (series.size() > name.size()) {
+      EXPECT_EQ(series[name.size()], '{') << line;
+      EXPECT_EQ(series.back(), '}') << line;
+    }
+  }
+}
+
+TEST(MetricsRegistryTest, PrometheusOutputParsesAsExposition) {
+  std::unique_ptr<MetricsRegistry> registry(MakeGoldenRegistry());
+  registry->GetCounter("escaped_total", "h", {{"q", "say \"hi\"\nnow"}})
+      ->Increment();
+  CheckExpositionFormat(registry->RenderPrometheus());
+}
+
+TEST(MetricsRegistryTest, JsonGolden) {
+  std::unique_ptr<MetricsRegistry> registry(MakeGoldenRegistry());
+  const std::string expected =
+      "{\"metrics\":["
+      "{\"name\":\"test_counter_total\",\"type\":\"counter\","
+      "\"help\":\"Counts things.\",\"series\":["
+      "{\"labels\":{\"udf\":\"CarType\"},\"value\":3}]},"
+      "{\"name\":\"test_gauge\",\"type\":\"gauge\","
+      "\"help\":\"Current value.\",\"series\":["
+      "{\"labels\":{},\"value\":2.5}]},"
+      "{\"name\":\"test_hist\",\"type\":\"histogram\","
+      "\"help\":\"Latency.\",\"series\":["
+      "{\"labels\":{},\"count\":2,\"sum\":3.5,\"buckets\":["
+      "{\"le\":1,\"count\":1},{\"le\":2,\"count\":1},"
+      "{\"le\":\"+Inf\",\"count\":2}]}]}]}";
+  EXPECT_EQ(registry->RenderJson(), expected);
+}
+
+TEST(MetricsRegistryTest, JsonOutputParses) {
+  std::unique_ptr<MetricsRegistry> registry(MakeGoldenRegistry());
+  registry->GetCounter("escaped_total", "h", {{"q", "say \"hi\"\nnow"}})
+      ->Increment();
+  auto parsed = ParseJson(registry->RenderJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* metrics = parsed.value().Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_array());
+  EXPECT_EQ(metrics->array().size(), 4u);
+  const JsonValue& escaped = metrics->array()[0];  // sorted: escaped_total
+  EXPECT_EQ(escaped.Find("name")->str(), "escaped_total");
+  EXPECT_EQ(escaped.Find("series")
+                ->array()[0]
+                .Find("labels")
+                ->Find("q")
+                ->str(),
+            "say \"hi\"\nnow");
+}
+
+TEST(MetricsRegistryTest, ResetDropsFamilies) {
+  std::unique_ptr<MetricsRegistry> registry(MakeGoldenRegistry());
+  EXPECT_EQ(registry->NumFamilies(), 3u);
+  registry->Reset();
+  EXPECT_EQ(registry->NumFamilies(), 0u);
+  EXPECT_EQ(registry->RenderPrometheus(), "");
+}
+
+// ------------------------------------------------- JSON metric round-trip --
+
+TEST(QueryMetricsJsonTest, SnapshotRoundTripIsLossless) {
+  SimClock::Snapshot s;
+  // Deliberately awkward doubles: non-representable fractions, tiny and
+  // large magnitudes.
+  s.ms[static_cast<size_t>(CostCategory::kUdf)] = 0.1 + 0.2;
+  s.ms[static_cast<size_t>(CostCategory::kReadVideo)] = 1e-17;
+  s.ms[static_cast<size_t>(CostCategory::kReadView)] = 12345.678901234567;
+  s.ms[static_cast<size_t>(CostCategory::kMaterialize)] = 3.0;
+  s.ms[static_cast<size_t>(CostCategory::kOptimize)] = 1.0 / 3.0;
+  auto round = SnapshotFromJson(SnapshotToJson(s));
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  for (size_t i = 0; i < s.ms.size(); ++i) {
+    EXPECT_EQ(round.value().ms[i], s.ms[i]) << "category " << i;
+  }
+  EXPECT_EQ(round.value().Total(), s.Total());
+}
+
+TEST(QueryMetricsJsonTest, SnapshotRejectsUnknownCategory) {
+  auto r = SnapshotFromJson("{\"udf\":1,\"time_travel\":2}");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(QueryMetricsJsonTest, QueryMetricsRoundTripIsLossless) {
+  exec::QueryMetrics m;
+  m.invocations["FasterRCNNResNet50"] = 123456789012345;
+  m.invocations["CarType"] = 7;
+  m.reused["CarType"] = 3;
+  m.rows_out = 42;
+  m.optimizer_ms = 17.3000000000000007;  // not exactly representable
+  m.breakdown.ms[static_cast<size_t>(CostCategory::kUdf)] = 0.3;
+  m.breakdown.ms[static_cast<size_t>(CostCategory::kHashing)] = 2.0 / 7.0;
+  auto round = obs::QueryMetricsFromJson(obs::QueryMetricsToJson(m));
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  const exec::QueryMetrics& r = round.value();
+  EXPECT_EQ(r.invocations, m.invocations);
+  EXPECT_EQ(r.reused, m.reused);
+  EXPECT_EQ(r.rows_out, m.rows_out);
+  EXPECT_EQ(r.optimizer_ms, m.optimizer_ms);
+  for (size_t i = 0; i < m.breakdown.ms.size(); ++i) {
+    EXPECT_EQ(r.breakdown.ms[i], m.breakdown.ms[i]) << "category " << i;
+  }
+}
+
+TEST(QueryMetricsJsonTest, AccumulateMatchesRoundTrippedAccumulate) {
+  // Accumulate then export == export both and accumulate the imports.
+  exec::QueryMetrics a;
+  a.invocations["X"] = 5;
+  a.optimizer_ms = 0.1;
+  a.breakdown.ms[0] = 1.5;
+  exec::QueryMetrics b;
+  b.invocations["X"] = 2;
+  b.reused["X"] = 1;
+  b.rows_out = 9;
+  b.optimizer_ms = 0.2;
+  b.breakdown.ms[0] = 2.25;
+
+  auto ra = obs::QueryMetricsFromJson(obs::QueryMetricsToJson(a));
+  auto rb = obs::QueryMetricsFromJson(obs::QueryMetricsToJson(b));
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  exec::QueryMetrics via_json = ra.value();
+  via_json.Accumulate(rb.value());
+
+  a.Accumulate(b);
+  EXPECT_EQ(obs::QueryMetricsToJson(via_json), obs::QueryMetricsToJson(a));
+  EXPECT_EQ(via_json.invocations.at("X"), 7);
+  EXPECT_EQ(via_json.rows_out, 9);
+  EXPECT_EQ(via_json.breakdown.ms[0], 3.75);
+}
+
+TEST(JsonUtilTest, NumberFormattingRoundTrips) {
+  EXPECT_EQ(FormatJsonNumber(42.0), "42");
+  EXPECT_EQ(FormatJsonNumber(0.0), "0");
+  EXPECT_EQ(FormatJsonNumber(-5.0), "-5");
+  for (double v : {0.1, 1.0 / 3.0, 1e-300, 6.02e23, -123.456}) {
+    auto parsed = ParseJson(FormatJsonNumber(v));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().number(), v);
+  }
+  // NaN/Inf are not representable in JSON; exporter clamps to 0.
+  EXPECT_EQ(FormatJsonNumber(std::nan("")), "0");
+}
+
+}  // namespace
+}  // namespace eva::obs
