@@ -1,0 +1,159 @@
+// Parallel-scaling harness for the morsel-driven runtime (docs/RUNTIME.md).
+//
+// Runs VBENCH-HIGH (EVA mode) on SHORT-UA-DETRAC at 1/2/4/8 worker threads
+// and reports, per thread count:
+//   - simulated total time  — MUST be bit-identical across thread counts
+//     (the determinism contract; violations abort the benchmark), and
+//   - host wall-clock time + speedup vs 1 thread — the only number threads
+//     are allowed to change.
+//
+// The simulated UDFs charge the paper's costs to the SimClock but burn
+// almost no host CPU, so without help a parallel run has nothing to
+// overlap. $EVA_UDF_SPIN_US (default 20) busy-waits that many host
+// microseconds per UDF invocation to stand in for real model compute.
+// Wall-clock speedup therefore requires physical cores: on a single-core
+// host the bench still verifies determinism but reports speedup ~1.
+//
+// Output: a table on stdout and a BENCH_parallel.json-style dump to the
+// path in argv[1] (default "BENCH_parallel.json").
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace eva;  // NOLINT
+
+namespace {
+
+double SpinUsFromEnv() {
+  const char* s = std::getenv("EVA_UDF_SPIN_US");
+  if (s == nullptr || *s == '\0') return 20.0;
+  return std::atof(s);
+}
+
+struct RunResult {
+  int threads = 0;
+  double sim_ms = 0;
+  double wall_s = 0;
+  int64_t rows_out = 0;
+  int64_t invocations = 0;
+  int64_t reused = 0;
+  SimClock::Snapshot breakdown;
+};
+
+RunResult RunAtThreads(int threads, double spin_us,
+                       const catalog::VideoInfo& video,
+                       const std::vector<std::string>& queries) {
+  engine::EngineOptions options;
+  options.optimizer.mode = optimizer::ReuseMode::kEva;
+  options.num_threads = threads;
+  options.udf_spin_us = spin_us;
+  auto engine =
+      bench::Unwrap(vbench::MakeEngine(options, video), "engine");
+  auto start = std::chrono::steady_clock::now();
+  vbench::WorkloadResult r =
+      bench::Unwrap(vbench::RunWorkload(engine.get(), queries), "workload");
+  auto end = std::chrono::steady_clock::now();
+  RunResult out;
+  out.threads = engine->num_threads();
+  out.sim_ms = r.total_ms;
+  out.wall_s = std::chrono::duration<double>(end - start).count();
+  out.rows_out = r.aggregate.rows_out;
+  out.invocations = r.total_invocations;
+  out.reused = r.total_reused;
+  out.breakdown = r.aggregate.breakdown;
+  return out;
+}
+
+// Bitwise comparison on purpose: the determinism contract is "same double,
+// not approximately the same double" (ChargeLog replay, docs/RUNTIME.md).
+bool SimIdentical(const RunResult& a, const RunResult& b) {
+  if (a.sim_ms != b.sim_ms) return false;
+  if (a.rows_out != b.rows_out) return false;
+  if (a.invocations != b.invocations || a.reused != b.reused) return false;
+  for (size_t i = 0;
+       i < static_cast<size_t>(CostCategory::kNumCategories); ++i) {
+    if (a.breakdown.ms[i] != b.breakdown.ms[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : std::string("BENCH_parallel.json");
+  const double spin_us = SpinUsFromEnv();
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  catalog::VideoInfo video = vbench::ShortUaDetrac();
+  std::vector<std::string> queries =
+      vbench::VbenchHigh(video.name, video.num_frames);
+
+  bench::PrintHeader("Parallel scaling — VBENCH-HIGH / SHORT-UA-DETRAC");
+  std::printf("host cores: %u | udf spin: %.1f us/invocation "
+              "($EVA_UDF_SPIN_US)\n\n",
+              hw, spin_us);
+
+  const int thread_counts[] = {1, 2, 4, 8};
+  std::vector<RunResult> runs;
+  for (int t : thread_counts) {
+    runs.push_back(RunAtThreads(t, spin_us, video, queries));
+  }
+
+  std::printf("%8s %14s %10s %10s %8s\n", "threads", "sim total s",
+              "wall s", "speedup", "sim ok");
+  bool all_identical = true;
+  for (const RunResult& r : runs) {
+    bool ok = SimIdentical(runs[0], r);
+    all_identical = all_identical && ok;
+    std::printf("%8d %14.1f %10.2f %9.2fx %8s\n", r.threads,
+                r.sim_ms / 1000.0, r.wall_s, runs[0].wall_s / r.wall_s,
+                ok ? "yes" : "NO");
+  }
+
+  std::string json = "{\n  \"benchmark\": \"parallel_scaling\",\n";
+  json += "  \"video\": \"short_ua_detrac\",\n  \"workload\": "
+          "\"VBENCH-HIGH\",\n  \"mode\": \"eva\",\n";
+  json += "  \"host_cores\": " + std::to_string(hw) + ",\n";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  \"udf_spin_us\": %.1f,\n", spin_us);
+  json += buf;
+  json += std::string("  \"sim_identical_across_threads\": ") +
+          (all_identical ? "true" : "false") + ",\n  \"results\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"threads\": %d, \"sim_total_ms\": %.6f, "
+                  "\"wall_s\": %.3f, \"speedup\": %.3f, \"rows_out\": %lld, "
+                  "\"invocations\": %lld, \"reused\": %lld}%s\n",
+                  r.threads, r.sim_ms, r.wall_s, runs[0].wall_s / r.wall_s,
+                  static_cast<long long>(r.rows_out),
+                  static_cast<long long>(r.invocations),
+                  static_cast<long long>(r.reused),
+                  i + 1 < runs.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+  std::ofstream out(json_path);
+  if (out) {
+    out << json;
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "WARN cannot write %s\n", json_path.c_str());
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FATAL simulated results differ across thread counts — "
+                 "determinism contract violated (docs/RUNTIME.md)\n");
+    return 1;
+  }
+  return 0;
+}

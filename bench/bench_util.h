@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "obs/json_util.h"
+#include "runtime/thread_pool.h"
 #include "vbench/vbench.h"
 
 namespace eva::bench {
@@ -26,12 +27,28 @@ T Unwrap(Result<T> result, const char* what) {
   return result.MoveValue();
 }
 
-/// Runs one workload in one reuse mode from a clean state.
+/// Worker-thread count benches run with: $EVA_THREADS, default 1. Every
+/// bench inherits it through EngineOptions::num_threads = 0; this helper
+/// exists so harnesses can report the setting. Simulated times — all the
+/// paper figures — are identical at any value (docs/RUNTIME.md); threads
+/// change host wall clock only.
+inline int NumThreadsFromEnv() {
+  return runtime::ThreadPool::ResolveThreads(0);
+}
+
+/// Runs one workload in one reuse mode from a clean state. Honors
+/// $EVA_THREADS (see NumThreadsFromEnv).
 inline vbench::WorkloadResult RunMode(
     optimizer::ReuseMode mode, const catalog::VideoInfo& video,
     const std::vector<std::string>& queries) {
+  engine::EngineOptions options;
+  options.optimizer.mode = mode;
+  if (mode == optimizer::ReuseMode::kNoReuse) {
+    options.optimizer.reuse_enabled = false;
+  }
+  options.num_threads = NumThreadsFromEnv();
   auto engine =
-      Unwrap(vbench::MakeEngine(mode, video), "engine construction");
+      Unwrap(vbench::MakeEngine(options, video), "engine construction");
   return Unwrap(vbench::RunWorkload(engine.get(), queries), "workload");
 }
 

@@ -93,6 +93,13 @@ EvaEngine::EvaEngine(EngineOptions options,
       runtime_(catalog_.get()) {
   tracer_.set_enabled(options_.observability);
   if (!options_.observability) registry_ = nullptr;
+  SetNumThreads(options_.num_threads);
+}
+
+void EvaEngine::SetNumThreads(int n) {
+  n = runtime::ThreadPool::ResolveThreads(n);
+  num_threads_ = n;
+  pool_ = n > 1 ? std::make_unique<runtime::ThreadPool>(n) : nullptr;
 }
 
 Status EvaEngine::CreateVideo(const catalog::VideoInfo& info) {
@@ -249,6 +256,9 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
   ctx.costs = options_.costs;
   ctx.metrics = &out.metrics;
   ctx.batch_size = options_.batch_size;
+  ctx.pool = pool_.get();
+  ctx.morsel_rows = options_.morsel_rows;
+  ctx.udf_spin_us = options_.udf_spin_us;
   if (options_.optimizer.mode == optimizer::ReuseMode::kFunCache) {
     ctx.funcache = &funcache_;
   }

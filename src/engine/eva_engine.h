@@ -14,6 +14,7 @@
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "optimizer/optimizer.h"
+#include "runtime/thread_pool.h"
 #include "storage/statistics.h"
 #include "storage/view_store.h"
 #include "udf/udf_manager.h"
@@ -32,6 +33,18 @@ struct EngineOptions {
   /// registry metrics, and per-operator row counters. Never charges the
   /// simulated clock either way.
   bool observability = true;
+  /// Worker threads for morsel-driven UDF evaluation (docs/RUNTIME.md).
+  /// 1 runs the exact serial path; 0 defers to $EVA_THREADS (default 1).
+  /// Simulated times are bit-identical at every setting — threads change
+  /// wall clock only.
+  int num_threads = 0;
+  /// Rows per morsel. Fixed per-engine (never derived from the thread
+  /// count) so result partitioning is reproducible.
+  int64_t morsel_rows = 128;
+  /// Busy-wait per UDF invocation, in wall-clock microseconds. Emulates
+  /// real model compute for parallel-scaling benchmarks; 0 (default) adds
+  /// nothing. Never charges the simulated clock.
+  double udf_spin_us = 0;
 };
 
 /// Result of one query: output rows, execution metrics (time breakdown,
@@ -87,6 +100,14 @@ class EvaEngine {
   const catalog::Catalog& catalog() const { return *catalog_; }
   const EngineOptions& options() const { return options_; }
 
+  /// Resolved worker-thread count (EngineOptions::num_threads after
+  /// $EVA_THREADS fallback). 1 means serial execution.
+  int num_threads() const { return num_threads_; }
+  /// Re-sizes the worker pool mid-session (the shell's .threads command).
+  /// All reuse state (views, coverage, clock) is preserved — only wall
+  /// clock changes, by the determinism contract.
+  void SetNumThreads(int n);
+
   Result<const vision::SyntheticVideo*> video(const std::string& name) const;
 
   /// Distinct UDF invocations so far: materialized view keys (EVA /
@@ -108,6 +129,8 @@ class EvaEngine {
   udf::UdfRuntime runtime_;
   baselines::FunCache funcache_;
   SimClock clock_;
+  int num_threads_ = 1;
+  std::unique_ptr<runtime::ThreadPool> pool_;  // null when num_threads_ == 1
   obs::MetricsRegistry* registry_ = &obs::MetricsRegistry::Global();
   obs::Tracer tracer_{&clock_};
 };

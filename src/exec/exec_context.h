@@ -9,6 +9,7 @@
 #include "common/sim_clock.h"
 #include "obs/metrics.h"
 #include "obs/op_stats.h"
+#include "runtime/morsel.h"
 #include "storage/view_store.h"
 #include "udf/udf_runtime.h"
 #include "vision/synthetic_video.h"
@@ -16,6 +17,10 @@
 namespace eva::baselines {
 class FunCache;
 }  // namespace eva::baselines
+
+namespace eva::runtime {
+class ThreadPool;
+}  // namespace eva::runtime
 
 namespace eva::plan {
 class PlanNode;
@@ -96,7 +101,29 @@ struct ExecContext {
   /// counters to the right node.
   obs::OperatorStats* active_stats = nullptr;
 
-  void Charge(CostCategory cat, double ms) const { clock->Charge(cat, ms); }
+  // --- parallel runtime (src/runtime/) ------------------------------------
+  /// Work-stealing pool; nullptr (or num_threads == 1) keeps the exact
+  /// serial execution path.
+  runtime::ThreadPool* pool = nullptr;
+  /// Rows per morsel when an APPLY input batch is split across workers.
+  /// Independent of the thread count, so results and simulated times are
+  /// reproducible at any parallelism (docs/RUNTIME.md).
+  int64_t morsel_rows = 128;
+  /// Emulated per-invocation model compute (host microseconds, busy-wait).
+  /// 0 in production simulation; set by wall-clock scaling benchmarks.
+  double udf_spin_us = 0;
+  /// Non-null only on morsel-local context clones: simulated-cost charges
+  /// are recorded here and replayed onto the shared clock in deterministic
+  /// morsel order by the driver thread.
+  runtime::ChargeLog* charge_log = nullptr;
+
+  void Charge(CostCategory cat, double ms) const {
+    if (charge_log != nullptr) {
+      charge_log->Charge(cat, ms);
+    } else {
+      clock->Charge(cat, ms);
+    }
+  }
 };
 
 /// Column names shared between operators and the optimizer.

@@ -22,8 +22,9 @@ void RenderNode(const plan::PlanNode& node, const PlanStatsMap& stats,
     std::snprintf(buf, sizeof(buf),
                   " [rows=%lld batches=%lld sim=%.3fms self=%.3fms",
                   static_cast<long long>(s.rows_out),
-                  static_cast<long long>(s.batches), s.sim_ms,
-                  s.sim_ms - child_sim);
+                  static_cast<long long>(s.batches),
+                  static_cast<double>(s.sim_ms),
+                  static_cast<double>(s.sim_ms) - child_sim);
     *out += buf;
     if (s.view_hits > 0 || s.view_misses > 0) {
       std::snprintf(buf, sizeof(buf), " view_hits=%lld view_misses=%lld",

@@ -122,12 +122,29 @@ void Histogram::Observe(double v) {
   size_t i =
       static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(), v)
                           - bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
   ++counts_[i];
   ++count_;
   sum_ += v;
 }
 
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+std::vector<int64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
 int64_t Histogram::CumulativeCount(size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
   int64_t total = 0;
   for (size_t b = 0; b <= i && b < counts_.size(); ++b) total += counts_[b];
   return total;

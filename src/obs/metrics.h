@@ -1,6 +1,7 @@
 #ifndef EVA_OBS_METRICS_H_
 #define EVA_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -15,49 +16,64 @@ namespace eva::obs {
 /// metric family ({{"udf", "CarType"}}). Order is normalized internally.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
-/// Monotonically increasing counter (Prometheus `counter`).
+/// Monotonically increasing counter (Prometheus `counter`). Increments are
+/// lock-free atomics: operators on runtime worker threads bump shared cells
+/// concurrently. Whole-number deltas stay exact under any interleaving
+/// (doubles add integers exactly up to 2^53).
 class Counter {
  public:
-  void Increment(double delta = 1.0) { value_ += delta; }
-  double Value() const { return value_; }
+  void Increment(double delta = 1.0) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
-/// Instantaneous value (Prometheus `gauge`).
+/// Instantaneous value (Prometheus `gauge`). Atomic for the same reason as
+/// Counter.
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  void Add(double delta) { value_ += delta; }
-  double Value() const { return value_; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
 /// Fixed-bucket histogram (Prometheus `histogram`). Bucket semantics match
 /// the exposition format: bucket i counts observations <= bounds[i]; an
 /// implicit +Inf bucket catches the rest. Counts are stored per-bucket and
 /// rendered cumulatively.
+///
+/// Observe() and the readers are guarded by a per-histogram mutex: an
+/// observation updates three correlated fields (bucket, count, sum), so a
+/// single lock is both simpler and cheaper than making the triple appear
+/// atomic piecemeal. Observations are per-query, not per-row, so the lock
+/// is far off any hot path.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
   void Observe(double v);
 
-  int64_t count() const { return count_; }
-  double sum() const { return sum_; }
+  int64_t count() const;
+  double sum() const;
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1,
   /// the last entry being the +Inf bucket.
-  const std::vector<int64_t>& bucket_counts() const { return counts_; }
+  std::vector<int64_t> bucket_counts() const;
   /// Cumulative count of observations <= bounds()[i] (or all observations
   /// when i == bounds().size()), as exposed in `_bucket{le=...}`.
   int64_t CumulativeCount(size_t i) const;
 
  private:
-  std::vector<double> bounds_;   // strictly increasing
+  std::vector<double> bounds_;   // strictly increasing; immutable
+  mutable std::mutex mu_;
   std::vector<int64_t> counts_;  // bounds_.size() + 1 (+Inf)
   int64_t count_ = 0;
   double sum_ = 0;
@@ -71,8 +87,10 @@ std::vector<double> DefaultLatencyBucketsMs();
 ///
 /// Cells returned by the Get* methods are stable for the registry's
 /// lifetime, so hot paths look a series up once and increment through the
-/// cached pointer. Registration is mutex-guarded; cell updates are not
-/// (the engine is single-threaded per session — see docs/OBSERVABILITY.md).
+/// cached pointer. Registration is mutex-guarded; cell updates are
+/// thread-safe too (atomic counters/gauges, mutexed histograms) because
+/// operators run on runtime worker threads — see docs/RUNTIME.md for the
+/// full thread-safety map.
 ///
 /// The `enabled` flag is the single cheap check instrumentation sites are
 /// gated behind: when false, Get* returns nullptr and callers skip all

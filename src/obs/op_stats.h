@@ -1,6 +1,7 @@
 #ifndef EVA_OBS_OP_STATS_H_
 #define EVA_OBS_OP_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace eva::obs {
@@ -9,16 +10,54 @@ namespace eva::obs {
 /// any stats-enabled execution) drains the operator tree. Time is
 /// cumulative — it includes the children's time, mirroring how pull-based
 /// operators nest; the renderer derives self-time by subtraction.
+///
+/// Fields are atomics: with the parallel runtime (src/runtime/), leaf
+/// helpers increment the active node's counters from worker threads. The
+/// morsel driver funnels worker increments through morsel-local cells
+/// merged on the driver thread (so totals stay deterministic), but the
+/// cells themselves stay race-free even if an operator charges a shared
+/// cell directly. All accesses are relaxed — these are statistics, not
+/// synchronization.
 struct OperatorStats {
-  int64_t batches = 0;
-  int64_t rows_out = 0;
-  double sim_ms = 0;   // simulated time, cumulative over children
-  double wall_us = 0;  // host wall time, cumulative over children
-  int64_t view_hits = 0;
-  int64_t view_misses = 0;
-  int64_t udf_invocations = 0;  // fresh model evaluations
-  int64_t rows_reused = 0;      // tuples answered from a view / cache
-  int64_t rows_materialized = 0;
+  std::atomic<int64_t> batches{0};
+  std::atomic<int64_t> rows_out{0};
+  std::atomic<double> sim_ms{0};   // simulated time, cumulative over children
+  std::atomic<double> wall_us{0};  // host wall time, cumulative over children
+  std::atomic<int64_t> view_hits{0};
+  std::atomic<int64_t> view_misses{0};
+  std::atomic<int64_t> udf_invocations{0};  // fresh model evaluations
+  std::atomic<int64_t> rows_reused{0};      // tuples answered from view/cache
+  std::atomic<int64_t> rows_materialized{0};
+
+  OperatorStats() = default;
+  OperatorStats(const OperatorStats& other) { *this = other; }
+  OperatorStats& operator=(const OperatorStats& other) {
+    batches = other.batches.load(std::memory_order_relaxed);
+    rows_out = other.rows_out.load(std::memory_order_relaxed);
+    sim_ms = other.sim_ms.load(std::memory_order_relaxed);
+    wall_us = other.wall_us.load(std::memory_order_relaxed);
+    view_hits = other.view_hits.load(std::memory_order_relaxed);
+    view_misses = other.view_misses.load(std::memory_order_relaxed);
+    udf_invocations = other.udf_invocations.load(std::memory_order_relaxed);
+    rows_reused = other.rows_reused.load(std::memory_order_relaxed);
+    rows_materialized =
+        other.rows_materialized.load(std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Accumulates another stats cell (morsel-local → per-node merge).
+  void Add(const OperatorStats& other) {
+    batches += other.batches.load(std::memory_order_relaxed);
+    rows_out += other.rows_out.load(std::memory_order_relaxed);
+    sim_ms += other.sim_ms.load(std::memory_order_relaxed);
+    wall_us += other.wall_us.load(std::memory_order_relaxed);
+    view_hits += other.view_hits.load(std::memory_order_relaxed);
+    view_misses += other.view_misses.load(std::memory_order_relaxed);
+    udf_invocations += other.udf_invocations.load(std::memory_order_relaxed);
+    rows_reused += other.rows_reused.load(std::memory_order_relaxed);
+    rows_materialized +=
+        other.rows_materialized.load(std::memory_order_relaxed);
+  }
 };
 
 }  // namespace eva::obs

@@ -1,6 +1,7 @@
 #include "obs/tracer.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdio>
 
 #include "obs/json_util.h"
@@ -55,6 +56,12 @@ double Tracer::WallNowUs() const {
 Span Tracer::StartSpan(const std::string& name,
                        const std::string& category) {
   if (!enabled_) return Span();
+  // Driver-thread-only contract (see class comment): while spans are open,
+  // all span creation must stay on the thread that opened the bottom of
+  // the stack. Runtime workers must never trace.
+  assert(open_stack_.empty() ||
+         stack_owner_ == std::this_thread::get_id());
+  if (open_stack_.empty()) stack_owner_ = std::this_thread::get_id();
   if (spans_.size() >= max_spans_) {
     ++dropped_;
     return Span();

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -70,6 +71,15 @@ class Span {
 /// Span storage is bounded (`max_spans`); once full, new spans are counted
 /// as dropped instead of recorded, so long sessions cannot grow without
 /// limit.
+///
+/// Thread-safety contract (docs/RUNTIME.md): the tracer is DRIVER-THREAD
+/// ONLY. Spans model the engine's query lifecycle (parse → optimize →
+/// execute), which runs on one thread; runtime workers evaluating morsels
+/// never create spans — their work is attributed via the merged per-node
+/// OperatorStats instead. A debug assert enforces that while a span is
+/// open, further span creation happens on the thread that opened it; the
+/// stack-owner pin resets when the open stack empties, so *sequential* use
+/// from different threads remains legal.
 class Tracer {
  public:
   explicit Tracer(const SimClock* clock = nullptr) : clock_(clock) {}
@@ -125,6 +135,9 @@ class Tracer {
   int64_t dropped_ = 0;
   std::vector<SpanRecord> spans_;
   std::vector<int> open_stack_;
+  /// Thread that pushed the bottom of the current open-span stack; only
+  /// meaningful while open_stack_ is non-empty (debug contract check).
+  std::thread::id stack_owner_;
   std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
 };

@@ -1,0 +1,29 @@
+#include "runtime/morsel.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace eva::runtime {
+
+std::vector<Morsel> SplitMorsels(int64_t n, int64_t morsel_rows) {
+  std::vector<Morsel> out;
+  if (n <= 0) return out;
+  if (morsel_rows <= 0) morsel_rows = n;
+  out.reserve(static_cast<size_t>((n + morsel_rows - 1) / morsel_rows));
+  for (int64_t begin = 0; begin < n; begin += morsel_rows) {
+    out.push_back({begin, std::min(n, begin + morsel_rows)});
+  }
+  return out;
+}
+
+void SpinFor(double us) {
+  if (us <= 0) return;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::micro>(us));
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Busy loop: emulated model compute must occupy a core, not yield it.
+  }
+}
+
+}  // namespace eva::runtime

@@ -1,0 +1,63 @@
+#ifndef EVA_RUNTIME_MORSEL_H_
+#define EVA_RUNTIME_MORSEL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace eva::runtime {
+
+/// Half-open row range [begin, end) of one operator input batch. Morsels
+/// are the unit of parallel work: each one is evaluated by a single worker
+/// with morsel-local accounting, then merged back in morsel order.
+struct Morsel {
+  int64_t begin = 0;
+  int64_t end = 0;
+
+  int64_t size() const { return end - begin; }
+};
+
+/// Partitions [0, n) into morsels of at most `morsel_rows` rows. The split
+/// depends ONLY on (n, morsel_rows) — never on the worker count — which is
+/// what makes parallel runs reproducible at any thread count.
+std::vector<Morsel> SplitMorsels(int64_t n, int64_t morsel_rows);
+
+/// Deterministic simulated-cost sink for one morsel.
+///
+/// Workers never touch the engine's shared SimClock. Each morsel records
+/// its (category, ms) charges in evaluation order into a private ChargeLog;
+/// after the batch completes, the driver thread replays the logs morsel by
+/// morsel. Replay issues the *same sequence of SimClock::Charge calls, in
+/// the same order, with the same arguments* as a serial run would, so the
+/// accumulated floating-point state of the clock is bit-identical at every
+/// thread count — the invariant the paper-figure benchmarks assert.
+class ChargeLog {
+ public:
+  void Charge(CostCategory category, double ms) {
+    charges_.emplace_back(category, ms);
+  }
+
+  /// Applies the recorded charges to `clock` in recording order.
+  void ReplayInto(SimClock* clock) const {
+    for (const auto& [category, ms] : charges_) clock->Charge(category, ms);
+  }
+
+  bool empty() const { return charges_.empty(); }
+  size_t size() const { return charges_.size(); }
+  void Clear() { charges_.clear(); }
+
+ private:
+  std::vector<std::pair<CostCategory, double>> charges_;
+};
+
+/// Busy-waits for `us` microseconds of host wall time; no-op for us <= 0.
+/// Stands in for the real per-invocation model compute that the simulated
+/// UDFs do not pay, so wall-clock scaling benchmarks exercise the runtime
+/// under a realistic CPU profile (see bench_parallel_scaling).
+void SpinFor(double us);
+
+}  // namespace eva::runtime
+
+#endif  // EVA_RUNTIME_MORSEL_H_

@@ -1,0 +1,161 @@
+#include "runtime/thread_pool.h"
+
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <utility>
+
+namespace eva::runtime {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 0) num_threads = 0;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(workers_.size());
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Enqueue(size_t worker, std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(workers_[worker]->mu);
+    workers_[worker]->tasks.push_back(std::move(task));
+  }
+  {
+    // The increment must happen under wake_mu_: a worker between its
+    // predicate check and blocking still holds the mutex, so publishing
+    // the new pending count here makes the subsequent notify un-losable.
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_all();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  size_t w = static_cast<size_t>(
+      next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size());
+  Enqueue(w, std::move(task));
+}
+
+void ThreadPool::SubmitTo(int worker, std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  size_t w = static_cast<size_t>(worker) % workers_.size();
+  Enqueue(w, std::move(task));
+}
+
+bool ThreadPool::RunOneTask(size_t self) {
+  std::function<void()> task;
+  size_t n = workers_.size();
+  // Own deque first, from the back (most recently pushed).
+  {
+    Worker& own = *workers_[self % n];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+    }
+  }
+  // Steal from the front of the other deques, oldest task first.
+  if (!task) {
+    for (size_t off = 1; off < n && !task; ++off) {
+      Worker& victim = *workers_[(self + off) % n];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  while (true) {
+    if (RunOneTask(self)) continue;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             pending_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stop_.load(std::memory_order_relaxed) &&
+        pending_.load(std::memory_order_relaxed) <= 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& body) {
+  if (n <= 0) return;
+  if (workers_.empty() || n == 1) {
+    for (int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<int64_t> done{0};
+    std::vector<std::exception_ptr> errors;
+  };
+  auto state = std::make_shared<State>();
+  state->errors.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    Submit([state, n, i, &body] {
+      try {
+        body(i);
+      } catch (...) {
+        state->errors[static_cast<size_t>(i)] = std::current_exception();
+      }
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == n;
+    });
+  }
+  for (std::exception_ptr& e : state->errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+int ThreadPool::ResolveThreads(int requested) {
+  if (requested >= 1) return requested;
+  const char* env = std::getenv("EVA_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v >= 1 && v <= 1024) {
+      return static_cast<int>(v);
+    }
+  }
+  return 1;
+}
+
+}  // namespace eva::runtime

@@ -1,0 +1,95 @@
+#ifndef EVA_RUNTIME_THREAD_POOL_H_
+#define EVA_RUNTIME_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eva::runtime {
+
+/// Work-stealing thread pool (zero external dependencies).
+///
+/// Topology: one deque per worker. A submitted task lands on one worker's
+/// deque (round-robin, or pinned via SubmitTo); the owning worker pops from
+/// the back (LIFO, cache-friendly) while idle workers steal from the front
+/// of other workers' deques (FIFO, oldest-first — the classic morsel-driven
+/// arrangement). Deques are lock-protected rather than lock-free
+/// (chase-lev); every queue operation is far cheaper than the morsels it
+/// schedules, so the simpler protocol wins on auditability.
+///
+/// `num_threads == 0` constructs an inline pool: no threads are spawned and
+/// ParallelFor degenerates to a plain loop on the caller — byte-for-byte
+/// the pre-runtime serial behavior. The engine only builds a pool when its
+/// resolved thread count exceeds 1.
+///
+/// Thread-safety: Submit/SubmitTo/ParallelFor may be called from any thread
+/// (including worker threads, though the engine never nests). Tasks
+/// submitted through Submit/SubmitTo must not throw — there is no channel
+/// to report their exception and std::terminate would follow, exactly as
+/// with a raw std::thread. ParallelFor bodies MAY throw: the first
+/// exception in index order is rethrown on the calling thread once every
+/// index has finished.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` on the next worker (round-robin). Runs inline when the
+  /// pool has no workers.
+  void Submit(std::function<void()> task);
+
+  /// Enqueues `task` on a specific worker's deque. Used by tests to create
+  /// deliberate skew and observe stealing; `worker` is taken modulo the
+  /// worker count. Runs inline when the pool has no workers.
+  void SubmitTo(int worker, std::function<void()> task);
+
+  /// Runs body(0) .. body(n-1), blocking until all complete. Indices are
+  /// distributed round-robin across the worker deques; idle workers steal,
+  /// so skewed bodies still balance. With no workers the loop runs inline
+  /// on the caller in index order.
+  ///
+  /// Exceptions thrown by `body` are captured per index; after all indices
+  /// finish (an exception only skips its own index's remaining work), the
+  /// lowest-index exception is rethrown on the calling thread.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& body);
+
+  /// Resolves an engine-facing thread-count request: values >= 1 are taken
+  /// verbatim; 0 means "use $EVA_THREADS if set and valid, else 1".
+  static int ResolveThreads(int requested);
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  /// Pops one task (own back first, then steals the front of the others,
+  /// scanning from self+1) and runs it. Returns false when every deque was
+  /// empty.
+  bool RunOneTask(size_t self);
+  void Enqueue(size_t worker, std::function<void()> task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> next_worker_{0};
+  std::atomic<int64_t> pending_{0};
+};
+
+}  // namespace eva::runtime
+
+#endif  // EVA_RUNTIME_THREAD_POOL_H_

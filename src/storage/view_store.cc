@@ -3,12 +3,14 @@
 namespace eva::storage {
 
 const std::vector<Row>& MaterializedView::Get(const ViewKey& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return empty_;
   return it->second;
 }
 
 void MaterializedView::Put(const ViewKey& key, std::vector<Row> rows) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto [it, inserted] = entries_.emplace(key, std::move(rows));
   if (inserted) {
     num_rows_ += static_cast<int64_t>(it->second.size());
@@ -16,6 +18,7 @@ void MaterializedView::Put(const ViewKey& key, std::vector<Row> rows) {
 }
 
 double MaterializedView::SizeBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   // Keys: 16 bytes each; values: rough per-cell estimate mirroring a
   // Parquet-style encoding of the lightweight structured metadata the UDFs
   // extract (§5.2).
@@ -28,6 +31,7 @@ double MaterializedView::SizeBytes() const {
 
 MaterializedView* ViewStore::GetOrCreate(const std::string& name,
                                          const Schema& value_schema) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = views_.find(name);
   if (it == views_.end()) {
     it = views_
@@ -40,6 +44,7 @@ MaterializedView* ViewStore::GetOrCreate(const std::string& name,
 }
 
 MaterializedView* ViewStore::Find(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = views_.find(name);
   if (it == views_.end()) return nullptr;
   Touch(name);
@@ -47,13 +52,15 @@ MaterializedView* ViewStore::Find(const std::string& name) {
 }
 
 const MaterializedView* ViewStore::Find(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = views_.find(name);
   return it == views_.end() ? nullptr : it->second.get();
 }
 
 int ViewStore::EvictToBudget(double max_bytes) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   int dropped = 0;
-  while (TotalSizeBytes() > max_bytes && !views_.empty()) {
+  while (TotalSizeBytesLocked() > max_bytes && !views_.empty()) {
     // Find the least-recently-used view.
     std::string victim;
     uint64_t oldest = ~uint64_t{0};
@@ -72,10 +79,15 @@ int ViewStore::EvictToBudget(double max_bytes) {
   return dropped;
 }
 
-double ViewStore::TotalSizeBytes() const {
+double ViewStore::TotalSizeBytesLocked() const {
   double total = 0;
   for (const auto& [name, view] : views_) total += view->SizeBytes();
   return total;
+}
+
+double ViewStore::TotalSizeBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return TotalSizeBytesLocked();
 }
 
 }  // namespace eva::storage

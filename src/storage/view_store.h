@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,6 +38,15 @@ struct ViewKeyHash {
 /// detected" is distinguishable from "frame never processed" — the LEFT
 /// OUTER JOIN + IS NULL pass-through guard of the materialization-aware
 /// rewrite (§4.4, Fig. 4) depends on this.
+///
+/// Concurrency (docs/RUNTIME.md): probes (Has/Get) take a shared lock and
+/// may run concurrently from any number of runtime workers; materialization
+/// (Put) takes the lock exclusively. Entries are append-only and never
+/// mutated after insertion, and std::unordered_map guarantees reference
+/// stability across rehash, so the row vector returned by Get stays valid
+/// under concurrent Puts. entries() exposes the raw map for persistence /
+/// eviction and requires external quiescence (driver thread, no workers in
+/// flight) — the engine only calls it between queries.
 class MaterializedView {
  public:
   MaterializedView(std::string name, Schema value_schema)
@@ -44,20 +55,31 @@ class MaterializedView {
   const std::string& name() const { return name_; }
   const Schema& value_schema() const { return value_schema_; }
 
-  bool Has(const ViewKey& key) const { return entries_.count(key) > 0; }
+  bool Has(const ViewKey& key) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return entries_.count(key) > 0;
+  }
 
   /// Result rows for `key`; empty when absent or when the UDF produced no
-  /// rows for that input.
+  /// rows for that input. The reference stays valid under concurrent Puts
+  /// (append-only store, node-stable map).
   const std::vector<Row>& Get(const ViewKey& key) const;
 
   /// Records the UDF's results for `key` (idempotent; re-puts of an
   /// existing key are ignored, matching append-only STORE semantics).
   void Put(const ViewKey& key, std::vector<Row> rows);
 
-  int64_t num_keys() const { return static_cast<int64_t>(entries_.size()); }
-  int64_t num_rows() const { return num_rows_; }
+  int64_t num_keys() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return static_cast<int64_t>(entries_.size());
+  }
+  int64_t num_rows() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return num_rows_;
+  }
 
   /// Iteration over all (key, rows) entries (persistence, eviction).
+  /// Requires quiescence: no concurrent Put may be in flight.
   const std::unordered_map<ViewKey, std::vector<Row>, ViewKeyHash>&
   entries() const {
     return entries_;
@@ -69,19 +91,28 @@ class MaterializedView {
  private:
   std::string name_;
   Schema value_schema_;
+  mutable std::shared_mutex mu_;
   std::unordered_map<ViewKey, std::vector<Row>, ViewKeyHash> entries_;
   int64_t num_rows_ = 0;
   std::vector<Row> empty_;
 };
 
 /// Registry of materialized views, one per UDF signature (§3.1 step 2).
+///
+/// Concurrency: registry operations (GetOrCreate / Find / totals) are
+/// guarded by a shared_mutex — concurrent lookups are shared; creation,
+/// eviction, and LRU bookkeeping are exclusive. View pointers are stable
+/// for the registry's lifetime (unique_ptr-owned), so operators may cache
+/// a MaterializedView* for a whole batch and go through that view's own
+/// probe/materialize locking. views() requires external quiescence.
 class ViewStore {
  public:
   /// Returns the view for `name`, creating it with `value_schema` when
   /// missing.
   MaterializedView* GetOrCreate(const std::string& name,
                                 const Schema& value_schema);
-  /// Returns the view or nullptr.
+  /// Returns the view or nullptr. The non-const overload refreshes the LRU
+  /// tick and therefore locks exclusively.
   MaterializedView* Find(const std::string& name);
   const MaterializedView* Find(const std::string& name) const;
 
@@ -90,23 +121,29 @@ class ViewStore {
 
   /// Evicts least-recently-used views (whole views — coarse granularity)
   /// until the total footprint is at most `max_bytes`. Returns the number
-  /// of views dropped. Safe at any time: a query whose view was evicted
-  /// simply recomputes and re-materializes through the conditional apply.
+  /// of views dropped. Safe at any time between queries: a query whose
+  /// view was evicted simply recomputes and re-materializes through the
+  /// conditional apply.
   int EvictToBudget(double max_bytes);
 
   void Clear() {
+    std::unique_lock<std::shared_mutex> lock(mu_);
     views_.clear();
     access_.clear();
   }
 
+  /// Requires quiescence: no concurrent GetOrCreate/Evict in flight.
   const std::map<std::string, std::unique_ptr<MaterializedView>>& views()
       const {
     return views_;
   }
 
  private:
+  /// Caller must hold mu_ exclusively.
   void Touch(const std::string& name) { access_[name] = ++access_clock_; }
+  double TotalSizeBytesLocked() const;
 
+  mutable std::shared_mutex mu_;
   std::map<std::string, std::unique_ptr<MaterializedView>> views_;
   std::map<std::string, uint64_t> access_;  // name -> last access tick
   uint64_t access_clock_ = 0;

@@ -4,6 +4,7 @@ namespace eva::udf {
 
 Result<const vision::DetectorModel*> UdfRuntime::Detector(
     const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = detectors_.find(name);
   if (it != detectors_.end()) return it->second.get();
   EVA_ASSIGN_OR_RETURN(catalog::UdfDef def, catalog_->GetUdf(name));
@@ -18,6 +19,7 @@ Result<const vision::DetectorModel*> UdfRuntime::Detector(
 
 Result<const vision::ClassifierModel*> UdfRuntime::Classifier(
     const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = classifiers_.find(name);
   if (it != classifiers_.end()) return it->second.get();
   EVA_ASSIGN_OR_RETURN(catalog::UdfDef def, catalog_->GetUdf(name));
@@ -32,6 +34,7 @@ Result<const vision::ClassifierModel*> UdfRuntime::Classifier(
 
 Result<const vision::FilterModel*> UdfRuntime::Filter(
     const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = filters_.find(name);
   if (it != filters_.end()) return it->second.get();
   EVA_ASSIGN_OR_RETURN(catalog::UdfDef def, catalog_->GetUdf(name));

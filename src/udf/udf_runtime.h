@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "catalog/catalog.h"
@@ -15,6 +16,12 @@ namespace eva::udf {
 /// Binds catalog UDF definitions to their simulated model implementations
 /// and exposes a uniform evaluation interface to the execution engine.
 /// Models are instantiated lazily from the catalog on first use.
+///
+/// Thread-safe: runtime workers evaluating morsels resolve models
+/// concurrently, so the lazy-instantiation maps are mutex-guarded. The
+/// returned model pointers are stable for the runtime's lifetime and the
+/// models themselves are immutable (pure functions of (name, frame, obj)),
+/// so evaluation after lookup needs no locking.
 class UdfRuntime {
  public:
   explicit UdfRuntime(const catalog::Catalog* catalog) : catalog_(catalog) {}
@@ -28,6 +35,7 @@ class UdfRuntime {
 
  private:
   const catalog::Catalog* catalog_;
+  std::mutex mu_;  // guards the three lazy-instantiation maps
   std::map<std::string, std::unique_ptr<vision::DetectorModel>> detectors_;
   std::map<std::string, std::unique_ptr<vision::ClassifierModel>>
       classifiers_;

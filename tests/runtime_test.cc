@@ -1,0 +1,207 @@
+// Tests for the parallel runtime (src/runtime/): pool lifecycle, ParallelFor
+// coverage, exception propagation, work stealing under skew, morsel
+// splitting, and the ChargeLog replay contract (docs/RUNTIME.md).
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/sim_clock.h"
+#include "runtime/morsel.h"
+#include "runtime/thread_pool.h"
+
+namespace eva::runtime {
+namespace {
+
+TEST(ThreadPoolTest, StartStopRepeatedly) {
+  for (int round = 0; round < 3; ++round) {
+    for (int n : {0, 1, 2, 4}) {
+      ThreadPool pool(n);
+      EXPECT_EQ(pool.num_threads(), n);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins after the deques empty
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, InlinePoolRunsOnCallerInOrder) {
+  ThreadPool pool(0);
+  std::vector<int64_t> order;
+  pool.ParallelFor(16, [&](int64_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 16u);
+  for (int64_t i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 2000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(kN, [&](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesLowestIndexException) {
+  ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  try {
+    pool.ParallelFor(200, [&](int64_t i) {
+      if (i == 37) throw std::runtime_error("boom-37");
+      if (i == 150) throw std::runtime_error("boom-150");
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom-37");
+  }
+  // Every non-throwing index still ran: an exception skips only its own
+  // index's work.
+  EXPECT_EQ(completed.load(), 198);
+}
+
+TEST(ThreadPoolTest, WorkStealsFromSkewedDeque) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> executors;
+  std::atomic<int> ran{0};
+  constexpr int kTasks = 64;
+  // Pin every task to worker 0's deque; the only way another worker runs
+  // one is by stealing it.
+  for (int i = 0; i < kTasks; ++i) {
+    pool.SubmitTo(0, [&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        executors.insert(std::this_thread::get_id());
+      }
+      ran.fetch_add(1);
+    });
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (ran.load() < kTasks &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(ran.load(), kTasks);
+  // With 64 x 2ms tasks on one deque and three idle workers, stealing is
+  // effectively certain even on a single hardware core (sleeping tasks
+  // yield the core to the other OS threads).
+  EXPECT_GE(executors.size(), 2u);
+}
+
+TEST(ThreadPoolTest, SubmitRoundRobinCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) pool.Submit([&ran] { ran.fetch_add(1); });
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (ran.load() < 100 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ResolveThreadsPrefersExplicitValue) {
+  EXPECT_EQ(ThreadPool::ResolveThreads(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreads(7), 7);
+  setenv("EVA_THREADS", "4", 1);
+  EXPECT_EQ(ThreadPool::ResolveThreads(2), 2);  // explicit beats env
+  EXPECT_EQ(ThreadPool::ResolveThreads(0), 4);  // 0 defers to env
+  setenv("EVA_THREADS", "garbage", 1);
+  EXPECT_EQ(ThreadPool::ResolveThreads(0), 1);  // invalid env -> serial
+  setenv("EVA_THREADS", "0", 1);
+  EXPECT_EQ(ThreadPool::ResolveThreads(0), 1);
+  unsetenv("EVA_THREADS");
+  EXPECT_EQ(ThreadPool::ResolveThreads(0), 1);
+}
+
+TEST(MorselTest, SplitCoversRangeExactly) {
+  for (int64_t n : {0, 1, 127, 128, 129, 1000}) {
+    std::vector<Morsel> morsels = SplitMorsels(n, 128);
+    int64_t expect_begin = 0;
+    for (const Morsel& m : morsels) {
+      EXPECT_EQ(m.begin, expect_begin);
+      EXPECT_GT(m.end, m.begin);
+      EXPECT_LE(m.size(), 128);
+      expect_begin = m.end;
+    }
+    EXPECT_EQ(expect_begin, n);
+    if (n > 0) {
+      EXPECT_EQ(static_cast<int64_t>(morsels.size()), (n + 127) / 128);
+    }
+  }
+}
+
+TEST(MorselTest, SplitIndependentOfThreadCountByConstruction) {
+  // The API takes no thread count at all; assert the shape is a pure
+  // function of (n, morsel_rows).
+  EXPECT_EQ(SplitMorsels(1000, 128).size(), SplitMorsels(1000, 128).size());
+  std::vector<Morsel> a = SplitMorsels(777, 100);
+  std::vector<Morsel> b = SplitMorsels(777, 100);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].begin, b[i].begin);
+    EXPECT_EQ(a[i].end, b[i].end);
+  }
+}
+
+TEST(ChargeLogTest, ReplayIsBitIdenticalToDirectCharges) {
+  // The same sequence of charges, once direct and once via log + replay,
+  // must leave the clock in the exact same floating-point state.
+  std::vector<std::pair<CostCategory, double>> charges;
+  double v = 0.1;
+  for (int i = 0; i < 500; ++i) {
+    charges.emplace_back(
+        static_cast<CostCategory>(
+            i % static_cast<int>(CostCategory::kNumCategories)),
+        v);
+    v = v * 1.9 + 0.0001;  // awkward doubles on purpose
+    if (v > 1e6) v = 0.1;
+  }
+  SimClock direct;
+  for (const auto& [c, ms] : charges) direct.Charge(c, ms);
+  SimClock replayed;
+  ChargeLog log;
+  for (const auto& [c, ms] : charges) log.Charge(c, ms);
+  log.ReplayInto(&replayed);
+  SimClock::Snapshot a = direct.TakeSnapshot();
+  SimClock::Snapshot b = replayed.TakeSnapshot();
+  for (size_t i = 0;
+       i < static_cast<size_t>(CostCategory::kNumCategories); ++i) {
+    EXPECT_EQ(a.ms[i], b.ms[i]);  // bitwise, not approx
+  }
+  EXPECT_EQ(direct.TotalMs(), replayed.TotalMs());
+}
+
+TEST(SpinForTest, NonPositiveIsNoOpAndPositiveWaits) {
+  SpinFor(0);
+  SpinFor(-5);
+  auto start = std::chrono::steady_clock::now();
+  SpinFor(200);  // 200us
+  auto elapsed = std::chrono::duration<double, std::micro>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_GE(elapsed, 180.0);
+}
+
+}  // namespace
+}  // namespace eva::runtime

@@ -1,0 +1,166 @@
+// Stress tests for the concurrency-safe view store (docs/RUNTIME.md):
+// concurrent probes and inserts of overlapping key ranges must leave the
+// store in exactly the state a serial run produces, and registry lookups
+// must hand every thread the same view object.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/row.h"
+#include "storage/view_store.h"
+
+namespace eva::storage {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"label", DataType::kString}, {"score", DataType::kDouble}});
+}
+
+// Deterministic rows for a key, so every thread that puts `key` puts the
+// same payload — exactly the situation when two morsels (or two queries)
+// race to materialize the same frame's UDF result.
+std::vector<Row> RowsForKey(int64_t frame) {
+  std::vector<Row> rows;
+  int n = static_cast<int>(frame % 3);  // 0..2 rows; 0 = presence-only key
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({Value("label" + std::to_string(frame)),
+                    Value(static_cast<double>(frame) + 0.25 * i)});
+  }
+  return rows;
+}
+
+TEST(ViewStoreConcurrencyTest, OverlappingInsertsMatchSerialState) {
+  constexpr int kThreads = 8;
+  constexpr int64_t kSpan = 300;    // keys per thread
+  constexpr int64_t kStride = 100;  // thread t covers [t*100, t*100+300)
+  MaterializedView parallel("v", TestSchema());
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&parallel, t] {
+        for (int64_t k = 0; k < kSpan; ++k) {
+          int64_t frame = static_cast<int64_t>(t) * kStride + k;
+          parallel.Put({frame, -1}, RowsForKey(frame));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  MaterializedView serial("v", TestSchema());
+  for (int t = 0; t < kThreads; ++t) {
+    for (int64_t k = 0; k < kSpan; ++k) {
+      int64_t frame = static_cast<int64_t>(t) * kStride + k;
+      serial.Put({frame, -1}, RowsForKey(frame));
+    }
+  }
+
+  EXPECT_EQ(parallel.num_keys(), serial.num_keys());
+  EXPECT_EQ(parallel.num_rows(), serial.num_rows());
+  EXPECT_EQ(parallel.SizeBytes(), serial.SizeBytes());
+  for (int64_t frame = 0;
+       frame < static_cast<int64_t>(kThreads - 1) * kStride + kSpan;
+       ++frame) {
+    ViewKey key{frame, -1};
+    ASSERT_EQ(parallel.Has(key), serial.Has(key)) << "frame " << frame;
+    const std::vector<Row>& p = parallel.Get(key);
+    const std::vector<Row>& s = serial.Get(key);
+    ASSERT_EQ(p.size(), s.size()) << "frame " << frame;
+    for (size_t r = 0; r < p.size(); ++r) {
+      ASSERT_EQ(p[r].size(), s[r].size());
+      for (size_t c = 0; c < p[r].size(); ++c) {
+        EXPECT_EQ(p[r][c].ToString(), s[r][c].ToString());
+      }
+    }
+  }
+}
+
+TEST(ViewStoreConcurrencyTest, ProbesDuringInsertsSeeConsistentEntries) {
+  MaterializedView view("v", TestSchema());
+  constexpr int64_t kKeys = 2000;
+  std::atomic<bool> writer_done{false};
+  std::atomic<int64_t> inconsistencies{0};
+  std::thread writer([&] {
+    for (int64_t frame = 0; frame < kKeys; ++frame) {
+      view.Put({frame, -1}, RowsForKey(frame));
+    }
+    writer_done.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!writer_done.load()) {
+        for (int64_t frame = 0; frame < kKeys; frame += 37) {
+          ViewKey key{frame, -1};
+          if (view.Has(key)) {
+            // Once present, an entry is immutable: it must hold exactly
+            // the rows the writer put.
+            if (view.Get(key).size() != RowsForKey(frame).size()) {
+              inconsistencies.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(inconsistencies.load(), 0);
+  EXPECT_EQ(view.num_keys(), kKeys);
+}
+
+TEST(ViewStoreConcurrencyTest, GetOrCreateReturnsOneViewToAllThreads) {
+  ViewStore store;
+  constexpr int kThreads = 8;
+  std::vector<MaterializedView*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, &seen, t] {
+      seen[static_cast<size_t>(t)] =
+          store.GetOrCreate("shared@video", TestSchema());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<size_t>(t)], seen[0]);
+  }
+  EXPECT_EQ(store.views().size(), 1u);
+}
+
+TEST(ViewStoreConcurrencyTest, ConcurrentFindAndTotalsDoNotRace) {
+  ViewStore store;
+  for (int v = 0; v < 8; ++v) {
+    MaterializedView* view =
+        store.GetOrCreate("v" + std::to_string(v), TestSchema());
+    for (int64_t frame = 0; frame < 50; ++frame) {
+      view->Put({frame, -1}, RowsForKey(frame));
+    }
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, &stop, t] {
+      const ViewStore& cstore = store;
+      while (!stop.load()) {
+        const MaterializedView* view =
+            cstore.Find("v" + std::to_string(t % 8));
+        if (view != nullptr) {
+          (void)view->num_rows();
+        }
+        (void)cstore.TotalSizeBytes();
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(store.views().size(), 8u);
+}
+
+}  // namespace
+}  // namespace eva::storage
