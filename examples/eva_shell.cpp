@@ -2,7 +2,12 @@
 // the reuse machinery work. Supports all EVA-QL statements (SELECT /
 // EXPLAIN / CREATE UDF / DROP UDF / SHOW UDFS) plus shell commands:
 //
-//   .views     list materialized views and their sizes
+//   .views     list materialized views: rows, bytes, coverage atoms, and
+//              the id of the last query that touched each view
+//   .budget    show the storage budget / eviction policy; `.budget N`
+//              sets the budget to N bytes and evicts down to it;
+//              `.budget N POLICY` also switches policy (cost-benefit /
+//              lru / fifo) — see docs/LIFECYCLE.md
 //   .coverage  print each UDF signature's aggregated predicate p_u
 //   .metrics   Prometheus exposition of the session's metrics
 //              (.metrics json / .metrics reset variants)
@@ -24,6 +29,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "engine/eva_engine.h"
@@ -104,12 +110,62 @@ int main() {
       }
       if (line == "\\views") {
         for (const auto& [name, view] : engine->views().views()) {
-          std::printf("  %-40s %8lld keys %8lld rows %10.1f KiB\n",
+          const int atoms = engine->udf_manager().CoverageAtomCount(name);
+          const int64_t last_q = view->last_access_query();
+          std::printf("  %-40s %8lld keys %8lld rows %10.1f KiB "
+                      "%3d coverage atoms  last query %s\n",
                       name.c_str(),
                       static_cast<long long>(view->num_keys()),
                       static_cast<long long>(view->num_rows()),
-                      view->SizeBytes() / 1024.0);
+                      view->SizeBytes() / 1024.0, atoms,
+                      last_q < 0 ? "-"
+                                 : std::to_string(last_q).c_str());
         }
+        continue;
+      }
+      if (line == "\\budget" || line.rfind("\\budget ", 0) == 0) {
+        lifecycle::ViewLifecycleManager* lc = engine->lifecycle();
+        if (line != "\\budget") {
+          std::istringstream is(line.substr(8));
+          double bytes = -1;
+          std::string policy;
+          if (!(is >> bytes) || bytes < 0) {
+            std::printf("usage: .budget [BYTES [cost-benefit|lru|fifo]]\n");
+            continue;
+          }
+          if (is >> policy) {
+            auto kind = lifecycle::ParseEvictionPolicy(policy);
+            if (!kind.ok()) {
+              std::printf("%s\n", kind.status().ToString().c_str());
+              continue;
+            }
+            lc->SetPolicy(kind.value());
+          }
+          lc->set_budget_bytes(bytes);
+          auto evicted = lc->EnforceBudget(engine->queries_executed());
+          if (!evicted.empty()) {
+            for (const auto& ev : evicted) {
+              std::printf("  evicted %s frames [%lld, %lld) "
+                          "(%lld keys, %.1f KiB)\n",
+                          ev.view.c_str(),
+                          static_cast<long long>(ev.first_frame),
+                          static_cast<long long>(ev.frame_end),
+                          static_cast<long long>(ev.keys),
+                          ev.bytes / 1024.0);
+            }
+          }
+        }
+        std::printf("budget: %s bytes | policy: %s | store: %.1f KiB | "
+                    "session evictions: %lld (%.1f KiB)\n",
+                    lc->budget_bytes() <= 0
+                        ? "unbounded"
+                        : std::to_string(
+                              static_cast<long long>(lc->budget_bytes()))
+                              .c_str(),
+                    lc->policy_name(),
+                    engine->views().TotalSizeBytes() / 1024.0,
+                    static_cast<long long>(lc->evictions()),
+                    lc->evicted_bytes() / 1024.0);
         continue;
       }
       if (line == "\\coverage") {

@@ -94,6 +94,15 @@ EvaEngine::EvaEngine(EngineOptions options,
   tracer_.set_enabled(options_.observability);
   if (!options_.observability) registry_ = nullptr;
   SetNumThreads(options_.num_threads);
+  views_.set_segment_frames(options_.segment_frames);
+  lifecycle::LifecycleOptions lopts;
+  lopts.storage_budget_bytes = options_.storage_budget_bytes;
+  lopts.policy = lifecycle::ParseEvictionPolicy(options_.eviction_policy)
+                     .ValueOr(lifecycle::EvictionPolicyKind::kCostBenefit);
+  lopts.admission_enabled = options_.lifecycle_admission;
+  lopts.symbolic_budget = options_.optimizer.budget;
+  lifecycle_ = std::make_unique<lifecycle::ViewLifecycleManager>(
+      lopts, &views_, &manager_, catalog_.get(), registry_);
 }
 
 void EvaEngine::SetNumThreads(int n) {
@@ -123,19 +132,24 @@ Result<const vision::SyntheticVideo*> EvaEngine::video(
 }
 
 Status EvaEngine::SaveViews(const std::string& dir) const {
-  return storage::SaveViewStore(views_, dir);
+  EVA_RETURN_IF_ERROR(storage::SaveViewStore(views_, dir));
+  return storage::SaveLifecycleState(views_, manager_, dir);
 }
 
 Status EvaEngine::LoadViews(const std::string& dir) {
-  return storage::LoadViewStore(dir, &views_);
+  EVA_RETURN_IF_ERROR(storage::LoadViewStore(dir, &views_));
+  return storage::LoadLifecycleState(dir, &views_, &manager_);
 }
 
 void EvaEngine::ClearReuseState() {
   views_.Clear();
+  views_.set_segment_frames(options_.segment_frames);
   manager_.Clear();
   funcache_.Clear();
   clock_.Reset();
   tracer_.Clear();
+  lifecycle_->Reset();
+  query_seq_ = 0;
 }
 
 int64_t EvaEngine::DistinctInvocations(const std::string& udf,
@@ -221,7 +235,7 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
   }
   optimizer::Optimizer opt(options_.optimizer, catalog_.get(), manager,
                            stats_it->second.get(), options_.costs,
-                           &views_, &tracer_, registry_);
+                           &views_, &tracer_, registry_, lifecycle_.get());
   obs::Span opt_span = tracer_.StartSpan("optimize", "optimize");
   EVA_ASSIGN_OR_RETURN(optimizer::OptimizedQuery optimized,
                        opt.Optimize(stmt));
@@ -256,6 +270,7 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
   ctx.costs = options_.costs;
   ctx.metrics = &out.metrics;
   ctx.batch_size = options_.batch_size;
+  ctx.query_id = ++query_seq_;
   ctx.pool = pool_.get();
   ctx.morsel_rows = options_.morsel_rows;
   ctx.udf_spin_us = options_.udf_spin_us;
@@ -281,9 +296,17 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
                           rec.sim_start_ms, rec.wall_start_us);
     }
     out.report.plan_text =
-        obs::RenderAnalyzedPlan(*optimized.plan, node_stats);
+        obs::RenderAnalyzedPlan(*optimized.plan, node_stats) +
+        optimizer::RenderAdmissionLines(out.report.admissions);
     out.batch = TextToBatch("plan", out.report.plan_text);
   }
+
+  // View lifecycle: fold this query's reuse statistics into the admission
+  // estimate, then evict segments until the store fits the budget. Runs on
+  // the driver thread with no workers in flight — the quiescence the
+  // segment bookkeeping and coverage retraction require.
+  lifecycle_->ObserveQuery(out.metrics);
+  lifecycle_->EnforceBudget(ctx.query_id);
 
   if (registry_ != nullptr) {
     if (auto* h = registry_->GetHistogram(

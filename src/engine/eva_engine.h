@@ -11,6 +11,7 @@
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "exec/exec_context.h"
+#include "lifecycle/view_lifecycle.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "optimizer/optimizer.h"
@@ -45,6 +46,21 @@ struct EngineOptions {
   /// real model compute for parallel-scaling benchmarks; 0 (default) adds
   /// nothing. Never charges the simulated clock.
   double udf_spin_us = 0;
+
+  // --- view lifecycle (src/lifecycle/, docs/LIFECYCLE.md) -----------------
+  /// Storage budget for the materialized-view store; after every query the
+  /// lifecycle manager evicts view segments until the store fits. 0
+  /// (default) = unbounded, matching the paper's behavior.
+  double storage_budget_bytes = 0;
+  /// Segment-eviction policy: "cost-benefit" (Eq. 4-derived), "lru", or
+  /// "fifo".
+  std::string eviction_policy = "cost-benefit";
+  /// Frames per view segment — the eviction granularity.
+  int64_t segment_frames = 512;
+  /// Eq. 3 admission gate: skip materializing UDFs whose predicted reuse
+  /// benefit cannot pay the write cost. With the default evidence
+  /// threshold this only triggers after a long no-reuse history.
+  bool lifecycle_admission = true;
 };
 
 /// Result of one query: output rows, execution metrics (time breakdown,
@@ -76,9 +92,10 @@ class EvaEngine {
   void ClearReuseState();
 
   /// Persists / restores the materialized views (the on-disk views of
-  /// §4.2; aggregated predicates are rebuilt lazily as queries arrive —
-  /// a loaded view without coverage is simply consulted per tuple by the
-  /// conditional apply).
+  /// §4.2) together with the lifecycle state: per-segment access stamps
+  /// and the aggregated predicates, including any eviction retraction.
+  /// A loaded view whose signature still lacks coverage is consulted per
+  /// tuple by the conditional apply, as before.
   Status SaveViews(const std::string& dir) const;
   Status LoadViews(const std::string& dir);
 
@@ -94,7 +111,17 @@ class EvaEngine {
   /// local registry to isolate counts). Pass nullptr to disable.
   void set_metrics_registry(obs::MetricsRegistry* registry) {
     registry_ = registry;
+    if (lifecycle_ != nullptr) lifecycle_->set_obs(registry);
   }
+  /// The view lifecycle manager (budget, eviction policy, admission) —
+  /// always present; observation-only while the budget is 0.
+  lifecycle::ViewLifecycleManager* lifecycle() { return lifecycle_.get(); }
+  const lifecycle::ViewLifecycleManager* lifecycle() const {
+    return lifecycle_.get();
+  }
+  /// SELECT statements executed so far — the id the lifecycle manager
+  /// stamps on view accesses (resets with ClearReuseState).
+  int64_t queries_executed() const { return query_seq_; }
   const baselines::FunCache& funcache() const { return funcache_; }
   const SimClock& clock() const { return clock_; }
   const catalog::Catalog& catalog() const { return *catalog_; }
@@ -131,6 +158,8 @@ class EvaEngine {
   SimClock clock_;
   int num_threads_ = 1;
   std::unique_ptr<runtime::ThreadPool> pool_;  // null when num_threads_ == 1
+  std::unique_ptr<lifecycle::ViewLifecycleManager> lifecycle_;
+  int64_t query_seq_ = 0;  // monotone SELECT id (lifecycle access stamps)
   obs::MetricsRegistry* registry_ = &obs::MetricsRegistry::Global();
   obs::Tracer tracer_{&clock_};
 };

@@ -88,6 +88,9 @@ struct ExecContext {
   /// Non-null only in FunCache mode: tuple-level result cache (§5.1).
   baselines::FunCache* funcache = nullptr;
   int64_t batch_size = 1024;
+  /// Monotone id of the query being executed (lifecycle access stamps and
+  /// the `.views` last-access column); -1 outside a query.
+  int64_t query_id = -1;
 
   // --- observability (src/obs/) -------------------------------------------
   /// Metrics sink; nullptr when observability is off, which is the single

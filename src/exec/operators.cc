@@ -471,6 +471,8 @@ class ViewJoinOp : public Operator {
           ctx_->metrics->invocations[def_.name] += 1;
           ctx_->metrics->reused[def_.name] += 1;
           CountProbe(true);
+          view->RecordAccess(frame, ctx_->views->NextAccessTick(),
+                             ctx_->query_id);
           const std::vector<Row>& rows = view->Get(key);
           ctx_->Charge(CostCategory::kReadView,
                        ctx_->costs.view_read_ms_per_row *
@@ -517,6 +519,8 @@ class ViewJoinOp : public Operator {
           ctx_->metrics->invocations[def_.name] += 1;
           ctx_->metrics->reused[def_.name] += 1;
           CountProbe(true);
+          view->RecordAccess(frame, ctx_->views->NextAccessTick(),
+                             ctx_->query_id);
           const std::vector<Row>& rows = view->Get(key);
           ctx_->Charge(CostCategory::kReadView,
                        ctx_->costs.view_read_ms_per_row);
@@ -718,7 +722,8 @@ class StoreOp : public Operator {
                        ctx_->costs.materialize_ms_per_row *
                            static_cast<double>(pending.size() + 1));
           CountMaterialized(static_cast<int64_t>(pending.size()) + 1);
-          view->Put(key, pending);
+          view->Put(key, pending, ctx_->views->NextAccessTick(),
+                    ctx_->query_id);
         }
         pending.clear();
         pending_placeholder = false;
@@ -763,7 +768,8 @@ class StoreOp : public Operator {
           ctx_->Charge(CostCategory::kMaterialize,
                        ctx_->costs.materialize_ms_per_row);
           CountMaterialized(1);
-          view->Put(key, {{val}});
+          view->Put(key, {{val}}, ctx_->views->NextAccessTick(),
+                    ctx_->query_id);
         }
       }
       out.AddRow(row);

@@ -1,0 +1,106 @@
+#include "lifecycle/eviction_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eva::lifecycle {
+
+const char* EvictionPolicyName(EvictionPolicyKind kind) {
+  switch (kind) {
+    case EvictionPolicyKind::kCostBenefit:
+      return "cost-benefit";
+    case EvictionPolicyKind::kLru:
+      return "lru";
+    case EvictionPolicyKind::kFifo:
+      return "fifo";
+  }
+  return "unknown";
+}
+
+Result<EvictionPolicyKind> ParseEvictionPolicy(const std::string& name) {
+  if (name == "cost-benefit" || name == "costbenefit" || name == "cb") {
+    return EvictionPolicyKind::kCostBenefit;
+  }
+  if (name == "lru") return EvictionPolicyKind::kLru;
+  if (name == "fifo") return EvictionPolicyKind::kFifo;
+  return Status::InvalidArgument("unknown eviction policy '" + name +
+                                 "' (expected cost-benefit | lru | fifo)");
+}
+
+namespace {
+
+/// Eq. 4's ranking function r = (s−1)/(s_{p–}·c_e + c_r) orders predicates
+/// by expected savings per unit of work; the eviction analogue keeps the
+/// segments whose retention saves the most recomputation per byte held.
+/// For a segment with k keys and n rows of a UDF costing c_e per tuple:
+///   savings = k·c_e − (k·c_probe + n·c_read)   (recompute vs. view read)
+/// weighted by a re-access probability that decays geometrically in ACCESS
+/// TICKS, not queries: exploratory queries overlap so heavily (§5.1's
+/// VBENCH regimes) that after any one query nearly every live segment was
+/// probed "this query" — query-granularity ages tie, and only the
+/// fine-grained tick clock separates the start of the last sweep from its
+/// end. The half-life is a fraction of the previous query's tick volume
+/// (ScoreContext::ticks_per_query), so recency dominates across sweeps
+/// while savings-per-byte decides among segments of similar staleness.
+/// Lower score ⇒ evicted first.
+class CostBenefitPolicy : public EvictionPolicy {
+ public:
+  EvictionPolicyKind kind() const override {
+    return EvictionPolicyKind::kCostBenefit;
+  }
+  double Score(const SegmentCandidate& cand,
+               const ScoreContext& ctx) const override {
+    const storage::SegmentInfo& info = cand.seg.info;
+    double keys = static_cast<double>(info.keys);
+    double rows = static_cast<double>(info.rows);
+    double savings_ms =
+        keys * cand.cost_e_ms - (keys * ctx.costs.view_probe_ms_per_key +
+                                 rows * ctx.costs.view_read_ms_per_row);
+    savings_ms = std::max(savings_ms, 0.0);
+    double age_ticks =
+        ctx.current_tick > info.last_access_tick
+            ? static_cast<double>(ctx.current_tick - info.last_access_tick)
+            : 0.0;
+    double half_life =
+        std::max(static_cast<double>(ctx.ticks_per_query) / 8.0, 1.0);
+    double p_reaccess = std::exp2(-age_ticks / half_life);
+    double bytes = std::max(cand.seg.bytes, 1.0);
+    return p_reaccess * savings_ms / bytes;
+  }
+};
+
+class LruPolicy : public EvictionPolicy {
+ public:
+  EvictionPolicyKind kind() const override { return EvictionPolicyKind::kLru; }
+  double Score(const SegmentCandidate& cand,
+               const ScoreContext&) const override {
+    return static_cast<double>(cand.seg.info.last_access_tick);
+  }
+};
+
+class FifoPolicy : public EvictionPolicy {
+ public:
+  EvictionPolicyKind kind() const override {
+    return EvictionPolicyKind::kFifo;
+  }
+  double Score(const SegmentCandidate& cand,
+               const ScoreContext&) const override {
+    return static_cast<double>(cand.seg.info.created_tick);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(EvictionPolicyKind kind) {
+  switch (kind) {
+    case EvictionPolicyKind::kCostBenefit:
+      return std::make_unique<CostBenefitPolicy>();
+    case EvictionPolicyKind::kLru:
+      return std::make_unique<LruPolicy>();
+    case EvictionPolicyKind::kFifo:
+      return std::make_unique<FifoPolicy>();
+  }
+  return std::make_unique<CostBenefitPolicy>();
+}
+
+}  // namespace eva::lifecycle

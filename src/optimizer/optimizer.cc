@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <set>
 
 #include "expr/symbolic_bridge.h"
@@ -53,6 +54,21 @@ std::vector<double> DiffWallBucketsUs() {
 }
 
 }  // namespace
+
+std::string RenderAdmissionLines(const std::vector<AdmissionReport>& adm) {
+  std::string out;
+  for (const AdmissionReport& a : adm) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "admission: %s %s (benefit %.3f ms/tuple %s write cost "
+                  "%.3f ms/tuple)\n",
+                  a.udf.c_str(), a.admitted ? "admit" : "deny",
+                  a.predicted_benefit_ms, a.admitted ? ">=" : "<",
+                  a.write_cost_ms);
+    out += line;
+  }
+  return out;
+}
 
 const char* ReuseModeName(ReuseMode mode) {
   switch (mode) {
@@ -308,6 +324,20 @@ Result<OptimizedQuery> Optimizer::Optimize(
     if (hashstash && def.kind != catalog::UdfKind::kDetector) {
       materialize = false;
     }
+    // Lifecycle admission (Eq. 3): materialization must pay for itself.
+    // A denied UDF runs as a plain APPLY with no coverage update, so
+    // nothing downstream believes its results were stored.
+    if (materialize && eva_reuse && lifecycle_ != nullptr) {
+      lifecycle::AdmissionDecision d =
+          lifecycle_->AdmitMaterialization(key, def.cost_ms);
+      AdmissionReport ar;
+      ar.udf = udf_name;
+      ar.admitted = d.admit;
+      ar.predicted_benefit_ms = d.predicted_benefit_ms;
+      ar.write_cost_ms = d.write_cost_ms;
+      out.report.admissions.push_back(ar);
+      if (!d.admit) materialize = false;
+    }
     if (!materialize) {
       auto apply = std::make_shared<plan::ApplyNode>(udf_name);
       apply->AddChild(node);
@@ -423,6 +453,17 @@ Result<OptimizedQuery> Optimizer::Optimize(
                          options_.mode != ReuseMode::kNoReuse;
       const std::string exec_key =
           sel.execute_udf + kViewSep + video.name;
+      if (materialize && eva_reuse && lifecycle_ != nullptr) {
+        lifecycle::AdmissionDecision d =
+            lifecycle_->AdmitMaterialization(exec_key, exec_def.cost_ms);
+        AdmissionReport ar;
+        ar.udf = sel.execute_udf;
+        ar.admitted = d.admit;
+        ar.predicted_benefit_ms = d.predicted_benefit_ms;
+        ar.write_cost_ms = d.write_cost_ms;
+        out.report.admissions.push_back(ar);
+        if (!d.admit) materialize = false;
+      }
       if (!sel.view_udfs.empty()) {
         // Fill the remainder via conditional apply over the joined rows.
         auto cond =
@@ -549,7 +590,8 @@ Result<OptimizedQuery> Optimizer::Optimize(
   }
 
   out.plan = node;
-  out.report.plan_text = node->ToString();
+  out.report.plan_text =
+      node->ToString() + RenderAdmissionLines(out.report.admissions);
   out.optimizer_ms =
       5.0 +
       costs_.optimize_ms_per_udf * static_cast<double>(udf_occurrences) +

@@ -7,6 +7,7 @@
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "exec/exec_context.h"
+#include "lifecycle/view_lifecycle.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "parser/ast.h"
@@ -56,12 +57,28 @@ struct UdfPredicateReport {
   int union_atoms = 0;
 };
 
+/// One lifecycle admission decision taken while planning (EVA mode with a
+/// lifecycle manager attached). Denied UDFs run as plain APPLY — no view
+/// join, no store, no coverage update.
+struct AdmissionReport {
+  std::string udf;
+  bool admitted = true;
+  double predicted_benefit_ms = 0;
+  double write_cost_ms = 0;
+};
+
 struct OptimizeReport {
   std::vector<UdfPredicateReport> udf_predicates;  // in evaluation order
   std::vector<std::string> detector_views;         // Alg. 2 picks
   std::string detector_exec;                       // UDF run for remainder
+  std::vector<AdmissionReport> admissions;         // lifecycle decisions
   std::string plan_text;
 };
+
+/// Renders the admission decisions as "admission: ..." lines, appended to
+/// plan_text by the optimizer and re-appended by EXPLAIN ANALYZE (which
+/// regenerates the plan text).
+std::string RenderAdmissionLines(const std::vector<AdmissionReport>& adm);
 
 struct OptimizedQuery {
   plan::PlanNodePtr plan;
@@ -81,12 +98,16 @@ class Optimizer {
   /// disk by a fresh session. Such views are joined and probed per tuple.
   /// `tracer` / `obs` (optional) receive symbolic-diff spans, coverage-atom
   /// histograms, and rank/model-selection metrics.
+  /// `lifecycle` (optional) gates materialization through the view
+  /// lifecycle manager's Eq. 3 admission policy; denied UDFs run as plain
+  /// APPLY with no coverage update.
   Optimizer(OptimizerOptions options, const catalog::Catalog* catalog,
             udf::UdfManager* manager, const symbolic::StatsProvider* stats,
             exec::CostConstants costs,
             const storage::ViewStore* views = nullptr,
             obs::Tracer* tracer = nullptr,
-            obs::MetricsRegistry* obs = nullptr)
+            obs::MetricsRegistry* obs = nullptr,
+            lifecycle::ViewLifecycleManager* lifecycle = nullptr)
       : options_(options),
         catalog_(catalog),
         manager_(manager),
@@ -94,7 +115,8 @@ class Optimizer {
         costs_(costs),
         views_(views),
         tracer_(tracer),
-        obs_(obs) {}
+        obs_(obs),
+        lifecycle_(lifecycle) {}
 
   /// Rewrites a bound SELECT statement into a physical plan, updating the
   /// UdfManager's aggregated predicates for every scheduled UDF.
@@ -111,6 +133,7 @@ class Optimizer {
   const storage::ViewStore* views_;
   obs::Tracer* tracer_;
   obs::MetricsRegistry* obs_;
+  lifecycle::ViewLifecycleManager* lifecycle_;
 };
 
 }  // namespace eva::optimizer

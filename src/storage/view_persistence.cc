@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "symbolic/predicate_io.h"
 
 namespace eva::storage {
 
@@ -220,6 +221,100 @@ Status LoadViewStore(const std::string& dir, ViewStore* store) {
       }
     }
     if (has_key) EVA_RETURN_IF_ERROR(flush());
+  }
+  return Status::OK();
+}
+
+Status SaveLifecycleState(const ViewStore& store,
+                          const udf::UdfManager& manager,
+                          const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create view directory " + dir + ": " +
+                            ec.message());
+  }
+  fs::path path = fs::path(dir) / "lifecycle.evastate";
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open " + path.string());
+  }
+  out << "eva-lifecycle 1\n";
+  for (const auto& [name, view] : store.views()) {
+    out << "view " << Escape(name) << " " << view->segment_frames() << "\n";
+    for (const SegmentStats& seg : view->Segments()) {
+      out << "segment " << seg.segment_id << " " << seg.info.keys << " "
+          << seg.info.rows << " " << seg.info.created_tick << " "
+          << seg.info.last_access_tick << " " << seg.info.last_access_query
+          << "\n";
+    }
+  }
+  for (const auto& [key, entry] : manager.entries()) {
+    out << "coverage " << Escape(key) << " "
+        << symbolic::EncodePredicate(entry.coverage) << "\n";
+  }
+  if (!out.good()) {
+    return Status::Internal("write failed for " + path.string());
+  }
+  return Status::OK();
+}
+
+Status LoadLifecycleState(const std::string& dir, ViewStore* store,
+                          udf::UdfManager* manager) {
+  fs::path path = fs::path(dir) / "lifecycle.evastate";
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return Status::OK();  // pre-lifecycle save dir
+  std::ifstream in(path);
+  if (!in) {
+    return Status::Internal("cannot open " + path.string());
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != "eva-lifecycle 1") {
+    return Status::InvalidArgument("bad lifecycle file header: " +
+                                   path.string());
+  }
+  MaterializedView* view = nullptr;
+  bool stamps_applicable = false;
+  while (std::getline(in, line)) {
+    if (StartsWith(line, "view ")) {
+      std::istringstream is(line.substr(5));
+      std::string name_tok;
+      int64_t segment_frames = 0;
+      if (!(is >> name_tok >> segment_frames)) {
+        return Status::InvalidArgument("truncated view line: " + line);
+      }
+      EVA_ASSIGN_OR_RETURN(std::string name, Unescape(name_tok));
+      view = store->Find(name);
+      stamps_applicable =
+          view != nullptr && view->segment_frames() == segment_frames;
+    } else if (StartsWith(line, "segment ")) {
+      if (!stamps_applicable) continue;
+      std::istringstream is(line.substr(8));
+      int64_t id = 0;
+      SegmentInfo info;
+      if (!(is >> id >> info.keys >> info.rows >> info.created_tick >>
+            info.last_access_tick >> info.last_access_query)) {
+        return Status::InvalidArgument("truncated segment line: " + line);
+      }
+      view->RestoreSegmentStamps(id, info);
+    } else if (StartsWith(line, "coverage ")) {
+      std::istringstream is(line.substr(9));
+      std::string key_tok;
+      if (!(is >> key_tok)) {
+        return Status::InvalidArgument("truncated coverage line: " + line);
+      }
+      EVA_ASSIGN_OR_RETURN(std::string key, Unescape(key_tok));
+      std::string encoded;
+      std::getline(is, encoded);
+      if (!encoded.empty() && encoded.front() == ' ') encoded.erase(0, 1);
+      EVA_ASSIGN_OR_RETURN(symbolic::Predicate coverage,
+                           symbolic::DecodePredicate(encoded));
+      if (manager != nullptr && !manager->HasCoverage(key)) {
+        manager->SetCoverage(key, std::move(coverage));
+      }
+    } else if (!line.empty()) {
+      return Status::InvalidArgument("unexpected lifecycle line: " + line);
+    }
   }
   return Status::OK();
 }

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "storage/view_store.h"
+#include "udf/udf_manager.h"
 
 namespace eva::storage {
 
@@ -30,6 +31,30 @@ Status LoadViewStore(const std::string& dir, ViewStore* store);
 /// Cell encoding helpers (exposed for tests).
 std::string EncodeValue(const Value& v);
 Result<Value> DecodeValue(const std::string& text);
+
+/// Persists the view lifecycle state alongside the views: per-view segment
+/// width and per-segment accounting (keys, rows, creation/access stamps,
+/// last-access query) plus each UDF signature's aggregated predicate p_u —
+/// including any retraction performed by eviction. One `lifecycle.evastate`
+/// file under `dir`:
+///
+///   eva-lifecycle 1
+///   view <name> <segment_frames>
+///   segment <id> <keys> <rows> <created_tick> <last_tick> <last_query>
+///   coverage <key> <encoded predicate ...>
+Status SaveLifecycleState(const ViewStore& store,
+                          const udf::UdfManager& manager,
+                          const std::string& dir);
+
+/// Restores lifecycle state saved by SaveLifecycleState. Must run after
+/// LoadViewStore (stamps attach to reloaded segments; a view absent from
+/// the store, or reloaded with a different segment width, is skipped —
+/// fresh stamps are a safe default). Coverage predicates are installed
+/// only for signatures that have none yet, mirroring the "existing keys
+/// win" merge semantics of LoadViewStore. Missing file is not an error —
+/// pre-lifecycle save directories load fine.
+Status LoadLifecycleState(const std::string& dir, ViewStore* store,
+                          udf::UdfManager* manager);
 
 }  // namespace eva::storage
 

@@ -9,12 +9,30 @@ const std::vector<Row>& MaterializedView::Get(const ViewKey& key) const {
   return it->second;
 }
 
-void MaterializedView::Put(const ViewKey& key, std::vector<Row> rows) {
+void MaterializedView::Put(const ViewKey& key, std::vector<Row> rows,
+                           uint64_t tick, int64_t query_id) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto [it, inserted] = entries_.emplace(key, std::move(rows));
   if (inserted) {
     num_rows_ += static_cast<int64_t>(it->second.size());
+    SegmentInfo& seg = segments_[SegmentOf(key.frame)];
+    if (seg.keys == 0) seg.created_tick = tick;
+    seg.keys += 1;
+    seg.rows += static_cast<int64_t>(it->second.size());
+    seg.last_access_tick = tick;
+    seg.last_access_query = query_id;
+    if (query_id >= 0) last_access_query_ = query_id;
   }
+}
+
+void MaterializedView::RecordAccess(int64_t frame, uint64_t tick,
+                                    int64_t query_id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = segments_.find(SegmentOf(frame));
+  if (it == segments_.end()) return;
+  it->second.last_access_tick = tick;
+  it->second.last_access_query = query_id;
+  if (query_id >= 0) last_access_query_ = query_id;
 }
 
 double MaterializedView::SizeBytes() const {
@@ -29,15 +47,71 @@ double MaterializedView::SizeBytes() const {
   return bytes;
 }
 
+std::vector<SegmentStats> MaterializedView::Segments() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<SegmentStats> out;
+  out.reserve(segments_.size());
+  double fields = static_cast<double>(value_schema_.num_fields());
+  for (const auto& [id, info] : segments_) {
+    SegmentStats s;
+    s.segment_id = id;
+    s.first_frame = id * segment_frames_;
+    s.frame_end = (id + 1) * segment_frames_;
+    s.bytes = 16.0 * static_cast<double>(info.keys) +
+              static_cast<double>(info.rows) * fields * 10.0;
+    s.info = info;
+    out.push_back(s);
+  }
+  return out;
+}
+
+EvictedSegment MaterializedView::EvictSegment(int64_t segment_id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  EvictedSegment ev;
+  ev.first_frame = segment_id * segment_frames_;
+  ev.frame_end = (segment_id + 1) * segment_frames_;
+  auto it = segments_.find(segment_id);
+  if (it == segments_.end()) return ev;
+  for (auto e = entries_.begin(); e != entries_.end();) {
+    if (SegmentOf(e->first.frame) == segment_id) {
+      ev.keys += 1;
+      ev.rows += static_cast<int64_t>(e->second.size());
+      e = entries_.erase(e);
+    } else {
+      ++e;
+    }
+  }
+  ev.bytes = 16.0 * static_cast<double>(ev.keys) +
+             static_cast<double>(ev.rows) *
+                 static_cast<double>(value_schema_.num_fields()) * 10.0;
+  num_rows_ -= ev.rows;
+  segments_.erase(it);
+  return ev;
+}
+
+void MaterializedView::RestoreSegmentStamps(int64_t segment_id,
+                                            const SegmentInfo& info) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = segments_.find(segment_id);
+  if (it == segments_.end()) return;
+  // keys/rows stay as recomputed from the reloaded entries; only the
+  // eviction-relevant stamps are restored.
+  it->second.created_tick = info.created_tick;
+  it->second.last_access_tick = info.last_access_tick;
+  it->second.last_access_query = info.last_access_query;
+  if (info.last_access_query > last_access_query_) {
+    last_access_query_ = info.last_access_query;
+  }
+}
+
 MaterializedView* ViewStore::GetOrCreate(const std::string& name,
                                          const Schema& value_schema) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = views_.find(name);
   if (it == views_.end()) {
-    it = views_
-             .emplace(name, std::make_unique<MaterializedView>(name,
-                                                               value_schema))
-             .first;
+    auto view = std::make_unique<MaterializedView>(name, value_schema);
+    view->set_segment_frames(segment_frames_);
+    it = views_.emplace(name, std::move(view)).first;
   }
   Touch(name);
   return it->second.get();

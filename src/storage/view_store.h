@@ -1,6 +1,7 @@
 #ifndef EVA_STORAGE_VIEW_STORE_H_
 #define EVA_STORAGE_VIEW_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -31,6 +32,39 @@ struct ViewKeyHash {
   size_t operator()(const ViewKey& k) const {
     return std::hash<int64_t>()(k.frame * 1000003 + k.obj);
   }
+};
+
+/// Per-segment bookkeeping for segment-granular eviction (src/lifecycle/).
+/// A segment is a contiguous frame range [segment_id * segment_frames,
+/// (segment_id + 1) * segment_frames); classifier keys (frame, obj) fall in
+/// the segment of their frame. Ticks come from ViewStore::NextAccessTick()
+/// and are assigned only from driver-thread call sites, so they are
+/// deterministic at any worker-thread count.
+struct SegmentInfo {
+  int64_t keys = 0;
+  int64_t rows = 0;
+  uint64_t created_tick = 0;
+  uint64_t last_access_tick = 0;
+  int64_t last_access_query = -1;
+};
+
+/// Snapshot of one segment handed to eviction policies.
+struct SegmentStats {
+  int64_t segment_id = 0;
+  int64_t first_frame = 0;  // covered frame range [first_frame, frame_end)
+  int64_t frame_end = 0;
+  double bytes = 0;
+  SegmentInfo info;
+};
+
+/// What EvictSegment removed — the lifecycle manager turns the frame range
+/// into the retraction predicate p_v.
+struct EvictedSegment {
+  int64_t first_frame = 0;
+  int64_t frame_end = 0;
+  int64_t keys = 0;
+  int64_t rows = 0;
+  double bytes = 0;
 };
 
 /// Materialized view of a UDF's results, keyed by input tuple. Presence is
@@ -67,7 +101,14 @@ class MaterializedView {
 
   /// Records the UDF's results for `key` (idempotent; re-puts of an
   /// existing key are ignored, matching append-only STORE semantics).
-  void Put(const ViewKey& key, std::vector<Row> rows);
+  /// `tick` / `query_id` stamp the key's segment for eviction scoring;
+  /// the defaults keep pre-lifecycle callers compiling unchanged.
+  void Put(const ViewKey& key, std::vector<Row> rows, uint64_t tick = 0,
+           int64_t query_id = -1);
+
+  /// Refreshes the access stamp of `frame`'s segment after a successful
+  /// probe (ViewJoin hit). No-op when the segment holds no keys.
+  void RecordAccess(int64_t frame, uint64_t tick, int64_t query_id);
 
   int64_t num_keys() const {
     std::shared_lock<std::shared_mutex> lock(mu_);
@@ -88,12 +129,48 @@ class MaterializedView {
   /// Estimated on-disk footprint of the materialized results (§5.2).
   double SizeBytes() const;
 
+  /// Segment-granular views of the footprint. Snapshot; bytes per segment
+  /// use the SizeBytes() formula restricted to the segment's keys/rows.
+  std::vector<SegmentStats> Segments() const;
+
+  /// Drops every key whose frame falls in `segment_id`'s range and returns
+  /// what was removed (zeroed result when the segment is empty/unknown).
+  /// Requires quiescence like entries(): the lifecycle manager only evicts
+  /// from the driver thread between queries.
+  EvictedSegment EvictSegment(int64_t segment_id);
+
+  /// Restores a segment's access stamps (persistence reload).
+  void RestoreSegmentStamps(int64_t segment_id, const SegmentInfo& info);
+
+  int64_t segment_frames() const { return segment_frames_; }
+  void set_segment_frames(int64_t frames) {
+    segment_frames_ = frames > 0 ? frames : 1;
+  }
+
+  /// Id of the last query that probed or materialized into this view
+  /// (-1 when never accessed); the `.views` shell listing surfaces it.
+  int64_t last_access_query() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return last_access_query_;
+  }
+
  private:
+  int64_t SegmentOf(int64_t frame) const {
+    // Floor division so negative frames (never produced, but cheap to get
+    // right) still map to a stable segment.
+    int64_t q = frame / segment_frames_;
+    if (frame % segment_frames_ != 0 && frame < 0) --q;
+    return q;
+  }
+
   std::string name_;
   Schema value_schema_;
   mutable std::shared_mutex mu_;
   std::unordered_map<ViewKey, std::vector<Row>, ViewKeyHash> entries_;
+  std::map<int64_t, SegmentInfo> segments_;
   int64_t num_rows_ = 0;
+  int64_t segment_frames_ = 512;
+  int64_t last_access_query_ = -1;
   std::vector<Row> empty_;
 };
 
@@ -138,6 +215,25 @@ class ViewStore {
     return views_;
   }
 
+  /// Monotone tick for segment access stamps. Incremented only from
+  /// driver-thread call sites (ViewJoin probe loop, StoreOp flush), so the
+  /// sequence is deterministic regardless of worker-thread count.
+  uint64_t NextAccessTick() { return ++segment_clock_; }
+  /// Current reading of the access clock without advancing it (eviction
+  /// policies use tick distance as a fine-grained recency measure).
+  uint64_t current_tick() const { return segment_clock_.load(); }
+
+  /// Segment width (frames) applied to views created after the call.
+  /// The engine sets it once at construction, before any view exists.
+  void set_segment_frames(int64_t frames) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    segment_frames_ = frames > 0 ? frames : 1;
+  }
+  int64_t segment_frames() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return segment_frames_;
+  }
+
  private:
   /// Caller must hold mu_ exclusively.
   void Touch(const std::string& name) { access_[name] = ++access_clock_; }
@@ -147,6 +243,8 @@ class ViewStore {
   std::map<std::string, std::unique_ptr<MaterializedView>> views_;
   std::map<std::string, uint64_t> access_;  // name -> last access tick
   uint64_t access_clock_ = 0;
+  int64_t segment_frames_ = 512;
+  std::atomic<uint64_t> segment_clock_{0};
 };
 
 }  // namespace eva::storage

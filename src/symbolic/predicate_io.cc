@@ -1,0 +1,172 @@
+#include "symbolic/predicate_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace eva::symbolic {
+
+namespace {
+
+// Percent-escapes '%', space, and newline so a token never splits.
+std::string EscapeToken(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '%' || c == ' ' || c == '\n' || c == '\t' || c == '\r') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out.empty() ? "%" : out;  // "%" alone marks the empty string
+}
+
+std::string UnescapeToken(const std::string& s) {
+  if (s == "%") return "";
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      out += static_cast<char>(std::strtol(s.substr(i + 1, 2).c_str(),
+                                           nullptr, 16));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+void EncodeBound(std::ostringstream& os, const Bound& b) {
+  if (b.infinite) {
+    os << " inf";
+  } else {
+    os << ' ' << (b.closed ? 'c' : 'o') << ':' << b.value;
+  }
+}
+
+bool DecodeBound(std::istringstream& is, Bound* b) {
+  std::string tok;
+  if (!(is >> tok)) return false;
+  if (tok == "inf") {
+    *b = Bound::Infinite();
+    return true;
+  }
+  if (tok.size() < 3 || tok[1] != ':') return false;
+  double v = std::strtod(tok.c_str() + 2, nullptr);
+  if (tok[0] == 'c') {
+    *b = Bound::Closed(v);
+  } else if (tok[0] == 'o') {
+    *b = Bound::Open(v);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodePredicate(const Predicate& p) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "P " << p.conjuncts().size();
+  for (const Conjunct& c : p.conjuncts()) {
+    os << " C " << c.dims().size();
+    for (const auto& [dim, dc] : c.dims()) {
+      os << ' ' << EscapeToken(dim) << ' ' << static_cast<int>(dc.kind());
+      if (dc.is_categorical()) {
+        os << ' ' << (dc.categorical_exclude() ? "Ce" : "Ci") << ' '
+           << dc.categorical_values().size();
+        for (const std::string& v : dc.categorical_values()) {
+          os << ' ' << EscapeToken(v);
+        }
+      } else {
+        os << " N";
+        EncodeBound(os, dc.interval().lo());
+        EncodeBound(os, dc.interval().hi());
+        os << ' ' << dc.excluded_points().size();
+        for (double pt : dc.excluded_points()) os << ' ' << pt;
+      }
+    }
+  }
+  return os.str();
+}
+
+Result<Predicate> DecodePredicate(const std::string& text) {
+  std::istringstream is(text);
+  std::string tok;
+  size_t nconj = 0;
+  if (!(is >> tok) || tok != "P" || !(is >> nconj)) {
+    return Status::InvalidArgument("predicate: expected 'P <n>' header");
+  }
+  Predicate p;
+  for (size_t ci = 0; ci < nconj; ++ci) {
+    size_t ndims = 0;
+    if (!(is >> tok) || tok != "C" || !(is >> ndims)) {
+      return Status::InvalidArgument("predicate: expected 'C <n>' conjunct");
+    }
+    Conjunct c;
+    for (size_t di = 0; di < ndims; ++di) {
+      std::string dim_tok;
+      int kind_int = 0;
+      if (!(is >> dim_tok >> kind_int)) {
+        return Status::InvalidArgument("predicate: truncated dimension");
+      }
+      std::string dim = UnescapeToken(dim_tok);
+      auto kind = static_cast<DimKind>(kind_int);
+      std::string payload;
+      if (!(is >> payload)) {
+        return Status::InvalidArgument("predicate: missing payload tag");
+      }
+      if (payload == "N") {
+        Bound lo, hi;
+        size_t nexcl = 0;
+        if (!DecodeBound(is, &lo) || !DecodeBound(is, &hi) || !(is >> nexcl)) {
+          return Status::InvalidArgument("predicate: bad numeric payload");
+        }
+        DimConstraint dc = DimConstraint::Numeric(kind, Interval(lo, hi));
+        for (size_t i = 0; i < nexcl; ++i) {
+          double pt = 0;
+          if (!(is >> pt)) {
+            return Status::InvalidArgument("predicate: bad excluded point");
+          }
+          dc = dc.Intersect(DimConstraint::NumericNotEqual(kind, pt));
+        }
+        if (!c.Constrain(dim, dc)) {
+          return Status::InvalidArgument(
+              "predicate: unsatisfiable stored conjunct");
+        }
+      } else if (payload == "Ci" || payload == "Ce") {
+        size_t nvals = 0;
+        if (!(is >> nvals)) {
+          return Status::InvalidArgument("predicate: bad categorical count");
+        }
+        std::vector<std::string> values;
+        values.reserve(nvals);
+        for (size_t i = 0; i < nvals; ++i) {
+          std::string v;
+          if (!(is >> v)) {
+            return Status::InvalidArgument("predicate: bad categorical value");
+          }
+          values.push_back(UnescapeToken(v));
+        }
+        if (!c.Constrain(dim,
+                         DimConstraint::Categorical(std::move(values),
+                                                    payload == "Ce"))) {
+          return Status::InvalidArgument(
+              "predicate: unsatisfiable stored conjunct");
+        }
+      } else {
+        return Status::InvalidArgument("predicate: unknown payload tag '" +
+                                       payload + "'");
+      }
+    }
+    p.AddConjunct(std::move(c));
+  }
+  return p;
+}
+
+}  // namespace eva::symbolic

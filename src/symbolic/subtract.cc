@@ -1,0 +1,51 @@
+#include "symbolic/subtract.h"
+
+namespace eva::symbolic {
+
+std::vector<Conjunct> SubtractConjunct(const Conjunct& c, const Conjunct& w) {
+  // Disjoint from w: nothing to carve.
+  if (!c.Intersect(w).has_value()) return {c};
+  // Swallowed by w: nothing left.
+  if (c.IsSubsetOf(w)) return {};
+
+  std::vector<Conjunct> out;
+  // `prefix` accumulates c ∧ (d_1 ∈ w.d_1) ∧ ... ∧ (d_{k-1} ∈ w.d_{k-1});
+  // cell k adds one complement piece of w.d_k on top of it.
+  Conjunct prefix = c;
+  for (const auto& [dim, wd] : w.dims()) {
+    for (const DimConstraint& piece : wd.Complement()) {
+      Conjunct cell = prefix;
+      if (cell.Constrain(dim, piece)) out.push_back(std::move(cell));
+    }
+    if (!prefix.Constrain(dim, wd)) break;  // remaining cells are empty
+  }
+  return out;
+}
+
+Result<Predicate> Subtract(const Predicate& p, const Predicate& v,
+                           const SymbolicBudget& budget) {
+  if (p.IsFalse() || v.IsFalse()) return p;
+
+  std::vector<Conjunct> pieces(p.conjuncts().begin(), p.conjuncts().end());
+  for (const Conjunct& w : v.conjuncts()) {
+    std::vector<Conjunct> next;
+    for (const Conjunct& c : pieces) {
+      std::vector<Conjunct> carved = SubtractConjunct(c, w);
+      next.insert(next.end(), std::make_move_iterator(carved.begin()),
+                  std::make_move_iterator(carved.end()));
+      if (next.size() > budget.max_conjuncts) {
+        return Status::ResourceExhausted(
+            "predicate subtraction exceeded conjunct budget");
+      }
+    }
+    pieces = std::move(next);
+    if (pieces.empty()) break;
+  }
+
+  Predicate result;
+  for (Conjunct& c : pieces) result.AddConjunct(std::move(c));
+  result.Reduce(budget);
+  return result;
+}
+
+}  // namespace eva::symbolic

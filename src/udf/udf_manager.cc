@@ -1,5 +1,7 @@
 #include "udf/udf_manager.h"
 
+#include "symbolic/subtract.h"
+
 namespace eva::udf {
 
 const symbolic::Predicate& UdfManager::Coverage(
@@ -19,6 +21,27 @@ void UdfManager::UpdateCoverage(const std::string& key,
                                 const symbolic::SymbolicBudget& budget) {
   UdfEntry& entry = entries_[key];
   entry.coverage = symbolic::Predicate::Union(entry.coverage, q, budget);
+}
+
+void UdfManager::RetractCoverage(const std::string& key,
+                                 const symbolic::Predicate& evicted,
+                                 const symbolic::SymbolicBudget& budget) {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.coverage.IsFalse()) return;
+  Result<symbolic::Predicate> retracted =
+      symbolic::Subtract(it->second.coverage, evicted, budget);
+  if (retracted.ok()) {
+    it->second.coverage = retracted.MoveValue();
+  } else {
+    // Budget blown: give up the whole aggregated predicate rather than
+    // keep a claim over tuples the store no longer holds.
+    it->second.coverage = symbolic::Predicate::False();
+  }
+}
+
+void UdfManager::SetCoverage(const std::string& key,
+                             symbolic::Predicate coverage) {
+  entries_[key].coverage = std::move(coverage);
 }
 
 void UdfManager::RecordInvocations(const std::string& key, int64_t total,

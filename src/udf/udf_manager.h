@@ -44,6 +44,18 @@ class UdfManager {
   void UpdateCoverage(const std::string& key, const symbolic::Predicate& q,
                       const symbolic::SymbolicBudget& budget = {});
 
+  /// p_u ← p_u ∧ ¬p_v after a view segment covering `evicted` is dropped
+  /// (lifecycle eviction), re-reduced by Algorithm 1's conjunct machinery
+  /// so subsequent p∩ / p– splits never claim reuse for evicted tuples.
+  /// When subtraction exceeds the symbolic budget the coverage is cleared
+  /// entirely — sound, since underclaiming only costs recomputation.
+  void RetractCoverage(const std::string& key,
+                       const symbolic::Predicate& evicted,
+                       const symbolic::SymbolicBudget& budget = {});
+
+  /// Replaces p_u wholesale (persistence reload of a retracted predicate).
+  void SetCoverage(const std::string& key, symbolic::Predicate coverage);
+
   /// Invocation accounting (drives Table 3's #DI / #TI columns).
   void RecordInvocations(const std::string& key, int64_t total,
                          int64_t distinct_new);

@@ -108,18 +108,26 @@ TEST(ExplainAnalyzeTest, AnnotatedTreeCoversEveryOperator) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   std::string plan = PlanText(r.value());
   // Every plan line carries a stats block.
-  size_t lines = 0, annotated = 0;
+  size_t lines = 0, annotated = 0, admission_lines = 0;
   size_t start = 0;
   while (start < plan.size()) {
     size_t end = plan.find('\n', start);
     std::string line = plan.substr(start, end - start);
     start = end + 1;
     if (line.empty()) continue;
+    // Lifecycle admission decisions trail the operator tree.
+    if (line.rfind("admission:", 0) == 0) {
+      ++admission_lines;
+      continue;
+    }
     ++lines;
     if (line.find("[rows=") != std::string::npos) ++annotated;
   }
   EXPECT_GT(lines, 2u);
   EXPECT_EQ(lines, annotated) << plan;
+  // EVA mode materializes UDF results, so the lifecycle manager reports at
+  // least one admission decision for the query's UDFs.
+  EXPECT_GT(admission_lines, 0u) << plan;
   EXPECT_NE(plan.find("self="), std::string::npos);
   EXPECT_NE(plan.find("materialized="), std::string::npos) << plan;
 }

@@ -1,0 +1,236 @@
+// Engine-level tests for the view lifecycle manager (src/lifecycle/):
+// budget enforcement with bit-identical results, symbolic coverage
+// retraction on eviction, Eq. 3 admission gating, and policy plumbing.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/eva_engine.h"
+#include "vbench/vbench.h"
+
+namespace eva::lifecycle {
+namespace {
+
+using optimizer::ReuseMode;
+
+catalog::VideoInfo TinyVideo() {
+  catalog::VideoInfo v;
+  v.name = "tiny";
+  v.num_frames = 400;
+  v.mean_objects_per_frame = 8.3 / 0.8;
+  v.seed = 7;
+  return v;
+}
+
+std::unique_ptr<engine::EvaEngine> MakeEngineOrDie(
+    engine::EngineOptions options) {
+  auto r = vbench::MakeEngine(options, TinyVideo());
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+engine::EngineOptions EvaOptions() {
+  engine::EngineOptions options;
+  options.optimizer.mode = ReuseMode::kEva;
+  return options;
+}
+
+std::string FullText(const engine::QueryResult& r) {
+  return r.batch.ToString(1 << 20);
+}
+
+const char* const kDetectorQuery =
+    "SELECT id, obj, label FROM tiny CROSS APPLY "
+    "FasterRCNNResNet50(frame) WHERE id < 300 AND label = 'car';";
+
+TEST(LifecycleTest, BudgetedSessionStaysUnderBudgetWithIdenticalResults) {
+  const std::vector<std::string> workload =
+      vbench::VbenchHigh("tiny", TinyVideo().num_frames);
+
+  // Pass 1 (unbounded EVA): reference results + the working-set peak.
+  auto unbounded = MakeEngineOrDie(EvaOptions());
+  std::vector<std::string> expected;
+  double peak_bytes = 0;
+  for (const std::string& sql : workload) {
+    auto r = unbounded->Execute(sql);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    expected.push_back(FullText(r.value()));
+    peak_bytes = std::max(peak_bytes, unbounded->views().TotalSizeBytes());
+  }
+  ASSERT_GT(peak_bytes, 0);
+
+  // Pass 2 (no materialization): the ground truth nothing can drift from.
+  {
+    engine::EngineOptions options;
+    options.optimizer.mode = ReuseMode::kNoReuse;
+    auto baseline = MakeEngineOrDie(options);
+    for (size_t i = 0; i < workload.size(); ++i) {
+      auto r = baseline->Execute(workload[i]);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(FullText(r.value()), expected[i]) << workload[i];
+    }
+  }
+
+  // Pass 3: budget well below the working set. Results stay bit-identical
+  // and the store never exceeds the budget after a query completes.
+  engine::EngineOptions options = EvaOptions();
+  options.storage_budget_bytes = peak_bytes * 0.4;
+  options.segment_frames = 64;
+  auto budgeted = MakeEngineOrDie(options);
+  ASSERT_NE(budgeted->lifecycle(), nullptr);
+  EXPECT_EQ(budgeted->lifecycle()->budget_bytes(), peak_bytes * 0.4);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto r = budgeted->Execute(workload[i]);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(FullText(r.value()), expected[i]) << workload[i];
+    EXPECT_LE(budgeted->views().TotalSizeBytes(),
+              options.storage_budget_bytes)
+        << "after query " << i;
+  }
+  EXPECT_GT(budgeted->lifecycle()->evictions(), 0);
+  EXPECT_GT(budgeted->lifecycle()->evicted_bytes(), 0);
+}
+
+TEST(LifecycleTest, EvictionRetractsCoverageAndRecomputes) {
+  engine::EngineOptions options = EvaOptions();
+  options.segment_frames = 64;
+  auto engine = MakeEngineOrDie(options);
+  auto first = engine->Execute(kDetectorQuery);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first.value().metrics.TotalInvocations(), 0);
+
+  const std::string key = "FasterRCNNResNet50@tiny";
+  auto covered = [&](int64_t frame) {
+    return engine->udf_manager().Coverage(key).Evaluate(
+        [&](const std::string& dim) {
+          EXPECT_EQ(dim, "id");
+          return Value(frame);
+        });
+  };
+  ASSERT_TRUE(covered(0));
+  ASSERT_TRUE(covered(299));
+
+  // Shrink the budget mid-session; some segments must go.
+  const double budget = engine->views().TotalSizeBytes() * 0.5;
+  engine->lifecycle()->set_budget_bytes(budget);
+  auto evicted = engine->lifecycle()->EnforceBudget(
+      engine->queries_executed());
+  ASSERT_FALSE(evicted.empty());
+  EXPECT_LE(engine->views().TotalSizeBytes(), budget);
+
+  // Retraction: coverage no longer claims any evicted frame; frames of
+  // retained segments keep their claim.
+  std::vector<bool> evicted_frame(400, false);
+  for (const EvictionEvent& ev : evicted) {
+    EXPECT_EQ(ev.view, key);
+    for (int64_t f = ev.first_frame; f < ev.frame_end && f < 400; ++f) {
+      evicted_frame[static_cast<size_t>(f)] = true;
+    }
+  }
+  for (int64_t f = 0; f < 300; ++f) {
+    EXPECT_EQ(covered(f), !evicted_frame[static_cast<size_t>(f)])
+        << "frame " << f;
+  }
+
+  // Re-running the query recomputes the evicted range (invocations > 0)
+  // and returns exactly the first run's rows.
+  auto second = engine->Execute(kDetectorQuery);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second.value().metrics.TotalInvocations(), 0);
+  EXPECT_EQ(FullText(second.value()), FullText(first.value()));
+}
+
+TEST(LifecycleTest, AdmissionDeniesCheapUdfAfterNoReuseEvidence) {
+  auto engine = MakeEngineOrDie(EvaOptions());
+  engine->lifecycle()->set_admission_min_evidence(1);
+
+  // VehicleFilter costs 1 ms/tuple; after a no-reuse query its Laplace
+  // reuse estimate drops below write_cost / c_e and admission denies it.
+  const char* q1 =
+      "SELECT id, obj FROM tiny CROSS APPLY FasterRCNNResNet50(frame) "
+      "WHERE VehicleFilter(frame) = true AND id < 60 AND label = 'car';";
+  const char* q2 =
+      "SELECT id, obj FROM tiny CROSS APPLY FasterRCNNResNet50(frame) "
+      "WHERE VehicleFilter(frame) = true AND id >= 60 AND id < 120 AND "
+      "label = 'car';";
+  auto r1 = engine->Execute(q1);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  auto r2 = engine->Execute(q2);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+
+  EXPECT_GT(engine->lifecycle()->admissions_denied(), 0);
+  bool denied_filter = false, admitted_detector = false;
+  for (const optimizer::AdmissionReport& a : r2.value().report.admissions) {
+    if (a.udf.rfind("VehicleFilter", 0) == 0 && !a.admitted) {
+      denied_filter = true;
+      EXPECT_LT(a.predicted_benefit_ms, a.write_cost_ms);
+    }
+    if (a.udf.rfind("FasterRCNNResNet50", 0) == 0 && a.admitted) {
+      admitted_detector = true;
+    }
+  }
+  EXPECT_TRUE(denied_filter) << FullText(r2.value());
+  EXPECT_TRUE(admitted_detector);
+  // Denied means not materialized: the filter view holds only q1's frames.
+  const storage::MaterializedView* filter_view =
+      engine->views().Find("VehicleFilter@tiny");
+  if (filter_view != nullptr) {
+    EXPECT_LE(filter_view->num_keys(), 60);
+  }
+
+  // The denial must not change answers: a fresh no-reuse engine agrees.
+  engine::EngineOptions options;
+  options.optimizer.mode = ReuseMode::kNoReuse;
+  auto baseline = MakeEngineOrDie(options);
+  auto b2 = baseline->Execute(q2);
+  ASSERT_TRUE(b2.ok());
+  EXPECT_EQ(FullText(r2.value()), FullText(b2.value()));
+}
+
+TEST(LifecycleTest, DefaultEvidenceThresholdNeverDenies) {
+  auto engine = MakeEngineOrDie(EvaOptions());
+  auto workload = vbench::VbenchHigh("tiny", TinyVideo().num_frames);
+  auto r = vbench::RunWorkload(engine.get(), workload);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(engine->lifecycle()->admissions_denied(), 0);
+  EXPECT_GT(engine->lifecycle()->admissions_granted(), 0);
+}
+
+TEST(LifecycleTest, PolicyOptionPlumbing) {
+  engine::EngineOptions options = EvaOptions();
+  options.eviction_policy = "lru";
+  auto engine = MakeEngineOrDie(options);
+  EXPECT_EQ(engine->lifecycle()->policy_kind(), EvictionPolicyKind::kLru);
+  EXPECT_STREQ(engine->lifecycle()->policy_name(), "lru");
+
+  engine->lifecycle()->SetPolicy(EvictionPolicyKind::kFifo);
+  EXPECT_STREQ(engine->lifecycle()->policy_name(), "fifo");
+
+  EXPECT_FALSE(ParseEvictionPolicy("mru").ok());
+  EXPECT_TRUE(ParseEvictionPolicy("cb").ok());
+  EXPECT_EQ(ParseEvictionPolicy("cost-benefit").value(),
+            EvictionPolicyKind::kCostBenefit);
+}
+
+TEST(LifecycleTest, ClearReuseStateResetsLifecycle) {
+  engine::EngineOptions options = EvaOptions();
+  options.storage_budget_bytes = 1;  // evict everything after each query
+  options.segment_frames = 64;
+  auto engine = MakeEngineOrDie(options);
+  ASSERT_TRUE(engine->Execute(kDetectorQuery).ok());
+  EXPECT_GT(engine->lifecycle()->evictions(), 0);
+  engine->ClearReuseState();
+  EXPECT_EQ(engine->lifecycle()->evictions(), 0);
+  EXPECT_EQ(engine->lifecycle()->admissions_granted(), 0);
+  EXPECT_EQ(engine->queries_executed(), 0);
+  // The session still works from the clean slate.
+  auto r = engine->Execute(kDetectorQuery);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(engine->views().TotalSizeBytes(), 1.0);
+}
+
+}  // namespace
+}  // namespace eva::lifecycle

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include "engine/eva_engine.h"
 #include "storage/view_persistence.h"
@@ -123,6 +126,113 @@ TEST_F(PersistenceTest, EngineSurvivesRestart) {
   // Session 2: load views; the same query needs zero UDF evaluations even
   // though the aggregated predicates were not persisted (the conditional
   // apply consults the view per tuple).
+  {
+    auto er = vbench::MakeEngine(optimizer::ReuseMode::kEva, video);
+    ASSERT_TRUE(er.ok());
+    auto engine = er.MoveValue();
+    ASSERT_TRUE(engine->LoadViews(dir_.string()).ok());
+    auto r = engine->Execute(sql);
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(r.value().metrics.breakdown[CostCategory::kUdf], 0.0);
+  }
+}
+
+TEST_F(PersistenceTest, LifecycleStateSurvivesEvictionAndRestart) {
+  catalog::VideoInfo video;
+  video.name = "pv";
+  video.num_frames = 120;
+  video.mean_objects_per_frame = 6;
+  video.seed = 3;
+  engine::EngineOptions options;
+  options.optimizer.mode = optimizer::ReuseMode::kEva;
+  options.segment_frames = 32;
+  const char* sql =
+      "SELECT id, obj FROM pv CROSS APPLY FasterRCNNResNet50(frame) "
+      "WHERE id < 120 AND label = 'car';";
+  const std::string key = "FasterRCNNResNet50@pv";
+
+  auto coverage_at = [&](const engine::EvaEngine& engine, int64_t frame) {
+    return engine.udf_manager().Coverage(key).Evaluate(
+        [&](const std::string&) { return Value(frame); });
+  };
+
+  std::vector<bool> covered_after_eviction(120, false);
+  std::string reference;
+  int64_t saved_last_query = -2;
+  double first_udf_ms = 0;
+  // Session 1: materialize, evict under a mid-session budget, persist.
+  {
+    auto er = vbench::MakeEngine(options, video);
+    ASSERT_TRUE(er.ok());
+    auto engine = er.MoveValue();
+    auto first = engine->Execute(sql);
+    ASSERT_TRUE(first.ok());
+    reference = first.value().batch.ToString(1 << 20);
+    first_udf_ms = first.value().metrics.breakdown[CostCategory::kUdf];
+    ASSERT_GT(first_udf_ms, 0);
+    engine->lifecycle()->set_budget_bytes(
+        engine->views().TotalSizeBytes() * 0.5);
+    auto evicted =
+        engine->lifecycle()->EnforceBudget(engine->queries_executed());
+    ASSERT_FALSE(evicted.empty());
+    for (int64_t f = 0; f < 120; ++f) {
+      covered_after_eviction[static_cast<size_t>(f)] =
+          coverage_at(*engine, f);
+    }
+    ASSERT_NE(std::count(covered_after_eviction.begin(),
+                         covered_after_eviction.end(), true),
+              0);
+    saved_last_query = engine->views().Find(key)->last_access_query();
+    ASSERT_TRUE(engine->SaveViews(dir_.string()).ok());
+  }
+  // Session 2: reload. The retracted coverage and segment stamps round-trip,
+  // and re-running the query recomputes exactly the evicted gap.
+  {
+    auto er = vbench::MakeEngine(options, video);
+    ASSERT_TRUE(er.ok());
+    auto engine = er.MoveValue();
+    ASSERT_TRUE(engine->LoadViews(dir_.string()).ok());
+    for (int64_t f = 0; f < 120; ++f) {
+      EXPECT_EQ(coverage_at(*engine, f),
+                covered_after_eviction[static_cast<size_t>(f)])
+          << "frame " << f;
+    }
+    const MaterializedView* view = engine->views().Find(key);
+    ASSERT_NE(view, nullptr);
+    EXPECT_EQ(view->last_access_query(), saved_last_query);
+    ASSERT_FALSE(view->Segments().empty());
+
+    auto r = engine->Execute(sql);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().batch.ToString(1 << 20), reference);
+    // Retained frames reuse (coverage or view probe); only the evicted
+    // gap pays UDF time again.
+    const double udf_ms = r.value().metrics.breakdown[CostCategory::kUdf];
+    EXPECT_GT(udf_ms, 0);
+    EXPECT_LT(udf_ms, first_udf_ms);
+    EXPECT_GT(r.value().metrics.TotalReused(), 0);
+  }
+}
+
+TEST_F(PersistenceTest, PreLifecycleSaveDirectoryLoads) {
+  catalog::VideoInfo video;
+  video.name = "pv";
+  video.num_frames = 60;
+  video.mean_objects_per_frame = 6;
+  video.seed = 3;
+  const char* sql =
+      "SELECT id, obj FROM pv CROSS APPLY FasterRCNNResNet50(frame) "
+      "WHERE id < 60 AND label = 'car';";
+  {
+    auto er = vbench::MakeEngine(optimizer::ReuseMode::kEva, video);
+    ASSERT_TRUE(er.ok());
+    auto engine = er.MoveValue();
+    ASSERT_TRUE(engine->Execute(sql).ok());
+    ASSERT_TRUE(engine->SaveViews(dir_.string()).ok());
+  }
+  // A directory written before the lifecycle subsystem existed has no
+  // lifecycle.evastate; loading it must still succeed.
+  fs::remove(dir_ / "lifecycle.evastate");
   {
     auto er = vbench::MakeEngine(optimizer::ReuseMode::kEva, video);
     ASSERT_TRUE(er.ok());

@@ -1,0 +1,311 @@
+// Property tests for the retraction primitive: symbolic::Subtract(p, v)
+// must agree with the pointwise semantics p ∧ ¬v on every tuple, and the
+// persistence encoding must round-trip predicates losslessly. Both are
+// checked against brute-force enumeration of a small mixed-kind domain
+// (integer frame ids, a real score, a categorical label) under randomized
+// predicates with a fixed seed.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "symbolic/predicate.h"
+#include "symbolic/predicate_io.h"
+#include "symbolic/subtract.h"
+
+namespace eva::symbolic {
+namespace {
+
+// The enumerable domain. Grid values sit on and between every bound the
+// generator can produce, so open/closed endpoint bugs cannot hide.
+const char* const kLabels[] = {"car", "bus", "truck", "van"};
+
+struct GridPoint {
+  int64_t id;
+  double score;
+  std::string label;
+
+  ValueLookup Lookup() const {
+    return [this](const std::string& dim) -> Value {
+      if (dim == "id") return Value(id);
+      if (dim == "score") return Value(score);
+      return Value(label);
+    };
+  }
+};
+
+std::vector<GridPoint> MakeGrid() {
+  std::vector<GridPoint> grid;
+  for (int64_t id = -2; id <= 13; ++id) {
+    for (int s = 0; s <= 8; ++s) {
+      for (const char* label : kLabels) {
+        grid.push_back({id, s * 0.5, label});
+      }
+    }
+  }
+  return grid;
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+  int Int(int lo, int hi) {  // inclusive
+    return std::uniform_int_distribution<int>(lo, hi)(gen_);
+  }
+  bool Chance(double p) {
+    return std::uniform_real_distribution<double>(0, 1)(gen_) < p;
+  }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+DimConstraint RandomNumeric(Rng& rng, DimKind kind) {
+  auto bound = [&](double v) {
+    return rng.Chance(0.5) ? Bound::Closed(v) : Bound::Open(v);
+  };
+  double lo = kind == DimKind::kInteger ? rng.Int(-2, 12)
+                                        : rng.Int(0, 8) * 0.5;
+  double hi = kind == DimKind::kInteger ? rng.Int(-2, 12)
+                                        : rng.Int(0, 8) * 0.5;
+  Interval interval;
+  switch (rng.Int(0, 4)) {
+    case 0:
+      interval = Interval(bound(lo), Bound::Infinite());
+      break;
+    case 1:
+      interval = Interval(Bound::Infinite(), bound(hi));
+      break;
+    case 2:
+      interval = Interval(bound(std::min(lo, hi)), bound(std::max(lo, hi)));
+      break;
+    case 3:
+      interval = Interval::Point(lo);
+      break;
+    default:
+      interval = Interval::Full();
+      break;
+  }
+  DimConstraint c = DimConstraint::Numeric(kind, interval);
+  if (rng.Chance(0.3)) {
+    c = c.Intersect(DimConstraint::NumericNotEqual(
+        kind, kind == DimKind::kInteger ? rng.Int(-2, 12)
+                                        : rng.Int(0, 8) * 0.5));
+  }
+  return c;
+}
+
+DimConstraint RandomCategorical(Rng& rng) {
+  std::vector<std::string> values;
+  for (const char* label : kLabels) {
+    if (rng.Chance(0.4)) values.push_back(label);
+  }
+  if (values.empty()) values.push_back(kLabels[rng.Int(0, 3)]);
+  return DimConstraint::Categorical(std::move(values), rng.Chance(0.5));
+}
+
+Conjunct RandomConjunct(Rng& rng) {
+  Conjunct c;
+  if (rng.Chance(0.7)) {
+    c.Constrain("id", RandomNumeric(rng, DimKind::kInteger));
+  }
+  if (rng.Chance(0.5)) {
+    c.Constrain("score", RandomNumeric(rng, DimKind::kReal));
+  }
+  if (rng.Chance(0.5)) c.Constrain("label", RandomCategorical(rng));
+  return c;  // possibly empty after an unsat Constrain; AddConjunct drops it
+}
+
+Predicate RandomPredicate(Rng& rng) {
+  Predicate p;
+  int n = rng.Int(1, 3);
+  for (int i = 0; i < n; ++i) p.AddConjunct(RandomConjunct(rng));
+  if (rng.Chance(0.5)) p.Reduce();
+  return p;
+}
+
+TEST(SubtractConjunctTest, DisjointSubtrahendLeavesMinuendIntact) {
+  Conjunct c, w;
+  ASSERT_TRUE(c.Constrain(
+      "id", DimConstraint::Numeric(DimKind::kInteger,
+                                   Interval(Bound::Closed(0),
+                                            Bound::Closed(9)))));
+  ASSERT_TRUE(w.Constrain(
+      "id", DimConstraint::Numeric(DimKind::kInteger,
+                                   Interval(Bound::Closed(20),
+                                            Bound::Closed(29)))));
+  auto pieces = SubtractConjunct(c, w);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_TRUE(pieces[0].Equals(c));
+}
+
+TEST(SubtractConjunctTest, CoveredMinuendVanishes) {
+  Conjunct c, w;
+  ASSERT_TRUE(c.Constrain(
+      "id", DimConstraint::Numeric(DimKind::kInteger,
+                                   Interval(Bound::Closed(3),
+                                            Bound::Closed(5)))));
+  ASSERT_TRUE(w.Constrain(
+      "id", DimConstraint::Numeric(DimKind::kInteger,
+                                   Interval(Bound::Closed(0),
+                                            Bound::Closed(9)))));
+  EXPECT_TRUE(SubtractConjunct(c, w).empty());
+}
+
+TEST(SubtractConjunctTest, PiecesArePairwiseDisjoint) {
+  Rng rng(2022);
+  const std::vector<GridPoint> grid = MakeGrid();
+  for (int iter = 0; iter < 100; ++iter) {
+    Conjunct c = RandomConjunct(rng);
+    Conjunct w = RandomConjunct(rng);
+    std::vector<Conjunct> pieces = SubtractConjunct(c, w);
+    for (const GridPoint& pt : grid) {
+      int hits = 0;
+      for (const Conjunct& piece : pieces) {
+        if (piece.Evaluate(pt.Lookup())) ++hits;
+      }
+      // Disjoint-cell decomposition: no point lies in two pieces, and the
+      // union is exactly c ∧ ¬w.
+      ASSERT_LE(hits, 1) << "c=" << c.ToString() << " w=" << w.ToString();
+      bool expected =
+          c.Evaluate(pt.Lookup()) && !w.Evaluate(pt.Lookup());
+      ASSERT_EQ(hits == 1, expected)
+          << "c=" << c.ToString() << " w=" << w.ToString() << " at id="
+          << pt.id << " score=" << pt.score << " label=" << pt.label;
+    }
+  }
+}
+
+TEST(SubtractPropertyTest, MatchesBruteForceEnumeration) {
+  Rng rng(7);
+  const std::vector<GridPoint> grid = MakeGrid();
+  for (int iter = 0; iter < 200; ++iter) {
+    Predicate p = RandomPredicate(rng);
+    Predicate v = RandomPredicate(rng);
+    auto diff = Subtract(p, v);
+    ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+    for (const GridPoint& pt : grid) {
+      bool expected =
+          p.Evaluate(pt.Lookup()) && !v.Evaluate(pt.Lookup());
+      ASSERT_EQ(diff.value().Evaluate(pt.Lookup()), expected)
+          << "p=" << p.ToString() << " v=" << v.ToString()
+          << " diff=" << diff.value().ToString() << " at id=" << pt.id
+          << " score=" << pt.score << " label=" << pt.label;
+    }
+  }
+}
+
+TEST(SubtractPropertyTest, AgreesWithDeMorganDiff) {
+  // Predicate::Diff(p1, p2) computes ¬p1 ∧ p2 via full De Morgan
+  // expansion; Subtract(p, v) must be semantically identical to
+  // Diff(v, p) wherever both fit their budgets.
+  Rng rng(99);
+  const std::vector<GridPoint> grid = MakeGrid();
+  for (int iter = 0; iter < 100; ++iter) {
+    Predicate p = RandomPredicate(rng);
+    Predicate v = RandomPredicate(rng);
+    auto subtract = Subtract(p, v);
+    auto demorgan = Predicate::Diff(v, p);
+    ASSERT_TRUE(subtract.ok());
+    if (!demorgan.ok()) continue;  // Diff may exhaust its budget first
+    for (const GridPoint& pt : grid) {
+      ASSERT_EQ(subtract.value().Evaluate(pt.Lookup()),
+                demorgan.value().Evaluate(pt.Lookup()))
+          << "p=" << p.ToString() << " v=" << v.ToString();
+    }
+  }
+}
+
+TEST(SubtractPropertyTest, SubtractingSelfAndFalseAndTrue) {
+  Rng rng(123);
+  for (int iter = 0; iter < 50; ++iter) {
+    Predicate p = RandomPredicate(rng);
+    auto self = Subtract(p, p);
+    ASSERT_TRUE(self.ok());
+    const std::vector<GridPoint> grid = MakeGrid();
+    for (const GridPoint& pt : grid) {
+      ASSERT_FALSE(self.value().Evaluate(pt.Lookup())) << p.ToString();
+    }
+    auto minus_false = Subtract(p, Predicate::False());
+    ASSERT_TRUE(minus_false.ok());
+    for (const GridPoint& pt : grid) {
+      ASSERT_EQ(minus_false.value().Evaluate(pt.Lookup()),
+                p.Evaluate(pt.Lookup()));
+    }
+    auto minus_true = Subtract(p, Predicate::True());
+    ASSERT_TRUE(minus_true.ok());
+    EXPECT_TRUE(minus_true.value().DefinitelyFalse()) << p.ToString();
+  }
+}
+
+TEST(SubtractPropertyTest, BudgetExhaustionIsResourceExhausted) {
+  // Many excluded points force one cell per complement piece; a one-cell
+  // budget cannot hold them.
+  Conjunct c;
+  ASSERT_TRUE(c.Constrain(
+      "id", DimConstraint::Numeric(DimKind::kInteger,
+                                   Interval(Bound::Closed(0),
+                                            Bound::Closed(100)))));
+  Predicate p = Predicate::FromConjunct(c);
+  Predicate v;
+  for (int i = 10; i < 20; ++i) {
+    Conjunct w;
+    w.Constrain("id", DimConstraint::Numeric(DimKind::kInteger,
+                                             Interval::Point(i)));
+    v.AddConjunct(w);
+  }
+  SymbolicBudget tiny;
+  tiny.max_conjuncts = 1;
+  auto r = Subtract(p, v, tiny);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PredicateIoTest, EncodeDecodeRoundTripsSemantics) {
+  Rng rng(31337);
+  const std::vector<GridPoint> grid = MakeGrid();
+  for (int iter = 0; iter < 200; ++iter) {
+    Predicate p = RandomPredicate(rng);
+    auto decoded = DecodePredicate(EncodePredicate(p));
+    ASSERT_TRUE(decoded.ok())
+        << p.ToString() << " -> " << EncodePredicate(p) << " -> "
+        << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().AtomCount(), p.AtomCount()) << p.ToString();
+    for (const GridPoint& pt : grid) {
+      ASSERT_EQ(decoded.value().Evaluate(pt.Lookup()),
+                p.Evaluate(pt.Lookup()))
+          << p.ToString() << " -> " << EncodePredicate(p);
+    }
+  }
+}
+
+TEST(PredicateIoTest, RoundTripsDegenerateAndEscapedPredicates) {
+  for (const Predicate& p : {Predicate::False(), Predicate::True()}) {
+    auto decoded = DecodePredicate(EncodePredicate(p));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().IsFalse(), p.IsFalse());
+    EXPECT_EQ(decoded.value().IsTrue(), p.IsTrue());
+  }
+  // Dimension names / categorical values with whitespace, '%', and an
+  // empty string must survive the token format.
+  Conjunct c;
+  ASSERT_TRUE(c.Constrain("two words",
+                          DimConstraint::Categorical({"50%", ""}, false)));
+  Predicate p = Predicate::FromConjunct(c);
+  auto decoded = DecodePredicate(EncodePredicate(p));
+  ASSERT_TRUE(decoded.ok()) << EncodePredicate(p);
+  auto check = [&](const char* v, bool expect) {
+    ValueLookup lookup = [&](const std::string&) { return Value(v); };
+    EXPECT_EQ(decoded.value().Evaluate(lookup), expect) << v;
+  };
+  check("50%", true);
+  check("", true);
+  check("car", false);
+  EXPECT_FALSE(DecodePredicate("garbage").ok());
+  EXPECT_FALSE(DecodePredicate("P 1 C").ok());
+}
+
+}  // namespace
+}  // namespace eva::symbolic
