@@ -15,8 +15,12 @@
 //              trace-event JSON for chrome://tracing / Perfetto)
 //   .threads   show the worker-thread count  (.threads N resizes the pool;
 //              simulated times are unaffected — see docs/RUNTIME.md)
+//   .faults    show the active fault schedule; `.faults SCHEDULE` installs
+//              one (e.g. `.faults crash-exit@fs.rename:MANIFEST#1`) and
+//              `.faults off` disables injection — see docs/RELIABILITY.md
 //   .clear     drop all reuse state
 //   .save DIR  persist views to a directory     .load DIR  restore them
+//              (.load prints what crash recovery found and repaired)
 //   .quit
 //
 // Commands accept either a '.' or the legacy '\' prefix.
@@ -192,6 +196,25 @@ int main() {
         }
         continue;
       }
+      if (line == "\\faults" || line.rfind("\\faults ", 0) == 0) {
+        if (line == "\\faults") {
+          const std::string text =
+              engine->fault_injector()->schedule_text();
+          std::printf("fault schedule: %s\n",
+                      text.empty() ? "(off)" : text.c_str());
+        } else {
+          std::string sched = line.substr(8);
+          if (sched == "off") sched.clear();
+          Status s = engine->SetFaultSchedule(sched);
+          if (!s.ok()) {
+            std::printf("%s\n", s.ToString().c_str());
+          } else {
+            std::printf("fault schedule: %s\n",
+                        sched.empty() ? "(off)" : sched.c_str());
+          }
+        }
+        continue;
+      }
       if (line == "\\clear") {
         engine->ClearReuseState();
         std::printf("reuse state cleared.\n");
@@ -204,7 +227,12 @@ int main() {
       }
       if (line.rfind("\\load ", 0) == 0) {
         Status s = engine->LoadViews(line.substr(6));
-        std::printf("%s\n", s.ToString().c_str());
+        if (s.ok()) {
+          std::printf("OK — recovery: %s\n",
+                      engine->last_recovery().Summary().c_str());
+        } else {
+          std::printf("%s\n", s.ToString().c_str());
+        }
         continue;
       }
       std::printf("unknown command: %s\n", line.c_str());

@@ -1,0 +1,19 @@
+#ifndef EVA_COMMON_CRC32_H_
+#define EVA_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace eva {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte range.
+/// Used by the persistence manifest to detect torn or bit-flipped view
+/// files before their contents can be trusted (docs/RELIABILITY.md).
+uint32_t Crc32(const void* data, size_t len);
+
+inline uint32_t Crc32(const std::string& s) { return Crc32(s.data(), s.size()); }
+
+}  // namespace eva
+
+#endif  // EVA_COMMON_CRC32_H_

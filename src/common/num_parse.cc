@@ -1,0 +1,33 @@
+#include "common/num_parse.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace eva {
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno == ERANGE) return false;
+  if (end != s.c_str() + s.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  // Overflow saturates to +-HUGE_VAL with ERANGE; underflow-to-zero is
+  // accepted (denormal literals round, they don't corrupt).
+  if (errno == ERANGE && std::abs(v) == HUGE_VAL) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace eva

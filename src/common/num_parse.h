@@ -1,0 +1,19 @@
+#ifndef EVA_COMMON_NUM_PARSE_H_
+#define EVA_COMMON_NUM_PARSE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace eva {
+
+/// Exception-free numeric parsing for untrusted input: persistence files,
+/// EVA-QL literals, CREATE UDF properties. std::stoll / std::stod throw on
+/// overflow and garbage, which turns a hostile byte string into process
+/// death inside the parser or a view-file reader; these return false
+/// instead (malformed, overflow, empty, or trailing garbage all fail).
+bool ParseInt64(const std::string& s, int64_t* out);
+bool ParseDouble(const std::string& s, double* out);
+
+}  // namespace eva
+
+#endif  // EVA_COMMON_NUM_PARSE_H_

@@ -1,7 +1,11 @@
 #include "engine/eva_engine.h"
 
+#include <cstdlib>
+
+#include "common/num_parse.h"
 #include "common/string_util.h"
 #include "exec/operators.h"
+#include "fault/fault_fs.h"
 #include "obs/explain.h"
 #include "parser/parser.h"
 #include "storage/view_persistence.h"
@@ -60,6 +64,10 @@ void AttachOperatorSpans(obs::Tracer& tracer, const plan::PlanNodePtr& node,
         tracer.AddAttribute(index, "materialized",
                             std::to_string(s.rows_materialized));
       }
+      if (s.udf_retries > 0) {
+        tracer.AddAttribute(index, "udf_retries",
+                            std::to_string(s.udf_retries));
+      }
     }
   }
   for (const plan::PlanNodePtr& child : node->children()) {
@@ -103,6 +111,21 @@ EvaEngine::EvaEngine(EngineOptions options,
   lopts.symbolic_budget = options_.optimizer.budget;
   lifecycle_ = std::make_unique<lifecycle::ViewLifecycleManager>(
       lopts, &views_, &manager_, catalog_.get(), registry_);
+  std::string schedule = options_.fault_schedule;
+  if (schedule.empty()) {
+    const char* env = std::getenv("EVA_FAULTS");
+    if (env != nullptr) schedule = env;
+  }
+  // A constructor can't fail: an unparseable schedule leaves injection off
+  // and the error retrievable via fault_schedule_status().
+  fault_schedule_status_ = SetFaultSchedule(schedule);
+}
+
+Status EvaEngine::SetFaultSchedule(const std::string& text) {
+  EVA_ASSIGN_OR_RETURN(fault::FaultSchedule schedule,
+                       fault::ParseFaultSchedule(text));
+  injector_.SetSchedule(std::move(schedule));
+  return Status::OK();
 }
 
 void EvaEngine::SetNumThreads(int n) {
@@ -132,13 +155,35 @@ Result<const vision::SyntheticVideo*> EvaEngine::video(
 }
 
 Status EvaEngine::SaveViews(const std::string& dir) const {
-  EVA_RETURN_IF_ERROR(storage::SaveViewStore(views_, dir));
-  return storage::SaveLifecycleState(views_, manager_, dir);
+  fault::FaultFs fs(injector_.active() ? &injector_ : nullptr);
+  return storage::SaveSession(views_, manager_, dir, &fs);
 }
 
 Status EvaEngine::LoadViews(const std::string& dir) {
-  EVA_RETURN_IF_ERROR(storage::LoadViewStore(dir, &views_));
-  return storage::LoadLifecycleState(dir, &views_, &manager_);
+  fault::FaultFs fs(injector_.active() ? &injector_ : nullptr);
+  Result<storage::RecoveryReport> loaded =
+      storage::LoadSession(dir, &views_, &manager_, &fs);
+  if (!loaded.ok()) return loaded.status();
+  last_recovery_ = loaded.MoveValue();
+  if (registry_ != nullptr && !last_recovery_.clean()) {
+    if (auto* c = registry_->GetCounter(
+            "eva_recovery_total",
+            "Loads that found and repaired damaged persisted state.")) {
+      c->Increment();
+    }
+    if (auto* c = registry_->GetCounter(
+            "eva_recovery_quarantined_files_total",
+            "Files quarantined during persisted-state recovery.")) {
+      c->Increment(static_cast<double>(last_recovery_.quarantined.size()));
+    }
+    if (auto* c = registry_->GetCounter(
+            "eva_recovery_coverage_retractions_total",
+            "Coverage predicates retracted because their view was "
+            "quarantined.")) {
+      c->Increment(static_cast<double>(last_recovery_.retracted.size()));
+    }
+  }
+  return Status::OK();
 }
 
 void EvaEngine::ClearReuseState() {
@@ -233,6 +278,19 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
     explain_manager = manager_;
     manager = &explain_manager;
   }
+  // Soundness under injected faults (§4.1): the optimizer claims coverage
+  // for the tuples it schedules BEFORE execution runs; if execution then
+  // fails, that claim would overclaim results that never materialized.
+  // Snapshot p_u now and roll back on execution error. Fault-free
+  // executions cannot fail that way, so the snapshot is gated on an active
+  // injector to keep the normal path untouched.
+  const bool fault_active = injector_.active();
+  std::map<std::string, symbolic::Predicate> coverage_snapshot;
+  if (fault_active && !plain_explain) {
+    for (const auto& [key, entry] : manager_.entries()) {
+      coverage_snapshot.emplace(key, entry.coverage);
+    }
+  }
   optimizer::Optimizer opt(options_.optimizer, catalog_.get(), manager,
                            stats_it->second.get(), options_.costs,
                            &views_, &tracer_, registry_, lifecycle_.get());
@@ -278,12 +336,35 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
     ctx.funcache = &funcache_;
   }
   ctx.obs_registry = registry_;
+  ctx.faults = fault_active ? &injector_ : nullptr;
+  ctx.udf_max_retries = options_.udf_max_retries;
+  ctx.udf_retry_backoff_ms = options_.udf_retry_backoff_ms;
   obs::PlanStatsMap node_stats;
   if (stmt.analyze) ctx.node_stats = &node_stats;
 
   obs::Span exec_span = tracer_.StartSpan("execute", "execute");
   const int exec_index = exec_span.index();
-  EVA_ASSIGN_OR_RETURN(out.batch, exec::ExecutePlan(optimized.plan, &ctx));
+  Result<Batch> executed = exec::ExecutePlan(optimized.plan, &ctx);
+  if (!executed.ok()) {
+    if (fault_active) {
+      // Roll back every signature to its pre-query coverage; signatures
+      // created by this query drop to FALSE. Rows already materialized by
+      // completed morsels stay — they are genuine UDF results and reuse of
+      // them goes through per-tuple view probes, not coverage claims.
+      std::vector<std::string> keys;
+      for (const auto& [key, entry] : manager_.entries()) {
+        keys.push_back(key);
+      }
+      for (const std::string& key : keys) {
+        auto it = coverage_snapshot.find(key);
+        manager_.SetCoverage(key, it != coverage_snapshot.end()
+                                      ? it->second
+                                      : symbolic::Predicate::False());
+      }
+    }
+    return executed.status();
+  }
+  out.batch = executed.MoveValue();
   exec_span.SetAttribute("rows", out.metrics.rows_out);
   exec_span.End();
   out.metrics.breakdown = clock_.TakeSnapshot() - before;
@@ -357,11 +438,24 @@ Status EvaEngine::ExecuteCreateUdf(const parser::CreateUdfStatement& stmt) {
   } else {
     def.kind = catalog::UdfKind::kDetector;
   }
-  def.cost_ms = std::stod(get("COST_MS", "10"));
-  def.accuracy_score = std::stod(get("ACCURACY_SCORE", "0"));
-  def.recall = std::stod(get("RECALL", "0.9"));
-  def.recall_small = std::stod(get("RECALL_SMALL", get("RECALL", "0.9")));
-  def.classifier_accuracy = std::stod(get("CLS_ACCURACY", "0.9"));
+  // Property values come from user SQL: parse without exceptions and turn
+  // garbage into an InvalidArgument instead of a crash (reader_fuzz_test).
+  auto num = [&stmt](const std::string& key,
+                     double fallback) -> Result<double> {
+    auto it = stmt.properties.find(key);
+    if (it == stmt.properties.end()) return fallback;
+    double v = 0;
+    if (!ParseDouble(it->second, &v)) {
+      return Status::InvalidArgument("bad numeric value for " + key + ": " +
+                                     it->second);
+    }
+    return v;
+  };
+  EVA_ASSIGN_OR_RETURN(def.cost_ms, num("COST_MS", 10));
+  EVA_ASSIGN_OR_RETURN(def.accuracy_score, num("ACCURACY_SCORE", 0));
+  EVA_ASSIGN_OR_RETURN(def.recall, num("RECALL", 0.9));
+  EVA_ASSIGN_OR_RETURN(def.recall_small, num("RECALL_SMALL", def.recall));
+  EVA_ASSIGN_OR_RETURN(def.classifier_accuracy, num("CLS_ACCURACY", 0.9));
   def.target_attribute = ToLower(get("TARGET", "car_type"));
   def.is_gpu = get("DEVICE", "GPU") == "GPU";
   return catalog_->AddUdf(std::move(def), stmt.or_replace);

@@ -11,12 +11,14 @@
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "exec/exec_context.h"
+#include "fault/fault_injector.h"
 #include "lifecycle/view_lifecycle.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "optimizer/optimizer.h"
 #include "runtime/thread_pool.h"
 #include "storage/statistics.h"
+#include "storage/view_persistence.h"
 #include "storage/view_store.h"
 #include "udf/udf_manager.h"
 #include "udf/udf_runtime.h"
@@ -61,6 +63,19 @@ struct EngineOptions {
   /// benefit cannot pay the write cost. With the default evidence
   /// threshold this only triggers after a long no-reuse history.
   bool lifecycle_admission = true;
+
+  // --- fault injection & reliability (src/fault/, docs/RELIABILITY.md) ----
+  /// Deterministic fault schedule ("action@point#occ; ..."); empty defers
+  /// to $EVA_FAULTS (empty there too = no injection). An unparseable
+  /// schedule leaves injection off; the error is kept in
+  /// EvaEngine::fault_schedule_status(). The shell's .faults command calls
+  /// SetFaultSchedule, which reports the parse error directly.
+  std::string fault_schedule;
+  /// Bounded retry for transient (error@udf:...) UDF faults before the
+  /// query degrades to a ResourceExhausted error.
+  int udf_max_retries = 3;
+  /// Simulated backoff charged per retry attempt (ms; doubles per retry).
+  double udf_retry_backoff_ms = 1.0;
 };
 
 /// Result of one query: output rows, execution metrics (time breakdown,
@@ -96,8 +111,28 @@ class EvaEngine {
   /// and the aggregated predicates, including any eviction retraction.
   /// A loaded view whose signature still lacks coverage is consulted per
   /// tuple by the conditional apply, as before.
+  ///
+  /// Saves are crash-safe (tmp + fsync + rename per file, MANIFEST with
+  /// per-file CRC32 committed last); loads verify, quarantine corrupt or
+  /// unmanifested state, and retract its symbolic coverage so reuse never
+  /// overclaims. LoadViews succeeds even when recovery repaired damage —
+  /// inspect last_recovery() for what happened.
   Status SaveViews(const std::string& dir) const;
   Status LoadViews(const std::string& dir);
+  /// What the most recent LoadViews found and repaired.
+  const storage::RecoveryReport& last_recovery() const {
+    return last_recovery_;
+  }
+
+  /// Replaces the fault schedule (shell .faults, tests). An empty string
+  /// disables injection. Resets occurrence counters and the halt latch.
+  Status SetFaultSchedule(const std::string& text);
+  /// Parse status of the schedule given via EngineOptions / $EVA_FAULTS.
+  const Status& fault_schedule_status() const {
+    return fault_schedule_status_;
+  }
+  fault::FaultInjector* fault_injector() { return &injector_; }
+  const fault::FaultInjector* fault_injector() const { return &injector_; }
 
   const storage::ViewStore& views() const { return views_; }
   const udf::UdfManager& udf_manager() const { return manager_; }
@@ -162,6 +197,11 @@ class EvaEngine {
   int64_t query_seq_ = 0;  // monotone SELECT id (lifecycle access stamps)
   obs::MetricsRegistry* registry_ = &obs::MetricsRegistry::Global();
   obs::Tracer tracer_{&clock_};
+  /// Mutable so const SaveViews can thread it through the filesystem shim
+  /// (consulting the injector mutates its occurrence counters only).
+  mutable fault::FaultInjector injector_;
+  Status fault_schedule_status_;
+  storage::RecoveryReport last_recovery_;
 };
 
 }  // namespace eva::engine

@@ -6,6 +6,7 @@ void QueryMetrics::Accumulate(const QueryMetrics& other) {
   for (const auto& [k, v] : other.invocations) invocations[k] += v;
   for (const auto& [k, v] : other.reused) reused[k] += v;
   rows_out += other.rows_out;
+  udf_retries += other.udf_retries;
   optimizer_ms += other.optimizer_ms;
   for (size_t i = 0; i < breakdown.ms.size(); ++i) {
     breakdown.ms[i] += other.breakdown.ms[i];

@@ -18,6 +18,10 @@ namespace eva::baselines {
 class FunCache;
 }  // namespace eva::baselines
 
+namespace eva::fault {
+class FaultInjector;
+}  // namespace eva::fault
+
 namespace eva::runtime {
 class ThreadPool;
 }  // namespace eva::runtime
@@ -56,6 +60,8 @@ struct QueryMetrics {
   /// Tuples satisfied from a materialized view / cache.
   std::map<std::string, int64_t> reused;
   int64_t rows_out = 0;
+  /// Transient-fault retry attempts (src/fault/); 0 without injection.
+  int64_t udf_retries = 0;
   double optimizer_ms = 0;
   /// Simulated-time breakdown of this query (delta of the engine clock).
   SimClock::Snapshot breakdown;
@@ -119,6 +125,18 @@ struct ExecContext {
   /// are recorded here and replayed onto the shared clock in deterministic
   /// morsel order by the driver thread.
   runtime::ChargeLog* charge_log = nullptr;
+
+  // --- fault injection (src/fault/, docs/RELIABILITY.md) ------------------
+  /// Non-null only when a fault schedule is active. UDF runners consult it
+  /// at "udf:<name>:<frame>:<obj>" before every fresh model evaluation;
+  /// occurrence counters are keyed by the full point name, so decisions are
+  /// identical at any worker-thread count.
+  fault::FaultInjector* faults = nullptr;
+  /// Bounded retry for transient (kError) UDF faults: attempts beyond the
+  /// first, before the evaluation degrades to a ResourceExhausted error.
+  int udf_max_retries = 3;
+  /// Simulated backoff charged per retry attempt (ms; doubles each retry).
+  double udf_retry_backoff_ms = 1.0;
 
   void Charge(CostCategory cat, double ms) const {
     if (charge_log != nullptr) {

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "baselines/fun_cache.h"
+#include "fault/fault_injector.h"
 #include "runtime/morsel.h"
 #include "runtime/thread_pool.h"
 #include "storage/view_store.h"
@@ -30,6 +31,7 @@ using storage::ViewKey;
 struct UdfObsCounters {
   obs::Counter* invocations = nullptr;  // fresh model evaluations
   obs::Counter* reused = nullptr;       // tuples answered from a view/cache
+  obs::Counter* retries = nullptr;      // transient-fault retry attempts
 };
 
 UdfObsCounters MakeUdfCounters(ExecContext* ctx, const std::string& udf) {
@@ -41,6 +43,10 @@ UdfObsCounters MakeUdfCounters(ExecContext* ctx, const std::string& udf) {
   c.reused = ctx->obs_registry->GetCounter(
       "eva_udf_reused_total",
       "UDF results satisfied from a materialized view or cache",
+      {{"udf", udf}});
+  c.retries = ctx->obs_registry->GetCounter(
+      "eva_udf_retries_total",
+      "UDF evaluation retries after injected transient faults",
       {{"udf", udf}});
   return c;
 }
@@ -133,6 +139,43 @@ class FilterOp : public Operator {
 // (charge log, metrics, active stats) — see docs/RUNTIME.md.
 // ---------------------------------------------------------------------------
 
+// Consults the fault injector before a fresh model evaluation. A transient
+// (kError) fault is retried up to ctx->udf_max_retries times, charging an
+// exponentially growing simulated backoff per attempt — via ctx->Charge, so
+// the charge lands in the morsel-local log and replays deterministically.
+// A permanent (kFail/kCrash) fault, or retry exhaustion, surfaces as a
+// Status error that aborts the query; coverage already claimed for it is
+// rolled back by the engine (graceful degradation: rerun recomputes).
+Status MaybeInjectUdfFault(ExecContext* ctx, const UdfDef& def,
+                           int64_t frame, int64_t obj,
+                           const UdfObsCounters& obs) {
+  if (ctx->faults == nullptr) return Status::OK();
+  const std::string point = "udf:" + def.name + ":" + std::to_string(frame) +
+                            ":" + std::to_string(obj);
+  double backoff_ms = ctx->udf_retry_backoff_ms;
+  for (int attempt = 0;; ++attempt) {
+    switch (ctx->faults->At(point)) {
+      case fault::FaultAction::kNone:
+        return Status::OK();
+      case fault::FaultAction::kError:
+      case fault::FaultAction::kShortWrite:
+        if (attempt >= ctx->udf_max_retries) {
+          return Status::ResourceExhausted(
+              "transient UDF fault persisted after " +
+              std::to_string(ctx->udf_max_retries) + " retries at " + point);
+        }
+        if (ctx->metrics != nullptr) ++ctx->metrics->udf_retries;
+        if (ctx->active_stats != nullptr) ++ctx->active_stats->udf_retries;
+        if (obs.retries != nullptr) obs.retries->Increment();
+        ctx->Charge(CostCategory::kUdf, backoff_ms);
+        backoff_ms *= 2;
+        break;
+      default:  // kFail / kCrash: permanent
+        return Status::Internal("injected UDF fault at " + point);
+    }
+  }
+}
+
 // Evaluates the detector on one frame, returning output-column rows
 // (obj, label, area, score). Charges UDF cost and counts the invocation.
 Result<std::vector<Row>> RunDetector(ExecContext* ctx, const UdfDef& def,
@@ -140,6 +183,7 @@ Result<std::vector<Row>> RunDetector(ExecContext* ctx, const UdfDef& def,
                                      const UdfObsCounters& obs) {
   EVA_ASSIGN_OR_RETURN(const vision::DetectorModel* model,
                        ctx->udfs->Detector(def.name));
+  EVA_RETURN_IF_ERROR(MaybeInjectUdfFault(ctx, def, frame, -1, obs));
   ctx->Charge(CostCategory::kUdf, def.cost_ms);
   runtime::SpinFor(ctx->udf_spin_us);
   ctx->metrics->invocations[def.name] += 1;
@@ -157,6 +201,7 @@ Result<Value> RunClassifier(ExecContext* ctx, const UdfDef& def,
                             const UdfObsCounters& obs) {
   EVA_ASSIGN_OR_RETURN(const vision::ClassifierModel* model,
                        ctx->udfs->Classifier(def.name));
+  EVA_RETURN_IF_ERROR(MaybeInjectUdfFault(ctx, def, frame, obj, obs));
   ctx->Charge(CostCategory::kUdf, def.cost_ms);
   runtime::SpinFor(ctx->udf_spin_us);
   ctx->metrics->invocations[def.name] += 1;
@@ -168,6 +213,7 @@ Result<Value> RunFilterUdf(ExecContext* ctx, const UdfDef& def,
                            int64_t frame, const UdfObsCounters& obs) {
   EVA_ASSIGN_OR_RETURN(const vision::FilterModel* model,
                        ctx->udfs->Filter(def.name));
+  EVA_RETURN_IF_ERROR(MaybeInjectUdfFault(ctx, def, frame, -1, obs));
   ctx->Charge(CostCategory::kUdf, def.cost_ms);
   runtime::SpinFor(ctx->udf_spin_us);
   ctx->metrics->invocations[def.name] += 1;

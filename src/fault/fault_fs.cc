@@ -1,0 +1,172 @@
+#include "fault/fault_fs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace eva::fault {
+
+namespace {
+
+namespace stdfs = std::filesystem;
+
+std::string Basename(const std::string& path) {
+  return stdfs::path(path).filename().string();
+}
+
+Status CrashedAt(const char* op, const std::string& path) {
+  return Status::Internal(std::string("injected crash at ") + op + ":" +
+                          Basename(path));
+}
+
+// Best-effort directory fsync so a committed rename survives power loss.
+// Failure is ignored: some filesystems refuse to fsync directories, and
+// the simulation's crash model is the injector, not real power cuts.
+void SyncDir(const std::string& path) {
+  std::string dir = stdfs::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+Status WriteRaw(const std::string& path, const char* data, size_t len,
+                bool sync) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  size_t written = 0;
+  while (written < len) {
+    ssize_t n = ::write(fd, data + written, len - written);
+    if (n < 0) {
+      ::close(fd);
+      return Status::Internal("write failed for " + path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (sync && ::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::Internal("fsync failed for " + path);
+  }
+  if (::close(fd) != 0) {
+    return Status::Internal("close failed for " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+FaultAction FaultFs::Consult(const char* op, const std::string& path) {
+  if (injector_ == nullptr) return FaultAction::kNone;
+  return injector_->At(std::string(op) + ":" + Basename(path));
+}
+
+Status FaultFs::CreateDirs(const std::string& dir) {
+  switch (Consult("fs.mkdir", dir)) {
+    case FaultAction::kCrash:
+      return CrashedAt("fs.mkdir", dir);
+    case FaultAction::kFail:
+    case FaultAction::kError:
+      return Status::Internal("injected mkdir failure for " + dir);
+    default:
+      break;
+  }
+  std::error_code ec;
+  stdfs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory " + dir + ": " +
+                            ec.message());
+  }
+  return Status::OK();
+}
+
+Status FaultFs::WriteFile(const std::string& path,
+                          const std::string& contents) {
+  switch (Consult("fs.write", path)) {
+    case FaultAction::kCrash:
+      return CrashedAt("fs.write", path);
+    case FaultAction::kFail:
+    case FaultAction::kError:
+      return Status::Internal("injected write failure for " + path);
+    case FaultAction::kShortWrite:
+      // The torn write: half the bytes land, no fsync, and the caller is
+      // told everything went fine. Only a checksum can catch this.
+      return WriteRaw(path, contents.data(), contents.size() / 2,
+                      /*sync=*/false);
+    default:
+      break;
+  }
+  return WriteRaw(path, contents.data(), contents.size(), /*sync=*/true);
+}
+
+Status FaultFs::Rename(const std::string& from, const std::string& to) {
+  switch (Consult("fs.rename", to)) {
+    case FaultAction::kCrash:
+      return CrashedAt("fs.rename", to);
+    case FaultAction::kFail:
+    case FaultAction::kError:
+    case FaultAction::kShortWrite:
+      return Status::Internal("injected rename failure for " + to);
+    default:
+      break;
+  }
+  std::error_code ec;
+  stdfs::rename(from, to, ec);
+  if (ec) {
+    return Status::Internal("cannot rename " + from + " -> " + to + ": " +
+                            ec.message());
+  }
+  SyncDir(to);
+  return Status::OK();
+}
+
+Status FaultFs::Remove(const std::string& path) {
+  switch (Consult("fs.remove", path)) {
+    case FaultAction::kCrash:
+      return CrashedAt("fs.remove", path);
+    case FaultAction::kFail:
+    case FaultAction::kError:
+    case FaultAction::kShortWrite:
+      return Status::Internal("injected remove failure for " + path);
+    default:
+      break;
+  }
+  std::error_code ec;
+  stdfs::remove(path, ec);
+  if (ec) {
+    return Status::Internal("cannot remove " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Result<std::string> FaultFs::ReadFile(const std::string& path) {
+  switch (Consult("fs.read", path)) {
+    case FaultAction::kCrash:
+      return CrashedAt("fs.read", path);
+    case FaultAction::kFail:
+    case FaultAction::kError:
+    case FaultAction::kShortWrite:
+      return Status::Internal("injected read failure for " + path);
+    default:
+      break;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::Internal("read failed for " + path);
+  }
+  return buf.str();
+}
+
+}  // namespace eva::fault

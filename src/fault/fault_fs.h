@@ -1,0 +1,58 @@
+#ifndef EVA_FAULT_FAULT_FS_H_
+#define EVA_FAULT_FAULT_FS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "fault/fault_injector.h"
+
+namespace eva::fault {
+
+/// Thin filesystem shim the persistence layer routes every durable
+/// operation through. Each operation consults the injector at a named
+/// point before touching the disk:
+///
+///   fs.mkdir:<basename>    CreateDirs
+///   fs.write:<basename>    WriteFile (tmp files included)
+///   fs.rename:<basename>   Rename (basename of the destination)
+///   fs.remove:<basename>   Remove
+///   fs.read:<basename>     ReadFile
+///
+/// With a null (or inactive) injector every call is a transparent
+/// pass-through. Once the injector is halted (a kCrash fired) every call
+/// fails without side effects — the process is "dead" from that point on,
+/// which is what lets the crash-matrix test simulate a kill at every
+/// enumerated point inside one test process.
+class FaultFs {
+ public:
+  explicit FaultFs(FaultInjector* injector = nullptr)
+      : injector_(injector) {}
+
+  Status CreateDirs(const std::string& dir);
+
+  /// Writes `contents` to `path`, fsyncs the file, and closes it. A
+  /// kShortWrite fault writes roughly half the bytes, skips the fsync, and
+  /// still reports OK — the silent torn write checksums must catch.
+  Status WriteFile(const std::string& path, const std::string& contents);
+
+  /// Atomic rename, then a best-effort fsync of the destination directory
+  /// so the rename itself is durable.
+  Status Rename(const std::string& from, const std::string& to);
+
+  Status Remove(const std::string& path);
+
+  Result<std::string> ReadFile(const std::string& path);
+
+  FaultInjector* injector() const { return injector_; }
+  bool halted() const { return injector_ != nullptr && injector_->halted(); }
+
+ private:
+  /// Consults the injector at "<op>:<basename of path>".
+  FaultAction Consult(const char* op, const std::string& path);
+
+  FaultInjector* injector_;
+};
+
+}  // namespace eva::fault
+
+#endif  // EVA_FAULT_FAULT_FS_H_

@@ -47,6 +47,11 @@ void RenderNode(const plan::PlanNode& node, const PlanStatsMap& stats,
                     static_cast<long long>(s.rows_materialized));
       *out += buf;
     }
+    if (s.udf_retries > 0) {
+      std::snprintf(buf, sizeof(buf), " retries=%lld",
+                    static_cast<long long>(s.udf_retries));
+      *out += buf;
+    }
     *out += ']';
   }
   *out += '\n';

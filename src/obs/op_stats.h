@@ -28,6 +28,7 @@ struct OperatorStats {
   std::atomic<int64_t> udf_invocations{0};  // fresh model evaluations
   std::atomic<int64_t> rows_reused{0};      // tuples answered from view/cache
   std::atomic<int64_t> rows_materialized{0};
+  std::atomic<int64_t> udf_retries{0};  // transient-fault retry attempts
 
   OperatorStats() = default;
   OperatorStats(const OperatorStats& other) { *this = other; }
@@ -42,6 +43,7 @@ struct OperatorStats {
     rows_reused = other.rows_reused.load(std::memory_order_relaxed);
     rows_materialized =
         other.rows_materialized.load(std::memory_order_relaxed);
+    udf_retries = other.udf_retries.load(std::memory_order_relaxed);
     return *this;
   }
 
@@ -57,6 +59,7 @@ struct OperatorStats {
     rows_reused += other.rows_reused.load(std::memory_order_relaxed);
     rows_materialized +=
         other.rows_materialized.load(std::memory_order_relaxed);
+    udf_retries += other.udf_retries.load(std::memory_order_relaxed);
   }
 };
 

@@ -1,5 +1,6 @@
 #include "parser/parser.h"
 
+#include "common/num_parse.h"
 #include "common/string_util.h"
 #include "parser/lexer.h"
 
@@ -152,7 +153,9 @@ class ParserImpl {
       if (!Peek().Is(TokenType::kNumber)) {
         return Error("LIMIT expects a number");
       }
-      out.limit = std::stoll(Advance().text);
+      if (!ParseInt64(Advance().text, &out.limit)) {
+        return Error("LIMIT value out of range");
+      }
       if (out.limit < 0) return Error("LIMIT must be non-negative");
     }
     ConsumeSymbol(";");
@@ -325,10 +328,20 @@ class ParserImpl {
     const Token& t = Peek();
     if (t.Is(TokenType::kNumber)) {
       Advance();
+      // Exception-free parsing: an overlong literal ("LIMIT 9...9" with 30
+      // digits) is a parse error, not a std::out_of_range crash.
       if (t.text.find('.') != std::string::npos) {
-        return Expr::Literal(Value(std::stod(t.text)));
+        double d = 0;
+        if (!ParseDouble(t.text, &d)) {
+          return Error("numeric literal out of range: " + t.text);
+        }
+        return Expr::Literal(Value(d));
       }
-      return Expr::Literal(Value(static_cast<int64_t>(std::stoll(t.text))));
+      int64_t i = 0;
+      if (!ParseInt64(t.text, &i)) {
+        return Error("numeric literal out of range: " + t.text);
+      }
+      return Expr::Literal(Value(i));
     }
     if (t.Is(TokenType::kString)) {
       Advance();

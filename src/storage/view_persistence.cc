@@ -1,11 +1,16 @@
 #include "storage/view_persistence.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
-#include <fstream>
+#include <set>
 #include <sstream>
+#include <utility>
 
+#include "common/crc32.h"
+#include "common/num_parse.h"
 #include "common/string_util.h"
 #include "symbolic/predicate_io.h"
 
@@ -13,7 +18,7 @@ namespace eva::storage {
 
 namespace {
 
-namespace fs = std::filesystem;
+namespace stdfs = std::filesystem;
 
 // Percent-escapes whitespace and '%' so string cells survive the
 // whitespace-separated line format.
@@ -29,6 +34,13 @@ std::string Escape(const std::string& s) {
   return out;
 }
 
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
 Result<std::string> Unescape(const std::string& s) {
   std::string out;
   for (size_t i = 0; i < s.size(); ++i) {
@@ -36,8 +48,12 @@ Result<std::string> Unescape(const std::string& s) {
       if (i + 2 >= s.size()) {
         return Status::InvalidArgument("truncated escape in view file");
       }
-      out += static_cast<char>(
-          std::stoi(s.substr(i + 1, 2), nullptr, 16));
+      int hi = HexDigit(s[i + 1]);
+      int lo = HexDigit(s[i + 2]);
+      if (hi < 0 || lo < 0) {
+        return Status::InvalidArgument("bad hex escape in view file: " + s);
+      }
+      out += static_cast<char>(hi * 16 + lo);
       i += 2;
     } else {
       out += s[i];
@@ -63,6 +79,446 @@ DataType TypeFromName(const std::string& name) {
   if (name == "DOUBLE") return DataType::kDouble;
   if (name == "STRING") return DataType::kString;
   return DataType::kNull;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string JoinPath(const std::string& dir, const std::string& file) {
+  return (stdfs::path(dir) / file).string();
+}
+
+/// Files the persistence layer owns inside a save directory; anything else
+/// (user files) is never removed or quarantined.
+bool IsManagedFile(const std::string& name) {
+  return EndsWith(name, ".evaview") || EndsWith(name, ".evastate") ||
+         EndsWith(name, ".tmp") || EndsWith(name, ".quarantined") ||
+         name == "MANIFEST";
+}
+
+/// Sorted basenames of the regular files in `dir` — sorted so the fault
+/// points consulted during a sweep form a deterministic sequence the
+/// crash-matrix test can enumerate.
+std::vector<std::string> ListFiles(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : stdfs::directory_iterator(dir, ec)) {
+    std::error_code fec;
+    if (!entry.is_regular_file(fec)) continue;
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+struct ManifestEntry {
+  std::string file;
+  uint64_t size = 0;
+  uint32_t crc = 0;
+  bool is_lifecycle = false;
+  std::string view_name;  // logical view key, "" for the lifecycle entry
+};
+
+struct Manifest {
+  int64_t generation = 0;
+  std::vector<ManifestEntry> entries;
+};
+
+enum class ManifestState { kAbsent, kCorrupt, kValid };
+
+std::string RenderManifest(const Manifest& m) {
+  std::string out = "eva-manifest 1\n";
+  out += "generation " + std::to_string(m.generation) + "\n";
+  for (const ManifestEntry& e : m.entries) {
+    out += "file " + e.file + " " + std::to_string(e.size) + " " +
+           StrFormat("%08x", e.crc) + " " +
+           (e.is_lifecycle ? std::string("lifecycle -")
+                           : "view " + Escape(e.view_name)) +
+           "\n";
+  }
+  out += "checksum " + StrFormat("%08x", Crc32(out)) + "\n";
+  return out;
+}
+
+bool ParseHex32(const std::string& s, uint32_t* out) {
+  if (s.empty() || s.size() > 8) return false;
+  uint32_t v = 0;
+  for (char c : s) {
+    int d = HexDigit(c);
+    if (d < 0) return false;
+    v = (v << 4) | static_cast<uint32_t>(d);
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseManifest(const std::string& content, Manifest* m) {
+  // The self-checksum line must be last and cover every preceding byte.
+  size_t pos = content.rfind("\nchecksum ");
+  if (pos == std::string::npos) return false;
+  const std::string body = content.substr(0, pos + 1);
+  {
+    std::istringstream is(content.substr(pos + 1));
+    std::string tag, hex, extra;
+    if (!(is >> tag >> hex) || tag != "checksum" || (is >> extra)) {
+      return false;
+    }
+    uint32_t claimed = 0;
+    if (!ParseHex32(hex, &claimed) || claimed != Crc32(body)) return false;
+  }
+  std::istringstream lines(body);
+  std::string line;
+  if (!std::getline(lines, line) || line != "eva-manifest 1") return false;
+  if (!std::getline(lines, line) || !StartsWith(line, "generation ")) {
+    return false;
+  }
+  if (!ParseInt64(line.substr(11), &m->generation) || m->generation < 1) {
+    return false;
+  }
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (!StartsWith(line, "file ")) return false;
+    std::istringstream is(line.substr(5));
+    ManifestEntry e;
+    std::string size_tok, crc_tok, kind, name_tok;
+    if (!(is >> e.file >> size_tok >> crc_tok >> kind >> name_tok)) {
+      return false;
+    }
+    int64_t size = 0;
+    if (!ParseInt64(size_tok, &size) || size < 0) return false;
+    e.size = static_cast<uint64_t>(size);
+    if (!ParseHex32(crc_tok, &e.crc)) return false;
+    if (kind == "lifecycle") {
+      e.is_lifecycle = true;
+    } else if (kind == "view") {
+      auto name = Unescape(name_tok);
+      if (!name.ok()) return false;
+      e.view_name = std::move(name.value());
+    } else {
+      return false;
+    }
+    m->entries.push_back(std::move(e));
+  }
+  return true;
+}
+
+/// Reads and verifies dir/MANIFEST. Returns a Status only for a simulated
+/// crash (the injector halted); every other failure degrades to kAbsent or
+/// kCorrupt so recovery can proceed.
+Result<ManifestState> ReadManifest(const std::string& dir, fault::FaultFs* fs,
+                                   Manifest* out) {
+  auto res = fs->ReadFile(JoinPath(dir, "MANIFEST"));
+  if (!res.ok()) {
+    if (fs->halted()) return res.status();
+    return res.status().code() == StatusCode::kNotFound
+               ? ManifestState::kAbsent
+               : ManifestState::kCorrupt;
+  }
+  return ParseManifest(res.value(), out) ? ManifestState::kValid
+                                         : ManifestState::kCorrupt;
+}
+
+/// Commits `m` as dir/MANIFEST (tmp + fsync + rename), then garbage
+/// collects every managed file the new manifest does not list: stale views
+/// of dropped/evicted signatures, the previous generation, leftover tmp
+/// and quarantine files. Removal failures are ignored (the next load
+/// quarantines whatever survived) unless the injector halted.
+Status CommitManifest(const std::string& dir, const Manifest& m,
+                      fault::FaultFs* fs) {
+  const std::string text = RenderManifest(m);
+  const std::string tmp = JoinPath(dir, "MANIFEST.tmp");
+  EVA_RETURN_IF_ERROR(fs->WriteFile(tmp, text));
+  EVA_RETURN_IF_ERROR(fs->Rename(tmp, JoinPath(dir, "MANIFEST")));
+  std::set<std::string> keep = {"MANIFEST"};
+  for (const ManifestEntry& e : m.entries) keep.insert(e.file);
+  for (const std::string& name : ListFiles(dir)) {
+    if (keep.count(name) > 0 || !IsManagedFile(name)) continue;
+    Status st = fs->Remove(JoinPath(dir, name));
+    if (!st.ok() && fs->halted()) return st;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// View file serialization / parsing
+// ---------------------------------------------------------------------------
+
+std::string SerializeView(const std::string& name,
+                          const MaterializedView& view) {
+  std::ostringstream out;
+  out << "eva-view 1\n";
+  out << "name " << Escape(name) << "\n";
+  out << "schema " << view.value_schema().num_fields();
+  for (const Field& f : view.value_schema().fields()) {
+    out << " " << Escape(f.name) << " " << DataTypeName(f.type);
+  }
+  out << "\n";
+  for (const auto& [key, rows] : view.entries()) {
+    out << "key " << key.frame << " " << key.obj << " " << rows.size()
+        << "\n";
+    for (const Row& row : rows) {
+      out << "row";
+      for (const Value& v : row) out << " " << EncodeValue(v);
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+/// Parses one view file body and, only if the whole body parses, installs
+/// its keys into `store` (merging; existing keys win). Staging the rows
+/// first means a file that fails halfway contributes nothing — a corrupt
+/// file can only underclaim, never leave half-loaded state behind.
+Status ParseViewBody(const std::string& content, const std::string& file,
+                     ViewStore* store) {
+  std::istringstream in(content);
+  std::string line;
+  if (!std::getline(in, line) || line != "eva-view 1") {
+    return Status::InvalidArgument("bad view file header: " + file);
+  }
+  if (!std::getline(in, line) || !StartsWith(line, "name ")) {
+    return Status::InvalidArgument("missing view name in " + file);
+  }
+  EVA_ASSIGN_OR_RETURN(std::string name, Unescape(line.substr(5)));
+  if (!std::getline(in, line) || !StartsWith(line, "schema ")) {
+    return Status::InvalidArgument("missing schema in " + file);
+  }
+  Schema schema;
+  {
+    std::istringstream is(line.substr(7));
+    int64_t n = 0;
+    if (!(is >> n) || n < 0) {
+      return Status::InvalidArgument("bad schema count in " + file);
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      std::string col, type;
+      if (!(is >> col >> type)) {
+        return Status::InvalidArgument("truncated schema line in " + file);
+      }
+      EVA_ASSIGN_OR_RETURN(std::string col_name, Unescape(col));
+      schema.AddField({col_name, TypeFromName(type)});
+    }
+  }
+  std::vector<std::pair<ViewKey, std::vector<Row>>> staged;
+  ViewKey key{0, -1};
+  int64_t pending_rows = 0;
+  std::vector<Row> rows;
+  bool has_key = false;
+  auto flush = [&]() -> Status {
+    if (static_cast<int64_t>(rows.size()) != pending_rows) {
+      return Status::InvalidArgument("row count mismatch in " + file +
+                                     " for key " +
+                                     std::to_string(key.frame));
+    }
+    staged.emplace_back(key, std::move(rows));
+    rows = {};
+    return Status::OK();
+  };
+  while (std::getline(in, line)) {
+    if (StartsWith(line, "key ")) {
+      if (has_key) EVA_RETURN_IF_ERROR(flush());
+      std::istringstream is(line.substr(4));
+      if (!(is >> key.frame >> key.obj >> pending_rows) ||
+          pending_rows < 0) {
+        return Status::InvalidArgument("bad key line in " + file + ": " +
+                                       line);
+      }
+      has_key = true;
+      rows.clear();
+    } else if (StartsWith(line, "row ")) {
+      if (!has_key) {
+        return Status::InvalidArgument("row before key in " + file);
+      }
+      std::istringstream is(line.substr(4));
+      Row row;
+      std::string cell;
+      while (is >> cell) {
+        EVA_ASSIGN_OR_RETURN(Value v, DecodeValue(cell));
+        row.push_back(std::move(v));
+      }
+      rows.push_back(std::move(row));
+    } else if (!line.empty()) {
+      return Status::InvalidArgument("unexpected line in view file: " +
+                                     line);
+    }
+  }
+  if (has_key) EVA_RETURN_IF_ERROR(flush());
+  MaterializedView* view = store->GetOrCreate(name, schema);
+  for (auto& [k, r] : staged) view->Put(k, std::move(r));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle serialization / parsing
+// ---------------------------------------------------------------------------
+
+std::string SerializeLifecycle(const ViewStore& store,
+                               const udf::UdfManager& manager) {
+  std::ostringstream out;
+  out << "eva-lifecycle 1\n";
+  for (const auto& [name, view] : store.views()) {
+    out << "view " << Escape(name) << " " << view->segment_frames() << "\n";
+    for (const SegmentStats& seg : view->Segments()) {
+      out << "segment " << seg.segment_id << " " << seg.info.keys << " "
+          << seg.info.rows << " " << seg.info.created_tick << " "
+          << seg.info.last_access_tick << " " << seg.info.last_access_query
+          << "\n";
+    }
+  }
+  for (const auto& [key, entry] : manager.entries()) {
+    out << "coverage " << Escape(key) << " "
+        << symbolic::EncodePredicate(entry.coverage) << "\n";
+  }
+  return out.str();
+}
+
+struct LifecycleStaged {
+  struct ViewStamps {
+    std::string name;
+    int64_t segment_frames = 0;
+    std::vector<std::pair<int64_t, SegmentInfo>> segments;
+  };
+  std::vector<ViewStamps> views;
+  std::vector<std::pair<std::string, symbolic::Predicate>> coverage;
+};
+
+/// Parses the whole lifecycle body before anything is applied — a file
+/// that fails halfway installs no stamps and no coverage, so a torn
+/// lifecycle file can never leave partially-claimed coverage behind.
+Status ParseLifecycleBody(const std::string& content,
+                          const std::string& file, LifecycleStaged* out) {
+  std::istringstream in(content);
+  std::string line;
+  if (!std::getline(in, line) || line != "eva-lifecycle 1") {
+    return Status::InvalidArgument("bad lifecycle file header: " + file);
+  }
+  while (std::getline(in, line)) {
+    if (StartsWith(line, "view ")) {
+      std::istringstream is(line.substr(5));
+      std::string name_tok;
+      LifecycleStaged::ViewStamps stamps;
+      if (!(is >> name_tok >> stamps.segment_frames)) {
+        return Status::InvalidArgument("truncated view line: " + line);
+      }
+      EVA_ASSIGN_OR_RETURN(stamps.name, Unescape(name_tok));
+      out->views.push_back(std::move(stamps));
+    } else if (StartsWith(line, "segment ")) {
+      if (out->views.empty()) {
+        return Status::InvalidArgument("segment before view: " + line);
+      }
+      std::istringstream is(line.substr(8));
+      int64_t id = 0;
+      SegmentInfo info;
+      if (!(is >> id >> info.keys >> info.rows >> info.created_tick >>
+            info.last_access_tick >> info.last_access_query)) {
+        return Status::InvalidArgument("truncated segment line: " + line);
+      }
+      out->views.back().segments.emplace_back(id, info);
+    } else if (StartsWith(line, "coverage ")) {
+      std::istringstream is(line.substr(9));
+      std::string key_tok;
+      if (!(is >> key_tok)) {
+        return Status::InvalidArgument("truncated coverage line: " + line);
+      }
+      EVA_ASSIGN_OR_RETURN(std::string key, Unescape(key_tok));
+      std::string encoded;
+      std::getline(is, encoded);
+      if (!encoded.empty() && encoded.front() == ' ') encoded.erase(0, 1);
+      EVA_ASSIGN_OR_RETURN(symbolic::Predicate coverage,
+                           symbolic::DecodePredicate(encoded));
+      out->coverage.emplace_back(std::move(key), std::move(coverage));
+    } else if (!line.empty()) {
+      return Status::InvalidArgument("unexpected lifecycle line: " + line);
+    }
+  }
+  return Status::OK();
+}
+
+void ApplyLifecycle(const LifecycleStaged& staged, ViewStore* store,
+                    udf::UdfManager* manager) {
+  for (const auto& stamps : staged.views) {
+    MaterializedView* view = store->Find(stamps.name);
+    // A view absent from the store, or reloaded with a different segment
+    // width, keeps fresh stamps — a safe default.
+    if (view == nullptr || view->segment_frames() != stamps.segment_frames) {
+      continue;
+    }
+    for (const auto& [id, info] : stamps.segments) {
+      view->RestoreSegmentStamps(id, info);
+    }
+  }
+  if (manager == nullptr) return;
+  for (const auto& [key, coverage] : staged.coverage) {
+    // Existing coverage wins, mirroring the "existing keys win" merge
+    // semantics of the view loader.
+    if (!manager->HasCoverage(key)) {
+      manager->SetCoverage(key, coverage);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quarantine + save/load internals
+// ---------------------------------------------------------------------------
+
+/// Sets `file` aside as `<file>.quarantined` and records it. The rename
+/// failing (file already gone, injected fault) still records the
+/// quarantine — the file is skipped by the load either way — unless the
+/// injector halted (simulated crash propagates).
+Status Quarantine(fault::FaultFs* fs, const std::string& dir,
+                  const std::string& file, const std::string& view_key,
+                  const std::string& reason, RecoveryReport* report) {
+  Status st =
+      fs->Rename(JoinPath(dir, file), JoinPath(dir, file + ".quarantined"));
+  if (!st.ok() && fs->halted()) return st;
+  report->quarantined.push_back({file, view_key, reason});
+  return Status::OK();
+}
+
+Status SaveImpl(const ViewStore& store, const udf::UdfManager* manager,
+                bool write_views, bool carry_view_entries,
+                const std::string& dir, fault::FaultFs* fs) {
+  EVA_RETURN_IF_ERROR(fs->CreateDirs(dir));
+  Manifest old;
+  EVA_ASSIGN_OR_RETURN(ManifestState old_state, ReadManifest(dir, fs, &old));
+  Manifest next;
+  next.generation =
+      (old_state == ManifestState::kValid ? old.generation : 0) + 1;
+  const std::string gen_tag = ".g" + std::to_string(next.generation);
+  if (carry_view_entries && old_state == ManifestState::kValid) {
+    for (const ManifestEntry& e : old.entries) {
+      if (!e.is_lifecycle) next.entries.push_back(e);
+    }
+  }
+  auto write_atomic = [&](const std::string& file,
+                          const std::string& body) -> Status {
+    const std::string path = JoinPath(dir, file);
+    EVA_RETURN_IF_ERROR(fs->WriteFile(path + ".tmp", body));
+    return fs->Rename(path + ".tmp", path);
+  };
+  if (write_views) {
+    for (const auto& [name, view] : store.views()) {
+      const std::string body = SerializeView(name, *view);
+      const std::string file =
+          SanitizeFilename(name) + gen_tag + ".evaview";
+      EVA_RETURN_IF_ERROR(write_atomic(file, body));
+      next.entries.push_back(
+          {file, body.size(), Crc32(body), false, name});
+    }
+  }
+  if (manager != nullptr) {
+    const std::string body = SerializeLifecycle(store, *manager);
+    const std::string file = "lifecycle" + gen_tag + ".evastate";
+    EVA_RETURN_IF_ERROR(write_atomic(file, body));
+    next.entries.push_back({file, body.size(), Crc32(body), true, ""});
+  }
+  return CommitManifest(dir, next, fs);
 }
 
 }  // namespace
@@ -93,10 +549,20 @@ Result<Value> DecodeValue(const std::string& text) {
   switch (text[0]) {
     case 'B':
       return Value(payload == "1");
-    case 'I':
-      return Value(static_cast<int64_t>(std::stoll(payload)));
-    case 'D':
-      return Value(std::stod(payload));
+    case 'I': {
+      int64_t v = 0;
+      if (!ParseInt64(payload, &v)) {
+        return Status::InvalidArgument("bad int cell: " + text);
+      }
+      return Value(v);
+    }
+    case 'D': {
+      double v = 0;
+      if (!ParseDouble(payload, &v)) {
+        return Status::InvalidArgument("bad double cell: " + text);
+      }
+      return Value(v);
+    }
     case 'S': {
       EVA_ASSIGN_OR_RETURN(std::string s, Unescape(payload));
       return Value(std::move(s));
@@ -106,217 +572,248 @@ Result<Value> DecodeValue(const std::string& text) {
   }
 }
 
-Status SaveViewStore(const ViewStore& store, const std::string& dir) {
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
-    return Status::Internal("cannot create view directory " + dir + ": " +
-                            ec.message());
-  }
-  for (const auto& [name, view] : store.views()) {
-    fs::path path = fs::path(dir) / (SanitizeFilename(name) + ".evaview");
-    std::ofstream out(path);
-    if (!out) {
-      return Status::Internal("cannot open " + path.string());
-    }
-    out << "eva-view 1\n";
-    out << "name " << Escape(name) << "\n";
-    out << "schema " << view->value_schema().num_fields();
-    for (const Field& f : view->value_schema().fields()) {
-      out << " " << Escape(f.name) << " " << DataTypeName(f.type);
-    }
-    out << "\n";
-    for (const auto& [key, rows] : view->entries()) {
-      out << "key " << key.frame << " " << key.obj << " " << rows.size()
-          << "\n";
-      for (const Row& row : rows) {
-        out << "row";
-        for (const Value& v : row) out << " " << EncodeValue(v);
-        out << "\n";
-      }
-    }
-    if (!out.good()) {
-      return Status::Internal("write failed for " + path.string());
+std::string RecoveryReport::Summary() const {
+  std::string out = legacy ? std::string("legacy v1 directory")
+                           : StrFormat("generation %lld",
+                                       static_cast<long long>(generation));
+  if (clean() && tmp_removed == 0) return out + ", clean";
+  if (manifest_corrupt) out += ", MANIFEST corrupt (quarantined)";
+  if (!quarantined.empty()) {
+    out += StrFormat(", quarantined %d file(s):",
+                     static_cast<int>(quarantined.size()));
+    for (const QuarantinedFile& q : quarantined) {
+      out += " " + q.file + " (" + q.reason + ")";
     }
   }
-  return Status::OK();
+  if (!retracted.empty()) {
+    out += StrFormat(", retracted coverage for %d signature(s)",
+                     static_cast<int>(retracted.size()));
+  }
+  if (tmp_removed > 0) {
+    out += StrFormat(", removed %lld tmp file(s)",
+                     static_cast<long long>(tmp_removed));
+  }
+  return out;
 }
 
-Status LoadViewStore(const std::string& dir, ViewStore* store) {
-  std::error_code ec;
-  if (!fs::is_directory(dir, ec)) {
-    return Status::NotFound("view directory missing: " + dir);
-  }
-  for (const auto& entry : fs::directory_iterator(dir)) {
-    if (entry.path().extension() != ".evaview") continue;
-    std::ifstream in(entry.path());
-    if (!in) {
-      return Status::Internal("cannot open " + entry.path().string());
-    }
-    std::string line;
-    if (!std::getline(in, line) || line != "eva-view 1") {
-      return Status::InvalidArgument("bad view file header: " +
-                                     entry.path().string());
-    }
-    // name
-    if (!std::getline(in, line) || !StartsWith(line, "name ")) {
-      return Status::InvalidArgument("missing view name in " +
-                                     entry.path().string());
-    }
-    EVA_ASSIGN_OR_RETURN(std::string name, Unescape(line.substr(5)));
-    // schema
-    if (!std::getline(in, line) || !StartsWith(line, "schema ")) {
-      return Status::InvalidArgument("missing schema in " +
-                                     entry.path().string());
-    }
-    Schema schema;
-    {
-      std::istringstream is(line.substr(7));
-      int n = 0;
-      is >> n;
-      for (int i = 0; i < n; ++i) {
-        std::string col, type;
-        if (!(is >> col >> type)) {
-          return Status::InvalidArgument("truncated schema line");
-        }
-        EVA_ASSIGN_OR_RETURN(std::string col_name, Unescape(col));
-        schema.AddField({col_name, TypeFromName(type)});
-      }
-    }
-    MaterializedView* view = store->GetOrCreate(name, schema);
-    // keys + rows
-    ViewKey key{0, -1};
-    size_t pending_rows = 0;
-    std::vector<Row> rows;
-    auto flush = [&]() -> Status {
-      if (rows.size() != pending_rows) {
-        return Status::InvalidArgument(
-            "row count mismatch in " + entry.path().string() + " for key " +
-            std::to_string(key.frame));
-      }
-      view->Put(key, std::move(rows));
-      rows = {};
-      return Status::OK();
-    };
-    bool has_key = false;
-    while (std::getline(in, line)) {
-      if (StartsWith(line, "key ")) {
-        if (has_key) EVA_RETURN_IF_ERROR(flush());
-        std::istringstream is(line.substr(4));
-        is >> key.frame >> key.obj >> pending_rows;
-        has_key = true;
-        rows.clear();
-      } else if (StartsWith(line, "row ")) {
-        std::istringstream is(line.substr(4));
-        Row row;
-        std::string cell;
-        while (is >> cell) {
-          EVA_ASSIGN_OR_RETURN(Value v, DecodeValue(cell));
-          row.push_back(std::move(v));
-        }
-        rows.push_back(std::move(row));
-      } else if (!line.empty()) {
-        return Status::InvalidArgument("unexpected line in view file: " +
-                                       line);
-      }
-    }
-    if (has_key) EVA_RETURN_IF_ERROR(flush());
-  }
-  return Status::OK();
+Status SaveSession(const ViewStore& store, const udf::UdfManager& manager,
+                   const std::string& dir, fault::FaultFs* fs) {
+  fault::FaultFs plain;
+  if (fs == nullptr) fs = &plain;
+  return SaveImpl(store, &manager, /*write_views=*/true,
+                  /*carry_view_entries=*/false, dir, fs);
+}
+
+Status SaveViewStore(const ViewStore& store, const std::string& dir) {
+  fault::FaultFs plain;
+  return SaveImpl(store, nullptr, /*write_views=*/true,
+                  /*carry_view_entries=*/false, dir, &plain);
 }
 
 Status SaveLifecycleState(const ViewStore& store,
                           const udf::UdfManager& manager,
                           const std::string& dir) {
+  fault::FaultFs plain;
+  return SaveImpl(store, &manager, /*write_views=*/false,
+                  /*carry_view_entries=*/true, dir, &plain);
+}
+
+Status LoadViewStoreEx(const std::string& dir, ViewStore* store,
+                       fault::FaultFs* fs, RecoveryReport* report) {
+  fault::FaultFs plain;
+  if (fs == nullptr) fs = &plain;
   std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
-    return Status::Internal("cannot create view directory " + dir + ": " +
-                            ec.message());
+  if (!stdfs::is_directory(dir, ec)) {
+    return Status::NotFound("view directory missing: " + dir);
   }
-  fs::path path = fs::path(dir) / "lifecycle.evastate";
-  std::ofstream out(path);
-  if (!out) {
-    return Status::Internal("cannot open " + path.string());
-  }
-  out << "eva-lifecycle 1\n";
-  for (const auto& [name, view] : store.views()) {
-    out << "view " << Escape(name) << " " << view->segment_frames() << "\n";
-    for (const SegmentStats& seg : view->Segments()) {
-      out << "segment " << seg.segment_id << " " << seg.info.keys << " "
-          << seg.info.rows << " " << seg.info.created_tick << " "
-          << seg.info.last_access_tick << " " << seg.info.last_access_query
-          << "\n";
+  Manifest manifest;
+  EVA_ASSIGN_OR_RETURN(ManifestState state,
+                       ReadManifest(dir, fs, &manifest));
+  if (state == ManifestState::kValid) {
+    report->generation = manifest.generation;
+    std::set<std::string> listed = {"MANIFEST"};
+    for (const ManifestEntry& e : manifest.entries) listed.insert(e.file);
+    for (const ManifestEntry& e : manifest.entries) {
+      if (e.is_lifecycle) continue;
+      auto res = fs->ReadFile(JoinPath(dir, e.file));
+      if (!res.ok()) {
+        if (fs->halted()) return res.status();
+        EVA_RETURN_IF_ERROR(Quarantine(fs, dir, e.file, e.view_name,
+                                       "unreadable: " + res.status().message(),
+                                       report));
+        continue;
+      }
+      const std::string& body = res.value();
+      if (body.size() != e.size || Crc32(body) != e.crc) {
+        EVA_RETURN_IF_ERROR(Quarantine(fs, dir, e.file, e.view_name,
+                                       "checksum mismatch", report));
+        continue;
+      }
+      Status parsed = ParseViewBody(body, e.file, store);
+      if (!parsed.ok()) {
+        EVA_RETURN_IF_ERROR(Quarantine(fs, dir, e.file, e.view_name,
+                                       parsed.message(), report));
+      }
     }
+    // Sweep: tmp files are leftovers of an interrupted save (the rename
+    // never happened) and are simply removed; managed files the manifest
+    // does not list were never committed and cannot be trusted.
+    for (const std::string& name : ListFiles(dir)) {
+      if (listed.count(name) > 0 || !IsManagedFile(name)) continue;
+      if (EndsWith(name, ".quarantined")) continue;
+      if (EndsWith(name, ".tmp")) {
+        Status st = fs->Remove(JoinPath(dir, name));
+        if (!st.ok() && fs->halted()) return st;
+        if (st.ok()) ++report->tmp_removed;
+        continue;
+      }
+      EVA_RETURN_IF_ERROR(
+          Quarantine(fs, dir, name, "", "not in manifest", report));
+    }
+    return Status::OK();
   }
-  for (const auto& [key, entry] : manager.entries()) {
-    out << "coverage " << Escape(key) << " "
-        << symbolic::EncodePredicate(entry.coverage) << "\n";
+  if (state == ManifestState::kCorrupt) {
+    // A torn or bit-flipped manifest means nothing in the directory can be
+    // verified: quarantine everything. Pure underclaim — every query
+    // recomputes, results stay correct.
+    report->manifest_corrupt = true;
+    EVA_RETURN_IF_ERROR(
+        Quarantine(fs, dir, "MANIFEST", "", "manifest corrupt", report));
+    for (const std::string& name : ListFiles(dir)) {
+      if (name == "MANIFEST" || !IsManagedFile(name)) continue;
+      if (EndsWith(name, ".quarantined")) continue;
+      if (EndsWith(name, ".tmp")) {
+        Status st = fs->Remove(JoinPath(dir, name));
+        if (!st.ok() && fs->halted()) return st;
+        if (st.ok()) ++report->tmp_removed;
+        continue;
+      }
+      EVA_RETURN_IF_ERROR(
+          Quarantine(fs, dir, name, "", "manifest corrupt", report));
+    }
+    return Status::OK();
   }
-  if (!out.good()) {
-    return Status::Internal("write failed for " + path.string());
+  // No MANIFEST: a pre-v2 (legacy) directory, loaded best-effort with no
+  // checksums to lean on. Files that fail to parse are quarantined rather
+  // than aborting the whole load (the v1 behavior).
+  report->legacy = true;
+  for (const std::string& name : ListFiles(dir)) {
+    if (EndsWith(name, ".tmp")) {
+      Status st = fs->Remove(JoinPath(dir, name));
+      if (!st.ok() && fs->halted()) return st;
+      if (st.ok()) ++report->tmp_removed;
+      continue;
+    }
+    if (!EndsWith(name, ".evaview")) continue;
+    auto res = fs->ReadFile(JoinPath(dir, name));
+    if (!res.ok()) {
+      if (fs->halted()) return res.status();
+      EVA_RETURN_IF_ERROR(Quarantine(fs, dir, name, "",
+                                     "unreadable: " + res.status().message(),
+                                     report));
+      continue;
+    }
+    Status parsed = ParseViewBody(res.value(), name, store);
+    if (!parsed.ok()) {
+      EVA_RETURN_IF_ERROR(
+          Quarantine(fs, dir, name, "", parsed.message(), report));
+    }
   }
   return Status::OK();
 }
 
+Status LoadLifecycleStateEx(const std::string& dir, ViewStore* store,
+                            udf::UdfManager* manager, fault::FaultFs* fs,
+                            RecoveryReport* report) {
+  fault::FaultFs plain;
+  if (fs == nullptr) fs = &plain;
+  std::error_code ec;
+  if (!stdfs::is_directory(dir, ec)) return Status::OK();
+  Manifest manifest;
+  EVA_ASSIGN_OR_RETURN(ManifestState state,
+                       ReadManifest(dir, fs, &manifest));
+  std::string file;
+  std::string content;
+  if (state == ManifestState::kValid) {
+    const ManifestEntry* entry = nullptr;
+    for (const ManifestEntry& e : manifest.entries) {
+      if (e.is_lifecycle) entry = &e;
+    }
+    if (entry == nullptr) return Status::OK();  // views-only save
+    file = entry->file;
+    auto res = fs->ReadFile(JoinPath(dir, file));
+    if (!res.ok()) {
+      if (fs->halted()) return res.status();
+      return Quarantine(fs, dir, file, "",
+                        "unreadable: " + res.status().message(), report);
+    }
+    content = std::move(res.value());
+    if (content.size() != entry->size || Crc32(content) != entry->crc) {
+      return Quarantine(fs, dir, file, "", "checksum mismatch", report);
+    }
+  } else if (state == ManifestState::kCorrupt) {
+    // LoadViewStoreEx already quarantined everything reachable; without a
+    // trustworthy manifest no coverage may be installed (underclaim).
+    return Status::OK();
+  } else {
+    // Legacy v1 layout: fixed filename, no checksum.
+    file = "lifecycle.evastate";
+    auto res = fs->ReadFile(JoinPath(dir, file));
+    if (!res.ok()) {
+      if (fs->halted()) return res.status();
+      if (res.status().code() == StatusCode::kNotFound) {
+        return Status::OK();  // pre-lifecycle save dir
+      }
+      return Quarantine(fs, dir, file, "",
+                        "unreadable: " + res.status().message(), report);
+    }
+    content = std::move(res.value());
+  }
+  LifecycleStaged staged;
+  Status parsed = ParseLifecycleBody(content, file, &staged);
+  if (!parsed.ok()) {
+    // Fresh stamps and empty coverage are always safe — quarantine and
+    // carry on rather than failing the load.
+    return Quarantine(fs, dir, file, "", parsed.message(), report);
+  }
+  ApplyLifecycle(staged, store, manager);
+  return Status::OK();
+}
+
+Status LoadViewStore(const std::string& dir, ViewStore* store) {
+  RecoveryReport report;
+  return LoadViewStoreEx(dir, store, nullptr, &report);
+}
+
 Status LoadLifecycleState(const std::string& dir, ViewStore* store,
                           udf::UdfManager* manager) {
-  fs::path path = fs::path(dir) / "lifecycle.evastate";
-  std::error_code ec;
-  if (!fs::exists(path, ec)) return Status::OK();  // pre-lifecycle save dir
-  std::ifstream in(path);
-  if (!in) {
-    return Status::Internal("cannot open " + path.string());
-  }
-  std::string line;
-  if (!std::getline(in, line) || line != "eva-lifecycle 1") {
-    return Status::InvalidArgument("bad lifecycle file header: " +
-                                   path.string());
-  }
-  MaterializedView* view = nullptr;
-  bool stamps_applicable = false;
-  while (std::getline(in, line)) {
-    if (StartsWith(line, "view ")) {
-      std::istringstream is(line.substr(5));
-      std::string name_tok;
-      int64_t segment_frames = 0;
-      if (!(is >> name_tok >> segment_frames)) {
-        return Status::InvalidArgument("truncated view line: " + line);
-      }
-      EVA_ASSIGN_OR_RETURN(std::string name, Unescape(name_tok));
-      view = store->Find(name);
-      stamps_applicable =
-          view != nullptr && view->segment_frames() == segment_frames;
-    } else if (StartsWith(line, "segment ")) {
-      if (!stamps_applicable) continue;
-      std::istringstream is(line.substr(8));
-      int64_t id = 0;
-      SegmentInfo info;
-      if (!(is >> id >> info.keys >> info.rows >> info.created_tick >>
-            info.last_access_tick >> info.last_access_query)) {
-        return Status::InvalidArgument("truncated segment line: " + line);
-      }
-      view->RestoreSegmentStamps(id, info);
-    } else if (StartsWith(line, "coverage ")) {
-      std::istringstream is(line.substr(9));
-      std::string key_tok;
-      if (!(is >> key_tok)) {
-        return Status::InvalidArgument("truncated coverage line: " + line);
-      }
-      EVA_ASSIGN_OR_RETURN(std::string key, Unescape(key_tok));
-      std::string encoded;
-      std::getline(is, encoded);
-      if (!encoded.empty() && encoded.front() == ' ') encoded.erase(0, 1);
-      EVA_ASSIGN_OR_RETURN(symbolic::Predicate coverage,
-                           symbolic::DecodePredicate(encoded));
-      if (manager != nullptr && !manager->HasCoverage(key)) {
-        manager->SetCoverage(key, std::move(coverage));
-      }
-    } else if (!line.empty()) {
-      return Status::InvalidArgument("unexpected lifecycle line: " + line);
+  RecoveryReport report;
+  return LoadLifecycleStateEx(dir, store, manager, nullptr, &report);
+}
+
+Result<RecoveryReport> LoadSession(const std::string& dir, ViewStore* store,
+                                   udf::UdfManager* manager,
+                                   fault::FaultFs* fs) {
+  fault::FaultFs plain;
+  if (fs == nullptr) fs = &plain;
+  RecoveryReport report;
+  EVA_RETURN_IF_ERROR(LoadViewStoreEx(dir, store, fs, &report));
+  EVA_RETURN_IF_ERROR(
+      LoadLifecycleStateEx(dir, store, manager, fs, &report));
+  if (manager != nullptr) {
+    // Soundness: a quarantined view's rows are gone, so any coverage its
+    // signature claims would overclaim — retract it entirely (p_u ← FALSE
+    // via Subtract with TRUE; underclaiming only costs recomputation).
+    std::set<std::string> done;
+    for (const QuarantinedFile& q : report.quarantined) {
+      if (q.view_key.empty() || done.count(q.view_key) > 0) continue;
+      done.insert(q.view_key);
+      if (!manager->HasCoverage(q.view_key)) continue;
+      manager->RetractCoverage(q.view_key, symbolic::Predicate::True());
+      report.retracted.push_back(q.view_key);
     }
   }
-  return Status::OK();
+  return report;
 }
 
 }  // namespace eva::storage

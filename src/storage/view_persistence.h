@@ -2,16 +2,37 @@
 #define EVA_STORAGE_VIEW_PERSISTENCE_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "fault/fault_fs.h"
 #include "storage/view_store.h"
 #include "udf/udf_manager.h"
 
 namespace eva::storage {
 
-/// Persists materialized UDF views across sessions (the paper stores views
-/// on disk next to the Parquet-encoded video, §4.2/§5.2). One text file
-/// per view under `dir`, in a line-oriented format:
+/// Crash-safe persistence for materialized UDF views (the paper stores
+/// views on disk next to the Parquet-encoded video, §4.2/§5.2), format v2
+/// (docs/RELIABILITY.md).
+///
+/// A save directory holds one text file per view plus the lifecycle state,
+/// both named with a generation number, and a MANIFEST that commits the
+/// generation atomically:
+///
+///   <name>.g<G>.evaview        view data (same line format as v1)
+///   lifecycle.g<G>.evastate    segment stamps + coverage (same as v1)
+///   MANIFEST                   generation + per-file size and CRC32
+///
+/// Every file is written as `<file>.tmp`, fsynced, then renamed; the
+/// MANIFEST is written last, the same way. An interrupted save therefore
+/// leaves the previous generation fully loadable — the new generation's
+/// files are ignored (and quarantined) because the MANIFEST never came to
+/// claim them. Committing the MANIFEST also garbage-collects every managed
+/// file it does not list, which is what removes stale `.evaview` files of
+/// dropped or fully-evicted views (they used to silently resurrect on
+/// reload) and the previous generation.
+///
+/// View file line format (unchanged from v1):
 ///
 ///   eva-view 1
 ///   name <view name>
@@ -21,40 +42,73 @@ namespace eva::storage {
 ///
 /// Cells are type-prefixed (`N`, `B:`, `I:`, `D:`, `S:`); string cells are
 /// percent-escaped so whitespace survives the round trip.
+
+/// One file set aside during recovery (renamed to `<file>.quarantined`).
+struct QuarantinedFile {
+  std::string file;      // basename within the save directory
+  std::string view_key;  // logical view name, "" when unknown
+  std::string reason;
+};
+
+/// What LoadSession found and repaired. Recovery is never fatal: corrupt
+/// or unmanifested state is quarantined and its symbolic coverage
+/// retracted, so a reload can only underclaim (recompute), never overclaim
+/// (§4.1 soundness).
+struct RecoveryReport {
+  int64_t generation = 0;  // manifest generation loaded; 0 = none
+  bool legacy = false;     // pre-v2 directory (no MANIFEST)
+  bool manifest_corrupt = false;
+  std::vector<QuarantinedFile> quarantined;
+  std::vector<std::string> retracted;  // coverage keys retracted
+  int64_t tmp_removed = 0;
+
+  bool clean() const { return !manifest_corrupt && quarantined.empty(); }
+  /// One-line summary for the shell's .load output.
+  std::string Summary() const;
+};
+
+/// Saves views + lifecycle state as one new generation with a single
+/// MANIFEST commit — the engine's save path. All filesystem traffic goes
+/// through `fs` (pass nullptr for a plain pass-through shim).
+Status SaveSession(const ViewStore& store, const udf::UdfManager& manager,
+                   const std::string& dir, fault::FaultFs* fs = nullptr);
+
+/// Loads a save directory with full recovery: verifies the MANIFEST and
+/// every file's size/CRC32, quarantines what fails (or was never
+/// manifested), removes leftover `.tmp` files, and retracts the symbolic
+/// coverage of every quarantined view so reuse never overclaims. A
+/// directory without a MANIFEST loads best-effort as legacy v1. Returns
+/// NotFound only when `dir` itself is missing.
+Result<RecoveryReport> LoadSession(const std::string& dir, ViewStore* store,
+                                   udf::UdfManager* manager,
+                                   fault::FaultFs* fs = nullptr);
+
+/// Legacy piecewise API (tests and pre-v2 callers). SaveViewStore commits
+/// a views-only manifest; SaveLifecycleState writes the lifecycle file and
+/// re-commits the manifest with the previous generation's view entries
+/// carried over (the SaveViewStore-then-SaveLifecycleState sequence is
+/// equivalent to one SaveSession, with two commit points instead of one).
 Status SaveViewStore(const ViewStore& store, const std::string& dir);
-
-/// Loads every `*.evaview` file in `dir` into `store` (merging with
-/// whatever is already materialized; existing keys win, matching the
-/// append-only STORE semantics).
 Status LoadViewStore(const std::string& dir, ViewStore* store);
-
-/// Cell encoding helpers (exposed for tests).
-std::string EncodeValue(const Value& v);
-Result<Value> DecodeValue(const std::string& text);
-
-/// Persists the view lifecycle state alongside the views: per-view segment
-/// width and per-segment accounting (keys, rows, creation/access stamps,
-/// last-access query) plus each UDF signature's aggregated predicate p_u —
-/// including any retraction performed by eviction. One `lifecycle.evastate`
-/// file under `dir`:
-///
-///   eva-lifecycle 1
-///   view <name> <segment_frames>
-///   segment <id> <keys> <rows> <created_tick> <last_tick> <last_query>
-///   coverage <key> <encoded predicate ...>
 Status SaveLifecycleState(const ViewStore& store,
                           const udf::UdfManager& manager,
                           const std::string& dir);
-
-/// Restores lifecycle state saved by SaveLifecycleState. Must run after
-/// LoadViewStore (stamps attach to reloaded segments; a view absent from
-/// the store, or reloaded with a different segment width, is skipped —
-/// fresh stamps are a safe default). Coverage predicates are installed
-/// only for signatures that have none yet, mirroring the "existing keys
-/// win" merge semantics of LoadViewStore. Missing file is not an error —
-/// pre-lifecycle save directories load fine.
 Status LoadLifecycleState(const std::string& dir, ViewStore* store,
                           udf::UdfManager* manager);
+
+/// Recovery-aware variants of the legacy loaders (LoadSession composes
+/// them). `fs` may be nullptr; `report` accumulates.
+Status LoadViewStoreEx(const std::string& dir, ViewStore* store,
+                       fault::FaultFs* fs, RecoveryReport* report);
+Status LoadLifecycleStateEx(const std::string& dir, ViewStore* store,
+                            udf::UdfManager* manager, fault::FaultFs* fs,
+                            RecoveryReport* report);
+
+/// Cell encoding helpers (exposed for tests). DecodeValue returns a
+/// Status error on malformed input — it never throws, even on overflowing
+/// numerals or bad escapes (reader_fuzz_test).
+std::string EncodeValue(const Value& v);
+Result<Value> DecodeValue(const std::string& text);
 
 }  // namespace eva::storage
 

@@ -1,5 +1,6 @@
 #include "symbolic/predicate_io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -116,6 +117,10 @@ Result<Predicate> DecodePredicate(const std::string& text) {
         return Status::InvalidArgument("predicate: truncated dimension");
       }
       std::string dim = UnescapeToken(dim_tok);
+      if (kind_int < 0 || kind_int > static_cast<int>(DimKind::kCategorical)) {
+        return Status::InvalidArgument("predicate: bad dimension kind " +
+                                       std::to_string(kind_int));
+      }
       auto kind = static_cast<DimKind>(kind_int);
       std::string payload;
       if (!(is >> payload)) {
@@ -145,7 +150,9 @@ Result<Predicate> DecodePredicate(const std::string& text) {
           return Status::InvalidArgument("predicate: bad categorical count");
         }
         std::vector<std::string> values;
-        values.reserve(nvals);
+        // A hostile count must not drive a huge allocation before the
+        // stream runs dry; push_back grows past the cap fine.
+        values.reserve(std::min<size_t>(nvals, 1024));
         for (size_t i = 0; i < nvals; ++i) {
           std::string v;
           if (!(is >> v)) {

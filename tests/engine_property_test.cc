@@ -160,6 +160,121 @@ TEST_P(EnginePropertyTest, CoverageIsMonotone) {
   }
 }
 
+// Differential oracle: a session that suffers transient UDF faults (each
+// retried with backoff) must return row-for-row exactly what the fault-free
+// session returns. Faults may only cost simulated time, never change
+// results.
+TEST_P(EnginePropertyTest, TransientUdfFaultsAreInvisibleInResults) {
+  Rng rng(GetParam() * 389 + 5);
+  std::vector<std::string> session = RandomSession(rng, 4);
+
+  std::vector<std::string> baseline;
+  {
+    auto er = vbench::MakeEngine(ReuseMode::kEva, PropertyVideo());
+    ASSERT_TRUE(er.ok());
+    auto engine = er.MoveValue();
+    for (const std::string& sql : session) {
+      auto r = engine->Execute(sql);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      baseline.push_back(r.value().batch.ToString(1 << 20));
+    }
+  }
+
+  auto er = vbench::MakeEngine(ReuseMode::kEva, PropertyVideo());
+  ASSERT_TRUE(er.ok());
+  auto engine = er.MoveValue();
+  // Every UDF invocation fails transiently twice, then succeeds on the
+  // third attempt (udf_max_retries defaults to 3).
+  ASSERT_TRUE(engine->SetFaultSchedule("error@udf:*#1-2").ok());
+  int64_t retries = 0;
+  for (size_t q = 0; q < session.size(); ++q) {
+    auto r = engine->Execute(session[q]);
+    ASSERT_TRUE(r.ok()) << session[q] << "\n" << r.status().ToString();
+    EXPECT_EQ(r.value().batch.ToString(1 << 20), baseline[q])
+        << "faulted session diverges on query " << q;
+    retries += r.value().metrics.udf_retries;
+  }
+  EXPECT_GT(engine->fault_injector()->fired(), 0)
+      << "the schedule never fired — the test proved nothing";
+  EXPECT_GT(retries, 0);
+}
+
+// Same oracle at threads > 1: per-point occurrence counting makes the
+// injected faults independent of worker interleaving, so rows AND
+// simulated time must match the serial faulted run bit-for-bit.
+TEST_P(EnginePropertyTest, TransientFaultsAreDeterministicAcrossThreads) {
+  Rng rng(GetParam() * 389 + 5);
+  std::vector<std::string> session = RandomSession(rng, 3);
+
+  std::vector<std::string> rows_serial;
+  std::vector<double> ms_serial;
+  for (int threads : {1, 4}) {
+    engine::EngineOptions options;
+    options.optimizer.mode = ReuseMode::kEva;
+    options.num_threads = threads;
+    auto er = vbench::MakeEngine(options, PropertyVideo());
+    ASSERT_TRUE(er.ok());
+    auto engine = er.MoveValue();
+    ASSERT_TRUE(engine->SetFaultSchedule("error@udf:*#1").ok());
+    for (size_t q = 0; q < session.size(); ++q) {
+      auto r = engine->Execute(session[q]);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      if (threads == 1) {
+        rows_serial.push_back(r.value().batch.ToString(1 << 20));
+        ms_serial.push_back(r.value().metrics.TotalMs());
+      } else {
+        EXPECT_EQ(r.value().batch.ToString(1 << 20), rows_serial[q])
+            << "threads=4 rows diverge on query " << q;
+        EXPECT_DOUBLE_EQ(r.value().metrics.TotalMs(), ms_serial[q])
+            << "threads=4 simulated time diverges on query " << q;
+      }
+    }
+    EXPECT_GT(engine->fault_injector()->fired(), 0);
+  }
+}
+
+// When the transient fault outlasts the retry budget the query must fail
+// with a clean error — and the coverage rollback must leave the engine in
+// a state where clearing the fault yields exactly the right answer (no
+// poisoned aggregated predicates claiming frames that never computed).
+TEST_P(EnginePropertyTest, ExhaustedRetriesFailCleanlyAndRollBack) {
+  Rng rng(GetParam() * 877 + 3);
+  std::vector<std::string> session = RandomSession(rng, 2);
+
+  std::vector<std::string> baseline;
+  {
+    auto er = vbench::MakeEngine(ReuseMode::kEva, PropertyVideo());
+    ASSERT_TRUE(er.ok());
+    auto engine = er.MoveValue();
+    for (const std::string& sql : session) {
+      auto r = engine->Execute(sql);
+      ASSERT_TRUE(r.ok());
+      baseline.push_back(r.value().batch.ToString(1 << 20));
+    }
+  }
+
+  auto er = vbench::MakeEngine(ReuseMode::kEva, PropertyVideo());
+  ASSERT_TRUE(er.ok());
+  auto engine = er.MoveValue();
+  // Outlasts the default 3 retries: every invocation of the first frame's
+  // detector point keeps failing.
+  ASSERT_TRUE(engine->SetFaultSchedule("error@udf:*#1-10").ok());
+  auto failed = engine->Execute(session[0]);
+  ASSERT_FALSE(failed.ok()) << "retry budget should have been exhausted";
+  EXPECT_EQ(failed.status().code(), StatusCode::kResourceExhausted)
+      << failed.status().ToString();
+
+  // Heal the fault; the session must now produce the fault-free rows from
+  // the rolled-back state.
+  ASSERT_TRUE(engine->SetFaultSchedule("").ok());
+  for (size_t q = 0; q < session.size(); ++q) {
+    auto r = engine->Execute(session[q]);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().batch.ToString(1 << 20), baseline[q])
+        << "post-rollback session diverges on query " << q;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, EnginePropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/eva_engine.h"
@@ -214,7 +216,28 @@ TEST_F(PersistenceTest, LifecycleStateSurvivesEvictionAndRestart) {
   }
 }
 
-TEST_F(PersistenceTest, PreLifecycleSaveDirectoryLoads) {
+// Strips a v2 save directory down to the pre-manifest v1 layout: no
+// MANIFEST, no generation tags in filenames, optionally no lifecycle file.
+void MakeLegacyV1(const fs::path& dir, bool keep_lifecycle) {
+  fs::remove(dir / "MANIFEST");
+  std::vector<std::pair<fs::path, fs::path>> renames;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::string name = entry.path().filename().string();
+    const size_t gpos = name.rfind(".g");
+    if (gpos == std::string::npos) continue;
+    const size_t dot = name.find('.', gpos + 2);
+    if (dot == std::string::npos) continue;
+    const std::string v1 = name.substr(0, gpos) + name.substr(dot);
+    if (v1 == "lifecycle.evastate" && !keep_lifecycle) {
+      fs::remove(entry.path());
+      continue;
+    }
+    renames.emplace_back(entry.path(), dir / v1);
+  }
+  for (const auto& [from, to] : renames) fs::rename(from, to);
+}
+
+TEST_F(PersistenceTest, LegacyV1DirectoryWithoutLifecycleLoads) {
   catalog::VideoInfo video;
   video.name = "pv";
   video.num_frames = 60;
@@ -230,18 +253,138 @@ TEST_F(PersistenceTest, PreLifecycleSaveDirectoryLoads) {
     ASSERT_TRUE(engine->Execute(sql).ok());
     ASSERT_TRUE(engine->SaveViews(dir_.string()).ok());
   }
-  // A directory written before the lifecycle subsystem existed has no
-  // lifecycle.evastate; loading it must still succeed.
-  fs::remove(dir_ / "lifecycle.evastate");
+  // A directory written before the manifest/lifecycle subsystems existed:
+  // bare <view>.evaview files and nothing else. It must still load (the
+  // conditional apply consults the view per tuple without coverage).
+  MakeLegacyV1(dir_, /*keep_lifecycle=*/false);
   {
     auto er = vbench::MakeEngine(optimizer::ReuseMode::kEva, video);
     ASSERT_TRUE(er.ok());
     auto engine = er.MoveValue();
     ASSERT_TRUE(engine->LoadViews(dir_.string()).ok());
+    EXPECT_TRUE(engine->last_recovery().legacy);
+    EXPECT_EQ(engine->last_recovery().generation, 0);
     auto r = engine->Execute(sql);
     ASSERT_TRUE(r.ok());
     EXPECT_DOUBLE_EQ(r.value().metrics.breakdown[CostCategory::kUdf], 0.0);
   }
+}
+
+TEST_F(PersistenceTest, LegacyV1DirectoryWithLifecycleLoads) {
+  catalog::VideoInfo video;
+  video.name = "pv";
+  video.num_frames = 60;
+  video.mean_objects_per_frame = 6;
+  video.seed = 3;
+  const char* sql =
+      "SELECT id, obj FROM pv CROSS APPLY FasterRCNNResNet50(frame) "
+      "WHERE id < 60 AND label = 'car';";
+  {
+    auto er = vbench::MakeEngine(optimizer::ReuseMode::kEva, video);
+    ASSERT_TRUE(er.ok());
+    auto engine = er.MoveValue();
+    ASSERT_TRUE(engine->Execute(sql).ok());
+    ASSERT_TRUE(engine->SaveViews(dir_.string()).ok());
+  }
+  MakeLegacyV1(dir_, /*keep_lifecycle=*/true);
+  {
+    auto er = vbench::MakeEngine(optimizer::ReuseMode::kEva, video);
+    ASSERT_TRUE(er.ok());
+    auto engine = er.MoveValue();
+    ASSERT_TRUE(engine->LoadViews(dir_.string()).ok());
+    EXPECT_TRUE(engine->last_recovery().legacy);
+    auto r = engine->Execute(sql);
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(r.value().metrics.breakdown[CostCategory::kUdf], 0.0);
+  }
+}
+
+// Regression: a view dropped from the store used to leave its .evaview
+// file behind, silently resurrecting on the next load. Committing the
+// manifest now garbage-collects every file it does not list.
+TEST_F(PersistenceTest, StaleFilesOfDroppedViewsDoNotResurrect) {
+  Schema schema({{"x", DataType::kInt64}});
+  {
+    ViewStore store;
+    store.GetOrCreate("A@v", schema)->Put({0, -1}, {{Value(int64_t{1})}});
+    store.GetOrCreate("B@v", schema)->Put({0, -1}, {{Value(int64_t{2})}});
+    ASSERT_TRUE(SaveViewStore(store, dir_.string()).ok());
+  }
+  {
+    // Second save no longer contains B — its file must be deleted.
+    ViewStore store;
+    store.GetOrCreate("A@v", schema)->Put({0, -1}, {{Value(int64_t{1})}});
+    ASSERT_TRUE(SaveViewStore(store, dir_.string()).ok());
+  }
+  int evaview_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 8 && name.substr(name.size() - 8) == ".evaview") {
+      ++evaview_files;
+      EXPECT_EQ(name.find("B@v"), std::string::npos) << name;
+    }
+  }
+  EXPECT_EQ(evaview_files, 1);
+  ViewStore loaded;
+  ASSERT_TRUE(LoadViewStore(dir_.string(), &loaded).ok());
+  EXPECT_NE(loaded.Find("A@v"), nullptr);
+  EXPECT_EQ(loaded.Find("B@v"), nullptr) << "dropped view resurrected";
+}
+
+// A file someone (or an interrupted save) drops into the directory without
+// a manifest entry is quarantined, never loaded.
+TEST_F(PersistenceTest, UnmanifestedFileIsQuarantinedNotLoaded) {
+  Schema schema({{"x", DataType::kInt64}});
+  ViewStore store;
+  store.GetOrCreate("A@v", schema)->Put({0, -1}, {{Value(int64_t{1})}});
+  ASSERT_TRUE(SaveViewStore(store, dir_.string()).ok());
+  {
+    std::ofstream out(dir_ / "Stray@v.evaview");
+    out << "eva-view 1\nname Stray@v\nschema 1 x INT64\nkey 0 -1 1\n"
+           "row I:7\n";
+  }
+  ViewStore loaded;
+  RecoveryReport report;
+  ASSERT_TRUE(
+      LoadViewStoreEx(dir_.string(), &loaded, nullptr, &report).ok());
+  EXPECT_EQ(loaded.Find("Stray@v"), nullptr);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0].file, "Stray@v.evaview");
+  EXPECT_EQ(report.quarantined[0].reason, "not in manifest");
+  EXPECT_TRUE(fs::exists(dir_ / "Stray@v.evaview.quarantined"));
+  EXPECT_FALSE(fs::exists(dir_ / "Stray@v.evaview"));
+}
+
+TEST_F(PersistenceTest, GenerationAdvancesAcrossSaves) {
+  catalog::VideoInfo video;
+  video.name = "pv";
+  video.num_frames = 60;
+  video.mean_objects_per_frame = 6;
+  video.seed = 3;
+  auto er = vbench::MakeEngine(optimizer::ReuseMode::kEva, video);
+  ASSERT_TRUE(er.ok());
+  auto engine = er.MoveValue();
+  ASSERT_TRUE(engine
+                  ->Execute("SELECT id, obj FROM pv CROSS APPLY "
+                            "FasterRCNNResNet50(frame) WHERE id < 30 AND "
+                            "label = 'car';")
+                  .ok());
+  ASSERT_TRUE(engine->SaveViews(dir_.string()).ok());
+  ASSERT_TRUE(engine->SaveViews(dir_.string()).ok());
+  ASSERT_TRUE(engine->LoadViews(dir_.string()).ok());
+  EXPECT_EQ(engine->last_recovery().generation, 2);
+  EXPECT_TRUE(engine->last_recovery().clean());
+  EXPECT_FALSE(engine->last_recovery().legacy);
+  // Only one generation's files survive the second commit's GC.
+  int view_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 8 && name.substr(name.size() - 8) == ".evaview") {
+      ++view_files;
+      EXPECT_NE(name.find(".g2."), std::string::npos) << name;
+    }
+  }
+  EXPECT_GE(view_files, 1);
 }
 
 }  // namespace
