@@ -1,9 +1,21 @@
 // Microbenchmarks (google-benchmark) for the storage substrate: view
-// probe/append throughput (the conditional apply's inner loop) and
+// probe/append throughput (the conditional apply's inner loop), the
+// columnar batch-probe path, the vectorized filter evaluator, and
 // synthetic-video generation/statistics costs.
+//
+// Two entry modes (custom main below):
+//   default       google-benchmark CLI (--benchmark_filter=..., etc.)
+//   --quick       fixed-iteration wall-clock run of the probe/filter
+//                 benches, p50/p95 JSON on stdout — the CI perf-smoke
+//                 job's artifact (see .github/workflows/ci.yml).
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
+#include "bench_util.h"
+#include "exec/vector_filter.h"
+#include "expr/expr.h"
 #include "storage/statistics.h"
 #include "storage/view_store.h"
 #include "vbench/vbench.h"
@@ -11,17 +23,36 @@
 
 namespace {
 
+using eva::Batch;
 using eva::Row;
 using eva::Schema;
 using eva::Value;
+using eva::exec::FilterProgram;
+using eva::expr::CompareOp;
+using eva::expr::Expr;
+using eva::expr::ExprPtr;
 using eva::storage::MaterializedView;
+using eva::storage::ProbeResult;
 using eva::storage::ViewKey;
+
+constexpr int64_t kProbeViewFrames = 20000;
+constexpr size_t kProbeBatchKeys = 1024;
 
 Schema DetSchema() {
   return Schema({{"obj", eva::DataType::kInt64},
                  {"label", eva::DataType::kString},
                  {"area", eva::DataType::kDouble},
                  {"score", eva::DataType::kDouble}});
+}
+
+// One detection row per frame over [0, kProbeViewFrames); probes draw from
+// twice that range so half the lookups miss.
+void FillProbeView(MaterializedView* view) {
+  for (int64_t f = 0; f < kProbeViewFrames; ++f) {
+    view->Put(ViewKey{f, -1},
+              {{Value(static_cast<int64_t>(0)), Value("car"), Value(0.3),
+                Value(0.9)}});
+  }
 }
 
 void BM_ViewPut(benchmark::State& state) {
@@ -40,23 +71,115 @@ void BM_ViewPut(benchmark::State& state) {
 }
 BENCHMARK(BM_ViewPut)->Arg(1000)->Arg(10000);
 
+// Legacy point-probe path (Has + Get, two lock acquisitions) — kept as the
+// before-side of the columnar comparison.
 void BM_ViewProbe(benchmark::State& state) {
   MaterializedView view("bench", DetSchema());
-  const int64_t n = 20000;
-  for (int64_t f = 0; f < n; ++f) {
-    view.Put(ViewKey{f, -1},
-             {{Value(static_cast<int64_t>(0)), Value("car"), Value(0.3),
-               Value(0.9)}});
-  }
+  FillProbeView(&view);
   int64_t f = 0;
   for (auto _ : state) {
-    f = (f + 7919) % (2 * n);  // half hits, half misses
+    f = (f + 7919) % (2 * kProbeViewFrames);  // half hits, half misses
     bool has = view.Has(ViewKey{f, -1});
     if (has) benchmark::DoNotOptimize(view.Get(ViewKey{f, -1}));
     benchmark::DoNotOptimize(has);
   }
 }
 BENCHMARK(BM_ViewProbe);
+
+// Single-acquisition point probe.
+void BM_ViewTryGet(benchmark::State& state) {
+  MaterializedView view("bench", DetSchema());
+  FillProbeView(&view);
+  int64_t f = 0;
+  for (auto _ : state) {
+    f = (f + 7919) % (2 * kProbeViewFrames);
+    benchmark::DoNotOptimize(view.TryGet(ViewKey{f, -1}));
+  }
+}
+BENCHMARK(BM_ViewTryGet);
+
+// Columnar batch probe: one lock + binary-search cursor for a whole
+// frame-ascending morsel. Reported per key probed.
+void BM_ViewProbeBatch(benchmark::State& state) {
+  MaterializedView view("bench", DetSchema());
+  FillProbeView(&view);
+  std::vector<ViewKey> keys(kProbeBatchKeys);
+  ProbeResult res;
+  int64_t start = 0;
+  // Seal the columnar projections outside the timed region (the engine
+  // pays this once per segment per session, not per batch).
+  view.ProbeBatch({ViewKey{0, -1}}, nullptr, &res);
+  for (auto _ : state) {
+    start = (start + 7919) % kProbeViewFrames;
+    for (size_t i = 0; i < kProbeBatchKeys; ++i) {
+      keys[i] = ViewKey{(start + static_cast<int64_t>(i)) %
+                            (2 * kProbeViewFrames),
+                        -1};
+    }
+    view.ProbeBatch(keys, nullptr, &res);
+    benchmark::DoNotOptimize(res.outcomes.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kProbeBatchKeys));
+}
+BENCHMARK(BM_ViewProbeBatch);
+
+ExprPtr FilterBenchPredicate() {
+  // label = 'car' AND area > 0.2 — the shape every vbench query carries.
+  return Expr::And(
+      Expr::Compare(CompareOp::kEq, Expr::Column("label"),
+                    Expr::Literal(Value("car"))),
+      Expr::Compare(CompareOp::kGt, Expr::Column("area"),
+                    Expr::Literal(Value(0.2))));
+}
+
+Batch FilterBenchBatch() {
+  Batch batch(DetSchema());
+  for (int64_t i = 0; i < 1024; ++i) {
+    batch.AddRow({Value(i % 8), Value(i % 3 == 0 ? "car" : "bus"),
+                  Value(0.05 + 0.001 * static_cast<double>(i % 400)),
+                  Value(0.9)});
+  }
+  return batch;
+}
+
+// Per-row recursive interpreter over one 1024-row batch.
+void BM_FilterScalar(benchmark::State& state) {
+  Schema schema = DetSchema();
+  Batch batch = FilterBenchBatch();
+  ExprPtr pred = FilterBenchPredicate();
+  for (auto _ : state) {
+    int64_t kept = 0;
+    for (const Row& row : batch.rows()) {
+      auto r = eva::expr::EvaluateBool(*pred, schema, row);
+      if (r.ok() && r.value()) ++kept;
+    }
+    benchmark::DoNotOptimize(kept);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.num_rows()));
+}
+BENCHMARK(BM_FilterScalar);
+
+// Compiled register program over the same batch.
+void BM_FilterVectorized(benchmark::State& state) {
+  Schema schema = DetSchema();
+  Batch batch = FilterBenchBatch();
+  ExprPtr pred = FilterBenchPredicate();
+  auto program = FilterProgram::Compile(*pred, schema);
+  if (!program.has_value()) {
+    state.SkipWithError("predicate did not compile");
+    return;
+  }
+  std::vector<uint8_t> keep;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(program->Execute(batch, &keep).ok());
+    benchmark::DoNotOptimize(keep.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.num_rows()));
+}
+BENCHMARK(BM_FilterVectorized);
 
 void BM_SyntheticVideoGeneration(benchmark::State& state) {
   eva::catalog::VideoInfo info = eva::vbench::ShortUaDetrac();
@@ -94,6 +217,118 @@ void BM_HistogramSelectivity(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramSelectivity);
 
+// ---------------------------------------------------------------------------
+// --quick mode: fixed-size wall-clock samples, p50/p95 JSON on stdout.
+// ---------------------------------------------------------------------------
+
+int RunQuick() {
+  constexpr int kWarmup = 3;
+  constexpr int kSamples = 30;
+  constexpr int64_t kOps = 100000;  // point probes per sample
+
+  MaterializedView view("bench", DetSchema());
+  FillProbeView(&view);
+
+  auto probe_has_get = [&] {
+    int64_t f = 0, hits = 0;
+    for (int64_t i = 0; i < kOps; ++i) {
+      f = (f + 7919) % (2 * kProbeViewFrames);
+      if (view.Has(ViewKey{f, -1})) {
+        benchmark::DoNotOptimize(view.Get(ViewKey{f, -1}));
+        ++hits;
+      }
+    }
+    benchmark::DoNotOptimize(hits);
+  };
+  auto probe_tryget = [&] {
+    int64_t f = 0;
+    for (int64_t i = 0; i < kOps; ++i) {
+      f = (f + 7919) % (2 * kProbeViewFrames);
+      benchmark::DoNotOptimize(view.TryGet(ViewKey{f, -1}));
+    }
+  };
+  ProbeResult res;
+  std::vector<ViewKey> keys(kProbeBatchKeys);
+  view.ProbeBatch({ViewKey{0, -1}}, nullptr, &res);  // seal untimed
+  auto probe_batch = [&] {
+    int64_t start = 0;
+    for (int64_t b = 0; b * static_cast<int64_t>(kProbeBatchKeys) < kOps;
+         ++b) {
+      start = (start + 7919) % kProbeViewFrames;
+      for (size_t i = 0; i < kProbeBatchKeys; ++i) {
+        keys[i] = ViewKey{(start + static_cast<int64_t>(i)) %
+                              (2 * kProbeViewFrames),
+                          -1};
+      }
+      view.ProbeBatch(keys, nullptr, &res);
+      benchmark::DoNotOptimize(res.outcomes.size());
+    }
+  };
+
+  Schema schema = DetSchema();
+  Batch batch = FilterBenchBatch();
+  ExprPtr pred = FilterBenchPredicate();
+  auto program = FilterProgram::Compile(*pred, schema);
+  if (!program.has_value()) {
+    std::fprintf(stderr, "FATAL quick-mode predicate did not compile\n");
+    return 1;
+  }
+  const int64_t filter_rounds = kOps / static_cast<int64_t>(batch.num_rows());
+  auto filter_scalar = [&] {
+    for (int64_t r = 0; r < filter_rounds; ++r) {
+      int64_t kept = 0;
+      for (const Row& row : batch.rows()) {
+        auto v = eva::expr::EvaluateBool(*pred, schema, row);
+        if (v.ok() && v.value()) ++kept;
+      }
+      benchmark::DoNotOptimize(kept);
+    }
+  };
+  std::vector<uint8_t> keep;
+  auto filter_vectorized = [&] {
+    for (int64_t r = 0; r < filter_rounds; ++r) {
+      benchmark::DoNotOptimize(program->Execute(batch, &keep).ok());
+      benchmark::DoNotOptimize(keep.data());
+    }
+  };
+
+  const int64_t filter_ops = filter_rounds *
+                             static_cast<int64_t>(batch.num_rows());
+  std::string out = "{\"bench\":\"bench_micro_storage\",\"mode\":\"quick\","
+                    "\"benchmarks\":[";
+  out += eva::bench::WallStatsJson(
+      "view_probe_has_get",
+      eva::bench::MeasureWall(probe_has_get, kWarmup, kSamples, kOps));
+  out += ',';
+  out += eva::bench::WallStatsJson(
+      "view_probe_tryget",
+      eva::bench::MeasureWall(probe_tryget, kWarmup, kSamples, kOps));
+  out += ',';
+  out += eva::bench::WallStatsJson(
+      "view_probe_batch",
+      eva::bench::MeasureWall(probe_batch, kWarmup, kSamples, kOps));
+  out += ',';
+  out += eva::bench::WallStatsJson(
+      "filter_scalar",
+      eva::bench::MeasureWall(filter_scalar, kWarmup, kSamples, filter_ops));
+  out += ',';
+  out += eva::bench::WallStatsJson(
+      "filter_vectorized", eva::bench::MeasureWall(filter_vectorized, kWarmup,
+                                                   kSamples, filter_ops));
+  out += "]}";
+  std::printf("%s\n", out.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return RunQuick();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

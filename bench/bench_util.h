@@ -1,10 +1,13 @@
 #ifndef EVA_BENCH_BENCH_UTIL_H_
 #define EVA_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "obs/json_util.h"
@@ -81,6 +84,67 @@ inline void MaybeDumpMetrics(const std::string& workload,
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Wall-clock percentile summary of a repeated measurement, in
+/// nanoseconds per operation. Used by the `--quick` JSON mode of the
+/// microbenchmarks (CI perf smoke) where google-benchmark's adaptive
+/// iteration search is too slow and its output too verbose.
+struct WallStats {
+  double p50_ns = 0;
+  double p95_ns = 0;
+  double mean_ns = 0;
+  int samples = 0;
+};
+
+/// Runs `fn` (one sample = `ops_per_sample` operations inside fn)
+/// `warmup` times untimed, then `samples` timed times, and reports
+/// per-operation p50/p95/mean. Percentiles over samples absorb the
+/// one-off costs (cache warmup, lazy sealing, allocator growth) that a
+/// plain mean would smear into the result.
+template <typename Fn>
+WallStats MeasureWall(Fn&& fn, int warmup, int samples,
+                      int64_t ops_per_sample) {
+  using Clock = std::chrono::steady_clock;
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> ns;
+  ns.reserve(static_cast<size_t>(samples));
+  double total = 0;
+  for (int i = 0; i < samples; ++i) {
+    auto t0 = Clock::now();
+    fn();
+    auto t1 = Clock::now();
+    double per_op =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()) /
+        static_cast<double>(ops_per_sample);
+    ns.push_back(per_op);
+    total += per_op;
+  }
+  std::sort(ns.begin(), ns.end());
+  auto pct = [&](double p) {
+    size_t idx = static_cast<size_t>(p * static_cast<double>(ns.size() - 1));
+    return ns[idx];
+  };
+  WallStats s;
+  s.p50_ns = pct(0.50);
+  s.p95_ns = pct(0.95);
+  s.mean_ns = total / static_cast<double>(samples);
+  s.samples = samples;
+  return s;
+}
+
+/// One `{"name","p50_ns","p95_ns","mean_ns","samples"}` object for the
+/// quick-mode JSON report.
+inline std::string WallStatsJson(const std::string& name,
+                                 const WallStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"p50_ns\":%.1f,\"p95_ns\":%.1f,"
+                "\"mean_ns\":%.1f,\"samples\":%d}",
+                name.c_str(), s.p50_ns, s.p95_ns, s.mean_ns, s.samples);
+  return std::string(buf);
 }
 
 }  // namespace eva::bench

@@ -332,6 +332,8 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
   ctx.pool = pool_.get();
   ctx.morsel_rows = options_.morsel_rows;
   ctx.udf_spin_us = options_.udf_spin_us;
+  ctx.vectorized_filter = options_.vectorized_filter;
+  ctx.zone_map_skipping = options_.zone_map_skipping;
   if (options_.optimizer.mode == optimizer::ReuseMode::kFunCache) {
     ctx.funcache = &funcache_;
   }

@@ -49,6 +49,16 @@ struct EngineOptions {
   /// nothing. Never charges the simulated clock.
   double udf_spin_us = 0;
 
+  // --- columnar probe path (docs/STORAGE.md) ------------------------------
+  /// Compile filter predicates into the vectorized batch evaluator
+  /// (src/exec/vector_filter.h). Off keeps the per-row interpreter
+  /// everywhere; results are identical either way.
+  bool vectorized_filter = true;
+  /// Let view-join probes skip segments whose zone maps prove the plan's
+  /// residual predicate unsatisfiable. Saves view reads and downstream
+  /// filtering without changing results.
+  bool zone_map_skipping = true;
+
   // --- view lifecycle (src/lifecycle/, docs/LIFECYCLE.md) -----------------
   /// Storage budget for the materialized-view store; after every query the
   /// lifecycle manager evicts view segments until the store fits. 0

@@ -97,6 +97,15 @@ struct ExecContext {
   /// Monotone id of the query being executed (lifecycle access stamps and
   /// the `.views` last-access column); -1 outside a query.
   int64_t query_id = -1;
+  /// Compile filter predicates into the vectorized batch evaluator
+  /// (src/exec/vector_filter.h); the per-row interpreter stays as the
+  /// fallback for unsupported predicate shapes and runtime type errors.
+  bool vectorized_filter = true;
+  /// Let view-join probes consult per-segment zone maps to skip reading
+  /// segments that cannot satisfy the plan's residual predicate. Results
+  /// are identical either way; skipping only avoids kReadView charges and
+  /// downstream evaluation of rows the residual filter would drop.
+  bool zone_map_skipping = true;
 
   // --- observability (src/obs/) -------------------------------------------
   /// Metrics sink; nullptr when observability is off, which is the single

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "baselines/fun_cache.h"
+#include "exec/vector_filter.h"
 #include "fault/fault_injector.h"
 #include "runtime/morsel.h"
 #include "runtime/thread_pool.h"
@@ -111,17 +112,56 @@ class FilterOp : public Operator {
   FilterOp(ExecContext* ctx, OperatorPtr child, expr::ExprPtr predicate)
       : Operator(ctx, child->output_schema()),
         child_(std::move(child)),
-        predicate_(std::move(predicate)) {}
+        predicate_(std::move(predicate)) {
+    // Compiled once per query; nullopt keeps the per-row interpreter for
+    // predicate shapes the register program does not cover.
+    if (ctx->vectorized_filter) {
+      program_ = FilterProgram::Compile(*predicate_, output_schema_);
+    }
+    if (ctx->obs_registry != nullptr) {
+      rows_vectorized_ = ctx->obs_registry->GetCounter(
+          "eva_rows_filtered_vectorized_total",
+          "Rows whose filter verdict came from the vectorized batch "
+          "evaluator");
+      fill_ratio_ = ctx->obs_registry->GetHistogram(
+          "eva_filter_batch_fill_ratio",
+          "Input batch occupancy (rows / batch_size) at filter operators",
+          {0.1, 0.25, 0.5, 0.75, 0.9, 1.0});
+    }
+  }
 
   Result<Batch> Next() override {
     while (true) {
       EVA_ASSIGN_OR_RETURN(Batch in, child_->Next());
       if (in.empty()) return Batch(output_schema_);
+      if (fill_ratio_ != nullptr && ctx_->batch_size > 0) {
+        fill_ratio_->Observe(static_cast<double>(in.num_rows()) /
+                             static_cast<double>(ctx_->batch_size));
+      }
       Batch out(output_schema_);
-      for (const Row& row : in.rows()) {
-        EVA_ASSIGN_OR_RETURN(
-            bool keep, expr::EvaluateBool(*predicate_, in.schema(), row));
-        if (keep) out.AddRow(row);
+      bool vectorized = false;
+      if (program_.has_value() &&
+          program_->Execute(in, &keep_).ok()) {
+        // A runtime type error falls through to the interpreter below,
+        // which reproduces the exact short-circuit behavior and error.
+        vectorized = true;
+        for (size_t r = 0; r < in.num_rows(); ++r) {
+          if (keep_[r] != 0) out.AddRow(std::move(in.mutable_rows()[r]));
+        }
+        int64_t n = static_cast<int64_t>(in.num_rows());
+        if (ctx_->active_stats != nullptr) {
+          ctx_->active_stats->rows_filtered_vectorized += n;
+        }
+        if (rows_vectorized_ != nullptr) {
+          rows_vectorized_->Increment(static_cast<double>(n));
+        }
+      }
+      if (!vectorized) {
+        for (const Row& row : in.rows()) {
+          EVA_ASSIGN_OR_RETURN(
+              bool keep, expr::EvaluateBool(*predicate_, in.schema(), row));
+          if (keep) out.AddRow(row);
+        }
       }
       if (!out.empty()) return out;
     }
@@ -130,6 +170,10 @@ class FilterOp : public Operator {
  private:
   OperatorPtr child_;
   expr::ExprPtr predicate_;
+  std::optional<FilterProgram> program_;
+  std::vector<uint8_t> keep_;
+  obs::Counter* rows_vectorized_ = nullptr;
+  obs::Histogram* fill_ratio_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -456,6 +500,17 @@ class ApplyOp : public Operator {
 // ViewJoin: LEFT OUTER JOIN with the materialized view (Fig. 4 step 1).
 // Rows found in the view get outputs populated (and count as reused
 // invocations); missing rows get NULL outputs for CondApply to fill.
+//
+// Probing is batched: a pre-pass classifies each input row (pass-through /
+// NULL-out / probe) and collects the probe keys, then one ProbeBatch call
+// answers every probe under a single view-lock acquisition from the
+// columnar segment projections. When the plan attached a residual
+// predicate and zone-map skipping is on, segments whose zone maps prove
+// the residual unsatisfiable are skipped: their hits keep identical
+// metrics, access stamps, and probe charges, but the kReadView charge and
+// the output rows are dropped — the residual FilterNode above would
+// discard those rows anyway (and STORE skips keys already present), so
+// query results are unchanged at any thread count.
 // ---------------------------------------------------------------------------
 
 class ViewJoinOp : public Operator {
@@ -463,7 +518,8 @@ class ViewJoinOp : public Operator {
   static Result<OperatorPtr> Make(ExecContext* ctx, OperatorPtr child,
                                   const std::string& udf,
                                   const std::string& view_name,
-                                  bool scan_all_for_dedup) {
+                                  bool scan_all_for_dedup,
+                                  expr::ExprPtr residual) {
     EVA_ASSIGN_OR_RETURN(UdfDef def, ctx->catalog->GetUdf(udf));
     Schema out = child->output_schema();
     Schema udf_out = UdfOutputSchema(def);
@@ -474,7 +530,7 @@ class ViewJoinOp : public Operator {
     }
     return OperatorPtr(new ViewJoinOp(ctx, std::move(child), std::move(def),
                                       view_name, scan_all_for_dedup,
-                                      std::move(out)));
+                                      std::move(residual), std::move(out)));
   }
 
   Result<Batch> Next() override {
@@ -500,6 +556,14 @@ class ViewJoinOp : public Operator {
         in.schema().Contains(def_.kind == UdfKind::kDetector
                                  ? kColObj
                                  : def_.name);
+    int already_idx = in.schema().IndexOf(def_.name);
+
+    // Pre-pass: classify rows and collect probe keys. Within one batch no
+    // Put can land on this view (STORE sits above and runs only after the
+    // batch is emitted), so a batch-start probe equals per-row probes.
+    enum RowAction : uint8_t { kPass = 0, kNullOut, kProbe };
+    actions_.clear();
+    probe_keys_.clear();
     for (const Row& row : in.rows()) {
       int64_t frame = row[static_cast<size_t>(id_idx)].AsInt64();
       if (def_.kind == UdfKind::kDetector) {
@@ -507,27 +571,81 @@ class ViewJoinOp : public Operator {
         // earlier view in the chain; pass it through.
         if (outputs_present && obj_idx >= 0 &&
             !row[static_cast<size_t>(obj_idx)].is_null()) {
+          actions_.push_back(kPass);
+          continue;
+        }
+        actions_.push_back(kProbe);
+        probe_keys_.push_back(ViewKey{frame, -1});
+      } else {
+        bool already =
+            already_idx >= 0 &&
+            !row[static_cast<size_t>(already_idx)].is_null();
+        if (already) {
+          actions_.push_back(kPass);
+          continue;
+        }
+        const Value& obj_v = obj_idx >= 0
+                                 ? row[static_cast<size_t>(obj_idx)]
+                                 : Value::Null();
+        if (def_.kind == UdfKind::kClassifier && obj_v.is_null()) {
+          actions_.push_back(kNullOut);
+          continue;
+        }
+        actions_.push_back(kProbe);
+        probe_keys_.push_back(
+            ViewKey{frame, def_.kind == UdfKind::kClassifier
+                               ? obj_v.AsInt64()
+                               : -1});
+      }
+    }
+    probe_res_.Clear();
+    if (view != nullptr && !probe_keys_.empty()) {
+      storage::ZoneCheckFn zone_fn;
+      if (ctx_->zone_map_skipping && residual_ != nullptr) {
+        zone_fn = [this](const storage::ColumnarSegment& seg) {
+          return ZoneCanMatch(*residual_, seg, value_schema_);
+        };
+      }
+      view->ProbeBatch(probe_keys_, zone_fn, &probe_res_);
+    }
+
+    size_t oi = 0;  // cursor into probe_res_.outcomes, in probe order
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      const Row& row = in.rows()[r];
+      int64_t frame = row[static_cast<size_t>(id_idx)].AsInt64();
+      if (def_.kind == UdfKind::kDetector) {
+        if (actions_[r] == kPass) {
           out.AddRow(row);
           continue;
         }
-        ViewKey key{frame, -1};
         ctx_->Charge(CostCategory::kOther,
                      ctx_->costs.view_probe_ms_per_key);
-        if (view != nullptr && view->Has(key)) {
+        const storage::ProbeOutcome* oc =
+            view != nullptr ? &probe_res_.outcomes[oi++] : nullptr;
+        if (oc != nullptr && oc->status != storage::ProbeStatus::kMiss) {
           ctx_->metrics->invocations[def_.name] += 1;
           ctx_->metrics->reused[def_.name] += 1;
           CountProbe(true);
           view->RecordAccess(frame, ctx_->views->NextAccessTick(),
                              ctx_->query_id);
-          const std::vector<Row>& rows = view->Get(key);
-          ctx_->Charge(CostCategory::kReadView,
-                       ctx_->costs.view_read_ms_per_row *
-                           static_cast<double>(rows.size()));
-          for (const Row& vr : rows) {
-            Row full = TrimmedBase(row);
-            for (const Value& v : vr) full.push_back(v);
-            out.AddRow(std::move(full));
+          if (oc->status == storage::ProbeStatus::kHit) {
+            ctx_->Charge(CostCategory::kReadView,
+                         ctx_->costs.view_read_ms_per_row *
+                             static_cast<double>(oc->rows_count));
+            // Cells come straight out of the pinned columnar snapshot —
+            // one materialization, directly into the output row.
+            for (int32_t i = 0; i < oc->rows_count; ++i) {
+              const storage::ColumnarSegment& seg = probe_res_.segment(*oc);
+              Row full = TrimmedBase(row);
+              size_t vr = static_cast<size_t>(oc->rows_begin + i);
+              for (const storage::ColumnVec& cv : seg.cols) {
+                full.push_back(cv.At(vr));
+              }
+              out.AddRow(std::move(full));
+            }
           }
+          // kHitSkipped: the zone map proved the residual filter above
+          // discards every stored row — skip the read, emit nothing.
         } else {
           CountProbe(false);
           Row full = TrimmedBase(row);
@@ -541,42 +659,51 @@ class ViewJoinOp : public Operator {
         int out_idx = output_schema_.IndexOf(def_.name);
         Row full = row;
         full.resize(output_schema_.num_fields());
-        bool already =
-            in.schema().Contains(def_.name) &&
-            !row[static_cast<size_t>(in.schema().IndexOf(def_.name))]
-                 .is_null();
-        if (already) {
+        if (actions_[r] == kPass) {
           out.AddRow(std::move(full));
           continue;
         }
-        Value obj_v = obj_idx >= 0 ? row[static_cast<size_t>(obj_idx)]
-                                   : Value::Null();
-        if (def_.kind == UdfKind::kClassifier && obj_v.is_null()) {
+        if (actions_[r] == kNullOut) {
           full[static_cast<size_t>(out_idx)] = Value::Null();
           out.AddRow(std::move(full));
           continue;
         }
-        ViewKey key{frame,
-                    def_.kind == UdfKind::kClassifier ? obj_v.AsInt64()
-                                                      : -1};
         ctx_->Charge(CostCategory::kOther,
                      ctx_->costs.view_probe_ms_per_key);
-        if (view != nullptr && view->Has(key)) {
+        const storage::ProbeOutcome* oc =
+            view != nullptr ? &probe_res_.outcomes[oi++] : nullptr;
+        if (oc != nullptr && oc->status != storage::ProbeStatus::kMiss) {
           ctx_->metrics->invocations[def_.name] += 1;
           ctx_->metrics->reused[def_.name] += 1;
           CountProbe(true);
           view->RecordAccess(frame, ctx_->views->NextAccessTick(),
                              ctx_->query_id);
-          const std::vector<Row>& rows = view->Get(key);
-          ctx_->Charge(CostCategory::kReadView,
-                       ctx_->costs.view_read_ms_per_row);
-          full[static_cast<size_t>(out_idx)] =
-              rows.empty() ? Value::Null() : rows[0][0];
+          if (oc->status == storage::ProbeStatus::kHit) {
+            ctx_->Charge(CostCategory::kReadView,
+                         ctx_->costs.view_read_ms_per_row);
+            full[static_cast<size_t>(out_idx)] =
+                oc->rows_count == 0
+                    ? Value::Null()
+                    : probe_res_.segment(*oc).cols[0].At(
+                          static_cast<size_t>(oc->rows_begin));
+            out.AddRow(std::move(full));
+          }
+          // kHitSkipped: drop the row — STORE finds its key present (no
+          // Put) and the residual filter above would discard it.
         } else {
           CountProbe(false);
           full[static_cast<size_t>(out_idx)] = Value::Null();
+          out.AddRow(std::move(full));
         }
-        out.AddRow(std::move(full));
+      }
+    }
+    if (probe_res_.segments_skipped > 0) {
+      if (ctx_->active_stats != nullptr) {
+        ctx_->active_stats->segments_skipped += probe_res_.segments_skipped;
+      }
+      if (segments_skipped_ != nullptr) {
+        segments_skipped_->Increment(
+            static_cast<double>(probe_res_.segments_skipped));
       }
     }
     return out;
@@ -584,12 +711,15 @@ class ViewJoinOp : public Operator {
 
  private:
   ViewJoinOp(ExecContext* ctx, OperatorPtr child, UdfDef def,
-             std::string view_name, bool scan_all, Schema schema)
+             std::string view_name, bool scan_all, expr::ExprPtr residual,
+             Schema schema)
       : Operator(ctx, std::move(schema)),
         child_(std::move(child)),
         def_(std::move(def)),
         view_name_(std::move(view_name)),
-        scan_all_pending_(scan_all) {
+        scan_all_pending_(scan_all),
+        residual_(std::move(residual)),
+        value_schema_(UdfOutputSchema(def_)) {
     // Width of the input columns that precede the detector outputs: when
     // the input already carries (possibly NULL) output columns from an
     // earlier view join, strip them before re-appending.
@@ -603,6 +733,10 @@ class ViewJoinOp : public Operator {
       probe_misses_ = ctx->obs_registry->GetCounter(
           "eva_view_probe_misses_total",
           "Materialized-view probes that fell through to the UDF",
+          {{"udf", def_.name}});
+      segments_skipped_ = ctx->obs_registry->GetCounter(
+          "eva_segments_skipped_total",
+          "View segments skipped by zone-map residual-predicate pruning",
           {{"udf", def_.name}});
     }
   }
@@ -629,9 +763,16 @@ class ViewJoinOp : public Operator {
   UdfDef def_;
   std::string view_name_;
   bool scan_all_pending_;
+  expr::ExprPtr residual_;
+  Schema value_schema_;  // the view's value schema (zone-check resolution)
   size_t output_width_base_;
+  // Per-batch scratch, reused across Next() calls.
+  std::vector<uint8_t> actions_;
+  std::vector<ViewKey> probe_keys_;
+  storage::ProbeResult probe_res_;
   obs::Counter* probe_hits_ = nullptr;
   obs::Counter* probe_misses_ = nullptr;
+  obs::Counter* segments_skipped_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -763,7 +904,7 @@ class StoreOp : public Operator {
       auto flush = [&]() {
         if (current_frame < 0) return;
         ViewKey key{current_frame, -1};
-        if (!view->Has(key)) {
+        if (view->TryGet(key) == nullptr) {
           ctx_->Charge(CostCategory::kMaterialize,
                        ctx_->costs.materialize_ms_per_row *
                            static_cast<double>(pending.size() + 1));
@@ -810,7 +951,7 @@ class StoreOp : public Operator {
           obj = obj_v.AsInt64();
         }
         ViewKey key{frame, obj};
-        if (!view->Has(key)) {
+        if (view->TryGet(key) == nullptr) {
           ctx_->Charge(CostCategory::kMaterialize,
                        ctx_->costs.materialize_ms_per_row);
           CountMaterialized(1);
@@ -1073,7 +1214,8 @@ Result<OperatorPtr> BuildOperatorImpl(const plan::PlanNodePtr& node,
                            BuildOperator(node->child(), ctx));
       return ViewJoinOp::Make(ctx, std::move(child), join->udf(),
                               join->view_name(),
-                              join->scan_all_for_dedup());
+                              join->scan_all_for_dedup(),
+                              join->residual_predicate());
     }
     case PlanKind::kStore: {
       auto* store = static_cast<const plan::StoreNode*>(node.get());

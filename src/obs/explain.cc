@@ -52,6 +52,16 @@ void RenderNode(const plan::PlanNode& node, const PlanStatsMap& stats,
                     static_cast<long long>(s.udf_retries));
       *out += buf;
     }
+    if (s.segments_skipped > 0) {
+      std::snprintf(buf, sizeof(buf), " seg_skipped=%lld",
+                    static_cast<long long>(s.segments_skipped));
+      *out += buf;
+    }
+    if (s.rows_filtered_vectorized > 0) {
+      std::snprintf(buf, sizeof(buf), " vectorized=%lld",
+                    static_cast<long long>(s.rows_filtered_vectorized));
+      *out += buf;
+    }
     *out += ']';
   }
   *out += '\n';

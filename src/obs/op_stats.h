@@ -29,6 +29,9 @@ struct OperatorStats {
   std::atomic<int64_t> rows_reused{0};      // tuples answered from view/cache
   std::atomic<int64_t> rows_materialized{0};
   std::atomic<int64_t> udf_retries{0};  // transient-fault retry attempts
+  std::atomic<int64_t> segments_skipped{0};  // zone-map probe skips
+  /// Rows whose filter verdict came from the vectorized batch evaluator.
+  std::atomic<int64_t> rows_filtered_vectorized{0};
 
   OperatorStats() = default;
   OperatorStats(const OperatorStats& other) { *this = other; }
@@ -44,6 +47,9 @@ struct OperatorStats {
     rows_materialized =
         other.rows_materialized.load(std::memory_order_relaxed);
     udf_retries = other.udf_retries.load(std::memory_order_relaxed);
+    segments_skipped = other.segments_skipped.load(std::memory_order_relaxed);
+    rows_filtered_vectorized =
+        other.rows_filtered_vectorized.load(std::memory_order_relaxed);
     return *this;
   }
 
@@ -60,6 +66,9 @@ struct OperatorStats {
     rows_materialized +=
         other.rows_materialized.load(std::memory_order_relaxed);
     udf_retries += other.udf_retries.load(std::memory_order_relaxed);
+    segments_skipped += other.segments_skipped.load(std::memory_order_relaxed);
+    rows_filtered_vectorized +=
+        other.rows_filtered_vectorized.load(std::memory_order_relaxed);
   }
 };
 

@@ -1,0 +1,244 @@
+#include "storage/column_segment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace eva::storage {
+
+namespace {
+
+// Integer magnitudes beyond this are not exactly representable as doubles;
+// zone bounds for such columns are marked invalid rather than approximate.
+constexpr double kDoubleExactLimit = 4503599627370496.0;  // 2^52
+
+// One column under construction: cells collected as Values, encoding
+// decided once the segment's type profile is known.
+struct ColBuilder {
+  std::vector<const Value*> cells;
+  bool has_nulls = false;
+  bool mixed = false;
+  DataType type = DataType::kNull;  // uniform non-null type seen so far
+  double num_min = 0;
+  double num_max = 0;
+  bool bounds_exact = true;
+  std::vector<std::string> strings;  // distinct values, sorted at the end
+
+  void Observe(const Value& v) {
+    cells.push_back(&v);
+    if (v.is_null()) {
+      has_nulls = true;
+      return;
+    }
+    DataType t = v.type();
+    if (type == DataType::kNull) {
+      type = t;
+    } else if (type != t) {
+      mixed = true;
+    }
+    if (mixed) return;
+    switch (t) {
+      case DataType::kInt64: {
+        int64_t i = v.AsInt64();
+        if (std::llabs(i) > static_cast<int64_t>(kDoubleExactLimit)) {
+          bounds_exact = false;
+        }
+        UpdateNum(static_cast<double>(i));
+        break;
+      }
+      case DataType::kDouble:
+        if (std::isnan(v.AsDouble())) bounds_exact = false;
+        UpdateNum(v.AsDouble());
+        break;
+      case DataType::kBool:
+        UpdateNum(v.AsBool() ? 1.0 : 0.0);
+        break;
+      case DataType::kString:
+        strings.push_back(v.AsString());
+        break;
+      default:
+        break;
+    }
+  }
+
+  void UpdateNum(double d) {
+    if (first_num_) {
+      num_min = num_max = d;
+      first_num_ = false;
+    } else {
+      num_min = std::min(num_min, d);
+      num_max = std::max(num_max, d);
+    }
+  }
+
+ private:
+  bool first_num_ = true;
+};
+
+}  // namespace
+
+size_t ColumnarSegment::FindKey(int64_t frame, int64_t obj,
+                                size_t* hint) const {
+  const size_t n = frames.size();
+  size_t lo = hint != nullptr ? *hint : 0;
+  // A probe behind the cursor (unsorted batch) restarts from the front.
+  if (lo > n) lo = n;
+  if (lo > 0 && (frames[lo - 1] > frame ||
+                 (frames[lo - 1] == frame && objs[lo - 1] > obj))) {
+    lo = 0;
+  }
+  // Dense ascending batches land exactly on the cursor: O(1) per key.
+  if (lo < n && frames[lo] == frame && objs[lo] == obj) {
+    if (hint != nullptr) *hint = lo + 1;
+    return lo;
+  }
+  size_t hi = n;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (frames[mid] < frame || (frames[mid] == frame && objs[mid] < obj)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < n && frames[lo] == frame && objs[lo] == obj) {
+    if (hint != nullptr) *hint = lo + 1;
+    return lo;
+  }
+  if (hint != nullptr) *hint = lo;
+  return npos;
+}
+
+std::shared_ptr<const ColumnarSegment> BuildColumnarSegment(
+    std::vector<ViewKey> keys,
+    const std::unordered_map<ViewKey, std::vector<Row>, ViewKeyHash>& entries,
+    size_t num_value_cols) {
+  std::sort(keys.begin(), keys.end());
+  auto seg = std::make_shared<ColumnarSegment>();
+  seg->built_keys = static_cast<int64_t>(keys.size());
+  seg->frames.reserve(keys.size());
+  seg->objs.reserve(keys.size());
+  seg->row_begin.reserve(keys.size() + 1);
+  seg->row_begin.push_back(0);
+
+  std::vector<ColBuilder> builders(num_value_cols);
+  bool first_key = true;
+  int32_t rows_total = 0;
+  for (const ViewKey& key : keys) {
+    auto it = entries.find(key);
+    if (it == entries.end()) continue;  // evicted under us: cannot happen
+    seg->frames.push_back(key.frame);
+    seg->objs.push_back(key.obj);
+    if (first_key) {
+      seg->obj_min = seg->obj_max = key.obj;
+      first_key = false;
+    } else {
+      seg->obj_min = std::min(seg->obj_min, key.obj);
+      seg->obj_max = std::max(seg->obj_max, key.obj);
+    }
+    // kNullCell keeps the ternary an lvalue: ColBuilder stores cell
+    // pointers, so no temporary may be materialized here.
+    static const Value kNullCell = Value::Null();
+    for (const Row& row : it->second) {
+      for (size_t c = 0; c < num_value_cols; ++c) {
+        builders[c].Observe(c < row.size() ? row[c] : kNullCell);
+      }
+      ++rows_total;
+    }
+    seg->row_begin.push_back(rows_total);
+  }
+
+  seg->cols.resize(num_value_cols);
+  seg->zones.resize(num_value_cols);
+  const size_t n = static_cast<size_t>(rows_total);
+  for (size_t c = 0; c < num_value_cols; ++c) {
+    ColBuilder& b = builders[c];
+    ColumnVec& col = seg->cols[c];
+    ZoneMapEntry& zone = seg->zones[c];
+    zone.has_nulls = b.has_nulls;
+    zone.all_null = b.type == DataType::kNull;
+    zone.type = b.type;
+    zone.valid = !b.mixed && b.bounds_exact;
+    if (b.mixed || b.type == DataType::kNull) {
+      // Mixed or all-null column: raw storage; an all-null column keeps an
+      // (empty-bounds) valid zone so skipping can reason about it.
+      col.enc_ = ColumnVec::Enc::kValue;
+      col.raw_.reserve(n);
+      for (const Value* v : b.cells) col.raw_.push_back(*v);
+      if (b.mixed) continue;
+      zone.valid = true;  // all-null
+      continue;
+    }
+    zone.num_min = b.num_min;
+    zone.num_max = b.num_max;
+    col.nulls_.resize(n, 0);
+    switch (b.type) {
+      case DataType::kInt64: {
+        col.enc_ = ColumnVec::Enc::kInt64;
+        col.i64_.resize(n, 0);
+        for (size_t i = 0; i < n; ++i) {
+          const Value* v = b.cells[i];
+          if (v->is_null()) {
+            col.nulls_[i] = 1;
+          } else {
+            col.i64_[i] = v->AsInt64();
+          }
+        }
+        break;
+      }
+      case DataType::kDouble: {
+        col.enc_ = ColumnVec::Enc::kDouble;
+        col.f64_.resize(n, 0);
+        for (size_t i = 0; i < n; ++i) {
+          const Value* v = b.cells[i];
+          if (v->is_null()) {
+            col.nulls_[i] = 1;
+          } else {
+            col.f64_[i] = v->AsDouble();
+          }
+        }
+        break;
+      }
+      case DataType::kBool: {
+        col.enc_ = ColumnVec::Enc::kBool;
+        col.b8_.resize(n, 0);
+        for (size_t i = 0; i < n; ++i) {
+          const Value* v = b.cells[i];
+          if (v->is_null()) {
+            col.nulls_[i] = 1;
+          } else {
+            col.b8_[i] = v->AsBool() ? 1 : 0;
+          }
+        }
+        break;
+      }
+      case DataType::kString: {
+        col.enc_ = ColumnVec::Enc::kDict;
+        col.codes_.resize(n, 0);
+        std::unordered_map<std::string, int32_t> codes;
+        for (size_t i = 0; i < n; ++i) {
+          const Value* v = b.cells[i];
+          if (v->is_null()) {
+            col.nulls_[i] = 1;
+            continue;
+          }
+          auto [it, inserted] = codes.emplace(
+              v->AsString(), static_cast<int32_t>(col.dict_.size()));
+          if (inserted) col.dict_.push_back(v->AsString());
+          col.codes_[i] = it->second;
+        }
+        std::sort(b.strings.begin(), b.strings.end());
+        b.strings.erase(std::unique(b.strings.begin(), b.strings.end()),
+                        b.strings.end());
+        zone.strings = std::move(b.strings);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return seg;
+}
+
+}  // namespace eva::storage

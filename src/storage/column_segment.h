@@ -1,0 +1,151 @@
+#ifndef EVA_STORAGE_COLUMN_SEGMENT_H_
+#define EVA_STORAGE_COLUMN_SEGMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/row.h"
+
+namespace eva::storage {
+
+/// Key identifying the input tuple a UDF result belongs to: a frame for
+/// detectors/filters, a (frame, object) pair for classifiers (obj = -1 for
+/// frame-level results).
+struct ViewKey {
+  int64_t frame = 0;
+  int64_t obj = -1;
+
+  bool operator==(const ViewKey& other) const {
+    return frame == other.frame && obj == other.obj;
+  }
+  bool operator<(const ViewKey& other) const {
+    return frame != other.frame ? frame < other.frame : obj < other.obj;
+  }
+};
+
+struct ViewKeyHash {
+  size_t operator()(const ViewKey& k) const {
+    return std::hash<int64_t>()(k.frame * 1000003 + k.obj);
+  }
+};
+
+/// Typed column vector of one materialized-view segment. Encodings cover
+/// the cell types UDFs produce; a column whose non-null cells do not share
+/// one type falls back to raw Value storage. At(i) reconstructs the exact
+/// Value that was stored — the columnar read path must be bit-identical to
+/// the row store it shadows (Value::Compare distinguishes Int64 from
+/// Double, so encodings never widen).
+class ColumnVec {
+ public:
+  enum class Enc : uint8_t {
+    kInt64 = 0,  // all non-null cells Int64
+    kDouble,     // all non-null cells Double
+    kBool,       // all non-null cells Bool
+    kDict,       // all non-null cells String, dictionary-coded
+    kValue,      // mixed types: raw Value storage
+  };
+
+  Value At(size_t i) const {
+    if (enc_ != Enc::kValue && nulls_[i] != 0) return Value::Null();
+    switch (enc_) {
+      case Enc::kInt64:
+        return Value(i64_[i]);
+      case Enc::kDouble:
+        return Value(f64_[i]);
+      case Enc::kBool:
+        return Value(b8_[i] != 0);
+      case Enc::kDict:
+        return Value(dict_[static_cast<size_t>(codes_[i])]);
+      case Enc::kValue:
+        return raw_[i];
+    }
+    return Value::Null();
+  }
+
+  Enc enc() const { return enc_; }
+  size_t size() const {
+    return enc_ == Enc::kValue ? raw_.size() : nulls_.size();
+  }
+
+  // Representation is internal to the storage layer; BuildColumnarSegment
+  // fills it directly.
+  Enc enc_ = Enc::kValue;
+  std::vector<uint8_t> nulls_;  // 1 = NULL (typed encodings only)
+  std::vector<int64_t> i64_;
+  std::vector<double> f64_;
+  std::vector<uint8_t> b8_;
+  std::vector<int32_t> codes_;
+  std::vector<std::string> dict_;  // insertion order
+  std::vector<Value> raw_;
+};
+
+/// Per-column zone summary used for segment skipping: a probe can prove a
+/// residual predicate unsatisfiable for every row of a segment and skip
+/// materializing its hits. `valid` is the master flag — it is false when
+/// the non-null cells mix types or when integer magnitudes exceed the
+/// double-exact range, and consumers must then treat the column as
+/// unbounded.
+struct ZoneMapEntry {
+  bool valid = false;
+  DataType type = DataType::kNull;  // uniform non-null cell type
+  bool has_nulls = false;
+  bool all_null = true;  // no non-null cell in the segment
+  double num_min = 0;    // Int64 / Double / Bool(0,1) bounds
+  double num_max = 0;
+  std::vector<std::string> strings;  // sorted distinct values (kString)
+};
+
+/// Immutable columnar projection of one view segment: keys sorted by
+/// (frame, obj) with prefix row offsets, one ColumnVec per value-schema
+/// field, and a zone map per column. Built lazily from the row store and
+/// shared via shared_ptr so a probe can keep reading a segment that a
+/// concurrent rebuild replaces.
+struct ColumnarSegment {
+  std::vector<int64_t> frames;     // per key, ascending (frame, obj)
+  std::vector<int64_t> objs;       // per key
+  std::vector<int32_t> row_begin;  // size keys+1: offsets into the columns
+  std::vector<ColumnVec> cols;     // one per value-schema field
+  std::vector<ZoneMapEntry> zones;  // parallel to cols
+  int64_t obj_min = 0;  // over keys (classifier zone checks on "obj")
+  int64_t obj_max = 0;
+  int64_t built_keys = 0;  // staleness check against SegmentInfo.keys
+
+  size_t num_keys() const { return frames.size(); }
+  int64_t num_rows() const {
+    return row_begin.empty() ? 0 : row_begin.back();
+  }
+  int64_t frame_min() const { return frames.empty() ? 0 : frames.front(); }
+  int64_t frame_max() const { return frames.empty() ? 0 : frames.back(); }
+
+  /// Index of (frame, obj) in the sorted key arrays, searching from
+  /// `hint` (a cursor from the previous probe of an ascending key batch);
+  /// returns npos when absent. Amortizes to O(1) for sorted probes.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t FindKey(int64_t frame, int64_t obj, size_t* hint) const;
+
+  /// Reconstructs the value row at flattened row index `r`.
+  Row RowAt(int64_t r) const {
+    Row row;
+    row.reserve(cols.size());
+    for (const ColumnVec& c : cols) {
+      row.push_back(c.At(static_cast<size_t>(r)));
+    }
+    return row;
+  }
+};
+
+/// Builds the columnar projection of one segment. `keys` is the segment's
+/// key list in insertion order (sorted internally); `entries` is the view's
+/// row store; `num_value_cols` the value-schema width. Rows concatenate in
+/// sorted-key order, so each key's rows are a contiguous range.
+std::shared_ptr<const ColumnarSegment> BuildColumnarSegment(
+    std::vector<ViewKey> keys,
+    const std::unordered_map<ViewKey, std::vector<Row>, ViewKeyHash>& entries,
+    size_t num_value_cols);
+
+}  // namespace eva::storage
+
+#endif  // EVA_STORAGE_COLUMN_SEGMENT_H_

@@ -44,28 +44,44 @@ StatisticsManager::StatisticsManager(const vision::SyntheticVideo& video,
       area_hist_(0.0, 0.6, 24),
       score_hist_(0.5, 1.0, 20) {
   int64_t step = std::max<int64_t>(1, num_frames_ / sample_frames);
-  std::map<std::string, int64_t> label_counts, type_counts, color_counts;
+  // Counting through a std::map paid three tree traversals per sampled
+  // object; consecutive objects overwhelmingly repeat the same label /
+  // type / color, so a one-slot cache short-circuits almost all of them.
+  struct CountCache {
+    std::map<std::string, int64_t> counts;
+    const std::string* last_key = nullptr;
+    int64_t* last_slot = nullptr;
+    void Bump(const std::string& k) {
+      if (last_key == nullptr || *last_key != k) {
+        auto [it, inserted] = counts.try_emplace(k, 0);
+        last_key = &it->first;
+        last_slot = &it->second;
+      }
+      ++*last_slot;
+    }
+  };
+  CountCache label_counts, type_counts, color_counts;
   int64_t total_objects = 0;
   for (int64_t f = 0; f < num_frames_; f += step) {
     for (const auto& o : video.FrameObjects(f)) {
       ++total_objects;
-      ++label_counts[o.label];
-      ++type_counts[o.car_type];
-      ++color_counts[o.color];
+      label_counts.Bump(o.label);
+      type_counts.Bump(o.car_type);
+      color_counts.Bump(o.color);
       area_hist_.Add(o.area);
       score_hist_.Add(o.score);
     }
   }
   if (total_objects == 0) total_objects = 1;
-  for (const auto& [k, v] : label_counts) {
+  for (const auto& [k, v] : label_counts.counts) {
     label_freq_[k] =
         static_cast<double>(v) / static_cast<double>(total_objects);
   }
-  for (const auto& [k, v] : type_counts) {
+  for (const auto& [k, v] : type_counts.counts) {
     type_freq_[k] =
         static_cast<double>(v) / static_cast<double>(total_objects);
   }
-  for (const auto& [k, v] : color_counts) {
+  for (const auto& [k, v] : color_counts.counts) {
     color_freq_[k] =
         static_cast<double>(v) / static_cast<double>(total_objects);
   }
@@ -82,18 +98,18 @@ symbolic::DimKind StatisticsManager::KindOf(const std::string& dim) const {
 
 double StatisticsManager::CategoricalFraction(const std::string& dim,
                                               const std::string& value) const {
-  const std::map<std::string, double>* freq = nullptr;
+  // Single find per map (the old contains-then-find did each twice).
   if (dim == "label") {
-    freq = &label_freq_;
-  } else if (type_freq_.count(value) > 0) {
-    freq = &type_freq_;
-  } else if (color_freq_.count(value) > 0) {
-    freq = &color_freq_;
-  } else {
-    return 0.1;  // unknown vocabulary: fall back to a default guess
+    auto it = label_freq_.find(value);
+    return it == label_freq_.end() ? 0.0 : it->second;
   }
-  auto it = freq->find(value);
-  return it == freq->end() ? 0.0 : it->second;
+  if (auto it = type_freq_.find(value); it != type_freq_.end()) {
+    return it->second;
+  }
+  if (auto it = color_freq_.find(value); it != color_freq_.end()) {
+    return it->second;
+  }
+  return 0.1;  // unknown vocabulary: fall back to a default guess
 }
 
 double StatisticsManager::ConstraintSelectivity(

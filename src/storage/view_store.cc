@@ -9,20 +9,145 @@ const std::vector<Row>& MaterializedView::Get(const ViewKey& key) const {
   return it->second;
 }
 
+const std::vector<Row>* MaterializedView::TryGet(const ViewKey& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
 void MaterializedView::Put(const ViewKey& key, std::vector<Row> rows,
                            uint64_t tick, int64_t query_id) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto [it, inserted] = entries_.emplace(key, std::move(rows));
   if (inserted) {
     num_rows_ += static_cast<int64_t>(it->second.size());
-    SegmentInfo& seg = segments_[SegmentOf(key.frame)];
+    int64_t seg_id = SegmentOf(key.frame);
+    SegmentInfo& seg = segments_[seg_id];
     if (seg.keys == 0) seg.created_tick = tick;
     seg.keys += 1;
     seg.rows += static_cast<int64_t>(it->second.size());
     seg.last_access_tick = tick;
     seg.last_access_query = query_id;
     if (query_id >= 0) last_access_query_ = query_id;
+    // Key-list append keeps the columnar rebuild O(segment keys); the
+    // sealed projection (if any) is now stale and rebuilt on next probe.
+    columns_[seg_id].keys.push_back(key);
   }
+}
+
+bool MaterializedView::ColumnarFreshLocked(
+    const std::vector<ViewKey>& keys) const {
+  int64_t cur = INT64_MIN;
+  bool first = true;
+  for (const ViewKey& key : keys) {
+    int64_t seg_id = SegmentOf(key.frame);
+    if (!first && seg_id == cur) continue;
+    first = false;
+    cur = seg_id;
+    auto it = columns_.find(seg_id);
+    if (it == columns_.end()) continue;  // empty segment: nothing to seal
+    if (it->second.columnar == nullptr ||
+        it->second.columnar->built_keys !=
+            static_cast<int64_t>(it->second.keys.size())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void MaterializedView::SealTouchedLocked(
+    const std::vector<ViewKey>& keys) const {
+  int64_t cur = INT64_MIN;
+  bool first = true;
+  for (const ViewKey& key : keys) {
+    int64_t seg_id = SegmentOf(key.frame);
+    if (!first && seg_id == cur) continue;
+    first = false;
+    cur = seg_id;
+    auto it = columns_.find(seg_id);
+    if (it == columns_.end()) continue;
+    SegmentColumns& sc = it->second;
+    if (sc.columnar != nullptr &&
+        sc.columnar->built_keys == static_cast<int64_t>(sc.keys.size())) {
+      continue;
+    }
+    sc.columnar = BuildColumnarSegment(sc.keys, entries_,
+                                       value_schema_.num_fields());
+  }
+}
+
+void MaterializedView::ProbeBatchLocked(const std::vector<ViewKey>& keys,
+                                        const ZoneCheckFn& can_match,
+                                        ProbeResult* out) const {
+  int64_t cur = INT64_MIN;
+  bool first = true;
+  const std::shared_ptr<const ColumnarSegment>* seg_sp = nullptr;
+  const ColumnarSegment* seg = nullptr;
+  bool seg_admitted = true;
+  int32_t seg_slot = -1;  // out->segments index once this run is pinned
+  size_t cursor = 0;
+  for (const ViewKey& key : keys) {
+    int64_t seg_id = SegmentOf(key.frame);
+    if (first || seg_id != cur) {
+      first = false;
+      cur = seg_id;
+      cursor = 0;
+      seg_slot = -1;
+      auto it = columns_.find(seg_id);
+      seg_sp = it != columns_.end() ? &it->second.columnar : nullptr;
+      seg = seg_sp != nullptr ? seg_sp->get() : nullptr;
+      seg_admitted = true;
+      if (seg != nullptr && can_match != nullptr) {
+        ++out->segments_probed;
+        if (!can_match(*seg)) {
+          seg_admitted = false;
+          ++out->segments_skipped;
+        }
+      }
+    }
+    ProbeOutcome outcome;
+    if (seg != nullptr) {
+      size_t idx = seg->FindKey(key.frame, key.obj, &cursor);
+      if (idx != ColumnarSegment::npos) {
+        int32_t begin = seg->row_begin[idx];
+        int32_t end = seg->row_begin[idx + 1];
+        outcome.rows_count = end - begin;
+        if (seg_admitted) {
+          outcome.status = ProbeStatus::kHit;
+          // Pin the snapshot once per run, on its first hit; the caller
+          // reads rows in place (zero-copy) after the lock is released.
+          if (seg_slot < 0) {
+            seg_slot = static_cast<int32_t>(out->segments.size());
+            out->segments.push_back(*seg_sp);
+          }
+          outcome.seg_index = seg_slot;
+          outcome.rows_begin = begin;
+        } else {
+          outcome.status = ProbeStatus::kHitSkipped;
+        }
+      }
+    }
+    out->outcomes.push_back(outcome);
+  }
+}
+
+void MaterializedView::ProbeBatch(const std::vector<ViewKey>& keys,
+                                  const ZoneCheckFn& can_match,
+                                  ProbeResult* out) const {
+  out->Clear();
+  out->outcomes.reserve(keys.size());
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (ColumnarFreshLocked(keys)) {
+      ProbeBatchLocked(keys, can_match, out);
+      return;
+    }
+  }
+  // A touched segment grew since its last seal: rebuild its columnar
+  // projection under the exclusive lock, then serve from there.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  SealTouchedLocked(keys);
+  ProbeBatchLocked(keys, can_match, out);
 }
 
 void MaterializedView::RecordAccess(int64_t frame, uint64_t tick,
@@ -72,14 +197,18 @@ EvictedSegment MaterializedView::EvictSegment(int64_t segment_id) {
   ev.frame_end = (segment_id + 1) * segment_frames_;
   auto it = segments_.find(segment_id);
   if (it == segments_.end()) return ev;
-  for (auto e = entries_.begin(); e != entries_.end();) {
-    if (SegmentOf(e->first.frame) == segment_id) {
+  // The per-segment key list makes eviction O(segment keys) instead of a
+  // scan over every entry of the view.
+  auto cit = columns_.find(segment_id);
+  if (cit != columns_.end()) {
+    for (const ViewKey& key : cit->second.keys) {
+      auto e = entries_.find(key);
+      if (e == entries_.end()) continue;
       ev.keys += 1;
       ev.rows += static_cast<int64_t>(e->second.size());
-      e = entries_.erase(e);
-    } else {
-      ++e;
+      entries_.erase(e);
     }
+    columns_.erase(cit);
   }
   ev.bytes = 16.0 * static_cast<double>(ev.keys) +
              static_cast<double>(ev.rows) *

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -13,26 +14,9 @@
 
 #include "common/row.h"
 #include "common/status.h"
+#include "storage/column_segment.h"
 
 namespace eva::storage {
-
-/// Key identifying the input tuple a UDF result belongs to: a frame for
-/// detectors/filters, a (frame, object) pair for classifiers (obj = -1 for
-/// frame-level results).
-struct ViewKey {
-  int64_t frame = 0;
-  int64_t obj = -1;
-
-  bool operator==(const ViewKey& other) const {
-    return frame == other.frame && obj == other.obj;
-  }
-};
-
-struct ViewKeyHash {
-  size_t operator()(const ViewKey& k) const {
-    return std::hash<int64_t>()(k.frame * 1000003 + k.obj);
-  }
-};
 
 /// Per-segment bookkeeping for segment-granular eviction (src/lifecycle/).
 /// A segment is a contiguous frame range [segment_id * segment_frames,
@@ -67,18 +51,64 @@ struct EvictedSegment {
   double bytes = 0;
 };
 
+/// Outcome of one key of a ProbeBatch. kHitSkipped: the key is present but
+/// its segment's zone map proved the caller's residual predicate
+/// unsatisfiable, so its rows were not materialized (and must not be
+/// charged as view reads).
+enum class ProbeStatus : uint8_t { kMiss = 0, kHit, kHitSkipped };
+
+struct ProbeOutcome {
+  ProbeStatus status = ProbeStatus::kMiss;
+  int32_t seg_index = -1;  // into ProbeResult::segments (kHit only)
+  int32_t rows_begin = 0;  // row offset within the segment (kHit only)
+  int32_t rows_count = 0;  // stored row count (kHit and kHitSkipped)
+};
+
+/// Result of one batch probe. Zero-copy: hits reference rows inside pinned
+/// ColumnarSegment snapshots rather than materialized copies — the caller
+/// reads cells via segment(oc).cols[c].At(row) (or RowAt). The pins keep
+/// each snapshot alive past the probe's lock, and segments are immutable
+/// once built (rebuilds swap in a fresh one), so the references stay valid
+/// under concurrent Puts, reseals, and eviction. Reusable across batches
+/// (Clear keeps capacity).
+struct ProbeResult {
+  std::vector<ProbeOutcome> outcomes;  // parallel to the probed keys
+  /// Snapshots of the segments the batch hit, pinned for the caller.
+  std::vector<std::shared_ptr<const ColumnarSegment>> segments;
+  int64_t segments_probed = 0;   // distinct segment runs zone-checked
+  int64_t segments_skipped = 0;  // runs rejected by the zone callback
+
+  const ColumnarSegment& segment(const ProbeOutcome& oc) const {
+    return *segments[static_cast<size_t>(oc.seg_index)];
+  }
+
+  void Clear() {
+    outcomes.clear();
+    segments.clear();
+    segments_probed = 0;
+    segments_skipped = 0;
+  }
+};
+
+/// Zone-map admission callback: returns false when no stored row of the
+/// segment can satisfy the caller's residual predicate. Invoked under the
+/// view lock, once per segment run per batch — it must not reenter the
+/// view and must be a pure function of the segment (determinism).
+using ZoneCheckFn = std::function<bool(const ColumnarSegment&)>;
+
 /// Materialized view of a UDF's results, keyed by input tuple. Presence is
 /// tracked separately from rows so that "frame was processed, zero objects
 /// detected" is distinguishable from "frame never processed" — the LEFT
 /// OUTER JOIN + IS NULL pass-through guard of the materialization-aware
 /// rewrite (§4.4, Fig. 4) depends on this.
 ///
-/// Concurrency (docs/RUNTIME.md): probes (Has/Get) take a shared lock and
-/// may run concurrently from any number of runtime workers; materialization
-/// (Put) takes the lock exclusively. Entries are append-only and never
-/// mutated after insertion, and std::unordered_map guarantees reference
-/// stability across rehash, so the row vector returned by Get stays valid
-/// under concurrent Puts. entries() exposes the raw map for persistence /
+/// Concurrency (docs/RUNTIME.md, docs/STORAGE.md): probes (Has/Get/TryGet/
+/// ProbeBatch) take a shared lock and may run concurrently from any number
+/// of runtime workers; materialization (Put) and columnar sealing take the
+/// lock exclusively. Entries are append-only and never mutated after
+/// insertion, and std::unordered_map guarantees reference stability across
+/// rehash, so the row pointer returned by Get/TryGet stays valid under
+/// concurrent Puts. entries() exposes the raw map for persistence /
 /// eviction and requires external quiescence (driver thread, no workers in
 /// flight) — the engine only calls it between queries.
 class MaterializedView {
@@ -98,6 +128,23 @@ class MaterializedView {
   /// rows for that input. The reference stays valid under concurrent Puts
   /// (append-only store, node-stable map).
   const std::vector<Row>& Get(const ViewKey& key) const;
+
+  /// Single-acquisition point probe: presence check and row fetch under one
+  /// shared lock (replaces the Has()+Get() pair and its TOCTOU window).
+  /// nullptr when absent; the pointer stays valid under concurrent Puts.
+  const std::vector<Row>* TryGet(const ViewKey& key) const;
+
+  /// Batch probe over the columnar read path: one lock acquisition for the
+  /// whole batch, a cursor-assisted search per key over the frame-sorted
+  /// segment arrays (O(1) per key for ascending batches), and zero-copy
+  /// results referencing pinned segment snapshots (see ProbeResult).
+  /// Lazily (re)builds the columnar projection of any touched segment that
+  /// is stale relative to its row store. When `can_match` is non-null it
+  /// is consulted once per segment run; a rejected segment's hits come
+  /// back kHitSkipped with no row references. Keys should be
+  /// frame-ascending for the cursor to amortize, but any order is correct.
+  void ProbeBatch(const std::vector<ViewKey>& keys,
+                  const ZoneCheckFn& can_match, ProbeResult* out) const;
 
   /// Records the UDF's results for `key` (idempotent; re-puts of an
   /// existing key are ignored, matching append-only STORE semantics).
@@ -155,6 +202,16 @@ class MaterializedView {
   }
 
  private:
+  /// Per-segment columnar state: the key list maintained on Put (so a
+  /// rebuild is O(segment keys), not O(view keys)) and the lazily sealed
+  /// columnar projection. `columnar` is stale whenever its built_keys
+  /// differs from keys.size() — segments only grow between evictions, and
+  /// eviction drops the whole entry.
+  struct SegmentColumns {
+    std::vector<ViewKey> keys;  // insertion order
+    std::shared_ptr<const ColumnarSegment> columnar;
+  };
+
   int64_t SegmentOf(int64_t frame) const {
     // Floor division so negative frames (never produced, but cheap to get
     // right) still map to a stable segment.
@@ -163,11 +220,25 @@ class MaterializedView {
     return q;
   }
 
+  /// True when every segment touched by `keys` has a fresh columnar
+  /// projection (or no keys at all). Caller holds mu_ (any mode).
+  bool ColumnarFreshLocked(const std::vector<ViewKey>& keys) const;
+  /// Builds/refreshes the columnar projection of every stale touched
+  /// segment. Caller holds mu_ exclusively.
+  void SealTouchedLocked(const std::vector<ViewKey>& keys) const;
+  /// Serves the batch; every touched segment must be fresh. Caller holds
+  /// mu_ (any mode).
+  void ProbeBatchLocked(const std::vector<ViewKey>& keys,
+                        const ZoneCheckFn& can_match, ProbeResult* out) const;
+
   std::string name_;
   Schema value_schema_;
   mutable std::shared_mutex mu_;
   std::unordered_map<ViewKey, std::vector<Row>, ViewKeyHash> entries_;
   std::map<int64_t, SegmentInfo> segments_;
+  /// Columnar read projection, keyed like segments_. Mutable: sealing is a
+  /// read-path cache fill (under the exclusive lock).
+  mutable std::map<int64_t, SegmentColumns> columns_;
   int64_t num_rows_ = 0;
   int64_t segment_frames_ = 512;
   int64_t last_access_query_ = -1;
