@@ -31,7 +31,8 @@ double RunWith(const catalog::VideoInfo& video,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::QuickRequested(argc, argv)) return bench::RunQuickGate("ablation_components");
   catalog::VideoInfo video = vbench::MediumUaDetrac();
   // Permutation 3 of VBENCH-HIGH: the ordering where Fig. 9 shows the
   // ranking function's effect most clearly.

@@ -83,9 +83,45 @@ void AppendStatsJson(std::string* json, const RunStats& s) {
   *json += buf;
 }
 
+// --quick: one budget fraction (25% of the unbounded peak), all three
+// policies, on the small quick-gate video. Simulated totals are
+// deterministic, so check_regression.py can gate them tightly.
+int RunQuick() {
+  catalog::VideoInfo video = bench::QuickVideo();
+  std::vector<std::string> queries =
+      vbench::VbenchHigh(video.name, video.num_frames);
+  bench::QuickProfileDump profile;
+  RunStats unbounded = RunBudgeted(video, queries, 0, "cost-benefit");
+  const double budget = unbounded.peak_bytes * 0.25;
+  std::string out = "{\"benchmark\":\"eviction_policies\","
+                    "\"mode\":\"quick\",\"results\":[";
+  char buf[240];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"eviction_policies/unbounded\","
+                "\"sim_total_ms\":%.6f,\"hit_pct\":%.2f}",
+                unbounded.sim_ms, unbounded.hit_pct);
+  out += buf;
+  for (const char* policy : {"cost-benefit", "lru", "fifo"}) {
+    RunStats s = RunBudgeted(video, queries, budget, policy);
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"name\":\"eviction_policies/%s\","
+                  "\"sim_total_ms\":%.6f,\"hit_pct\":%.2f,"
+                  "\"evictions\":%lld,\"within_budget\":%s}",
+                  policy, s.sim_ms, s.hit_pct,
+                  static_cast<long long>(s.evictions),
+                  s.within_budget ? "true" : "false");
+    out += buf;
+  }
+  out += "]}";
+  profile.Finish();
+  std::printf("%s\n", out.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (bench::QuickRequested(argc, argv)) return RunQuick();
   const std::string json_path =
       argc > 1 ? argv[1] : std::string("BENCH_eviction.json");
   catalog::VideoInfo video = vbench::ShortUaDetrac();

@@ -40,7 +40,8 @@ std::vector<double> RunVariant(const catalog::VideoInfo& video,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::QuickRequested(argc, argv)) return bench::RunQuickGate("fig10_logical_reuse", &vbench::VbenchHighLogical);
   catalog::VideoInfo video = vbench::MediumUaDetrac();
   auto queries = vbench::VbenchHighLogical(video.name, video.num_frames);
 

@@ -14,7 +14,8 @@ using namespace eva;         // NOLINT
 using namespace eva::bench;  // NOLINT
 using optimizer::ReuseMode;
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::QuickRequested(argc, argv)) return bench::RunQuickGate("fig11_video_content");
   catalog::VideoInfo video = vbench::Jackson();
   struct SetDef {
     const char* name;

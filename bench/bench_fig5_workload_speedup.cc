@@ -87,7 +87,8 @@ void MaybeWriteJson(const std::string& video,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::QuickRequested(argc, argv)) return bench::RunQuickGate("fig5_workload_speedup");
   catalog::VideoInfo video = vbench::MediumUaDetrac();
   struct SetDef {
     const char* name;

@@ -17,7 +17,8 @@ using namespace eva;         // NOLINT
 using namespace eva::bench;  // NOLINT
 using optimizer::ReuseMode;
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::QuickRequested(argc, argv)) return bench::RunQuickGate("fig6_time_breakdown");
   catalog::VideoInfo video = vbench::MediumUaDetrac();
   auto queries = vbench::VbenchHigh(video.name, video.num_frames);
 

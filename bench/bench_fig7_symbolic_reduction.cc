@@ -88,7 +88,8 @@ struct UdfStream {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::QuickRequested(argc, argv)) return bench::RunQuickGate("fig7_symbolic_reduction");
   catalog::VideoInfo video = vbench::MediumUaDetrac();
   auto queries = vbench::VbenchHigh(video.name, video.num_frames);
 

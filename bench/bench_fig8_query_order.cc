@@ -15,7 +15,8 @@ using namespace eva;         // NOLINT
 using namespace eva::bench;  // NOLINT
 using optimizer::ReuseMode;
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::QuickRequested(argc, argv)) return bench::RunQuickGate("fig8_query_order");
   catalog::VideoInfo video = vbench::MediumUaDetrac();
   auto base = vbench::VbenchHigh(video.name, video.num_frames);
 

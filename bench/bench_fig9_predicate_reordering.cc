@@ -40,7 +40,8 @@ std::vector<std::pair<size_t, double>> RunRanking(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::QuickRequested(argc, argv)) return bench::RunQuickGate("fig9_predicate_reordering");
   catalog::VideoInfo video = vbench::MediumUaDetrac();
   auto base = vbench::VbenchHigh(video.name, video.num_frames);
 

@@ -2,9 +2,18 @@
 // §5.3 claim that the optimizer overhead is negligible rests on these
 // operations being fast — INTER/DIFF/UNION plus Algorithm 1 reduction run
 // once per UDF occurrence per query.
+//
+// Two entry modes (custom main below):
+//   default       google-benchmark CLI (--benchmark_filter=..., etc.)
+//   --quick       fixed-iteration wall-clock run of the INTER/DIFF/REDUCE
+//                 paths, p50/p95 JSON on stdout for the CI perf gate
+//                 (bench/check_regression.py).
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
+#include "bench_util.h"
 #include "common/rng.h"
 #include "symbolic/predicate.h"
 
@@ -115,6 +124,80 @@ void BM_EvaluatePredicate(benchmark::State& state) {
 }
 BENCHMARK(BM_EvaluatePredicate);
 
+// ---------------------------------------------------------------------------
+// --quick mode: fixed-size wall-clock samples, p50/p95 JSON on stdout.
+// ---------------------------------------------------------------------------
+
+int RunQuick() {
+  constexpr int kWarmup = 3;
+  constexpr int kSamples = 30;
+  constexpr int64_t kOps = 200;  // symbolic ops per sample
+
+  Predicate cov32 = CoverageOfSize(32, 23);
+  cov32.Reduce();
+  Predicate cov16 = CoverageOfSize(16, 29);
+  cov16.Reduce();
+  Predicate q5 = QueryPred(5);
+  Predicate q7 = QueryPred(7);
+  Predicate raw32 = CoverageOfSize(32, 17);
+
+  auto reduce32 = [&] {
+    for (int64_t i = 0; i < kOps; ++i) {
+      Predicate copy = raw32;
+      copy.Reduce();
+      benchmark::DoNotOptimize(copy);
+    }
+  };
+  auto inter32 = [&] {
+    for (int64_t i = 0; i < kOps; ++i) {
+      auto r = Predicate::Inter(cov32, q5);
+      benchmark::DoNotOptimize(r);
+    }
+  };
+  auto diff16 = [&] {
+    for (int64_t i = 0; i < kOps; ++i) {
+      auto r = Predicate::Diff(cov16, q7);
+      benchmark::DoNotOptimize(r);
+    }
+  };
+  auto union8 = [&] {
+    for (int64_t i = 0; i < kOps; ++i) {
+      Predicate cov = Predicate::False();
+      for (uint64_t j = 0; j < 8; ++j) {
+        cov = Predicate::Union(cov, QueryPred(j * 31 + 1));
+      }
+      benchmark::DoNotOptimize(cov);
+    }
+  };
+
+  std::string out = "{\"bench\":\"bench_micro_symbolic\",\"mode\":\"quick\","
+                    "\"benchmarks\":[";
+  out += eva::bench::WallStatsJson(
+      "reduce_32", eva::bench::MeasureWall(reduce32, kWarmup, kSamples, kOps));
+  out += ',';
+  out += eva::bench::WallStatsJson(
+      "inter_32", eva::bench::MeasureWall(inter32, kWarmup, kSamples, kOps));
+  out += ',';
+  out += eva::bench::WallStatsJson(
+      "diff_16", eva::bench::MeasureWall(diff16, kWarmup, kSamples, kOps));
+  out += ',';
+  out += eva::bench::WallStatsJson(
+      "union_growth_8",
+      eva::bench::MeasureWall(union8, kWarmup, kSamples, kOps));
+  out += "]}";
+  std::printf("%s\n", out.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return RunQuick();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -84,9 +84,50 @@ bool SimIdentical(const RunResult& a, const RunResult& b) {
   return true;
 }
 
+// --quick: 1 vs 2 worker threads on the small quick-gate video. Keeps the
+// determinism check (sim totals must be bit-identical across thread
+// counts; violations exit nonzero) and emits the gate's JSON line. Wall
+// seconds are reported but carry no `_ms`/`_ns` suffix, so the regression
+// gate ignores them.
+int RunQuick() {
+  catalog::VideoInfo video = bench::QuickVideo();
+  std::vector<std::string> queries =
+      vbench::VbenchHigh(video.name, video.num_frames);
+  bench::QuickProfileDump profile;
+  const double spin_us = SpinUsFromEnv();
+  std::vector<RunResult> runs;
+  for (int t : {1, 2}) {
+    runs.push_back(RunAtThreads(t, spin_us, video, queries));
+  }
+  const bool identical = SimIdentical(runs[0], runs[1]);
+  std::string out = "{\"benchmark\":\"parallel_scaling\","
+                    "\"mode\":\"quick\",\"results\":[";
+  char buf[200];
+  for (size_t i = 0; i < runs.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"parallel_scaling/t%d\","
+                  "\"sim_total_ms\":%.6f,\"wall_s\":%.3f}",
+                  i > 0 ? "," : "", runs[i].threads, runs[i].sim_ms,
+                  runs[i].wall_s);
+    out += buf;
+  }
+  out += std::string("],\"sim_identical_across_threads\":") +
+         (identical ? "true" : "false") + "}";
+  profile.Finish();
+  std::printf("%s\n", out.c_str());
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FATAL simulated results differ across thread counts — "
+                 "determinism contract violated (docs/RUNTIME.md)\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (bench::QuickRequested(argc, argv)) return RunQuick();
   const std::string json_path =
       argc > 1 ? argv[1] : std::string("BENCH_parallel.json");
   const double spin_us = SpinUsFromEnv();

@@ -13,7 +13,8 @@ using namespace eva;         // NOLINT
 using namespace eva::bench;  // NOLINT
 using optimizer::ReuseMode;
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::QuickRequested(argc, argv)) return bench::RunQuickGate("sec56_filters", &vbench::VbenchHighFiltered);
   catalog::VideoInfo video = vbench::Jackson();
   auto plain = vbench::VbenchHigh(video.name, video.num_frames);
   auto filtered = vbench::VbenchHighFiltered(video.name, video.num_frames);

@@ -17,7 +17,8 @@ using namespace eva;         // NOLINT
 using namespace eva::bench;  // NOLINT
 using optimizer::ReuseMode;
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::QuickRequested(argc, argv)) return bench::RunQuickGate("table2_hit_percentage");
   catalog::VideoInfo video = vbench::MediumUaDetrac();
   struct SetDef {
     const char* name;

@@ -15,7 +15,8 @@
 using namespace eva;         // NOLINT
 using namespace eva::bench;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::QuickRequested(argc, argv)) return bench::RunQuickGate("table3_udf_stats");
   catalog::VideoInfo video = vbench::MediumUaDetrac();
   auto queries = vbench::VbenchHigh(video.name, video.num_frames);
   auto engine = Unwrap(

@@ -30,7 +30,8 @@ void PrintRow(const char* name, const exec::QueryMetrics& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::QuickRequested(argc, argv)) return bench::RunQuickGate("table4_q8_breakdown");
   catalog::VideoInfo video = vbench::MediumUaDetrac();
   auto queries = vbench::VbenchHigh(video.name, video.num_frames);
 

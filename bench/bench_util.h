@@ -5,12 +5,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "obs/json_util.h"
+#include "obs/profiler.h"
 #include "runtime/thread_pool.h"
 #include "vbench/vbench.h"
 
@@ -145,6 +147,115 @@ inline std::string WallStatsJson(const std::string& name,
                 "\"mean_ns\":%.1f,\"samples\":%d}",
                 name.c_str(), s.p50_ns, s.p95_ns, s.mean_ns, s.samples);
   return std::string(buf);
+}
+
+// ---------------------------------------------------------------------------
+// --quick gate: a small fixed workload every bench target can run in a few
+// seconds, emitting one line of JSON that bench/check_regression.py diffs
+// against the committed BENCH_quick.json baseline. Simulated times are
+// deterministic (ChargeLog replay), so the `_ms` fields are bit-stable
+// across runs and hosts; only the microbenchmarks' `_ns` wall fields need a
+// loose tolerance.
+// ---------------------------------------------------------------------------
+
+/// True when `--quick` appears anywhere in argv.
+inline bool QuickRequested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
+
+/// The quick gate's video: SHORT-UA-DETRAC shrunk to 3000 frames so a
+/// full no-reuse + EVA pair finishes in CI-smoke time.
+inline catalog::VideoInfo QuickVideo() {
+  catalog::VideoInfo video = vbench::ShortUaDetrac();
+  video.num_frames = 3000;
+  return video;
+}
+
+/// One `{"name","p50_ms","p95_ms","total_ms","queries"}` object over the
+/// per-query simulated times of a workload run. Exact percentiles
+/// (idx = p·(n−1)) — no interpolation, so the values are bit-stable.
+inline std::string QuickResultJson(const std::string& name,
+                                   const vbench::WorkloadResult& result) {
+  std::vector<double> ms;
+  ms.reserve(result.queries.size());
+  for (const auto& q : result.queries) ms.push_back(q.metrics.TotalMs());
+  std::sort(ms.begin(), ms.end());
+  auto pct = [&](double p) {
+    if (ms.empty()) return 0.0;
+    size_t idx = static_cast<size_t>(p * static_cast<double>(ms.size() - 1));
+    return ms[idx];
+  };
+  std::string out = "{";
+  obs::AppendJsonString(&out, "name");
+  out += ':';
+  obs::AppendJsonString(&out, name);
+  out += ",\"p50_ms\":" + obs::FormatJsonNumber(pct(0.50));
+  out += ",\"p95_ms\":" + obs::FormatJsonNumber(pct(0.95));
+  out += ",\"total_ms\":" + obs::FormatJsonNumber(result.total_ms);
+  out += ",\"queries\":" + std::to_string(result.queries.size());
+  out += '}';
+  return out;
+}
+
+/// Starts the global sampling profiler when $EVA_PROFILE_DUMP names a
+/// file; the matching Finish() appends the folded stacks there. Gives the
+/// CI perf job a flamegraph artifact of the quick run for free.
+struct QuickProfileDump {
+  const char* path = nullptr;
+  QuickProfileDump() {
+    path = std::getenv("EVA_PROFILE_DUMP");
+    if (path != nullptr && *path == '\0') path = nullptr;
+    if (path != nullptr) obs::Profiler::Global().Start(997);
+  }
+  void Finish() const {
+    if (path == nullptr) return;
+    obs::Profiler& prof = obs::Profiler::Global();
+    prof.Stop();
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+      std::fprintf(stderr, "WARN cannot append profile to %s\n", path);
+      return;
+    }
+    out << prof.RenderFolded();
+    std::fprintf(stderr, "profile: appended folded stacks (%lld samples) "
+                 "to %s\n",
+                 static_cast<long long>(prof.samples()), path);
+  }
+};
+
+using QuerySetFn = std::vector<std::string> (*)(const std::string&, int64_t);
+
+/// The standard quick gate: run `query_set` over QuickVideo() in no-reuse
+/// and EVA modes, print one JSON line with per-mode sim percentiles.
+/// Benches whose interesting axis is not a reuse-mode pair (eviction
+/// policies, parallel scaling, microbenches) implement bespoke quick modes
+/// instead.
+inline int RunQuickGate(const std::string& benchmark_name,
+                        QuerySetFn query_set = &vbench::VbenchHigh) {
+  catalog::VideoInfo video = QuickVideo();
+  std::vector<std::string> queries = query_set(video.name, video.num_frames);
+  QuickProfileDump profile;
+  std::string out = "{";
+  obs::AppendJsonString(&out, "benchmark");
+  out += ':';
+  obs::AppendJsonString(&out, benchmark_name);
+  out += ",\"mode\":\"quick\",\"results\":[";
+  bool first = true;
+  for (optimizer::ReuseMode mode :
+       {optimizer::ReuseMode::kNoReuse, optimizer::ReuseMode::kEva}) {
+    vbench::WorkloadResult r = RunMode(mode, video, queries);
+    if (!first) out += ',';
+    first = false;
+    out += QuickResultJson(
+        benchmark_name + "/" + optimizer::ReuseModeName(mode), r);
+  }
+  out += "]}";
+  profile.Finish();
+  std::printf("%s\n", out.c_str());
+  return 0;
 }
 
 }  // namespace eva::bench

@@ -15,6 +15,12 @@
 //              trace-event JSON for chrome://tracing / Perfetto)
 //   .threads   show the worker-thread count  (.threads N resizes the pool;
 //              simulated times are unaffected — see docs/RUNTIME.md)
+//   .serve     start the telemetry HTTP server (`.serve` = ephemeral port,
+//              `.serve PORT` = fixed, `.serve stop` stops it); endpoints:
+//              /metrics /metrics.json /trace /views /profile /healthz
+//   .profile   sampling wall-clock profiler: `.profile start [HZ]`,
+//              `.profile stop [FILE]` (folded stacks for flamegraph.pl),
+//              bare `.profile` shows status — see docs/OBSERVABILITY.md
 //   .faults    show the active fault schedule; `.faults SCHEDULE` installs
 //              one (e.g. `.faults crash-exit@fs.rename:MANIFEST#1`) and
 //              `.faults off` disables injection — see docs/RELIABILITY.md
@@ -37,6 +43,7 @@
 #include <string>
 
 #include "engine/eva_engine.h"
+#include "obs/profiler.h"
 #include "vbench/vbench.h"
 
 using namespace eva;  // NOLINT
@@ -212,6 +219,67 @@ int main() {
             std::printf("fault schedule: %s\n",
                         sched.empty() ? "(off)" : sched.c_str());
           }
+        }
+        continue;
+      }
+      if (line == "\\serve" || line.rfind("\\serve ", 0) == 0) {
+        if (line == "\\serve stop") {
+          if (engine->telemetry_port() < 0) {
+            std::printf("telemetry server is not running.\n");
+          } else {
+            engine->StopTelemetryServer();
+            std::printf("telemetry server stopped.\n");
+          }
+        } else {
+          int port = 0;  // bare .serve picks an ephemeral port
+          if (line != "\\serve") port = std::atoi(line.substr(7).c_str());
+          Status s = engine->StartTelemetryServer(port);
+          if (!s.ok()) {
+            std::printf("%s\n", s.ToString().c_str());
+          } else {
+            std::printf("telemetry server on http://127.0.0.1:%d — try "
+                        "/metrics /metrics.json /trace /views "
+                        "/profile?seconds=1 /healthz\n",
+                        engine->telemetry_port());
+          }
+        }
+        continue;
+      }
+      if (line == "\\profile" || line.rfind("\\profile ", 0) == 0) {
+        obs::Profiler& prof = obs::Profiler::Global();
+        if (line.rfind("\\profile start", 0) == 0) {
+          int hz = 997;
+          if (line.size() > 15) hz = std::atoi(line.substr(15).c_str());
+          if (hz < 1) hz = 997;
+          prof.Start(hz);
+          std::printf("profiler sampling at %d Hz; run queries, then "
+                      ".profile stop [FILE]\n",
+                      hz);
+        } else if (line.rfind("\\profile stop", 0) == 0) {
+          prof.Stop();
+          const std::string folded = prof.RenderFolded();
+          std::string path =
+              line.size() > 14 ? line.substr(14) : std::string();
+          if (path.empty()) {
+            std::printf("%s(%lld samples)\n", folded.c_str(),
+                        static_cast<long long>(prof.samples()));
+          } else {
+            std::ofstream out(path);
+            if (!out) {
+              std::printf("cannot write %s\n", path.c_str());
+            } else {
+              out << folded;
+              std::printf("wrote %s (%lld samples) — flamegraph.pl %s "
+                          "> flame.svg\n",
+                          path.c_str(),
+                          static_cast<long long>(prof.samples()),
+                          path.c_str());
+            }
+          }
+        } else {
+          std::printf("profiler: %s (%lld samples)\n",
+                      prof.active() ? "sampling" : "stopped",
+                      static_cast<long long>(prof.samples()));
         }
         continue;
       }

@@ -1,5 +1,6 @@
 #include "engine/eva_engine.h"
 
+#include <chrono>
 #include <cstdlib>
 
 #include "common/num_parse.h"
@@ -7,6 +8,8 @@
 #include "exec/operators.h"
 #include "fault/fault_fs.h"
 #include "obs/explain.h"
+#include "obs/json_util.h"
+#include "obs/profiler.h"
 #include "parser/parser.h"
 #include "storage/view_persistence.h"
 
@@ -119,7 +122,38 @@ EvaEngine::EvaEngine(EngineOptions options,
   // A constructor can't fail: an unparseable schedule leaves injection off
   // and the error retrievable via fault_schedule_status().
   fault_schedule_status_ = SetFaultSchedule(schedule);
+
+  tracer_.set_registry(registry_);
+  // Live telemetry plane — every piece gated on the observability master
+  // switch so the zero-overhead path spawns no thread and opens no file.
+  if (options_.observability) {
+    std::string log_path = options_.event_log_path;
+    if (log_path.empty()) {
+      const char* env = std::getenv("EVA_EVENT_LOG");
+      if (env != nullptr) log_path = env;
+    }
+    if (!log_path.empty()) {
+      auto log = std::make_unique<obs::EventLog>();
+      if (log->Open(log_path, options_.event_log_max_bytes)) {
+        event_log_ = std::move(log);
+        lifecycle_->set_event_log(event_log_.get());
+      }
+    }
+    int port = options_.metrics_port;
+    if (port < 0) {
+      const char* env = std::getenv("EVA_METRICS_PORT");
+      int64_t parsed = 0;
+      if (env != nullptr && ParseInt64(env, &parsed)) {
+        port = static_cast<int>(parsed);
+      }
+    }
+    // Bind failures are non-fatal at construction (the shell's .serve
+    // reports them interactively).
+    if (port >= 0) (void)StartTelemetryServer(port);
+  }
 }
+
+EvaEngine::~EvaEngine() { StopTelemetryServer(); }
 
 Status EvaEngine::SetFaultSchedule(const std::string& text) {
   EVA_ASSIGN_OR_RETURN(fault::FaultSchedule schedule,
@@ -183,6 +217,17 @@ Status EvaEngine::LoadViews(const std::string& dir) {
       c->Increment(static_cast<double>(last_recovery_.retracted.size()));
     }
   }
+  if (event_log_ != nullptr) {
+    event_log_->Append(
+        obs::Event("recovery")
+            .Str("dir", dir)
+            .Bool("clean", last_recovery_.clean())
+            .Int("quarantined_files",
+                 static_cast<int64_t>(last_recovery_.quarantined.size()))
+            .Int("coverage_retractions",
+                 static_cast<int64_t>(last_recovery_.retracted.size())));
+  }
+  PublishViewsSnapshot();
   return Status::OK();
 }
 
@@ -195,6 +240,109 @@ void EvaEngine::ClearReuseState() {
   tracer_.Clear();
   lifecycle_->Reset();
   query_seq_ = 0;
+  PublishViewsSnapshot();
+}
+
+Status EvaEngine::StartTelemetryServer(int port) {
+  if (!options_.observability) {
+    return Status::InvalidArgument(
+        "telemetry server requires EngineOptions::observability");
+  }
+  if (telemetry_ != nullptr) {
+    return Status::InvalidArgument("telemetry server already running on port " +
+                                   std::to_string(telemetry_->port()));
+  }
+  auto server = std::make_unique<obs::HttpExporter>();
+  // The registry pointer is captured by value at start time: handlers run
+  // on the server thread, and set_metrics_registry during serving would
+  // race. Restart the server to pick up a new registry.
+  obs::MetricsRegistry* registry = registry_;
+  obs::Tracer* tracer = &tracer_;
+  server->Handle("/healthz", [](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    r.body = "ok\n";
+    return r;
+  });
+  server->Handle("/metrics", [registry](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    if (registry != nullptr) r.body = registry->RenderPrometheus();
+    return r;
+  });
+  server->Handle("/metrics.json", [registry](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = registry != nullptr ? registry->RenderJson() : "{\"metrics\":[]}";
+    return r;
+  });
+  server->Handle("/trace", [tracer](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = tracer->RenderChromeTrace();
+    return r;
+  });
+  server->Handle("/views", [this](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    std::lock_guard<std::mutex> lock(views_snapshot_mu_);
+    r.body = views_snapshot_json_;
+    return r;
+  });
+  // Blocks the (sequential) server thread for the sampling window; other
+  // scrapes queue behind it in the listen backlog.
+  server->Handle("/profile", [](const obs::HttpRequest& req) {
+    obs::HttpResponse r;
+    const double seconds = req.ParamOr("seconds", 1.0);
+    const int hz = static_cast<int>(req.ParamOr("hz", 997));
+    r.body = obs::Profiler::Global().ProfileFor(seconds, hz);
+    return r;
+  });
+  if (!server->Start(port)) {
+    return Status::Internal("telemetry server failed to bind 127.0.0.1:" +
+                            std::to_string(port));
+  }
+  telemetry_ = std::move(server);
+  PublishViewsSnapshot();
+  return Status::OK();
+}
+
+void EvaEngine::StopTelemetryServer() {
+  if (telemetry_ != nullptr) {
+    telemetry_->Stop();
+    telemetry_.reset();
+  }
+}
+
+void EvaEngine::PublishViewsSnapshot() {
+  if (telemetry_ == nullptr) return;
+  std::string out = "{\"total_bytes\":";
+  out += obs::FormatJsonNumber(views_.TotalSizeBytes());
+  out += ",\"storage_budget_bytes\":";
+  out += obs::FormatJsonNumber(options_.storage_budget_bytes);
+  out += ",\"eviction_policy\":";
+  obs::AppendJsonString(&out, lifecycle_->policy_name());
+  out += ",\"evictions\":" + std::to_string(lifecycle_->evictions());
+  out += ",\"queries_executed\":" + std::to_string(query_seq_);
+  out += ",\"views\":[";
+  bool first = true;
+  for (const auto& [name, view] : views_.views()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    obs::AppendJsonString(&out, name);
+    out += ",\"keys\":" + std::to_string(view->num_keys());
+    out += ",\"rows\":" + std::to_string(view->num_rows());
+    out += ",\"bytes\":" + obs::FormatJsonNumber(view->SizeBytes());
+    out += ",\"segments\":" + std::to_string(view->Segments().size());
+    out +=
+        ",\"last_access_query\":" + std::to_string(view->last_access_query());
+    out += ",\"coverage_atoms\":" +
+           std::to_string(manager_.CoverageAtomCount(name));
+    out += '}';
+  }
+  out += "]}";
+  std::lock_guard<std::mutex> lock(views_snapshot_mu_);
+  views_snapshot_json_ = std::move(out);
 }
 
 int64_t EvaEngine::DistinctInvocations(const std::string& udf,
@@ -252,11 +400,12 @@ Result<QueryResult> EvaEngine::Execute(const std::string& sql) {
     }
     return out;
   }
-  return ExecuteSelect(std::get<parser::SelectStatement>(stmt));
+  return ExecuteSelect(std::get<parser::SelectStatement>(stmt), sql);
 }
 
 Result<QueryResult> EvaEngine::ExecuteSelect(
-    const parser::SelectStatement& stmt) {
+    const parser::SelectStatement& stmt, const std::string& sql) {
+  const auto wall0 = std::chrono::steady_clock::now();
   auto stats_it = stats_.find(stmt.table);
   if (stats_it == stats_.end()) {
     return Status::BindError("video not loaded: " + stmt.table);
@@ -295,8 +444,12 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
                            stats_it->second.get(), options_.costs,
                            &views_, &tracer_, registry_, lifecycle_.get());
   obs::Span opt_span = tracer_.StartSpan("optimize", "optimize");
+  Result<optimizer::OptimizedQuery> opt_result = [&] {
+    obs::ProfScope prof("optimize");
+    return opt.Optimize(stmt);
+  }();
   EVA_ASSIGN_OR_RETURN(optimizer::OptimizedQuery optimized,
-                       opt.Optimize(stmt));
+                       std::move(opt_result));
   clock_.Charge(CostCategory::kOptimize, optimized.optimizer_ms);
   opt_span.SetAttribute("sim_charged_ms", optimized.optimizer_ms);
   opt_span.End();
@@ -338,15 +491,28 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
     ctx.funcache = &funcache_;
   }
   ctx.obs_registry = registry_;
+  ctx.event_log = event_log_.get();
   ctx.faults = fault_active ? &injector_ : nullptr;
   ctx.udf_max_retries = options_.udf_max_retries;
   ctx.udf_retry_backoff_ms = options_.udf_retry_backoff_ms;
   obs::PlanStatsMap node_stats;
   if (stmt.analyze) ctx.node_stats = &node_stats;
 
+  if (event_log_ != nullptr) {
+    event_log_->Append(
+        obs::Event("query_start")
+            .Int("query_id", ctx.query_id)
+            .Str("sql", sql)
+            .Str("mode",
+                 optimizer::ReuseModeName(options_.optimizer.mode)));
+  }
+
   obs::Span exec_span = tracer_.StartSpan("execute", "execute");
   const int exec_index = exec_span.index();
-  Result<Batch> executed = exec::ExecutePlan(optimized.plan, &ctx);
+  Result<Batch> executed = [&] {
+    obs::ProfScope prof("executor");
+    return exec::ExecutePlan(optimized.plan, &ctx);
+  }();
   if (!executed.ok()) {
     if (fault_active) {
       // Roll back every signature to its pre-query coverage; signatures
@@ -363,6 +529,12 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
                                       ? it->second
                                       : symbolic::Predicate::False());
       }
+    }
+    if (event_log_ != nullptr) {
+      event_log_->Append(obs::Event("query_error")
+                             .Int("query_id", ctx.query_id)
+                             .Str("error", executed.status().ToString())
+                             .Int("udf_retries", out.metrics.udf_retries));
     }
     return executed.status();
   }
@@ -391,6 +563,28 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
   lifecycle_->ObserveQuery(out.metrics);
   lifecycle_->EnforceBudget(ctx.query_id);
 
+  if (event_log_ != nullptr) {
+    int64_t coverage_atoms = 0;
+    for (const auto& [key, entry] : manager_.entries()) {
+      coverage_atoms += manager_.CoverageAtomCount(key);
+    }
+    const double wall_ms =
+        std::chrono::duration_cast<
+            std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - wall0)
+            .count();
+    event_log_->Append(
+        obs::Event("query_end")
+            .Int("query_id", ctx.query_id)
+            .Num("sim_ms", out.metrics.TotalMs())
+            .Num("wall_ms", wall_ms)
+            .Int("rows_out", out.metrics.rows_out)
+            .Int("invocations", out.metrics.TotalInvocations())
+            .Int("reused", out.metrics.TotalReused())
+            .Int("udf_retries", out.metrics.udf_retries)
+            .Int("coverage_atoms", coverage_atoms));
+  }
+
   if (registry_ != nullptr) {
     if (auto* h = registry_->GetHistogram(
             "eva_query_sim_ms",
@@ -418,6 +612,7 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
       g->Set(static_cast<double>(views_.views().size()));
     }
   }
+  PublishViewsSnapshot();
   return out;
 }
 

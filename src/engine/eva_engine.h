@@ -13,6 +13,8 @@
 #include "exec/exec_context.h"
 #include "fault/fault_injector.h"
 #include "lifecycle/view_lifecycle.h"
+#include "obs/event_log.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "optimizer/optimizer.h"
@@ -34,8 +36,25 @@ struct EngineOptions {
   int64_t batch_size = 1024;
   /// Master switch for the observability subsystem (src/obs/): spans,
   /// registry metrics, and per-operator row counters. Never charges the
-  /// simulated clock either way.
+  /// simulated clock either way. When false, no telemetry server, event
+  /// log, or profiler thread is ever created regardless of the settings
+  /// below — the zero-overhead path.
   bool observability = true;
+
+  // --- live telemetry plane (docs/OBSERVABILITY.md) -----------------------
+  /// TCP port for the embedded telemetry HTTP server (127.0.0.1 only):
+  /// /metrics, /metrics.json, /trace, /views, /profile, /healthz.
+  /// -1 (default) defers to $EVA_METRICS_PORT (unset there too = no
+  /// server); 0 binds an ephemeral port (EvaEngine::telemetry_port()).
+  int metrics_port = -1;
+  /// Path for the structured JSONL event log (query/admission/eviction/
+  /// retraction/recovery/retry records). Empty defers to $EVA_EVENT_LOG
+  /// (empty there too = no event log).
+  std::string event_log_path;
+  /// Size-based rotation threshold for the event log; when the file grows
+  /// past this it is renamed to `<path>.1` and restarted. <= 0 disables
+  /// rotation.
+  int64_t event_log_max_bytes = 8 * 1024 * 1024;
   /// Worker threads for morsel-driven UDF evaluation (docs/RUNTIME.md).
   /// 1 runs the exact serial path; 0 defers to $EVA_THREADS (default 1).
   /// Simulated times are bit-identical at every setting — threads change
@@ -104,6 +123,9 @@ class EvaEngine {
  public:
   EvaEngine(EngineOptions options,
             std::shared_ptr<catalog::Catalog> catalog);
+  /// Stops the telemetry server (whose handlers capture `this`) before any
+  /// member is torn down.
+  ~EvaEngine();
 
   /// Registers a video table and builds its synthetic frames + statistics.
   Status CreateVideo(const catalog::VideoInfo& info);
@@ -153,11 +175,29 @@ class EvaEngine {
   /// Metrics sink; nullptr when options().observability is false.
   obs::MetricsRegistry* metrics_registry() const { return registry_; }
   /// Redirects metrics away from the process-wide registry (tests use a
-  /// local registry to isolate counts). Pass nullptr to disable.
+  /// local registry to isolate counts). Pass nullptr to disable. Must not
+  /// be called while the telemetry server is running — /metrics captures
+  /// the registry at StartTelemetryServer time.
   void set_metrics_registry(obs::MetricsRegistry* registry) {
     registry_ = registry;
+    tracer_.set_registry(registry);
     if (lifecycle_ != nullptr) lifecycle_->set_obs(registry);
   }
+
+  // --- live telemetry plane ----------------------------------------------
+  /// Binds the embedded HTTP server on 127.0.0.1:`port` (0 = ephemeral)
+  /// and registers the telemetry routes. Fails when observability is off,
+  /// a server is already running, or the bind fails.
+  Status StartTelemetryServer(int port);
+  /// Stops and joins the server thread; idempotent.
+  void StopTelemetryServer();
+  /// Bound port of the running telemetry server; -1 when not running.
+  int telemetry_port() const {
+    return telemetry_ == nullptr ? -1 : telemetry_->port();
+  }
+  /// Structured event sink; nullptr when observability is off or no
+  /// event-log path was configured.
+  obs::EventLog* event_log() { return event_log_.get(); }
   /// The view lifecycle manager (budget, eviction policy, admission) —
   /// always present; observation-only while the budget is 0.
   lifecycle::ViewLifecycleManager* lifecycle() { return lifecycle_.get(); }
@@ -189,8 +229,15 @@ class EvaEngine {
                               const std::string& video) const;
 
  private:
-  Result<QueryResult> ExecuteSelect(const parser::SelectStatement& stmt);
+  Result<QueryResult> ExecuteSelect(const parser::SelectStatement& stmt,
+                                    const std::string& sql);
   Status ExecuteCreateUdf(const parser::CreateUdfStatement& stmt);
+  /// Re-renders the /views JSON snapshot. Runs on the driver thread at
+  /// quiescent points (end of SELECT, LoadViews, ClearReuseState) — the
+  /// HTTP thread serves the pre-rendered string under the snapshot mutex
+  /// and never touches ViewStore/UdfManager live (their quiescence
+  /// contracts, docs/RUNTIME.md).
+  void PublishViewsSnapshot();
 
   EngineOptions options_;
   std::shared_ptr<catalog::Catalog> catalog_;
@@ -207,6 +254,10 @@ class EvaEngine {
   int64_t query_seq_ = 0;  // monotone SELECT id (lifecycle access stamps)
   obs::MetricsRegistry* registry_ = &obs::MetricsRegistry::Global();
   obs::Tracer tracer_{&clock_};
+  std::unique_ptr<obs::EventLog> event_log_;
+  std::unique_ptr<obs::HttpExporter> telemetry_;
+  mutable std::mutex views_snapshot_mu_;
+  std::string views_snapshot_json_ = "{\"views\":[]}";
   /// Mutable so const SaveViews can thread it through the filesystem shim
   /// (consulting the injector mutates its occurrence counters only).
   mutable fault::FaultInjector injector_;

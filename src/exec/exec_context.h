@@ -18,6 +18,10 @@ namespace eva::baselines {
 class FunCache;
 }  // namespace eva::baselines
 
+namespace eva::obs {
+class EventLog;
+}  // namespace eva::obs
+
 namespace eva::fault {
 class FaultInjector;
 }  // namespace eva::fault
@@ -118,6 +122,10 @@ struct ExecContext {
   /// decorator so leaf helpers (UDF runners, view probes) attribute their
   /// counters to the right node.
   obs::OperatorStats* active_stats = nullptr;
+  /// Structured event sink (udf_retry records); nullptr when observability
+  /// is off or no event-log path is configured. EventLog::Append is
+  /// thread-safe, so morsel-local context clones share the pointer.
+  obs::EventLog* event_log = nullptr;
 
   // --- parallel runtime (src/runtime/) ------------------------------------
   /// Work-stealing pool; nullptr (or num_threads == 1) keeps the exact

@@ -7,6 +7,8 @@
 #include "baselines/fun_cache.h"
 #include "exec/vector_filter.h"
 #include "fault/fault_injector.h"
+#include "obs/event_log.h"
+#include "obs/profiler.h"
 #include "runtime/morsel.h"
 #include "runtime/thread_pool.h"
 #include "storage/view_store.h"
@@ -211,6 +213,14 @@ Status MaybeInjectUdfFault(ExecContext* ctx, const UdfDef& def,
         if (ctx->metrics != nullptr) ++ctx->metrics->udf_retries;
         if (ctx->active_stats != nullptr) ++ctx->active_stats->udf_retries;
         if (obs.retries != nullptr) obs.retries->Increment();
+        if (ctx->event_log != nullptr) {
+          ctx->event_log->Append(obs::Event("udf_retry")
+                                     .Int("query_id", ctx->query_id)
+                                     .Str("udf", def.name)
+                                     .Int("frame", frame)
+                                     .Int("attempt", attempt + 1)
+                                     .Num("backoff_sim_ms", backoff_ms));
+        }
         ctx->Charge(CostCategory::kUdf, backoff_ms);
         backoff_ms *= 2;
         break;
@@ -225,6 +235,7 @@ Status MaybeInjectUdfFault(ExecContext* ctx, const UdfDef& def,
 Result<std::vector<Row>> RunDetector(ExecContext* ctx, const UdfDef& def,
                                      int64_t frame,
                                      const UdfObsCounters& obs) {
+  obs::ProfScope prof("udf");
   EVA_ASSIGN_OR_RETURN(const vision::DetectorModel* model,
                        ctx->udfs->Detector(def.name));
   EVA_RETURN_IF_ERROR(MaybeInjectUdfFault(ctx, def, frame, -1, obs));
@@ -243,6 +254,7 @@ Result<std::vector<Row>> RunDetector(ExecContext* ctx, const UdfDef& def,
 Result<Value> RunClassifier(ExecContext* ctx, const UdfDef& def,
                             int64_t frame, int64_t obj,
                             const UdfObsCounters& obs) {
+  obs::ProfScope prof("udf");
   EVA_ASSIGN_OR_RETURN(const vision::ClassifierModel* model,
                        ctx->udfs->Classifier(def.name));
   EVA_RETURN_IF_ERROR(MaybeInjectUdfFault(ctx, def, frame, obj, obs));
@@ -255,6 +267,7 @@ Result<Value> RunClassifier(ExecContext* ctx, const UdfDef& def,
 
 Result<Value> RunFilterUdf(ExecContext* ctx, const UdfDef& def,
                            int64_t frame, const UdfObsCounters& obs) {
+  obs::ProfScope prof("udf");
   EVA_ASSIGN_OR_RETURN(const vision::FilterModel* model,
                        ctx->udfs->Filter(def.name));
   EVA_RETURN_IF_ERROR(MaybeInjectUdfFault(ctx, def, frame, -1, obs));

@@ -77,6 +77,16 @@ AdmissionDecision ViewLifecycleManager::AdmitMaterialization(
       c->Increment();
     }
   }
+  if (event_log_ != nullptr) {
+    event_log_->Append(
+        obs::Event("view_admission")
+            .Str("view", udf_key)
+            .Bool("admit", d.admit)
+            .Num("predicted_benefit_ms", d.predicted_benefit_ms)
+            .Num("write_cost_ms", d.write_cost_ms)
+            .Str("reason", d.reason)
+            .Int("coverage_atoms", manager_->CoverageAtomCount(udf_key)));
+  }
   return d;
 }
 
@@ -148,9 +158,29 @@ std::vector<EvictionEvent> ViewLifecycleManager::EnforceBudget(
     // frame range, so the optimizer's p∩/p– splits recompute these
     // tuples instead of claiming reuse (and HashStash-style subsumption
     // checks stay honest).
+    const int atoms_before = manager_->CoverageAtomCount(victim.view);
     manager_->RetractCoverage(victim.view,
                               SegmentPredicate(ev.first_frame, ev.frame_end),
                               options_.symbolic_budget);
+    if (event_log_ != nullptr) {
+      event_log_->Append(obs::Event("view_eviction")
+                             .Int("query_id", query_id)
+                             .Str("view", victim.view)
+                             .Int("segment_id", victim.seg.segment_id)
+                             .Int("first_frame", ev.first_frame)
+                             .Int("frame_end", ev.frame_end)
+                             .Int("keys", ev.keys)
+                             .Int("rows", ev.rows)
+                             .Num("bytes", ev.bytes)
+                             .Str("policy", policy_name()));
+      event_log_->Append(
+          obs::Event("coverage_retraction")
+              .Int("query_id", query_id)
+              .Str("view", victim.view)
+              .Int("coverage_atoms_before", atoms_before)
+              .Int("coverage_atoms_after",
+                   manager_->CoverageAtomCount(victim.view)));
+    }
 
     EvictionEvent event;
     event.view = victim.view;

@@ -9,6 +9,7 @@
 #include "catalog/catalog.h"
 #include "exec/exec_context.h"
 #include "lifecycle/eviction_policy.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "storage/view_store.h"
 #include "symbolic/predicate.h"
@@ -115,6 +116,9 @@ class ViewLifecycleManager {
   const LifecycleOptions& options() const { return options_; }
   /// Redirects lifecycle metrics (mirrors EvaEngine::set_metrics_registry).
   void set_obs(obs::MetricsRegistry* obs) { obs_ = obs; }
+  /// Structured event sink for view_admission / view_eviction /
+  /// coverage_retraction records; nullptr (default) emits nothing.
+  void set_event_log(obs::EventLog* log) { event_log_ = log; }
   void set_admission_min_evidence(int64_t n) {
     options_.admission_min_evidence = n;
   }
@@ -143,6 +147,7 @@ class ViewLifecycleManager {
   udf::UdfManager* manager_;
   const catalog::Catalog* catalog_;
   obs::MetricsRegistry* obs_;
+  obs::EventLog* event_log_ = nullptr;
   std::unique_ptr<EvictionPolicy> policy_;
   std::map<std::string, UdfSessionStats> session_;
   /// Access-clock calibration for tick-based recency scoring: the tick

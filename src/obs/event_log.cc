@@ -1,0 +1,104 @@
+#include "obs/event_log.h"
+
+#include <cstdio>
+
+#include "obs/json_util.h"
+
+namespace eva::obs {
+
+Event& Event::Str(const std::string& key, const std::string& value) {
+  std::string rendered;
+  AppendJsonString(&rendered, value);
+  fields_.emplace_back(key, std::move(rendered));
+  return *this;
+}
+
+Event& Event::Num(const std::string& key, double value) {
+  fields_.emplace_back(key, FormatJsonNumber(value));
+  return *this;
+}
+
+Event& Event::Int(const std::string& key, int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+Event& Event::Bool(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+std::string Event::RenderLine(int64_t seq, int64_t wall_us) const {
+  std::string line = "{\"seq\":" + std::to_string(seq) +
+                     ",\"wall_us\":" + std::to_string(wall_us);
+  for (const auto& [key, value] : fields_) {
+    line.push_back(',');
+    AppendJsonString(&line, key);
+    line.push_back(':');
+    line.append(value);
+  }
+  line.append("}\n");
+  return line;
+}
+
+bool EventLog::Open(const std::string& path, int64_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_.is_open()) out_.close();
+  out_.open(path, std::ios::out | std::ios::app);
+  if (!out_.is_open()) {
+    enabled_ = false;
+    return false;
+  }
+  path_ = path;
+  max_bytes_ = max_bytes;
+  bytes_written_ = static_cast<int64_t>(out_.tellp());
+  if (bytes_written_ < 0) bytes_written_ = 0;
+  enabled_ = true;
+  return true;
+}
+
+void EventLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
+  enabled_ = false;
+}
+
+void EventLog::Append(const Event& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_ || !out_.is_open()) return;
+  const auto now = std::chrono::steady_clock::now();
+  const int64_t wall_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(now - epoch_)
+          .count();
+  const std::string line = event.RenderLine(seq_++, wall_us);
+  out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+  out_.flush();  // events are rare (per query / per eviction), not per row
+  bytes_written_ += static_cast<int64_t>(line.size());
+  if (max_bytes_ > 0 && bytes_written_ > max_bytes_) RotateLocked();
+}
+
+void EventLog::RotateLocked() {
+  out_.close();
+  const std::string rotated = path_ + ".1";
+  std::remove(rotated.c_str());
+  std::rename(path_.c_str(), rotated.c_str());
+  out_.open(path_, std::ios::out | std::ios::trunc);
+  bytes_written_ = 0;
+  ++rotations_;
+  if (!out_.is_open()) enabled_ = false;
+}
+
+int64_t EventLog::events_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+int64_t EventLog::rotations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rotations_;
+}
+
+}  // namespace eva::obs

@@ -1,0 +1,191 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace eva::obs {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+// Sends the whole buffer, tolerating short writes. MSG_NOSIGNAL keeps a
+// client that disconnected mid-response from killing the process with
+// SIGPIPE.
+void SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                       MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+double HttpRequest::ParamOr(const std::string& key, double fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str()) return fallback;
+  return v;
+}
+
+void HttpExporter::Handle(const std::string& path, HttpHandler handler) {
+  routes_[path] = std::move(handler);
+}
+
+bool HttpExporter::Start(int port) {
+  if (running()) return false;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 8) < 0 || ::pipe(wake_pipe_) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+  } else {
+    port_ = port;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return true;
+}
+
+void HttpExporter::Stop() {
+  if (!running()) return;
+  running_.store(false, std::memory_order_release);
+  // Wake the poll() so the thread observes running_ == false.
+  char b = 'x';
+  (void)!::write(wake_pipe_[1], &b, 1);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  listen_fd_ = -1;
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+  port_ = -1;
+}
+
+void HttpExporter::ServeLoop() {
+  while (running()) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (!running()) return;
+    if (fds[0].revents & POLLIN) {
+      int conn = ::accept(listen_fd_, nullptr, nullptr);
+      if (conn >= 0) {
+        HandleConnection(conn);
+        ::close(conn);
+      }
+    }
+  }
+}
+
+void HttpExporter::HandleConnection(int fd) {
+  // Read until the end of the request head. Telemetry requests are tiny
+  // GETs; cap the head at 8 KiB and ignore any body.
+  std::string head;
+  char buf[1024];
+  // Bound the read wait so a stalled client cannot wedge the server thread.
+  timeval tv{2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos && head.size() < 8192) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<size_t>(n));
+  }
+  size_t eol = head.find('\n');
+  if (eol == std::string::npos) return;  // no request line at all
+
+  std::istringstream line(head.substr(0, eol));
+  HttpRequest req;
+  std::string target;
+  line >> req.method >> target;
+
+  HttpResponse resp;
+  if (req.method.empty() || target.empty()) {
+    resp = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (req.method != "GET") {
+    resp = {405, "text/plain; charset=utf-8", "only GET is supported\n"};
+  } else {
+    size_t q = target.find('?');
+    req.path = target.substr(0, q);
+    if (q != std::string::npos) {
+      // key=value&key=value — no %-decoding; telemetry params are numeric.
+      std::string qs = target.substr(q + 1);
+      size_t pos = 0;
+      while (pos < qs.size()) {
+        size_t amp = qs.find('&', pos);
+        std::string pair = qs.substr(
+            pos, amp == std::string::npos ? std::string::npos : amp - pos);
+        size_t eq = pair.find('=');
+        if (eq != std::string::npos) {
+          req.params[pair.substr(0, eq)] = pair.substr(eq + 1);
+        } else if (!pair.empty()) {
+          req.params[pair] = "";
+        }
+        if (amp == std::string::npos) break;
+        pos = amp + 1;
+      }
+    }
+    auto it = routes_.find(req.path);
+    if (it == routes_.end()) {
+      resp = {404, "text/plain; charset=utf-8", "not found\n"};
+    } else {
+      resp = it->second(req);
+    }
+  }
+
+  std::ostringstream out;
+  out << "HTTP/1.1 " << resp.status << " " << StatusText(resp.status)
+      << "\r\nContent-Type: " << resp.content_type
+      << "\r\nContent-Length: " << resp.body.size()
+      << "\r\nConnection: close\r\n\r\n";
+  SendAll(fd, out.str());
+  SendAll(fd, resp.body);
+}
+
+}  // namespace eva::obs

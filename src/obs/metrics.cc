@@ -150,6 +150,32 @@ int64_t Histogram::CumulativeCount(size_t i) const {
   return total;
 }
 
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0;
+  q = std::max(0.0, std::min(q, 1.0));
+  const double rank = q * static_cast<double>(count_);
+  int64_t cum = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const int64_t before = cum;
+    cum += counts_[i];
+    if (static_cast<double>(cum) >= rank) {
+      if (i >= bounds_.size()) {
+        // +Inf bucket has no upper edge to interpolate toward.
+        return bounds_.empty() ? sum_ / static_cast<double>(count_)
+                               : bounds_.back();
+      }
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double frac = (rank - static_cast<double>(before)) /
+                          static_cast<double>(counts_[i]);
+      return lower + frac * (bounds_[i] - lower);
+    }
+  }
+  return bounds_.empty() ? sum_ / static_cast<double>(count_)
+                         : bounds_.back();
+}
+
 std::vector<double> DefaultLatencyBucketsMs() {
   return {0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
           10000, 30000, 60000};
@@ -289,6 +315,9 @@ std::string MetricsRegistry::RenderJson() const {
           series_header(labels);
           out += ",\"count\":" + std::to_string(cell->count());
           out += ",\"sum\":" + FormatJsonNumber(cell->sum());
+          out += ",\"p50\":" + FormatJsonNumber(cell->Quantile(0.50));
+          out += ",\"p95\":" + FormatJsonNumber(cell->Quantile(0.95));
+          out += ",\"p99\":" + FormatJsonNumber(cell->Quantile(0.99));
           out += ",\"buckets\":[";
           const auto& bounds = cell->bounds();
           for (size_t i = 0; i < bounds.size(); ++i) {

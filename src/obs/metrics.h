@@ -70,6 +70,12 @@ class Histogram {
   /// Cumulative count of observations <= bounds()[i] (or all observations
   /// when i == bounds().size()), as exposed in `_bucket{le=...}`.
   int64_t CumulativeCount(size_t i) const;
+  /// Quantile estimate interpolated linearly within the bucket holding the
+  /// q-th ranked observation (first bucket's lower edge is 0; the +Inf
+  /// bucket clamps to the highest finite bound). This is the standard
+  /// Prometheus histogram_quantile() estimate — exact enough for the bench
+  /// regression gate, which compares like against like.
+  double Quantile(double q) const;
 
  private:
   std::vector<double> bounds_;   // strictly increasing; immutable

@@ -1,0 +1,123 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+namespace eva::obs {
+
+bool ProfThreadState::Snapshot(std::string* folded) const {
+  int d = depth_.load(std::memory_order_acquire);
+  if (d <= 0) return false;
+  int n = std::min(d, kMaxDepth);
+  folded->clear();
+  for (int i = 0; i < n; ++i) {
+    const char* tag = frames_[i].load(std::memory_order_relaxed);
+    if (tag == nullptr) return false;  // racing push; skip this sample
+    if (i > 0) folded->push_back(';');
+    folded->append(tag);
+  }
+  if (d > kMaxDepth) folded->append(";<truncated>");
+  return true;
+}
+
+namespace {
+
+// Thread-local owner: registers the state on first ProfScope in a thread,
+// unregisters at thread exit (under the profiler mutex, so the sampler can
+// never read a destroyed state).
+struct ThreadStateOwner {
+  ProfThreadState state;
+  ThreadStateOwner() { Profiler::Global().RegisterThread(&state); }
+  ~ThreadStateOwner() { Profiler::Global().UnregisterThread(&state); }
+};
+
+}  // namespace
+
+ProfScope::ProfScope(const char* tag) : state_(Profiler::ThisThread()) {
+  state_->Push(tag);
+}
+
+ProfScope::~ProfScope() { state_->Pop(); }
+
+ProfThreadState* Profiler::ThisThread() {
+  thread_local ThreadStateOwner owner;
+  return &owner.state;
+}
+
+Profiler& Profiler::Global() {
+  static Profiler* p = new Profiler();  // leaked: outlive all threads
+  return *p;
+}
+
+void Profiler::RegisterThread(ProfThreadState* state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  threads_.push_back(state);
+}
+
+void Profiler::UnregisterThread(ProfThreadState* state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  threads_.erase(std::remove(threads_.begin(), threads_.end(), state),
+                 threads_.end());
+}
+
+void Profiler::Start(int hz) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (active_.load(std::memory_order_acquire)) return;
+  hz = std::max(1, std::min(hz, 10000));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counts_.clear();
+    total_samples_ = 0;
+  }
+  if (sampler_.joinable()) sampler_.join();
+  active_.store(true, std::memory_order_release);
+  sampler_ = std::thread([this, hz] { SamplerLoop(hz); });
+}
+
+void Profiler::Stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  active_.store(false, std::memory_order_release);
+  if (sampler_.joinable()) sampler_.join();
+}
+
+void Profiler::SamplerLoop(int hz) {
+  const auto period = std::chrono::nanoseconds(1000000000LL / hz);
+  auto next = std::chrono::steady_clock::now() + period;
+  std::string folded;
+  while (active_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_until(next);
+    next += period;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (ProfThreadState* t : threads_) {
+      if (t->Snapshot(&folded)) {
+        ++counts_[folded];
+        ++total_samples_;
+      }
+    }
+  }
+}
+
+std::string Profiler::ProfileFor(double seconds, int hz) {
+  seconds = std::max(0.01, std::min(seconds, 60.0));
+  Start(hz);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  Stop();
+  return RenderFolded();
+}
+
+std::string Profiler::RenderFolded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [stack, count] : counts_) {
+    os << stack << " " << count << "\n";
+  }
+  return os.str();
+}
+
+int64_t Profiler::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_samples_;
+}
+
+}  // namespace eva::obs

@@ -5,8 +5,25 @@
 #include <cstdio>
 
 #include "obs/json_util.h"
+#include "obs/metrics.h"
 
 namespace eva::obs {
+
+void Tracer::set_registry(MetricsRegistry* registry) {
+  Counter* cell =
+      registry == nullptr
+          ? nullptr
+          : registry->GetCounter(
+                "eva_trace_spans_dropped_total",
+                "Spans discarded after the tracer hit max_spans");
+  dropped_counter_.store(cell, std::memory_order_release);
+}
+
+void Tracer::CountDrop() {
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  Counter* cell = dropped_counter_.load(std::memory_order_acquire);
+  if (cell != nullptr) cell->Increment();
+}
 
 Span& Span::operator=(Span&& other) noexcept {
   if (this != &other) {
@@ -56,6 +73,7 @@ double Tracer::WallNowUs() const {
 Span Tracer::StartSpan(const std::string& name,
                        const std::string& category) {
   if (!enabled_) return Span();
+  std::lock_guard<std::mutex> lock(mu_);
   // Driver-thread-only contract (see class comment): while spans are open,
   // all span creation must stay on the thread that opened the bottom of
   // the stack. Runtime workers must never trace.
@@ -63,13 +81,13 @@ Span Tracer::StartSpan(const std::string& name,
          stack_owner_ == std::this_thread::get_id());
   if (open_stack_.empty()) stack_owner_ = std::this_thread::get_id();
   if (spans_.size() >= max_spans_) {
-    ++dropped_;
+    CountDrop();
     return Span();
   }
   SpanRecord rec;
   rec.name = name;
   rec.category = category.empty() ? name : category;
-  rec.parent = current();
+  rec.parent = CurrentLocked();
   rec.depth = rec.parent < 0
                   ? 0
                   : spans_[static_cast<size_t>(rec.parent)].depth + 1;
@@ -85,6 +103,7 @@ Span Tracer::StartSpan(const std::string& name,
 }
 
 void Tracer::EndSpan(int index) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (index < 0 || static_cast<size_t>(index) >= spans_.size()) return;
   SpanRecord& rec = spans_[static_cast<size_t>(index)];
   if (!rec.open) return;
@@ -105,8 +124,9 @@ int Tracer::AddCompletedSpan(const std::string& name,
                              double sim_start_ms, double sim_end_ms,
                              double wall_start_us, double wall_end_us) {
   if (!enabled_) return -1;
+  std::lock_guard<std::mutex> lock(mu_);
   if (spans_.size() >= max_spans_) {
-    ++dropped_;
+    CountDrop();
     return -1;
   }
   SpanRecord rec;
@@ -128,17 +148,20 @@ int Tracer::AddCompletedSpan(const std::string& name,
 
 void Tracer::AddAttribute(int index, const std::string& key,
                           const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (index < 0 || static_cast<size_t>(index) >= spans_.size()) return;
   spans_[static_cast<size_t>(index)].attributes.emplace_back(key, value);
 }
 
 void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   spans_.clear();
   open_stack_.clear();
-  dropped_ = 0;
+  dropped_.store(0, std::memory_order_relaxed);
 }
 
 std::string Tracer::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
   // Children render beneath their parent in start order; build the child
   // lists once instead of scanning per node.
   std::vector<std::vector<int>> children(spans_.size());
@@ -173,13 +196,15 @@ std::string Tracer::RenderText() const {
     }
   };
   for (int root : roots) render(render, root, 0);
-  if (dropped_ > 0) {
-    out += "(" + std::to_string(dropped_) + " spans dropped)\n";
+  const int64_t dropped = dropped_.load(std::memory_order_relaxed);
+  if (dropped > 0) {
+    out += "(" + std::to_string(dropped) + " spans dropped)\n";
   }
   return out;
 }
 
 std::string Tracer::RenderChromeTrace() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "[";
   for (size_t i = 0; i < spans_.size(); ++i) {
     const SpanRecord& rec = spans_[i];

@@ -1,8 +1,10 @@
 #ifndef EVA_OBS_TRACER_H_
 #define EVA_OBS_TRACER_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -72,14 +74,22 @@ class Span {
 /// as dropped instead of recorded, so long sessions cannot grow without
 /// limit.
 ///
-/// Thread-safety contract (docs/RUNTIME.md): the tracer is DRIVER-THREAD
-/// ONLY. Spans model the engine's query lifecycle (parse → optimize →
-/// execute), which runs on one thread; runtime workers evaluating morsels
-/// never create spans — their work is attributed via the merged per-node
-/// OperatorStats instead. A debug assert enforces that while a span is
-/// open, further span creation happens on the thread that opened it; the
-/// stack-owner pin resets when the open stack empties, so *sequential* use
-/// from different threads remains legal.
+/// Thread-safety contract (docs/RUNTIME.md): span *creation* is
+/// DRIVER-THREAD ONLY. Spans model the engine's query lifecycle (parse →
+/// optimize → execute), which runs on one thread; runtime workers
+/// evaluating morsels never create spans — their work is attributed via
+/// the merged per-node OperatorStats instead. A debug assert enforces that
+/// while a span is open, further span creation happens on the thread that
+/// opened it; the stack-owner pin resets when the open stack empties, so
+/// *sequential* use from different threads remains legal.
+///
+/// All mutators and renderers additionally take an internal mutex so the
+/// telemetry HTTP thread can render /trace concurrently with a running
+/// query. Only the raw spans() accessor bypasses the lock — callers must
+/// be on the driver thread with no HTTP exporter running, or quiesced.
+class MetricsRegistry;
+class Counter;
+
 class Tracer {
  public:
   explicit Tracer(const SimClock* clock = nullptr) : clock_(clock) {}
@@ -88,6 +98,11 @@ class Tracer {
   bool enabled() const { return enabled_; }
   void set_enabled(bool v) { enabled_ = v; }
   void set_max_spans(size_t n) { max_spans_ = n; }
+
+  /// Mirrors the dropped-span count into
+  /// `eva_trace_spans_dropped_total` in `registry` — without this, span
+  /// overflow is invisible outside RenderText. Pass nullptr to detach.
+  void set_registry(MetricsRegistry* registry);
 
   /// Opens a span as a child of the innermost open span.
   Span StartSpan(const std::string& name, const std::string& category = "");
@@ -102,11 +117,16 @@ class Tracer {
   void AddAttribute(int index, const std::string& key,
                     const std::string& value);
 
+  /// Raw span storage, no locking: driver-thread only, and only while no
+  /// concurrent scraper can be rendering (tests, post-run reporting).
   const std::vector<SpanRecord>& spans() const { return spans_; }
-  int64_t dropped() const { return dropped_; }
+  int64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
   /// Index of the innermost open span, -1 when none.
   int current() const {
-    return open_stack_.empty() ? -1 : open_stack_.back();
+    std::lock_guard<std::mutex> lock(mu_);
+    return CurrentLocked();
   }
 
   void Clear();
@@ -128,11 +148,17 @@ class Tracer {
  private:
   friend class Span;
   void EndSpan(int index);
+  int CurrentLocked() const {
+    return open_stack_.empty() ? -1 : open_stack_.back();
+  }
+  void CountDrop();
 
   const SimClock* clock_ = nullptr;
   bool enabled_ = true;
   size_t max_spans_ = 100000;
-  int64_t dropped_ = 0;
+  std::atomic<int64_t> dropped_{0};
+  std::atomic<Counter*> dropped_counter_{nullptr};
+  mutable std::mutex mu_;  // guards spans_, open_stack_
   std::vector<SpanRecord> spans_;
   std::vector<int> open_stack_;
   /// Thread that pushed the bottom of the current open-span stack; only

@@ -9,6 +9,7 @@
 #include "expr/symbolic_bridge.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/model_selection.h"
+#include "obs/profiler.h"
 #include "symbolic/stats.h"
 
 namespace eva::optimizer {
@@ -214,6 +215,7 @@ Result<OptimizedQuery> Optimizer::Optimize(
                                static_cast<int64_t>(coverage.AtomCount()));
       }
       auto wall0 = std::chrono::steady_clock::now();
+      obs::ProfScope prof("symbolic");
       auto inter =
           Predicate::Inter(coverage, assoc_base, options_.budget);
       auto diff = Predicate::Diff(coverage, assoc_base, options_.budget);

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/profiler.h"
+
 namespace eva::runtime {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -92,6 +94,10 @@ bool ThreadPool::RunOneTask(size_t self) {
 }
 
 void ThreadPool::WorkerLoop(size_t self) {
+  // Permanent profiler tag: the sampling profiler (obs/profiler.h)
+  // attributes worker-thread samples to "runtime" (nested UDF scopes stack
+  // beneath it). Two relaxed stores at thread start — free thereafter.
+  obs::ProfScope prof("runtime");
   while (true) {
     if (RunOneTask(self)) continue;
     std::unique_lock<std::mutex> lock(wake_mu_);

@@ -1,5 +1,6 @@
 #include "udf/udf_manager.h"
 
+#include "obs/profiler.h"
 #include "symbolic/subtract.h"
 
 namespace eva::udf {
@@ -19,6 +20,7 @@ bool UdfManager::HasCoverage(const std::string& key) const {
 void UdfManager::UpdateCoverage(const std::string& key,
                                 const symbolic::Predicate& q,
                                 const symbolic::SymbolicBudget& budget) {
+  obs::ProfScope prof("symbolic");
   UdfEntry& entry = entries_[key];
   entry.coverage = symbolic::Predicate::Union(entry.coverage, q, budget);
 }
@@ -28,6 +30,7 @@ void UdfManager::RetractCoverage(const std::string& key,
                                  const symbolic::SymbolicBudget& budget) {
   auto it = entries_.find(key);
   if (it == entries_.end() || it->second.coverage.IsFalse()) return;
+  obs::ProfScope prof("symbolic");
   Result<symbolic::Predicate> retracted =
       symbolic::Subtract(it->second.coverage, evicted, budget);
   if (retracted.ok()) {

@@ -207,6 +207,75 @@ TEST(HistogramTest, BoundsAreSortedAndDeduped) {
   EXPECT_EQ(h.bucket_counts().size(), 4u);
 }
 
+TEST(HistogramTest, QuantileInterpolatesWithinBuckets) {
+  Histogram h({10.0, 20.0, 40.0});
+  // 10 observations in (0,10], none in (10,20], 10 in (20,40].
+  for (int i = 0; i < 10; ++i) h.Observe(5.0);
+  for (int i = 0; i < 10; ++i) h.Observe(30.0);
+  // Rank 10 (= q*count for q=0.5) falls exactly at the end of bucket 0.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);
+  // Rank 15 is 5/10 of the way through bucket 2 -> 20 + 0.5*(40-20).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.75), 30.0);
+  // Low quantiles interpolate from the first bucket's lower edge (0).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 40.0);
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  Histogram empty({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+
+  // Observations beyond every bound land in +Inf; the estimate clamps to
+  // the highest finite bound rather than inventing a value.
+  Histogram overflow({1.0, 2.0});
+  for (int i = 0; i < 4; ++i) overflow.Observe(100.0);
+  EXPECT_DOUBLE_EQ(overflow.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(overflow.Quantile(0.99), 2.0);
+
+  // No finite bounds at all: fall back to the mean.
+  Histogram unbounded(std::vector<double>{});
+  unbounded.Observe(3.0);
+  unbounded.Observe(5.0);
+  EXPECT_DOUBLE_EQ(unbounded.Quantile(0.5), 4.0);
+}
+
+TEST(HistogramTest, RenderJsonCarriesQuantiles) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram(
+      "eva_test_quantiles", "quantile smoke", {1.0, 10.0});
+  ASSERT_NE(h, nullptr);
+  for (int i = 0; i < 10; ++i) h->Observe(0.5);
+  const std::string json = registry.RenderJson();
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+// ------------------------------------------------------ tracer overflow --
+
+TEST(TracerTest, DroppedSpansSurfaceAsCounter) {
+  MetricsRegistry registry;
+  SimClock clock;
+  Tracer tracer(&clock);
+  tracer.set_max_spans(3);
+  tracer.set_registry(&registry);
+  for (int i = 0; i < 10; ++i) {
+    Span s = tracer.StartSpan("span");
+    clock.Charge(CostCategory::kOther, 1.0);
+  }
+  EXPECT_EQ(tracer.dropped(), 7);
+  Counter* c = registry.GetCounter(
+      "eva_trace_spans_dropped_total",
+      "Spans discarded after the tracer hit max_spans");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->Value(), 7.0);
+  // The Prometheus exposition carries the series too.
+  EXPECT_NE(registry.RenderPrometheus().find("eva_trace_spans_dropped_total"),
+            std::string::npos);
+}
+
 // -------------------------------------------------------------- registry --
 
 TEST(MetricsRegistryTest, FindOrCreateReturnsStableCells) {
@@ -340,7 +409,8 @@ TEST(MetricsRegistryTest, JsonGolden) {
       "{\"labels\":{},\"value\":2.5}]},"
       "{\"name\":\"test_hist\",\"type\":\"histogram\","
       "\"help\":\"Latency.\",\"series\":["
-      "{\"labels\":{},\"count\":2,\"sum\":3.5,\"buckets\":["
+      "{\"labels\":{},\"count\":2,\"sum\":3.5,"
+      "\"p50\":1,\"p95\":2,\"p99\":2,\"buckets\":["
       "{\"le\":1,\"count\":1},{\"le\":2,\"count\":1},"
       "{\"le\":\"+Inf\",\"count\":2}]}]}]}";
   EXPECT_EQ(registry->RenderJson(), expected);

@@ -1,0 +1,92 @@
+// Fuzz the Chrome-trace JSON renderer: hostile span names, categories,
+// and attribute values (quotes, backslashes, control bytes, non-ASCII)
+// must always yield JSON that the project's own parser accepts — the
+// /trace endpoint hands this output straight to chrome://tracing, so a
+// single unescaped byte breaks the whole trace.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "obs/json_util.h"
+#include "obs/tracer.h"
+
+namespace eva {
+namespace {
+
+// Deterministic hostile strings: all printable ASCII plus the classic
+// JSON-escape troublemakers and some multi-byte UTF-8.
+std::string NastyString(Rng* rng, int len) {
+  static const char* kAtoms[] = {
+      "\"", "\\", "\n", "\r", "\t", "\b", "\f", "/", "</script>",
+      "\x01", "\x1f", "\x7f", "é", "日本語", "💡", "\\u0000", "{", "}",
+      "[", "]", ",", ":", " ", "a", "Z", "0"};
+  std::string s;
+  for (int i = 0; i < len; ++i) {
+    s += kAtoms[rng->NextBelow(sizeof(kAtoms) / sizeof(kAtoms[0]))];
+  }
+  return s;
+}
+
+TEST(TraceFuzzTest, ChromeTraceSurvivesHostileStrings) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed * 7919);
+    SimClock clock;
+    obs::Tracer tracer(&clock);
+
+    const int spans = 1 + static_cast<int>(rng.NextBelow(12));
+    for (int i = 0; i < spans; ++i) {
+      auto span = tracer.StartSpan(NastyString(&rng, 1 + rng.NextBelow(8)),
+                                   NastyString(&rng, rng.NextBelow(4)));
+      clock.Charge(CostCategory::kUdf,
+                   0.5 + static_cast<double>(rng.NextBelow(100)));
+      const int attrs = static_cast<int>(rng.NextBelow(4));
+      for (int a = 0; a < attrs; ++a) {
+        span.SetAttribute(NastyString(&rng, 1 + rng.NextBelow(4)),
+                          NastyString(&rng, rng.NextBelow(10)));
+      }
+      if (rng.NextBelow(3) == 0) {
+        // Nested child with its own hostile payload.
+        auto child =
+            tracer.StartSpan(NastyString(&rng, 1 + rng.NextBelow(6)));
+        child.SetAttribute("k", NastyString(&rng, rng.NextBelow(12)));
+      }
+    }
+
+    const std::string chrome = tracer.RenderChromeTrace();
+    auto parsed = obs::ParseJson(chrome);
+    ASSERT_TRUE(parsed.ok())
+        << "seed " << seed << ": " << parsed.status().ToString()
+        << "\ntrace:\n" << chrome;
+    ASSERT_TRUE(parsed.value().is_array()) << "seed " << seed;
+    // Every event must round-trip its name as a string.
+    for (const auto& ev : parsed.value().array()) {
+      const obs::JsonValue* name = ev.Find("name");
+      ASSERT_NE(name, nullptr) << "seed " << seed;
+      EXPECT_TRUE(name->is_string());
+    }
+
+    // The text renderer must not crash on the same spans either.
+    EXPECT_FALSE(tracer.RenderText().empty());
+  }
+}
+
+TEST(TraceFuzzTest, OverflowedTracerStillRendersValidJson) {
+  Rng rng(42);
+  SimClock clock;
+  obs::Tracer tracer(&clock);
+  tracer.set_max_spans(8);
+  for (int i = 0; i < 40; ++i) {
+    auto span = tracer.StartSpan(NastyString(&rng, 4));
+    clock.Charge(CostCategory::kUdf, 1.0);
+  }
+  EXPECT_GT(tracer.dropped(), 0);
+  auto parsed = obs::ParseJson(tracer.RenderChromeTrace());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+}  // namespace
+}  // namespace eva
