@@ -17,7 +17,14 @@
 //              simulated times are unaffected — see docs/RUNTIME.md)
 //   .serve     start the telemetry HTTP server (`.serve` = ephemeral port,
 //              `.serve PORT` = fixed, `.serve stop` stops it); endpoints:
-//              /metrics /metrics.json /trace /views /profile /healthz
+//              /metrics /metrics.json /trace /views /sessions /profile
+//              /healthz
+//   .session   multi-session service controls (docs/SERVICE.md): bare
+//              `.session` lists every session and marks the current one;
+//              `.session new [NAME]` opens a session and switches to it;
+//              `.session use ID` switches; `.session close [ID]` closes.
+//              All sessions share one ViewStore, so views materialized in
+//              one session serve the others
 //   .profile   sampling wall-clock profiler: `.profile start [HZ]`,
 //              `.profile stop [FILE]` (folded stacks for flamegraph.pl),
 //              bare `.profile` shows status — see docs/OBSERVABILITY.md
@@ -44,6 +51,7 @@
 
 #include "engine/eva_engine.h"
 #include "obs/profiler.h"
+#include "service/eva_service.h"
 #include "vbench/vbench.h"
 
 using namespace eva;  // NOLINT
@@ -65,18 +73,28 @@ void PrintResult(const engine::QueryResult& r) {
 
 int main() {
   engine::EngineOptions options;
-  auto engine = std::make_unique<engine::EvaEngine>(
+  auto owned = std::make_unique<engine::EvaEngine>(
       options, std::make_shared<catalog::Catalog>());
-  if (!vbench::RegisterStandardUdfs(engine.get()).ok()) return 1;
+  if (!vbench::RegisterStandardUdfs(owned.get()).ok()) return 1;
   catalog::VideoInfo video;
   video.name = "demo";
   video.num_frames = 1000;
   video.mean_objects_per_frame = 8.3 / 0.8;
   video.seed = 2022;
-  if (!engine->CreateVideo(video).ok()) return 1;
+  if (!owned->CreateVideo(video).ok()) return 1;
+
+  // The shell is one client of the multi-session service: every SQL
+  // statement and store-wide op goes through the service executor, so a
+  // second shell command (or a scraper) can never observe a torn store.
+  service::EvaService svc(std::move(owned));
+  engine::EvaEngine* engine = svc.engine();
+  std::shared_ptr<service::EvaSession> current = svc.CreateSession("shell");
 
   std::printf("EVA shell — demo video 'demo' (1000 frames) loaded; UDFs "
-              "registered.\nStatements end with ';'. \\quit to exit.\n");
+              "registered.\nStatements end with ';'. \\quit to exit. "
+              "Session %lld ('%s') is current; .session to manage.\n",
+              static_cast<long long>(current->id()),
+              current->name().c_str());
 
   std::string buffer;
   std::string line;
@@ -238,7 +256,7 @@ int main() {
             std::printf("%s\n", s.ToString().c_str());
           } else {
             std::printf("telemetry server on http://127.0.0.1:%d — try "
-                        "/metrics /metrics.json /trace /views "
+                        "/metrics /metrics.json /trace /views /sessions "
                         "/profile?seconds=1 /healthz\n",
                         engine->telemetry_port());
           }
@@ -283,18 +301,60 @@ int main() {
         }
         continue;
       }
+      if (line == "\\session" || line.rfind("\\session ", 0) == 0) {
+        if (line == "\\session") {
+          for (const auto& s : svc.Sessions()) {
+            service::SessionStats st = s->stats();
+            std::printf("%c %3lld  %-16s %-6s %4lld queries | hit %5.1f%% "
+                        "| %.2f sim s\n",
+                        s->id() == current->id() ? '*' : ' ',
+                        static_cast<long long>(s->id()), s->name().c_str(),
+                        s->open() ? "open" : "closed",
+                        static_cast<long long>(st.queries),
+                        st.HitPercentage(), st.sim_ms / 1000.0);
+          }
+        } else if (line.rfind("\\session new", 0) == 0) {
+          std::string name =
+              line.size() > 13 ? line.substr(13) : std::string();
+          current = svc.CreateSession(name);
+          std::printf("session %lld ('%s') created and current.\n",
+                      static_cast<long long>(current->id()),
+                      current->name().c_str());
+        } else if (line.rfind("\\session use ", 0) == 0) {
+          int64_t id = std::atoll(line.substr(13).c_str());
+          auto found = svc.FindSession(id);
+          if (found == nullptr) {
+            std::printf("unknown session: %lld\n",
+                        static_cast<long long>(id));
+          } else {
+            current = found;
+            std::printf("session %lld ('%s') is current%s.\n",
+                        static_cast<long long>(id), found->name().c_str(),
+                        found->open() ? "" : " (closed — reads only)");
+          }
+        } else if (line.rfind("\\session close", 0) == 0) {
+          int64_t id = line.size() > 15 ? std::atoll(line.substr(15).c_str())
+                                        : current->id();
+          Status s = svc.CloseSession(id);
+          std::printf("%s\n", s.ok() ? "closed." : s.ToString().c_str());
+        } else {
+          std::printf("usage: .session [new [NAME] | use ID | close "
+                      "[ID]]\n");
+        }
+        continue;
+      }
       if (line == "\\clear") {
-        engine->ClearReuseState();
+        svc.ClearReuseState();
         std::printf("reuse state cleared.\n");
         continue;
       }
       if (line.rfind("\\save ", 0) == 0) {
-        Status s = engine->SaveViews(line.substr(6));
+        Status s = svc.SaveViews(line.substr(6));
         std::printf("%s\n", s.ToString().c_str());
         continue;
       }
       if (line.rfind("\\load ", 0) == 0) {
-        Status s = engine->LoadViews(line.substr(6));
+        Status s = svc.LoadViews(line.substr(6));
         if (s.ok()) {
           std::printf("OK — recovery: %s\n",
                       engine->last_recovery().Summary().c_str());
@@ -308,7 +368,7 @@ int main() {
     }
     buffer += line + "\n";
     if (buffer.find(';') == std::string::npos) continue;  // multi-line
-    auto r = engine->Execute(buffer);
+    auto r = svc.Execute(current->id(), buffer);
     buffer.clear();
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());

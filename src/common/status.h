@@ -19,6 +19,7 @@ enum class StatusCode {
   kNotImplemented,
   kInternal,
   kResourceExhausted,  // symbolic-analysis budget exceeded, etc.
+  kFailedPrecondition,  // operation needs quiescence / an open session
 };
 
 /// Returns a short human-readable name for a StatusCode ("ParseError", ...).
@@ -56,6 +57,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -189,11 +189,25 @@ Result<const vision::SyntheticVideo*> EvaEngine::video(
 }
 
 Status EvaEngine::SaveViews(const std::string& dir) const {
+  // Persistence snapshots the whole store (views + coverage) and assumes
+  // nothing mutates it mid-walk. A save issued while another session's
+  // query is mid-flight would write a torn store; fail cleanly instead.
+  // The service layer avoids this by queueing saves behind queries.
+  if (queries_in_flight_.load(std::memory_order_acquire) != 0) {
+    return Status::FailedPrecondition(
+        "SaveViews: a query is in flight; quiesce the engine (or go "
+        "through EvaService::SaveViews) before persisting");
+  }
   fault::FaultFs fs(injector_.active() ? &injector_ : nullptr);
   return storage::SaveSession(views_, manager_, dir, &fs);
 }
 
 Status EvaEngine::LoadViews(const std::string& dir) {
+  if (queries_in_flight_.load(std::memory_order_acquire) != 0) {
+    return Status::FailedPrecondition(
+        "LoadViews: a query is in flight; quiesce the engine (or go "
+        "through EvaService::LoadViews) before restoring");
+  }
   fault::FaultFs fs(injector_.active() ? &injector_ : nullptr);
   Result<storage::RecoveryReport> loaded =
       storage::LoadSession(dir, &views_, &manager_, &fs);
@@ -288,6 +302,16 @@ Status EvaEngine::StartTelemetryServer(int port) {
     r.body = views_snapshot_json_;
     return r;
   });
+  // Pre-rendered like /views: the service publishes a fresh snapshot at
+  // every session change / query completion, so scraping never touches
+  // live session or store state.
+  server->Handle("/sessions", [this](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    std::lock_guard<std::mutex> lock(sessions_snapshot_mu_);
+    r.body = sessions_snapshot_json_;
+    return r;
+  });
   // Blocks the (sequential) server thread for the sampling window; other
   // scrapes queue behind it in the listen backlog.
   server->Handle("/profile", [](const obs::HttpRequest& req) {
@@ -311,6 +335,11 @@ void EvaEngine::StopTelemetryServer() {
     telemetry_->Stop();
     telemetry_.reset();
   }
+}
+
+void EvaEngine::PublishSessionsSnapshot(std::string json) {
+  std::lock_guard<std::mutex> lock(sessions_snapshot_mu_);
+  sessions_snapshot_json_ = std::move(json);
 }
 
 void EvaEngine::PublishViewsSnapshot() {
@@ -355,8 +384,16 @@ int64_t EvaEngine::DistinctInvocations(const std::string& udf,
 }
 
 Result<QueryResult> EvaEngine::Execute(const std::string& sql) {
+  return Execute(sql, /*session_id=*/0);
+}
+
+Result<QueryResult> EvaEngine::Execute(const std::string& sql,
+                                       int64_t session_id) {
   obs::Span query_span = tracer_.StartSpan("query", "query");
   query_span.SetAttribute("sql", sql);
+  if (session_id != 0) {
+    query_span.SetAttribute("session_id", std::to_string(session_id));
+  }
   if (registry_ != nullptr) {
     if (auto* c = registry_->GetCounter(
             "eva_queries_total", "Statements executed by the engine.",
@@ -400,19 +437,32 @@ Result<QueryResult> EvaEngine::Execute(const std::string& sql) {
     }
     return out;
   }
-  return ExecuteSelect(std::get<parser::SelectStatement>(stmt), sql);
+  return ExecuteSelect(std::get<parser::SelectStatement>(stmt), sql,
+                       session_id);
 }
 
 Result<QueryResult> EvaEngine::ExecuteSelect(
-    const parser::SelectStatement& stmt, const std::string& sql) {
+    const parser::SelectStatement& stmt, const std::string& sql,
+    int64_t session_id) {
   const auto wall0 = std::chrono::steady_clock::now();
   auto stats_it = stats_.find(stmt.table);
   if (stats_it == stats_.end()) {
     return Status::BindError("video not loaded: " + stmt.table);
   }
   auto video_it = videos_.find(stmt.table);
+  // Busy marker for the persistence guard: held for the whole SELECT,
+  // including optimize (coverage updates) and lifecycle enforcement.
+  struct InFlight {
+    std::atomic<int>* n;
+    explicit InFlight(std::atomic<int>* n_) : n(n_) {
+      n->fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~InFlight() { n->fetch_sub(1, std::memory_order_acq_rel); }
+  } in_flight(&queries_in_flight_);
+  lifecycle_->set_current_session(session_id);
 
   QueryResult out;
+  out.metrics.session_id = session_id;
   SimClock::Snapshot before = clock_.TakeSnapshot();
   // Plain EXPLAIN never executes; EXPLAIN ANALYZE runs the query for real
   // (views materialize, coverage grows) and returns the annotated plan.
@@ -482,6 +532,7 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
   ctx.metrics = &out.metrics;
   ctx.batch_size = options_.batch_size;
   ctx.query_id = ++query_seq_;
+  ctx.session_id = session_id;
   ctx.pool = pool_.get();
   ctx.morsel_rows = options_.morsel_rows;
   ctx.udf_spin_us = options_.udf_spin_us;
@@ -502,6 +553,7 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
     event_log_->Append(
         obs::Event("query_start")
             .Int("query_id", ctx.query_id)
+            .Int("session_id", session_id)
             .Str("sql", sql)
             .Str("mode",
                  optimizer::ReuseModeName(options_.optimizer.mode)));
@@ -533,6 +585,7 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
     if (event_log_ != nullptr) {
       event_log_->Append(obs::Event("query_error")
                              .Int("query_id", ctx.query_id)
+                             .Int("session_id", session_id)
                              .Str("error", executed.status().ToString())
                              .Int("udf_retries", out.metrics.udf_retries));
     }
@@ -576,6 +629,7 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
     event_log_->Append(
         obs::Event("query_end")
             .Int("query_id", ctx.query_id)
+            .Int("session_id", session_id)
             .Num("sim_ms", out.metrics.TotalMs())
             .Num("wall_ms", wall_ms)
             .Int("rows_out", out.metrics.rows_out)

@@ -1,8 +1,10 @@
 #ifndef EVA_ENGINE_EVA_ENGINE_H_
 #define EVA_ENGINE_EVA_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "baselines/fun_cache.h"
@@ -133,6 +135,11 @@ class EvaEngine {
   /// Executes one EVA-QL statement. CREATE UDF statements register the
   /// UDF; SELECT statements return rows + metrics.
   Result<QueryResult> Execute(const std::string& sql);
+  /// Same, tagged with the session the statement belongs to (src/service/).
+  /// `session_id` is attribution only — metrics, event-log records, and
+  /// trace spans carry it; results and simulated charges are unaffected.
+  /// 0 is the single-session path the plain overload uses.
+  Result<QueryResult> Execute(const std::string& sql, int64_t session_id);
 
   /// Drops all reuse state (views, aggregated predicates, caches) — used
   /// to evaluate each workload from a clean state (§5.1).
@@ -149,6 +156,11 @@ class EvaEngine {
   /// unmanifested state, and retract its symbolic coverage so reuse never
   /// overclaims. LoadViews succeeds even when recovery repaired damage —
   /// inspect last_recovery() for what happened.
+  /// Both entry points assume exclusive ownership of the view store and
+  /// fail with FailedPrecondition while any query is in flight (another
+  /// session mid-query would be snapshotted torn). The service layer
+  /// (src/service/) runs them on its executor thread, where the queue
+  /// guarantees quiescence.
   Status SaveViews(const std::string& dir) const;
   Status LoadViews(const std::string& dir);
   /// What the most recent LoadViews found and repaired.
@@ -207,6 +219,17 @@ class EvaEngine {
   /// SELECT statements executed so far — the id the lifecycle manager
   /// stamps on view accesses (resets with ClearReuseState).
   int64_t queries_executed() const { return query_seq_; }
+  /// SELECT statements currently executing (0 or 1 under the service's
+  /// serialized executor; readable from any thread). SaveViews/LoadViews
+  /// refuse to run while this is non-zero.
+  int queries_in_flight() const {
+    return queries_in_flight_.load(std::memory_order_acquire);
+  }
+  /// Replaces the pre-rendered /sessions JSON served by the telemetry
+  /// server. The service layer publishes after every session change and
+  /// completed query; the HTTP thread only ever reads the string under the
+  /// snapshot mutex, so scraping is safe while sessions run.
+  void PublishSessionsSnapshot(std::string json);
   const baselines::FunCache& funcache() const { return funcache_; }
   const SimClock& clock() const { return clock_; }
   const catalog::Catalog& catalog() const { return *catalog_; }
@@ -230,7 +253,8 @@ class EvaEngine {
 
  private:
   Result<QueryResult> ExecuteSelect(const parser::SelectStatement& stmt,
-                                    const std::string& sql);
+                                    const std::string& sql,
+                                    int64_t session_id);
   Status ExecuteCreateUdf(const parser::CreateUdfStatement& stmt);
   /// Re-renders the /views JSON snapshot. Runs on the driver thread at
   /// quiescent points (end of SELECT, LoadViews, ClearReuseState) — the
@@ -258,6 +282,11 @@ class EvaEngine {
   std::unique_ptr<obs::HttpExporter> telemetry_;
   mutable std::mutex views_snapshot_mu_;
   std::string views_snapshot_json_ = "{\"views\":[]}";
+  mutable std::mutex sessions_snapshot_mu_;
+  std::string sessions_snapshot_json_ =
+      "{\"session_count\":0,\"sessions\":[]}";
+  /// Raised for the duration of ExecuteSelect; the persistence busy guard.
+  std::atomic<int> queries_in_flight_{0};
   /// Mutable so const SaveViews can thread it through the filesystem shim
   /// (consulting the injector mutates its occurrence counters only).
   mutable fault::FaultInjector injector_;

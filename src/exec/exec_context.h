@@ -59,6 +59,10 @@ struct CostConstants {
 /// Per-query execution metrics: the raw material for Table 2 (hit
 /// percentage), Table 4 and Fig. 6 (time breakdowns).
 struct QueryMetrics {
+  /// Session the query ran under (src/service/); 0 for the single-session
+  /// path where the engine is driven directly. Attribution only — never
+  /// affects results or simulated times.
+  int64_t session_id = 0;
   /// Tuples for which each UDF's result was required.
   std::map<std::string, int64_t> invocations;
   /// Tuples satisfied from a materialized view / cache.
@@ -101,6 +105,9 @@ struct ExecContext {
   /// Monotone id of the query being executed (lifecycle access stamps and
   /// the `.views` last-access column); -1 outside a query.
   int64_t query_id = -1;
+  /// Session the query belongs to (0 = single-session path); stamped onto
+  /// event-log records emitted from operator code.
+  int64_t session_id = 0;
   /// Compile filter predicates into the vectorized batch evaluator
   /// (src/exec/vector_filter.h); the per-row interpreter stays as the
   /// fallback for unsupported predicate shapes and runtime type errors.

@@ -216,6 +216,7 @@ Status MaybeInjectUdfFault(ExecContext* ctx, const UdfDef& def,
         if (ctx->event_log != nullptr) {
           ctx->event_log->Append(obs::Event("udf_retry")
                                      .Int("query_id", ctx->query_id)
+                                     .Int("session_id", ctx->session_id)
                                      .Str("udf", def.name)
                                      .Int("frame", frame)
                                      .Int("attempt", attempt + 1)

@@ -80,6 +80,7 @@ AdmissionDecision ViewLifecycleManager::AdmitMaterialization(
   if (event_log_ != nullptr) {
     event_log_->Append(
         obs::Event("view_admission")
+            .Int("session_id", current_session_)
             .Str("view", udf_key)
             .Bool("admit", d.admit)
             .Num("predicted_benefit_ms", d.predicted_benefit_ms)
@@ -165,6 +166,7 @@ std::vector<EvictionEvent> ViewLifecycleManager::EnforceBudget(
     if (event_log_ != nullptr) {
       event_log_->Append(obs::Event("view_eviction")
                              .Int("query_id", query_id)
+                             .Int("session_id", current_session_)
                              .Str("view", victim.view)
                              .Int("segment_id", victim.seg.segment_id)
                              .Int("first_frame", ev.first_frame)
@@ -176,6 +178,7 @@ std::vector<EvictionEvent> ViewLifecycleManager::EnforceBudget(
       event_log_->Append(
           obs::Event("coverage_retraction")
               .Int("query_id", query_id)
+              .Int("session_id", current_session_)
               .Str("view", victim.view)
               .Int("coverage_atoms_before", atoms_before)
               .Int("coverage_atoms_after",
@@ -222,6 +225,7 @@ std::vector<EvictionEvent> ViewLifecycleManager::EnforceBudget(
 
 void ViewLifecycleManager::Reset() {
   session_.clear();
+  current_session_ = 0;
   last_enforce_tick_ = 0;
   ticks_per_query_ = 1;
   evictions_ = 0;

@@ -122,6 +122,15 @@ class ViewLifecycleManager {
   void set_admission_min_evidence(int64_t n) {
     options_.admission_min_evidence = n;
   }
+  /// Session the current query belongs to (0 = single-session path); the
+  /// engine sets it at the start of every SELECT so admission / eviction /
+  /// retraction event records are attributable under fleet traffic.
+  /// Admission statistics themselves stay global across sessions — the
+  /// shared store arbitrates one budget for all tenants (docs/SERVICE.md).
+  void set_current_session(int64_t session_id) {
+    current_session_ = session_id;
+  }
+  int64_t current_session() const { return current_session_; }
 
   // Session totals (tests / shell).
   int64_t evictions() const { return evictions_; }
@@ -155,6 +164,7 @@ class ViewLifecycleManager {
   /// query that ran since (ScoreContext::ticks_per_query).
   uint64_t last_enforce_tick_ = 0;
   uint64_t ticks_per_query_ = 1;
+  int64_t current_session_ = 0;
   int64_t evictions_ = 0;
   double evicted_bytes_ = 0;
   int64_t admissions_granted_ = 0;

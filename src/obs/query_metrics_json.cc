@@ -87,6 +87,7 @@ Result<SimClock::Snapshot> SnapshotFromJson(const std::string& json) {
 
 std::string QueryMetricsToJson(const exec::QueryMetrics& metrics) {
   std::string out = "{";
+  out += "\"session_id\":" + std::to_string(metrics.session_id) + ',';
   AppendCountMap(&out, "invocations", metrics.invocations);
   out += ',';
   AppendCountMap(&out, "reused", metrics.reused);
@@ -103,6 +104,8 @@ Result<exec::QueryMetrics> QueryMetricsFromJson(const std::string& json) {
     return Status::ParseError("metrics json: expected an object");
   }
   exec::QueryMetrics m;
+  // Absent in pre-service dumps: default to the single-session id.
+  m.session_id = static_cast<int64_t>(root.NumberOr("session_id", 0));
   EVA_RETURN_IF_ERROR(ReadCountMap(root, "invocations", &m.invocations));
   EVA_RETURN_IF_ERROR(ReadCountMap(root, "reused", &m.reused));
   m.rows_out = static_cast<int64_t>(root.NumberOr("rows_out", 0));

@@ -1,0 +1,273 @@
+#include "service/eva_service.h"
+
+#include "obs/json_util.h"
+#include "obs/metrics.h"
+
+namespace eva::service {
+
+void EvaSession::Observe(const Result<engine::QueryResult>& result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.queries;
+  if (!result.ok()) {
+    ++stats_.errors;
+    return;
+  }
+  const exec::QueryMetrics& m = result.value().metrics;
+  stats_.invocations += m.TotalInvocations();
+  stats_.reused += m.TotalReused();
+  stats_.rows_out += m.rows_out;
+  stats_.sim_ms += m.TotalMs();
+}
+
+EvaService::EvaService(std::unique_ptr<engine::EvaEngine> engine)
+    : engine_(std::move(engine)) {
+  executor_ = std::thread([this] { ExecutorLoop(); });
+}
+
+EvaService::EvaService(engine::EngineOptions options,
+                       std::shared_ptr<catalog::Catalog> catalog)
+    : EvaService(std::make_unique<engine::EvaEngine>(std::move(options),
+                                                     std::move(catalog))) {}
+
+EvaService::~EvaService() {
+  Op stop;
+  stop.kind = Op::Kind::kStop;
+  Enqueue(std::move(stop));  // behind every queued op: drains, then stops
+  if (executor_.joinable()) executor_.join();
+}
+
+std::shared_ptr<EvaSession> EvaService::CreateSession(
+    const std::string& name) {
+  std::shared_ptr<EvaSession> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    int64_t id = next_session_id_++;
+    session.reset(new EvaSession(
+        id, name.empty() ? "session-" + std::to_string(id) : name));
+    sessions_.emplace(id, session);
+  }
+  if (auto* reg = engine_->metrics_registry()) {
+    if (auto* c = reg->GetCounter("eva_sessions_created_total",
+                                  "Sessions created by the engine service.")) {
+      c->Increment();
+    }
+    if (auto* g = reg->GetGauge("eva_sessions_open",
+                                "Currently open service sessions.")) {
+      g->Set(static_cast<double>(open_sessions()));
+    }
+  }
+  PublishSessions();
+  return session;
+}
+
+std::shared_ptr<EvaSession> EvaService::FindSession(int64_t id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+Status EvaService::CloseSession(int64_t id) {
+  std::shared_ptr<EvaSession> session = FindSession(id);
+  if (session == nullptr) {
+    return Status::NotFound("unknown session: " + std::to_string(id));
+  }
+  session->Close();
+  if (auto* reg = engine_->metrics_registry()) {
+    if (auto* g = reg->GetGauge("eva_sessions_open",
+                                "Currently open service sessions.")) {
+      g->Set(static_cast<double>(open_sessions()));
+    }
+  }
+  PublishSessions();
+  return Status::OK();
+}
+
+std::vector<std::shared_ptr<EvaSession>> EvaService::Sessions() const {
+  std::vector<std::shared_ptr<EvaSession>> out;
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) out.push_back(session);
+  return out;
+}
+
+int64_t EvaService::open_sessions() const {
+  int64_t n = 0;
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (const auto& [id, session] : sessions_) {
+    if (session->open()) ++n;
+  }
+  return n;
+}
+
+std::future<Result<engine::QueryResult>> EvaService::Submit(
+    int64_t session_id, std::string sql) {
+  std::shared_ptr<EvaSession> session = FindSession(session_id);
+  if (session == nullptr || !session->open()) {
+    std::promise<Result<engine::QueryResult>> failed;
+    failed.set_value(Status::FailedPrecondition(
+        session == nullptr
+            ? "unknown session: " + std::to_string(session_id)
+            : "session " + std::to_string(session_id) + " is closed"));
+    return failed.get_future();
+  }
+  Op op;
+  op.kind = Op::Kind::kQuery;
+  op.session = session_id;
+  op.arg = std::move(sql);
+  std::future<Result<engine::QueryResult>> future =
+      op.query_promise.get_future();
+  Enqueue(std::move(op));
+  return future;
+}
+
+Result<engine::QueryResult> EvaService::Execute(int64_t session_id,
+                                                const std::string& sql) {
+  return Submit(session_id, sql).get();
+}
+
+Status EvaService::SaveViews(const std::string& dir) {
+  Op op;
+  op.kind = Op::Kind::kSave;
+  op.arg = dir;
+  std::future<Status> future = op.status_promise.get_future();
+  Enqueue(std::move(op));
+  return future.get();
+}
+
+Status EvaService::LoadViews(const std::string& dir) {
+  Op op;
+  op.kind = Op::Kind::kLoad;
+  op.arg = dir;
+  std::future<Status> future = op.status_promise.get_future();
+  Enqueue(std::move(op));
+  return future.get();
+}
+
+void EvaService::ClearReuseState() {
+  Op op;
+  op.kind = Op::Kind::kClear;
+  std::future<Status> future = op.status_promise.get_future();
+  Enqueue(std::move(op));
+  future.get();
+}
+
+void EvaService::Drain() {
+  Op op;
+  op.kind = Op::Kind::kBarrier;
+  std::future<Status> future = op.status_promise.get_future();
+  Enqueue(std::move(op));
+  future.get();
+}
+
+void EvaService::Enqueue(Op op) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    // After kStop only the destructor's own ops could arrive; drop their
+    // promises (broken-promise exceptions are confined to callers that
+    // submit during teardown, which the API forbids anyway).
+    queue_.push_back(std::move(op));
+  }
+  queue_cv_.notify_one();
+}
+
+void EvaService::ExecutorLoop() {
+  for (;;) {
+    Op op;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return !queue_.empty(); });
+      op = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    switch (op.kind) {
+      case Op::Kind::kStop:
+        return;
+      case Op::Kind::kBarrier:
+        op.status_promise.set_value(Status::OK());
+        break;
+      case Op::Kind::kSave:
+        op.status_promise.set_value(engine_->SaveViews(op.arg));
+        break;
+      case Op::Kind::kLoad:
+        op.status_promise.set_value(engine_->LoadViews(op.arg));
+        break;
+      case Op::Kind::kClear:
+        engine_->ClearReuseState();
+        op.status_promise.set_value(Status::OK());
+        break;
+      case Op::Kind::kQuery: {
+        Result<engine::QueryResult> result =
+            engine_->Execute(op.arg, op.session);
+        // The session outlives close (shared_ptr registry), so queued
+        // queries always find their accounting target.
+        if (std::shared_ptr<EvaSession> session = FindSession(op.session)) {
+          session->Observe(result);
+        }
+        if (auto* reg = engine_->metrics_registry()) {
+          if (auto* c = reg->GetCounter(
+                  "eva_service_queries_total",
+                  "Statements executed through the engine service, by "
+                  "session.",
+                  {{"session", std::to_string(op.session)}})) {
+            c->Increment();
+          }
+        }
+        PublishSessions();
+        op.query_promise.set_value(std::move(result));
+        break;
+      }
+    }
+  }
+}
+
+std::string EvaService::RenderSessionsJson() const {
+  std::vector<std::shared_ptr<EvaSession>> sessions = Sessions();
+  int64_t open = 0;
+  int64_t total_queries = 0;
+  int64_t total_invocations = 0;
+  int64_t total_reused = 0;
+  std::string out = "{";
+  std::string list;
+  bool first = true;
+  for (const auto& session : sessions) {
+    SessionStats s = session->stats();
+    if (session->open()) ++open;
+    total_queries += s.queries;
+    total_invocations += s.invocations;
+    total_reused += s.reused;
+    if (!first) list += ',';
+    first = false;
+    list += "{\"id\":" + std::to_string(session->id());
+    list += ",\"name\":";
+    obs::AppendJsonString(&list, session->name());
+    list += ",\"open\":";
+    list += session->open() ? "true" : "false";
+    list += ",\"queries\":" + std::to_string(s.queries);
+    list += ",\"errors\":" + std::to_string(s.errors);
+    list += ",\"invocations\":" + std::to_string(s.invocations);
+    list += ",\"reused\":" + std::to_string(s.reused);
+    list += ",\"rows_out\":" + std::to_string(s.rows_out);
+    list += ",\"sim_ms\":" + obs::FormatJsonNumber(s.sim_ms);
+    list += ",\"hit_pct\":" + obs::FormatJsonNumber(s.HitPercentage());
+    list += '}';
+  }
+  out += "\"session_count\":" + std::to_string(open);
+  out += ",\"sessions_created\":" + std::to_string(sessions.size());
+  out += ",\"total_queries\":" + std::to_string(total_queries);
+  out += ",\"shared_store_hit_pct\":" +
+         obs::FormatJsonNumber(
+             total_invocations == 0
+                 ? 0
+                 : 100.0 * static_cast<double>(total_reused) /
+                       static_cast<double>(total_invocations));
+  out += ",\"view_store_bytes\":" +
+         obs::FormatJsonNumber(engine_->views().TotalSizeBytes());
+  out += ",\"sessions\":[" + list + "]}";
+  return out;
+}
+
+void EvaService::PublishSessions() {
+  engine_->PublishSessionsSnapshot(RenderSessionsJson());
+}
+
+}  // namespace eva::service
