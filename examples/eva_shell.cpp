@@ -31,6 +31,18 @@
 //   .faults    show the active fault schedule; `.faults SCHEDULE` installs
 //              one (e.g. `.faults crash-exit@fs.rename:MANIFEST#1`) and
 //              `.faults off` disables injection — see docs/RELIABILITY.md
+//   .stream    `.stream NAME TOTAL [INITIAL]` registers a streaming video
+//              source: TOTAL eventual frames, INITIAL (default 1) visible
+//              now; frames arrive via .ingest — see docs/STREAMING.md
+//   .wal DIR   enable the write-ahead log on DIR: recovers the last
+//              checkpoint + log tail, then group-commits every view
+//              append / coverage change / ingestion advance. Register
+//              streams first
+//   .ingest    `.ingest SOURCE FRAMES [TICKS]` runs TICKS (default 1)
+//              ingestion ticks of FRAMES arrivals each; views materialized
+//              at an earlier horizon are incrementally extended, not
+//              invalidated, so re-running a query shows hit% climbing
+//   .checkpoint fold the WAL into a fresh snapshot generation
 //   .clear     drop all reuse state
 //   .save DIR  persist views to a directory     .load DIR  restore them
 //              (.load prints what crash recovery found and repaired)
@@ -341,6 +353,74 @@ int main() {
           std::printf("usage: .session [new [NAME] | use ID | close "
                       "[ID]]\n");
         }
+        continue;
+      }
+      if (line.rfind("\\stream ", 0) == 0) {
+        std::istringstream is(line.substr(8));
+        std::string name;
+        long long total = 0, initial = 1;
+        if (!(is >> name >> total) || total < 1) {
+          std::printf("usage: .stream NAME TOTAL_FRAMES [INITIAL_FRAMES]\n");
+          continue;
+        }
+        is >> initial;
+        // Registration touches the catalog the executor reads; drain the
+        // queue so it lands at a quiescent point.
+        svc.Drain();
+        catalog::VideoInfo info;
+        info.name = name;
+        info.mean_objects_per_frame = 8.3 / 0.8;
+        info.seed = 2022;
+        ingest::StreamOptions opts;
+        opts.total_frames = total;
+        opts.initial_frames = initial < 1 ? 1 : initial;
+        Status s = engine->RegisterStream(info, opts);
+        if (!s.ok()) {
+          std::printf("%s\n", s.ToString().c_str());
+        } else {
+          std::printf("stream '%s': %lld of %lld frames visible; "
+                      ".ingest %s N to advance.\n",
+                      name.c_str(), static_cast<long long>(opts.initial_frames),
+                      total, name.c_str());
+        }
+        continue;
+      }
+      if (line.rfind("\\wal ", 0) == 0) {
+        svc.Drain();
+        Status s = engine->EnableWal(line.substr(5));
+        if (!s.ok()) {
+          std::printf("%s\n", s.ToString().c_str());
+        } else {
+          std::printf("WAL enabled — %s\n",
+                      engine->last_replay().Summary().c_str());
+        }
+        continue;
+      }
+      if (line.rfind("\\ingest ", 0) == 0) {
+        std::istringstream is(line.substr(8));
+        std::string source;
+        long long frames = 0, ticks = 1;
+        if (!(is >> source >> frames) || frames < 1) {
+          std::printf("usage: .ingest SOURCE FRAMES_PER_TICK [TICKS]\n");
+          continue;
+        }
+        is >> ticks;
+        if (ticks < 1) ticks = 1;
+        for (long long t = 0; t < ticks; ++t) {
+          auto r = svc.Ingest(source, frames);
+          if (!r.ok()) {
+            std::printf("%s\n", r.status().ToString().c_str());
+            break;
+          }
+          std::printf("  tick %lld: +%lld frames, %lld visible\n", t + 1,
+                      static_cast<long long>(r.value().flushed),
+                      static_cast<long long>(r.value().visible));
+        }
+        continue;
+      }
+      if (line == "\\checkpoint") {
+        Status s = svc.Checkpoint();
+        std::printf("%s\n", s.ToString().c_str());
         continue;
       }
       if (line == "\\clear") {

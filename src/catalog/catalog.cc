@@ -37,6 +37,18 @@ bool Catalog::HasVideo(const std::string& name) const {
   return videos_.count(name) > 0;
 }
 
+Status Catalog::SetVideoFrames(const std::string& name, int64_t num_frames) {
+  auto it = videos_.find(name);
+  if (it == videos_.end()) {
+    return Status::NotFound("unknown video: " + name);
+  }
+  if (num_frames <= 0) {
+    return Status::InvalidArgument("video must have frames: " + name);
+  }
+  it->second.num_frames = num_frames;
+  return Status::OK();
+}
+
 Status Catalog::AddUdf(UdfDef def, bool or_replace) {
   if (!or_replace && udfs_.count(def.name) > 0) {
     return Status::AlreadyExists("UDF already registered: " + def.name);

@@ -21,6 +21,18 @@ struct VideoInfo {
   double mean_objects_per_frame = 8.3;
   uint64_t seed = 42;
 
+  // --- streaming ingestion (src/ingest/, docs/STREAMING.md) ---------------
+  /// True for a live source: `num_frames` is the *visible horizon* — the
+  /// frames that have landed so far — and grows over time via
+  /// Catalog::SetVideoFrames as the StreamIngestor flushes. The optimizer
+  /// clamps every symbolic coverage claim for a streaming source to the
+  /// horizon at claim time, so a query over `id < 10^9` never claims
+  /// frames that have not arrived yet.
+  bool streaming = false;
+  /// Eventual length of a streaming source (0 = unknown / unbounded).
+  /// Informational: drives the ingestion-lag gauge and shell display.
+  int64_t total_frames = 0;
+
   /// Decoded RGB frame size; drives FunCache's hashing overhead and the
   /// storage-footprint comparison (§5.2).
   double BytesPerFrame() const { return 3.0 * width * height; }
@@ -66,6 +78,9 @@ class Catalog {
   Status AddVideo(VideoInfo info);
   Result<VideoInfo> GetVideo(const std::string& name) const;
   bool HasVideo(const std::string& name) const;
+  /// Advances (or, during WAL replay, restores) the visible frame horizon
+  /// of a registered video. The frame count can never shrink below 1.
+  Status SetVideoFrames(const std::string& name, int64_t num_frames);
 
   Status AddUdf(UdfDef def, bool or_replace = false);
   Result<UdfDef> GetUdf(const std::string& name) const;

@@ -20,6 +20,8 @@ const char* CostCategoryName(CostCategory c) {
       return "hashing";
     case CostCategory::kOther:
       return "other";
+    case CostCategory::kIngest:
+      return "ingest";
     case CostCategory::kNumCategories:
       break;
   }

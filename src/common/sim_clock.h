@@ -19,6 +19,7 @@ enum class CostCategory {
   kOptimize,
   kHashing,   // FunCache per-invocation input hashing
   kOther,
+  kIngest,    // streaming frame arrival: decode + catalog append (src/ingest)
   kNumCategories,
 };
 

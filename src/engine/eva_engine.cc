@@ -95,13 +95,50 @@ Batch TextToBatch(const std::string& column, const std::string& text) {
   return batch;
 }
 
+/// Stages-then-commits helper shared by every WAL producer: one
+/// append+fsync for the whole staged batch, then the durability counters
+/// and the wal_append event. A no-op when nothing is staged.
+Status CommitWal(wal::WalWriter* writer, fault::FaultFs* fs,
+                 obs::MetricsRegistry* registry, obs::EventLog* log,
+                 const char* reason) {
+  const auto records = static_cast<int64_t>(writer->staged_records());
+  const auto bytes = static_cast<int64_t>(writer->staged_bytes());
+  if (records == 0) return Status::OK();
+  EVA_RETURN_IF_ERROR(writer->Commit(fs));
+  if (registry != nullptr) {
+    if (auto* c = registry->GetCounter(
+            "eva_wal_records_total",
+            "Records group-committed to the write-ahead log.")) {
+      c->Increment(static_cast<double>(records));
+    }
+    if (auto* c = registry->GetCounter(
+            "eva_wal_bytes_total",
+            "Bytes group-committed to the write-ahead log.")) {
+      c->Increment(static_cast<double>(bytes));
+    }
+  }
+  if (log != nullptr) {
+    log->Append(obs::Event("wal_append")
+                    .Str("reason", reason)
+                    .Int("records", records)
+                    .Int("bytes", bytes));
+  }
+  return Status::OK();
+}
+
+/// Log file for checkpoint generation `gen` inside the WAL directory.
+std::string WalPath(const std::string& dir, int64_t gen) {
+  return dir + "/" + wal::WalFileName(gen);
+}
+
 }  // namespace
 
 EvaEngine::EvaEngine(EngineOptions options,
                      std::shared_ptr<catalog::Catalog> catalog)
     : options_(std::move(options)),
       catalog_(std::move(catalog)),
-      runtime_(catalog_.get()) {
+      runtime_(catalog_.get()),
+      ingestor_(catalog_.get(), &clock_) {
   tracer_.set_enabled(options_.observability);
   if (!options_.observability) registry_ = nullptr;
   SetNumThreads(options_.num_threads);
@@ -151,6 +188,11 @@ EvaEngine::EvaEngine(EngineOptions options,
     // reports them interactively).
     if (port >= 0) (void)StartTelemetryServer(port);
   }
+  // WAL arming comes last so replay sees the fully wired engine. A
+  // constructor cannot fail; the result lands in wal_status(). Streaming
+  // setups register their sources first and call EnableWal explicitly —
+  // the option path suits durability-only (non-streaming) use.
+  if (!options_.wal_dir.empty()) wal_status_ = EnableWal(options_.wal_dir);
 }
 
 EvaEngine::~EvaEngine() { StopTelemetryServer(); }
@@ -188,16 +230,27 @@ Result<const vision::SyntheticVideo*> EvaEngine::video(
   return const_cast<const vision::SyntheticVideo*>(it->second.get());
 }
 
-Status EvaEngine::SaveViews(const std::string& dir) const {
+Status EvaEngine::SaveViews(const std::string& dir) {
   // Persistence snapshots the whole store (views + coverage) and assumes
   // nothing mutates it mid-walk. A save issued while another session's
-  // query is mid-flight would write a torn store; fail cleanly instead.
-  // The service layer avoids this by queueing saves behind queries.
+  // query — or an ingestion flush — is mid-flight would write a torn
+  // store; fail cleanly instead. The service layer avoids this by queueing
+  // saves behind queries and ingestion ticks.
   if (queries_in_flight_.load(std::memory_order_acquire) != 0) {
     return Status::FailedPrecondition(
         "SaveViews: a query is in flight; quiesce the engine (or go "
         "through EvaService::SaveViews) before persisting");
   }
+  if (ingests_in_flight_.load(std::memory_order_acquire) != 0) {
+    return Status::FailedPrecondition(
+        "SaveViews: an ingestion flush is in flight; quiesce the engine "
+        "(or go through EvaService::SaveViews) before persisting");
+  }
+  // A plain snapshot into the WAL directory would advance the manifest
+  // generation away from the live log file, orphaning every record
+  // committed afterwards — the generation-pairing invariant. Saving there
+  // therefore IS a checkpoint; saving elsewhere is a snapshot export.
+  if (wal_writer_ != nullptr && dir == wal_dir_) return Checkpoint();
   fault::FaultFs fs(injector_.active() ? &injector_ : nullptr);
   return storage::SaveSession(views_, manager_, dir, &fs);
 }
@@ -207,6 +260,16 @@ Status EvaEngine::LoadViews(const std::string& dir) {
     return Status::FailedPrecondition(
         "LoadViews: a query is in flight; quiesce the engine (or go "
         "through EvaService::LoadViews) before restoring");
+  }
+  if (ingests_in_flight_.load(std::memory_order_acquire) != 0) {
+    return Status::FailedPrecondition(
+        "LoadViews: an ingestion flush is in flight; quiesce the engine "
+        "(or go through EvaService::LoadViews) before restoring");
+  }
+  if (wal_writer_ != nullptr) {
+    return Status::FailedPrecondition(
+        "LoadViews: the write-ahead log owns durable state while enabled; "
+        "replacing the store from a snapshot would desynchronize the log");
   }
   fault::FaultFs fs(injector_.active() ? &injector_ : nullptr);
   Result<storage::RecoveryReport> loaded =
@@ -254,7 +317,312 @@ void EvaEngine::ClearReuseState() {
   tracer_.Clear();
   lifecycle_->Reset();
   query_seq_ = 0;
+  if (wal_writer_ != nullptr) {
+    // Fold the cleared state into a fresh checkpoint so a restart does not
+    // resurrect the dropped views. A failed checkpoint (injected crash)
+    // leaves the previous state recoverable instead — a lost reset, never
+    // an unsound one.
+    wal_known_views_.clear();
+    (void)Checkpoint();
+  }
   PublishViewsSnapshot();
+  PublishIngestSnapshot();
+}
+
+Status EvaEngine::EnableWal(const std::string& dir) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("EnableWal: empty directory");
+  }
+  if (wal_writer_ != nullptr) {
+    return Status::FailedPrecondition("EnableWal: WAL already enabled on " +
+                                      wal_dir_);
+  }
+  if (queries_in_flight_.load(std::memory_order_acquire) != 0 ||
+      ingests_in_flight_.load(std::memory_order_acquire) != 0) {
+    return Status::FailedPrecondition(
+        "EnableWal: engine not quiescent (query or ingestion in flight)");
+  }
+  fault::FaultFs fs(injector_.active() ? &injector_ : nullptr);
+  EVA_RETURN_IF_ERROR(fs.CreateDirs(dir));
+
+  // Recovery: last checkpoint snapshot, then the log tail on top. This
+  // REPLACES in-memory reuse state — EnableWal is the recovery entry
+  // point, not an incremental attach.
+  EVA_ASSIGN_OR_RETURN(storage::RecoveryReport loaded,
+                       storage::LoadSession(dir, &views_, &manager_, &fs));
+  last_recovery_ = std::move(loaded);
+  EVA_ASSIGN_OR_RETURN(int64_t gen, storage::ManifestGeneration(dir, &fs));
+  // Mid-checkpoint crash window: the manifest reached generation G but the
+  // fresh log's checkpoint record never committed. The stale G-1 log is
+  // subsumed by the snapshot except for its ingestion horizons — recover
+  // those first (harmless when the fresh log exists: its checkpoint record
+  // re-sets every horizon).
+  if (gen > 0) {
+    auto stale =
+        wal::ReplayWal(WalPath(dir, gen - 1), catalog_.get(), &views_,
+                       &manager_, options_.optimizer.budget, &fs,
+                       /*horizons_only=*/true);
+    if (!stale.ok()) return stale.status();
+  }
+  EVA_ASSIGN_OR_RETURN(
+      wal::WalReplayReport replay,
+      wal::ReplayWal(WalPath(dir, gen), catalog_.get(), &views_, &manager_,
+                     options_.optimizer.budget, &fs));
+  last_replay_ = std::move(replay);
+  if (gen > 0) (void)fs.Remove(WalPath(dir, gen - 1));
+  ingestor_.SyncVisible();
+
+  wal_dir_ = dir;
+  wal_writer_ = std::make_unique<wal::WalWriter>(WalPath(dir, gen));
+  // Make any horizon-guard repair durable before acknowledging recovery:
+  // the retraction exists only in memory until it reaches the log.
+  for (const auto& [key, beyond] : last_replay_.guard_retractions) {
+    wal_writer_->Stage(wal::CoverageRetractionRecord(key, beyond));
+  }
+  Status committed = CommitWal(wal_writer_.get(), &fs, registry_,
+                               event_log_.get(), "recovery_guard");
+  if (!committed.ok()) {
+    wal_writer_.reset();
+    wal_dir_.clear();
+    return committed;
+  }
+
+  // Capture starts only now, after replay, so replayed Puts and coverage
+  // ops are not re-journaled into the log they just came from.
+  views_.set_capture_appends(true);
+  manager_.set_journal_enabled(true);
+  wal_known_views_.clear();
+  for (const auto& [name, view] : views_.views()) {
+    wal_known_views_.insert(name);
+  }
+
+  if (registry_ != nullptr && !last_replay_.clean()) {
+    if (auto* c = registry_->GetCounter(
+            "eva_wal_recovery_repairs_total",
+            "WAL replays that truncated a torn tail or retracted "
+            "over-horizon coverage.")) {
+      c->Increment();
+    }
+  }
+  if (event_log_ != nullptr) {
+    event_log_->Append(
+        obs::Event("replay_done")
+            .Str("path", last_replay_.path)
+            .Int("generation", gen)
+            .Int("records", last_replay_.records)
+            .Int("keys_applied", last_replay_.keys_applied)
+            .Int("evictions", last_replay_.evictions)
+            .Int("ingest_advances", last_replay_.ingest_advances)
+            .Bool("torn", last_replay_.torn)
+            .Int("truncated_bytes",
+                 static_cast<int64_t>(last_replay_.truncated_bytes))
+            .Int("guard_retractions",
+                 static_cast<int64_t>(last_replay_.guard_retractions.size())));
+  }
+  PublishViewsSnapshot();
+  PublishIngestSnapshot();
+  return Status::OK();
+}
+
+Status EvaEngine::Checkpoint() {
+  if (wal_writer_ == nullptr) {
+    return Status::FailedPrecondition("Checkpoint: WAL not enabled");
+  }
+  if (queries_in_flight_.load(std::memory_order_acquire) != 0 ||
+      ingests_in_flight_.load(std::memory_order_acquire) != 0) {
+    return Status::FailedPrecondition(
+        "Checkpoint: engine not quiescent (query or ingestion in flight)");
+  }
+  fault::FaultFs fs(injector_.active() ? &injector_ : nullptr);
+  // Flush any residue into the OLD log first: every producer commits at
+  // the end of its own operation, so this is normally a no-op, but the
+  // snapshot below must supersede everything the old generation holds.
+  EVA_RETURN_IF_ERROR(WalCommitQuery(query_seq_, {}));
+
+  EVA_RETURN_IF_ERROR(storage::SaveSession(views_, manager_, wal_dir_, &fs));
+  EVA_ASSIGN_OR_RETURN(int64_t gen,
+                       storage::ManifestGeneration(wal_dir_, &fs));
+
+  // Open the new generation's log with a checkpoint record carrying the
+  // ingestion horizons (the one durable fact the snapshot cannot hold).
+  // Crash windows: before the manifest commit, the old (snapshot, log)
+  // pair recovers; after it but before this commit, recovery's
+  // horizons-only pass over the stale log fills the gap; after it, the new
+  // pair recovers. Every window is sound — see docs/STREAMING.md.
+  auto fresh = std::make_unique<wal::WalWriter>(WalPath(wal_dir_, gen));
+  std::vector<std::pair<std::string, int64_t>> horizons;
+  for (const auto& s : ingestor_.Sources()) {
+    horizons.emplace_back(s.name, s.visible);
+  }
+  fresh->Stage(wal::CheckpointRecord(gen, horizons));
+  EVA_RETURN_IF_ERROR(
+      CommitWal(fresh.get(), &fs, registry_, event_log_.get(), "checkpoint"));
+  const std::string old_path = wal_writer_->path();
+  wal_writer_ = std::move(fresh);
+  (void)fs.Remove(old_path);
+  // The snapshot now admits every live view; the new log needs no
+  // admission records for them.
+  wal_known_views_.clear();
+  for (const auto& [name, view] : views_.views()) {
+    wal_known_views_.insert(name);
+  }
+
+  if (registry_ != nullptr) {
+    if (auto* c = registry_->GetCounter(
+            "eva_wal_checkpoints_total",
+            "Checkpoints folding the log into a snapshot generation.")) {
+      c->Increment();
+    }
+  }
+  if (event_log_ != nullptr) {
+    event_log_->Append(
+        obs::Event("wal_checkpoint")
+            .Int("generation", gen)
+            .Int("views", static_cast<int64_t>(views_.views().size()))
+            .Int("streams", static_cast<int64_t>(horizons.size())));
+  }
+  PublishViewsSnapshot();
+  PublishIngestSnapshot();
+  return Status::OK();
+}
+
+Status EvaEngine::RegisterStream(const catalog::VideoInfo& info,
+                                 const ingest::StreamOptions& opts) {
+  if (wal_writer_ != nullptr) {
+    return Status::FailedPrecondition(
+        "RegisterStream must precede EnableWal so replayed horizon "
+        "advances find their stream: " + info.name);
+  }
+  if (opts.total_frames <= 0) {
+    return Status::InvalidArgument(
+        "streaming source needs a bounded total_frames (frame content is "
+        "pre-derived from the seed): " + info.name);
+  }
+  catalog::VideoInfo reg = info;
+  EVA_RETURN_IF_ERROR(ingestor_.Register(reg, opts));
+  // Frames and statistics are built at FULL length while the catalog
+  // horizon gates visibility: frame content is a pure function of
+  // (seed, frame id), so pre-deriving is undetectable, and scans /
+  // coverage claims are clamped to the horizon elsewhere. Statistics over
+  // the full video feed cost estimates only — plans stay horizon-bounded.
+  catalog::VideoInfo full = info;
+  full.streaming = true;
+  full.total_frames = opts.total_frames;
+  full.num_frames = opts.total_frames;
+  auto video = std::make_unique<vision::SyntheticVideo>(full);
+  stats_.emplace(info.name,
+                 std::make_unique<storage::StatisticsManager>(*video));
+  videos_.emplace(info.name, std::move(video));
+  PublishIngestSnapshot();
+  return Status::OK();
+}
+
+Result<ingest::StreamIngestor::FlushResult> EvaEngine::IngestFrames(
+    const std::string& source, int64_t frames) {
+  if (queries_in_flight_.load(std::memory_order_acquire) != 0) {
+    return Status::FailedPrecondition(
+        "IngestFrames: a query is in flight; go through "
+        "EvaService::Ingest so the queue serializes them");
+  }
+  struct InFlight {
+    std::atomic<int>* n;
+    explicit InFlight(std::atomic<int>* n_) : n(n_) {
+      n->fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~InFlight() { n->fetch_sub(1, std::memory_order_acq_rel); }
+  } in_flight(&ingests_in_flight_);
+
+  EVA_ASSIGN_OR_RETURN(ingest::StreamIngestor::FlushResult flushed,
+                       ingestor_.IngestTick(source, frames));
+  if (wal_writer_ != nullptr && flushed.flushed > 0) {
+    fault::FaultFs fs(injector_.active() ? &injector_ : nullptr);
+    wal_writer_->Stage(
+        wal::IngestAdvanceRecord(source, flushed.visible, flushed.flushed));
+    Status committed = CommitWal(wal_writer_.get(), &fs, registry_,
+                                 event_log_.get(), "ingest");
+    if (!committed.ok()) {
+      // The horizon already advanced in memory; the error tells the caller
+      // durability was NOT acknowledged. Recovery falls back to the last
+      // durable horizon and the replay guard retracts any claim that
+      // slipped past it — sound either way.
+      wal_writer_->DiscardStaged();
+      return committed;
+    }
+  }
+  if (registry_ != nullptr) {
+    if (auto* c = registry_->GetCounter(
+            "eva_ingest_frames_total",
+            "Frames made visible by streaming ingestion flushes.")) {
+      c->Increment(static_cast<double>(flushed.flushed));
+    }
+    if (auto* g = registry_->GetGauge(
+            "eva_ingest_lag_frames",
+            "Frames arrived but not yet visible, across all streams.")) {
+      g->Set(static_cast<double>(ingestor_.LagFrames()));
+    }
+  }
+  if (event_log_ != nullptr) {
+    event_log_->Append(obs::Event("ingest_flush")
+                           .Str("source", source)
+                           .Int("frames", flushed.flushed)
+                           .Int("visible", flushed.visible)
+                           .Int("buffered", flushed.buffered));
+  }
+  PublishIngestSnapshot();
+  return flushed;
+}
+
+Status EvaEngine::WalCommitQuery(
+    int64_t query_id, const std::vector<lifecycle::EvictionEvent>& evictions) {
+  if (wal_writer_ == nullptr) return Status::OK();
+  // Batch order is the soundness argument for torn tails: admissions, then
+  // appends, then coverage ops in live order, then evictions LAST. Any
+  // durable prefix of that sequence recovers to a state that at worst
+  // underclaims (rows without claims, or un-evicted segments whose claims
+  // and rows are both still present) — never the reverse.
+  for (const auto& [name, view] : views_.views()) {
+    std::vector<storage::ViewKey> keys = view->TakeAppendedKeys();
+    if (keys.empty()) continue;
+    if (wal_known_views_.insert(name).second) {
+      wal_writer_->Stage(wal::ViewAdmissionRecord(name, view->value_schema()));
+    }
+    const int64_t seg_frames = view->segment_frames();
+    auto seg_of = [seg_frames](int64_t frame) {
+      int64_t q = frame / seg_frames;
+      if (frame % seg_frames != 0 && frame < 0) --q;
+      return q;
+    };
+    std::vector<std::pair<storage::ViewKey, const std::vector<Row>*>> entries;
+    size_t i = 0;
+    while (i < keys.size()) {
+      const int64_t seg = seg_of(keys[i].frame);
+      entries.clear();
+      for (; i < keys.size() && seg_of(keys[i].frame) == seg; ++i) {
+        auto it = view->entries().find(keys[i]);
+        // Appended then evicted within the same query: the rows are gone,
+        // so there is nothing to log — skipping is a sound underclaim.
+        if (it == view->entries().end()) continue;
+        entries.emplace_back(keys[i], &it->second);
+      }
+      if (!entries.empty()) {
+        wal_writer_->Stage(wal::SegmentAppendRecord(name, query_id, entries));
+      }
+    }
+  }
+  for (const udf::CoverageOp& op : manager_.TakeJournal()) {
+    wal_writer_->Stage(op.kind == udf::CoverageOp::Kind::kUnion
+                           ? wal::CoverageUnionRecord(op.key, op.predicate)
+                           : wal::CoverageSetRecord(op.key, op.predicate));
+  }
+  for (const lifecycle::EvictionEvent& ev : evictions) {
+    wal_writer_->Stage(wal::ViewEvictionRecord(ev.view, ev.segment_id,
+                                               ev.first_frame, ev.frame_end));
+  }
+  fault::FaultFs fs(injector_.active() ? &injector_ : nullptr);
+  Status committed = CommitWal(wal_writer_.get(), &fs, registry_,
+                               event_log_.get(), "query");
+  if (!committed.ok()) wal_writer_->DiscardStaged();
+  return committed;
 }
 
 Status EvaEngine::StartTelemetryServer(int port) {
@@ -312,6 +680,15 @@ Status EvaEngine::StartTelemetryServer(int port) {
     r.body = sessions_snapshot_json_;
     return r;
   });
+  // Pre-rendered like /views: the engine publishes after every ingestion
+  // tick / WAL transition, so scraping never touches live stream state.
+  server->Handle("/ingest", [this](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    std::lock_guard<std::mutex> lock(ingest_snapshot_mu_);
+    r.body = ingest_snapshot_json_;
+    return r;
+  });
   // Blocks the (sequential) server thread for the sampling window; other
   // scrapes queue behind it in the listen backlog.
   server->Handle("/profile", [](const obs::HttpRequest& req) {
@@ -327,6 +704,7 @@ Status EvaEngine::StartTelemetryServer(int port) {
   }
   telemetry_ = std::move(server);
   PublishViewsSnapshot();
+  PublishIngestSnapshot();
   return Status::OK();
 }
 
@@ -372,6 +750,38 @@ void EvaEngine::PublishViewsSnapshot() {
   out += "]}";
   std::lock_guard<std::mutex> lock(views_snapshot_mu_);
   views_snapshot_json_ = std::move(out);
+}
+
+void EvaEngine::PublishIngestSnapshot() {
+  if (telemetry_ == nullptr) return;
+  std::string out = "{\"wal_enabled\":";
+  out += wal_writer_ != nullptr ? "true" : "false";
+  if (wal_writer_ != nullptr) {
+    out += ",\"wal_path\":";
+    obs::AppendJsonString(&out, wal_writer_->path());
+    out += ",\"wal_committed_records\":" +
+           std::to_string(wal_writer_->committed_records());
+    out += ",\"wal_committed_bytes\":" +
+           std::to_string(wal_writer_->committed_bytes());
+  }
+  out += ",\"lag_frames\":" + std::to_string(ingestor_.LagFrames());
+  out += ",\"streams\":[";
+  bool first = true;
+  for (const ingest::StreamState& s : ingestor_.Sources()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    obs::AppendJsonString(&out, s.name);
+    out += ",\"visible\":" + std::to_string(s.visible);
+    out += ",\"buffered\":" + std::to_string(s.buffered);
+    out += ",\"total\":" + std::to_string(s.total);
+    out += ",\"flushed_total\":" + std::to_string(s.flushed_total);
+    out += ",\"ticks\":" + std::to_string(s.ticks);
+    out += '}';
+  }
+  out += "]}";
+  std::lock_guard<std::mutex> lock(ingest_snapshot_mu_);
+  ingest_snapshot_json_ = std::move(out);
 }
 
 int64_t EvaEngine::DistinctInvocations(const std::string& udf,
@@ -589,6 +999,11 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
                              .Str("error", executed.status().ToString())
                              .Int("udf_retries", out.metrics.udf_retries));
     }
+    // Persist what DID happen: completed morsels' rows and the rollback's
+    // coverage sets (journaled in live order), so recovery lands on the
+    // rolled-back state, not the pre-rollback claims. The query's own
+    // error is what the caller needs to see.
+    (void)WalCommitQuery(ctx.query_id, {});
     return executed.status();
   }
   out.batch = executed.MoveValue();
@@ -614,7 +1029,12 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
   // the driver thread with no workers in flight — the quiescence the
   // segment bookkeeping and coverage retraction require.
   lifecycle_->ObserveQuery(out.metrics);
-  lifecycle_->EnforceBudget(ctx.query_id);
+  std::vector<lifecycle::EvictionEvent> evictions =
+      lifecycle_->EnforceBudget(ctx.query_id);
+
+  // Group-commit everything this query changed before acknowledging it:
+  // a SELECT whose results the caller saw must survive a crash.
+  EVA_RETURN_IF_ERROR(WalCommitQuery(ctx.query_id, evictions));
 
   if (event_log_ != nullptr) {
     int64_t coverage_atoms = 0;

@@ -5,7 +5,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "baselines/fun_cache.h"
 #include "catalog/catalog.h"
@@ -14,6 +16,7 @@
 #include "common/status.h"
 #include "exec/exec_context.h"
 #include "fault/fault_injector.h"
+#include "ingest/stream_ingestor.h"
 #include "lifecycle/view_lifecycle.h"
 #include "obs/event_log.h"
 #include "obs/http_exporter.h"
@@ -27,6 +30,8 @@
 #include "udf/udf_manager.h"
 #include "udf/udf_runtime.h"
 #include "vision/synthetic_video.h"
+#include "wal/wal_log.h"
+#include "wal/wal_replay.h"
 
 namespace eva::engine {
 
@@ -95,6 +100,16 @@ struct EngineOptions {
   /// threshold this only triggers after a long no-reuse history.
   bool lifecycle_admission = true;
 
+  // --- write-ahead log + streaming (src/wal/, src/ingest/) ----------------
+  /// Directory for the write-ahead log and its checkpoints. Non-empty arms
+  /// the WAL at construction: the last checkpoint is loaded, the log tail
+  /// replayed, and from then on every view append / coverage transition /
+  /// ingestion advance is group-committed (append+fsync) before the engine
+  /// acknowledges the operation. Empty (default) = no WAL, snapshot-only
+  /// persistence as before. EvaEngine::wal_status() holds the arming
+  /// result (a constructor cannot fail).
+  std::string wal_dir;
+
   // --- fault injection & reliability (src/fault/, docs/RELIABILITY.md) ----
   /// Deterministic fault schedule ("action@point#occ; ..."); empty defers
   /// to $EVA_FAULTS (empty there too = no injection). An unparseable
@@ -157,15 +172,65 @@ class EvaEngine {
   /// overclaims. LoadViews succeeds even when recovery repaired damage —
   /// inspect last_recovery() for what happened.
   /// Both entry points assume exclusive ownership of the view store and
-  /// fail with FailedPrecondition while any query is in flight (another
-  /// session mid-query would be snapshotted torn). The service layer
-  /// (src/service/) runs them on its executor thread, where the queue
-  /// guarantees quiescence.
-  Status SaveViews(const std::string& dir) const;
+  /// fail with FailedPrecondition while any query or ingestion flush is in
+  /// flight (another session mid-query would be snapshotted torn). The
+  /// service layer (src/service/) runs them on its executor thread, where
+  /// the queue guarantees quiescence.
+  ///
+  /// With the WAL enabled, SaveViews into the WAL directory is redirected
+  /// to Checkpoint() — a plain snapshot there would advance the manifest
+  /// generation away from the live log file and orphan every record
+  /// committed afterwards. Saving to any other directory stays a plain
+  /// snapshot export. LoadViews is rejected outright while the WAL is
+  /// enabled (it would replace state the log no longer describes).
+  Status SaveViews(const std::string& dir);
   Status LoadViews(const std::string& dir);
   /// What the most recent LoadViews found and repaired.
   const storage::RecoveryReport& last_recovery() const {
     return last_recovery_;
+  }
+
+  // --- write-ahead log + streaming ingestion (docs/STREAMING.md) ---------
+  /// Arms the write-ahead log on `dir`: loads the last checkpoint snapshot
+  /// from there, replays the current-generation log tail on top (torn
+  /// tails are truncated and quarantined; over-horizon coverage claims are
+  /// retracted so reuse never overclaims after a crash), and opens the log
+  /// for group commit. From then on every SELECT's view appends, coverage
+  /// transitions, and lifecycle evictions — and every ingestion advance —
+  /// are committed to the log before the operation is acknowledged.
+  /// Call after RegisterStream (streams must exist before their horizons
+  /// replay) and never while queries or ingests are in flight.
+  Status EnableWal(const std::string& dir);
+  bool wal_enabled() const { return wal_writer_ != nullptr; }
+  /// Arming result when EngineOptions::wal_dir was used (a constructor
+  /// cannot fail); OK when the WAL armed cleanly or was never requested.
+  const Status& wal_status() const { return wal_status_; }
+  /// What the most recent EnableWal replay found and repaired.
+  const wal::WalReplayReport& last_replay() const { return last_replay_; }
+
+  /// Folds the log into a fresh checkpoint snapshot (manifest generation
+  /// G+1), switches group commit to the next log file, and removes the
+  /// old-generation log. Every crash window leaves a recoverable pair:
+  /// either the old (snapshot G, log G) or the new (snapshot G+1, log G+1)
+  /// — see docs/STREAMING.md for the window-by-window analysis.
+  Status Checkpoint();
+
+  /// Registers `info` as a streaming source (catalog entry at the initial
+  /// horizon, full-length synthetic frames + statistics). Must precede
+  /// EnableWal so replayed horizon advances find their stream.
+  Status RegisterStream(const catalog::VideoInfo& info,
+                        const ingest::StreamOptions& opts);
+  /// One ingestion tick for `source`: buffers up to `frames` arrivals,
+  /// flushes the buffer (advancing the visible horizon), and — with the
+  /// WAL enabled — commits the advance before acknowledging it.
+  Result<ingest::StreamIngestor::FlushResult> IngestFrames(
+      const std::string& source, int64_t frames);
+  const ingest::StreamIngestor& ingestor() const { return ingestor_; }
+  ingest::StreamIngestor* ingestor_for_test() { return &ingestor_; }
+  /// Ingestion flushes currently executing (the persistence busy guard's
+  /// second input; readable from any thread).
+  int ingests_in_flight() const {
+    return ingests_in_flight_.load(std::memory_order_acquire);
   }
 
   /// Replaces the fault schedule (shell .faults, tests). An empty string
@@ -262,6 +327,14 @@ class EvaEngine {
   /// and never touches ViewStore/UdfManager live (their quiescence
   /// contracts, docs/RUNTIME.md).
   void PublishViewsSnapshot();
+  /// Same contract for the /ingest JSON snapshot.
+  void PublishIngestSnapshot();
+  /// Group-commits everything query `query_id` changed: view admissions,
+  /// then segment appends, then coverage transitions in journal order,
+  /// then lifecycle evictions LAST (so a torn suffix can only underclaim).
+  /// No-op when the WAL is off or nothing changed.
+  Status WalCommitQuery(int64_t query_id,
+                        const std::vector<lifecycle::EvictionEvent>& evictions);
 
   EngineOptions options_;
   std::shared_ptr<catalog::Catalog> catalog_;
@@ -292,6 +365,21 @@ class EvaEngine {
   mutable fault::FaultInjector injector_;
   Status fault_schedule_status_;
   storage::RecoveryReport last_recovery_;
+
+  // --- write-ahead log + streaming ingestion -----------------------------
+  ingest::StreamIngestor ingestor_;
+  std::string wal_dir_;  // empty until EnableWal succeeds
+  std::unique_ptr<wal::WalWriter> wal_writer_;
+  Status wal_status_;
+  wal::WalReplayReport last_replay_;
+  /// Views the log already carries an admission record for; anything else
+  /// gets one staged ahead of its first segment append.
+  std::set<std::string> wal_known_views_;
+  /// Raised for the duration of IngestFrames; the persistence busy guard's
+  /// second input (a snapshot taken mid-flush would tear the horizon).
+  std::atomic<int> ingests_in_flight_{0};
+  mutable std::mutex ingest_snapshot_mu_;
+  std::string ingest_snapshot_json_ = "{\"streams\":[]}";
 };
 
 }  // namespace eva::engine

@@ -61,6 +61,31 @@ Status WriteRaw(const std::string& path, const char* data, size_t len,
   return Status::OK();
 }
 
+Status AppendRaw(const std::string& path, const char* data, size_t len,
+                 bool sync) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open " + path + " for appending");
+  }
+  size_t written = 0;
+  while (written < len) {
+    ssize_t n = ::write(fd, data + written, len - written);
+    if (n < 0) {
+      ::close(fd);
+      return Status::Internal("append failed for " + path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (sync && ::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::Internal("fsync failed for " + path);
+  }
+  if (::close(fd) != 0) {
+    return Status::Internal("close failed for " + path);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 FaultAction FaultFs::Consult(const char* op, const std::string& path) {
@@ -104,6 +129,25 @@ Status FaultFs::WriteFile(const std::string& path,
       break;
   }
   return WriteRaw(path, contents.data(), contents.size(), /*sync=*/true);
+}
+
+Status FaultFs::AppendFile(const std::string& path, const std::string& bytes) {
+  switch (Consult("fs.append", path)) {
+    case FaultAction::kCrash:
+      return CrashedAt("fs.append", path);
+    case FaultAction::kFail:
+    case FaultAction::kError:
+      return Status::Internal("injected append failure for " + path);
+    case FaultAction::kShortWrite:
+      // The torn tail: half the batch lands, no fsync, and the caller is
+      // told the commit succeeded. Replay must truncate at the first bad
+      // CRC frame and never surface the partial suffix.
+      return AppendRaw(path, bytes.data(), bytes.size() / 2,
+                       /*sync=*/false);
+    default:
+      break;
+  }
+  return AppendRaw(path, bytes.data(), bytes.size(), /*sync=*/true);
 }
 
 Status FaultFs::Rename(const std::string& from, const std::string& to) {

@@ -14,6 +14,7 @@ namespace eva::fault {
 ///
 ///   fs.mkdir:<basename>    CreateDirs
 ///   fs.write:<basename>    WriteFile (tmp files included)
+///   fs.append:<basename>   AppendFile (the WAL's group-commit write)
 ///   fs.rename:<basename>   Rename (basename of the destination)
 ///   fs.remove:<basename>   Remove
 ///   fs.read:<basename>     ReadFile
@@ -34,6 +35,12 @@ class FaultFs {
   /// kShortWrite fault writes roughly half the bytes, skips the fsync, and
   /// still reports OK — the silent torn write checksums must catch.
   Status WriteFile(const std::string& path, const std::string& contents);
+
+  /// Appends `bytes` to `path` (creating it if absent), fsyncs, and
+  /// closes. This is the WAL's commit primitive: no tmp file, no rename. A
+  /// kShortWrite fault appends roughly half the bytes, skips the fsync,
+  /// and still reports OK — the torn tail the CRC framing must catch.
+  Status AppendFile(const std::string& path, const std::string& bytes);
 
   /// Atomic rename, then a best-effort fsync of the destination directory
   /// so the rename itself is durable.

@@ -1,0 +1,114 @@
+#include "ingest/stream_ingestor.h"
+
+#include <algorithm>
+
+namespace eva::ingest {
+
+Status StreamIngestor::Register(catalog::VideoInfo info,
+                                const StreamOptions& opts) {
+  if (opts.initial_frames < 1) {
+    return Status::InvalidArgument("stream needs at least one visible frame: " +
+                                   info.name);
+  }
+  if (opts.buffer_frames < 1) {
+    return Status::InvalidArgument("stream buffer must be positive: " +
+                                   info.name);
+  }
+  int64_t initial = opts.initial_frames;
+  if (opts.total_frames > 0) initial = std::min(initial, opts.total_frames);
+  info.streaming = true;
+  info.total_frames = opts.total_frames;
+  info.num_frames = initial;
+  EVA_RETURN_IF_ERROR(catalog_->AddVideo(info));
+  Stream s;
+  s.opts = opts;
+  s.visible = initial;
+  streams_.emplace(info.name, std::move(s));
+  return Status::OK();
+}
+
+Result<int64_t> StreamIngestor::Arrive(const std::string& source,
+                                       int64_t frames) {
+  auto it = streams_.find(source);
+  if (it == streams_.end()) {
+    return Status::NotFound("unknown stream: " + source);
+  }
+  if (frames < 0) {
+    return Status::InvalidArgument("cannot ingest negative frames");
+  }
+  Stream& s = it->second;
+  int64_t accept = std::min(frames, s.opts.buffer_frames - s.buffered);
+  if (s.opts.total_frames > 0) {
+    accept =
+        std::min(accept, s.opts.total_frames - s.visible - s.buffered);
+  }
+  accept = std::max<int64_t>(accept, 0);
+  s.buffered += accept;
+  return accept;
+}
+
+Result<StreamIngestor::FlushResult> StreamIngestor::Flush(
+    const std::string& source) {
+  auto it = streams_.find(source);
+  if (it == streams_.end()) {
+    return Status::NotFound("unknown stream: " + source);
+  }
+  Stream& s = it->second;
+  FlushResult out;
+  out.flushed = s.buffered;
+  if (flush_hook_) flush_hook_();
+  if (out.flushed > 0) {
+    EVA_RETURN_IF_ERROR(
+        catalog_->SetVideoFrames(source, s.visible + out.flushed));
+    clock_->Charge(CostCategory::kIngest,
+                   s.opts.cost_ms_per_frame * static_cast<double>(out.flushed));
+    s.visible += out.flushed;
+    s.flushed_total += out.flushed;
+    s.buffered = 0;
+  }
+  ++s.ticks;
+  out.visible = s.visible;
+  out.buffered = s.buffered;
+  return out;
+}
+
+Result<StreamIngestor::FlushResult> StreamIngestor::IngestTick(
+    const std::string& source, int64_t frames) {
+  EVA_ASSIGN_OR_RETURN(int64_t accepted, Arrive(source, frames));
+  (void)accepted;
+  return Flush(source);
+}
+
+void StreamIngestor::SyncVisible() {
+  for (auto& [name, s] : streams_) {
+    auto info = catalog_->GetVideo(name);
+    if (info.ok()) s.visible = info.value().num_frames;
+    // Buffered frames were never acknowledged as durable; a recovery
+    // drops them and the (simulated) source re-sends.
+    s.buffered = 0;
+  }
+}
+
+std::vector<StreamState> StreamIngestor::Sources() const {
+  std::vector<StreamState> out;
+  out.reserve(streams_.size());
+  for (const auto& [name, s] : streams_) {
+    StreamState st;
+    st.name = name;
+    st.visible = s.visible;
+    st.buffered = s.buffered;
+    st.total = s.opts.total_frames;
+    st.flushed_total = s.flushed_total;
+    st.ticks = s.ticks;
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+int64_t StreamIngestor::LagFrames() const {
+  int64_t lag = 0;
+  for (const auto& [name, s] : streams_) lag += s.buffered;
+  return lag;
+}
+
+}  // namespace eva::ingest

@@ -15,8 +15,8 @@ std::string UdfOfViewKey(const std::string& key) {
   return at == std::string::npos ? key : key.substr(0, at);
 }
 
-/// The predicate a frame-range segment covers: a ≤ id < b over integer
-/// frame ids, closed as [a, b−1].
+}  // namespace
+
 symbolic::Predicate SegmentPredicate(int64_t first_frame, int64_t frame_end) {
   return symbolic::Predicate::Atom(
       exec::kColId,
@@ -26,8 +26,6 @@ symbolic::Predicate SegmentPredicate(int64_t first_frame, int64_t frame_end) {
               symbolic::Bound::Closed(static_cast<double>(first_frame)),
               symbolic::Bound::Closed(static_cast<double>(frame_end - 1)))));
 }
-
-}  // namespace
 
 double ViewLifecycleManager::ReuseFraction(const std::string& udf_key) const {
   // Session statistics (QueryMetrics) key by bare UDF name; reuse behavior

@@ -42,6 +42,12 @@ struct AdmissionDecision {
   std::string reason;
 };
 
+/// The predicate a frame-range segment covers: a ≤ id < b over integer
+/// frame ids, closed as [a, b−1]. Shared with WAL replay (src/wal/), which
+/// must retract exactly what a live eviction retracts so a replayed
+/// eviction lands on the same coverage representation.
+symbolic::Predicate SegmentPredicate(int64_t first_frame, int64_t frame_end);
+
 /// One segment eviction, for tests, logging, and metrics.
 struct EvictionEvent {
   std::string view;  // "<udf>@<video>"

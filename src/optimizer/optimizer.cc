@@ -296,7 +296,24 @@ Result<OptimizedQuery> Optimizer::Optimize(
   // Wraps UdfManager::UpdateCoverage with the Algorithm-1 atom-count
   // histograms: `before` is the naive union size (old coverage + the new
   // associated predicate), `after` what the reduction actually kept.
-  auto update_coverage = [&](const std::string& key, const Predicate& q) {
+  auto update_coverage = [&](const std::string& key, const Predicate& q_in) {
+    Predicate q = q_in;
+    if (video.streaming) {
+      // Streaming soundness clamp: a claim must never extend past the
+      // source's visible horizon — the scan only produced frames below it,
+      // and a claim over unarrived frames would later read back as
+      // "processed, zero objects". Budget blow claims nothing (a sound
+      // underclaim; static videos are untouched, bit-preserving every
+      // non-streaming baseline).
+      Predicate horizon = Predicate::Atom(
+          exec::kColId,
+          symbolic::DimConstraint::Numeric(
+              symbolic::DimKind::kInteger,
+              symbolic::Interval::AtMost(
+                  static_cast<double>(video.num_frames - 1))));
+      auto clamped = Predicate::And(q, horizon, options_.budget);
+      q = clamped.ok() ? clamped.MoveValue() : Predicate::False();
+    }
     int atoms_before = manager_->CoverageAtomCount(key) + q.AtomCount();
     manager_->UpdateCoverage(key, q, options_.budget);
     if (obs_ == nullptr) return;

@@ -151,6 +151,26 @@ void EvaService::ClearReuseState() {
   future.get();
 }
 
+Result<ingest::StreamIngestor::FlushResult> EvaService::Ingest(
+    const std::string& source, int64_t frames) {
+  Op op;
+  op.kind = Op::Kind::kIngest;
+  op.arg = source;
+  op.frames = frames;
+  std::future<Result<ingest::StreamIngestor::FlushResult>> future =
+      op.ingest_promise.get_future();
+  Enqueue(std::move(op));
+  return future.get();
+}
+
+Status EvaService::Checkpoint() {
+  Op op;
+  op.kind = Op::Kind::kCheckpoint;
+  std::future<Status> future = op.status_promise.get_future();
+  Enqueue(std::move(op));
+  return future.get();
+}
+
 void EvaService::Drain() {
   Op op;
   op.kind = Op::Kind::kBarrier;
@@ -194,6 +214,13 @@ void EvaService::ExecutorLoop() {
       case Op::Kind::kClear:
         engine_->ClearReuseState();
         op.status_promise.set_value(Status::OK());
+        break;
+      case Op::Kind::kIngest:
+        op.ingest_promise.set_value(
+            engine_->IngestFrames(op.arg, op.frames));
+        break;
+      case Op::Kind::kCheckpoint:
+        op.status_promise.set_value(engine_->Checkpoint());
         break;
       case Op::Kind::kQuery: {
         Result<engine::QueryResult> result =

@@ -143,6 +143,15 @@ class EvaService {
   Status LoadViews(const std::string& dir);
   void ClearReuseState();
 
+  // --- streaming ingestion + WAL (queued like everything else) ------------
+  /// One ingestion tick for `source`, serialized with queries on the FIFO
+  /// — which is what makes every ingest_advance durable BEFORE any query
+  /// that could claim coverage over the new frames.
+  Result<ingest::StreamIngestor::FlushResult> Ingest(
+      const std::string& source, int64_t frames);
+  /// Folds the WAL into a fresh checkpoint generation at a quiescent point.
+  Status Checkpoint();
+
   /// The shared engine. Safe for setup before the first Submit and for
   /// thread-safe accessors (metrics registry, telemetry port, views()
   /// const reads between drained ops); do NOT call engine()->Execute from
@@ -160,12 +169,23 @@ class EvaService {
 
  private:
   struct Op {
-    enum class Kind { kQuery, kSave, kLoad, kClear, kBarrier, kStop };
+    enum class Kind {
+      kQuery,
+      kSave,
+      kLoad,
+      kClear,
+      kIngest,
+      kCheckpoint,
+      kBarrier,
+      kStop
+    };
     Kind kind = Kind::kQuery;
     int64_t session = 0;
-    std::string arg;  // sql (kQuery) or directory (kSave/kLoad)
+    std::string arg;  // sql (kQuery), directory (kSave/kLoad), or source
+    int64_t frames = 0;  // kIngest: frames arriving this tick
     std::promise<Result<engine::QueryResult>> query_promise;
     std::promise<Status> status_promise;
+    std::promise<Result<ingest::StreamIngestor::FlushResult>> ingest_promise;
   };
 
   void ExecutorLoop();

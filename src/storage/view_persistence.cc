@@ -604,6 +604,23 @@ Status SaveSession(const ViewStore& store, const udf::UdfManager& manager,
                   /*carry_view_entries=*/false, dir, fs);
 }
 
+Result<int64_t> ManifestGeneration(const std::string& dir,
+                                   fault::FaultFs* fs) {
+  fault::FaultFs plain;
+  if (fs == nullptr) fs = &plain;
+  Manifest manifest;
+  EVA_ASSIGN_OR_RETURN(ManifestState state, ReadManifest(dir, fs, &manifest));
+  switch (state) {
+    case ManifestState::kValid:
+      return manifest.generation;
+    case ManifestState::kAbsent:
+      return static_cast<int64_t>(0);
+    case ManifestState::kCorrupt:
+      break;
+  }
+  return Status::Internal("corrupt MANIFEST in " + dir);
+}
+
 Status SaveViewStore(const ViewStore& store, const std::string& dir) {
   fault::FaultFs plain;
   return SaveImpl(store, nullptr, /*write_views=*/true,

@@ -83,6 +83,13 @@ Result<RecoveryReport> LoadSession(const std::string& dir, ViewStore* store,
                                    udf::UdfManager* manager,
                                    fault::FaultFs* fs = nullptr);
 
+/// Generation number the directory's MANIFEST currently commits: 0 when no
+/// MANIFEST exists, an error only on a corrupt MANIFEST or a simulated
+/// crash. The WAL names its log file after this generation (src/wal/) so a
+/// checkpoint and its log tail stay paired.
+Result<int64_t> ManifestGeneration(const std::string& dir,
+                                   fault::FaultFs* fs = nullptr);
+
 /// Legacy piecewise API (tests and pre-v2 callers). SaveViewStore commits
 /// a views-only manifest; SaveLifecycleState writes the lifecycle file and
 /// re-commits the manifest with the previous generation's view entries

@@ -32,6 +32,7 @@ void MaterializedView::Put(const ViewKey& key, std::vector<Row> rows,
     // Key-list append keeps the columnar rebuild O(segment keys); the
     // sealed projection (if any) is now stale and rebuilt on next probe.
     columns_[seg_id].keys.push_back(key);
+    if (capture_appends_) append_log_.push_back(key);
   }
 }
 
@@ -240,6 +241,7 @@ MaterializedView* ViewStore::GetOrCreate(const std::string& name,
   if (it == views_.end()) {
     auto view = std::make_unique<MaterializedView>(name, value_schema);
     view->set_segment_frames(segment_frames_);
+    if (capture_appends_) view->set_capture_appends(true);
     it = views_.emplace(name, std::move(view)).first;
   }
   Touch(name);

@@ -201,6 +201,22 @@ class MaterializedView {
     return last_access_query_;
   }
 
+  /// WAL append capture: while enabled, every key Put actually inserts
+  /// (re-puts excluded) is recorded in insertion order. The engine drains
+  /// the log at each group-commit point via TakeAppendedKeys — a
+  /// driver-thread quiescence call like entries().
+  void set_capture_appends(bool enabled) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    capture_appends_ = enabled;
+    if (!enabled) append_log_.clear();
+  }
+  std::vector<ViewKey> TakeAppendedKeys() {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    std::vector<ViewKey> out;
+    out.swap(append_log_);
+    return out;
+  }
+
  private:
   /// Per-segment columnar state: the key list maintained on Put (so a
   /// rebuild is O(segment keys), not O(view keys)) and the lazily sealed
@@ -242,6 +258,8 @@ class MaterializedView {
   int64_t num_rows_ = 0;
   int64_t segment_frames_ = 512;
   int64_t last_access_query_ = -1;
+  bool capture_appends_ = false;
+  std::vector<ViewKey> append_log_;  // keys inserted since the last drain
   std::vector<Row> empty_;
 };
 
@@ -294,6 +312,18 @@ class ViewStore {
   /// policies use tick distance as a fine-grained recency measure).
   uint64_t current_tick() const { return segment_clock_.load(); }
 
+  /// WAL append capture across the whole registry: applies to every
+  /// existing view and to views created later (GetOrCreate inherits it).
+  void set_capture_appends(bool enabled) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    capture_appends_ = enabled;
+    for (auto& [name, view] : views_) view->set_capture_appends(enabled);
+  }
+  bool capture_appends() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return capture_appends_;
+  }
+
   /// Segment width (frames) applied to views created after the call.
   /// The engine sets it once at construction, before any view exists.
   void set_segment_frames(int64_t frames) {
@@ -315,6 +345,7 @@ class ViewStore {
   std::map<std::string, uint64_t> access_;  // name -> last access tick
   uint64_t access_clock_ = 0;
   int64_t segment_frames_ = 512;
+  bool capture_appends_ = false;
   std::atomic<uint64_t> segment_clock_{0};
 };
 

@@ -21,6 +21,9 @@ void UdfManager::UpdateCoverage(const std::string& key,
                                 const symbolic::Predicate& q,
                                 const symbolic::SymbolicBudget& budget) {
   obs::ProfScope prof("symbolic");
+  if (journal_enabled_) {
+    journal_.push_back({CoverageOp::Kind::kUnion, key, q});
+  }
   UdfEntry& entry = entries_[key];
   entry.coverage = symbolic::Predicate::Union(entry.coverage, q, budget);
 }
@@ -44,6 +47,9 @@ void UdfManager::RetractCoverage(const std::string& key,
 
 void UdfManager::SetCoverage(const std::string& key,
                              symbolic::Predicate coverage) {
+  if (journal_enabled_) {
+    journal_.push_back({CoverageOp::Kind::kSet, key, coverage});
+  }
   entries_[key].coverage = std::move(coverage);
 }
 

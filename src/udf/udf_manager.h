@@ -28,6 +28,18 @@ struct UdfEntry {
   int64_t distinct_invocations = 0;
 };
 
+/// One coverage transition captured while journaling is enabled — the
+/// WAL's source of truth for p_u durability. Only unions (the optimizer's
+/// UpdateCoverage input, pre-reduction) and wholesale sets (failure-path
+/// rollback) are journaled; retractions are implied by the eviction
+/// records that cause them, so replay never subtracts twice.
+struct CoverageOp {
+  enum class Kind { kUnion, kSet };
+  Kind kind = Kind::kUnion;
+  std::string key;
+  symbolic::Predicate predicate;
+};
+
 /// The paper's UDFMANAGER: maps UDF signatures to their aggregated
 /// predicates and materialized-view bindings. The optimizer consults it to
 /// derive p∩ / p– / p∪ for every candidate UDF occurrence.
@@ -65,11 +77,27 @@ class UdfManager {
   /// Atom count of p_u — what Fig. 8b/Fig. 7 track over a workload.
   int CoverageAtomCount(const std::string& key) const;
 
-  void Clear() { entries_.clear(); }
+  void Clear() {
+    entries_.clear();
+    journal_.clear();
+  }
+
+  /// WAL journaling of coverage transitions (driver-thread only, like
+  /// every mutator). Enabling starts capture; the engine drains the
+  /// journal into the log at each group-commit point.
+  void set_journal_enabled(bool enabled) { journal_enabled_ = enabled; }
+  bool journal_enabled() const { return journal_enabled_; }
+  std::vector<CoverageOp> TakeJournal() {
+    std::vector<CoverageOp> out;
+    out.swap(journal_);
+    return out;
+  }
 
  private:
   std::map<std::string, UdfEntry> entries_;
   symbolic::Predicate false_;
+  bool journal_enabled_ = false;
+  std::vector<CoverageOp> journal_;
 };
 
 }  // namespace eva::udf

@@ -1,0 +1,205 @@
+// Ingest-vs-query race test, written for the TSan CI matrix: one thread
+// streams ingestion ticks through EvaService while session threads submit
+// queries and a scraper hammers the /ingest and /metrics endpoints. The
+// service FIFO serializes every ingest advance ahead of the queries that
+// could claim the new frames, so whatever the submission interleaving, the
+// drained store must answer the final probe exactly like a cold engine at
+// the full horizon — the coverage-overclaim oracle under concurrency.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/eva_service.h"
+#include "vbench/vbench.h"
+
+namespace eva {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+constexpr int64_t kTotal = 120;
+constexpr int64_t kInitial = 40;
+constexpr int64_t kTick = 20;
+constexpr int kSessions = 2;
+const char kSource[] = "sv";
+
+catalog::VideoInfo StreamVideo() {
+  catalog::VideoInfo v;
+  v.name = kSource;
+  v.mean_objects_per_frame = 6;
+  v.seed = 31;
+  return v;
+}
+
+std::unique_ptr<engine::EvaEngine> MakeStreamEngine(int64_t initial) {
+  engine::EngineOptions options;
+  options.optimizer.mode = optimizer::ReuseMode::kEva;
+  auto engine = std::make_unique<engine::EvaEngine>(
+      options, std::make_shared<catalog::Catalog>());
+  EXPECT_TRUE(vbench::RegisterStandardUdfs(engine.get()).ok());
+  ingest::StreamOptions sopts;
+  sopts.initial_frames = initial;
+  sopts.total_frames = kTotal;
+  EXPECT_TRUE(engine->RegisterStream(StreamVideo(), sopts).ok());
+  return engine;
+}
+
+std::vector<std::string> SessionQueries() {
+  return {
+      "SELECT id, obj FROM sv CROSS APPLY FasterRCNNResNet50(frame) "
+      "WHERE label = 'car';",
+      "SELECT id, obj FROM sv CROSS APPLY FasterRCNNResNet50(frame) "
+      "WHERE id >= 10 AND label = 'car' "
+      "AND CarType(frame, bbox) = 'Nissan';",
+      "SELECT id, obj FROM sv CROSS APPLY FasterRCNNResNet50(frame) "
+      "WHERE id < 100 AND label = 'bus';",
+  };
+}
+
+std::string HttpGetRaw(int port, const std::string& target) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string req = "GET " + target +
+                    " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n"
+                    "\r\n";
+  size_t sent = 0;
+  while (sent < req.size()) {
+    ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return raw;
+}
+
+TEST(IngestRaceTest, RacingIngestQueriesAndScrapesStaySound) {
+  const stdfs::path wal_dir =
+      stdfs::temp_directory_path() /
+      ("eva_ingest_race_" + std::to_string(::getpid()));
+  stdfs::remove_all(wal_dir);
+
+  // Ground truth: the final probe on a cold engine already at the full
+  // horizon, computed before the race so nothing shared leaks in.
+  std::string oracle_rows;
+  {
+    auto cold = MakeStreamEngine(kTotal);
+    auto r = cold->Execute(SessionQueries()[0]);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    oracle_rows = r.value().batch.ToString(1 << 20);
+  }
+
+  auto engine = MakeStreamEngine(kInitial);
+  ASSERT_TRUE(engine->EnableWal(wal_dir.string()).ok());
+  ASSERT_TRUE(engine->StartTelemetryServer(0).ok());
+  const int port = engine->telemetry_port();
+  ASSERT_GT(port, 0);
+
+  service::EvaService svc(std::move(engine));
+  std::vector<std::shared_ptr<service::EvaSession>> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.push_back(svc.CreateSession("racer-" + std::to_string(s)));
+  }
+
+  std::atomic<bool> stop_scraper{false};
+  std::atomic<int> query_errors{0};
+  std::atomic<int> ingest_errors{0};
+
+  std::vector<std::thread> workers;
+  // Session threads: several passes over the query set, racing the
+  // ingestion ticks below for the executor queue.
+  for (int s = 0; s < kSessions; ++s) {
+    workers.emplace_back([&svc, &sessions, &query_errors, s] {
+      const auto queries = SessionQueries();
+      for (int pass = 0; pass < 3; ++pass) {
+        for (const std::string& sql : queries) {
+          auto r = svc.Execute(sessions[static_cast<size_t>(s)]->id(), sql);
+          if (!r.ok()) {
+            ADD_FAILURE() << "query failed: " << r.status().ToString();
+            query_errors.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  // The ingestion thread: ticks until the stream is fully delivered, with
+  // a checkpoint partway through to race log rotation against queries.
+  workers.emplace_back([&svc, &ingest_errors] {
+    int64_t visible = kInitial;
+    int ticks = 0;
+    while (visible < kTotal) {
+      auto r = svc.Ingest(kSource, kTick);
+      if (!r.ok()) {
+        ADD_FAILURE() << "ingest failed: " << r.status().ToString();
+        ingest_errors.fetch_add(1);
+        break;
+      }
+      visible = r.value().visible;
+      if (++ticks == 2) {
+        Status ck = svc.Checkpoint();
+        if (!ck.ok()) {
+          ADD_FAILURE() << "checkpoint failed: " << ck.ToString();
+          ingest_errors.fetch_add(1);
+        }
+      }
+    }
+  });
+  // The scraper: pre-rendered snapshots must be servable at any moment.
+  workers.emplace_back([port, &stop_scraper] {
+    const char* targets[] = {"/ingest", "/metrics", "/sessions"};
+    int i = 0;
+    while (!stop_scraper.load(std::memory_order_acquire)) {
+      (void)HttpGetRaw(port, targets[i++ % 3]);
+    }
+  });
+
+  for (size_t w = 0; w + 1 < workers.size(); ++w) workers[w].join();
+  stop_scraper.store(true, std::memory_order_release);
+  workers.back().join();
+  svc.Drain();
+
+  EXPECT_EQ(query_errors.load(), 0);
+  EXPECT_EQ(ingest_errors.load(), 0);
+
+  auto final_sources = svc.engine()->ingestor().Sources();
+  ASSERT_EQ(final_sources.size(), 1u);
+  EXPECT_EQ(final_sources[0].visible, kTotal);
+
+  auto probe = svc.Execute(sessions[0]->id(), SessionQueries()[0]);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_EQ(probe.value().batch.ToString(1 << 20), oracle_rows)
+      << "coverage overclaimed somewhere in the interleaving";
+
+  stdfs::remove_all(wal_dir);
+}
+
+}  // namespace
+}  // namespace eva

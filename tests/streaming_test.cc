@@ -1,0 +1,380 @@
+// Streaming ingestion + incremental view maintenance (docs/STREAMING.md):
+// views materialized at an earlier horizon are extended along the frame-id
+// dimension as ingestion advances, never invalidated — so the shared-store
+// hit rate climbs tick over tick. Also the optimizer's horizon clamp
+// (coverage never claims unarrived frames), the persistence busy guard
+// over ingestion flushes, the WAL/ingest observability surface (events,
+// metrics, the /ingest endpoint), and checkpointing through the service
+// FIFO.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "engine/eva_engine.h"
+#include "service/eva_service.h"
+#include "symbolic/predicate.h"
+#include "vbench/vbench.h"
+
+namespace eva::engine {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+constexpr int64_t kTotal = 160;
+constexpr int64_t kInitial = 40;
+constexpr int64_t kTick = 40;
+const char kSource[] = "sv";
+const char kDetectorKey[] = "FasterRCNNResNet50@sv";
+const char kProbe[] =
+    "SELECT id, obj FROM sv CROSS APPLY FasterRCNNResNet50(frame) "
+    "WHERE label = 'car';";
+
+catalog::VideoInfo StreamVideo() {
+  catalog::VideoInfo v;
+  v.name = kSource;
+  v.mean_objects_per_frame = 6;
+  v.seed = 23;
+  return v;
+}
+
+std::unique_ptr<EvaEngine> MakeStreamEngine(
+    int64_t initial, engine::EngineOptions options = {}) {
+  options.optimizer.mode = optimizer::ReuseMode::kEva;
+  auto engine =
+      std::make_unique<EvaEngine>(options, std::make_shared<catalog::Catalog>());
+  EXPECT_TRUE(vbench::RegisterStandardUdfs(engine.get()).ok());
+  ingest::StreamOptions sopts;
+  sopts.initial_frames = initial;
+  sopts.total_frames = kTotal;
+  EXPECT_TRUE(engine->RegisterStream(StreamVideo(), sopts).ok());
+  return engine;
+}
+
+std::string TempDir(const std::string& stem) {
+  stdfs::path p = stdfs::temp_directory_path() /
+                  (stem + "." + std::to_string(::getpid()));
+  stdfs::remove_all(p);
+  return p.string();
+}
+
+struct HttpReply {
+  int status = -1;
+  std::string body;
+};
+
+HttpReply HttpGet(int port, const std::string& target) {
+  HttpReply reply;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return reply;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return reply;
+  }
+  std::string req = "GET " + target +
+                    " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n"
+                    "\r\n";
+  size_t sent = 0;
+  while (sent < req.size()) {
+    ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return reply;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (raw.rfind("HTTP/1.1 ", 0) == 0 && raw.size() > 12) {
+    reply.status = std::atoi(raw.c_str() + 9);
+  }
+  size_t sep = raw.find("\r\n\r\n");
+  if (sep != std::string::npos) reply.body = raw.substr(sep + 4);
+  return reply;
+}
+
+/// The headline behavior: re-running the same exploratory query as the
+/// stream grows reuses every previously-materialized frame — coverage is
+/// extended, not invalidated — so the per-run hit rate climbs monotonically
+/// toward 100%.
+TEST(StreamingTest, HitRateClimbsAcrossIngestTicks) {
+  auto engine = MakeStreamEngine(kInitial);
+  std::vector<int64_t> invocations;
+  std::vector<int64_t> reused;
+  std::vector<double> hit_pct;
+  for (int tick = 0;; ++tick) {
+    auto r = engine->Execute(kProbe);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    const auto& m = r.value().metrics;
+    invocations.push_back(m.TotalInvocations());
+    reused.push_back(m.TotalReused());
+    hit_pct.push_back(m.TotalInvocations() == 0
+                          ? 0
+                          : 100.0 * static_cast<double>(m.TotalReused()) /
+                                static_cast<double>(m.TotalInvocations()));
+    auto sources = engine->ingestor().Sources();
+    ASSERT_EQ(sources.size(), 1u);
+    if (sources[0].visible >= kTotal) break;
+    auto tick_r = engine->IngestFrames(kSource, kTick);
+    ASSERT_TRUE(tick_r.ok()) << tick_r.status().ToString();
+    EXPECT_EQ(tick_r.value().flushed, kTick);
+  }
+  ASSERT_EQ(hit_pct.size(), 4u);  // horizons 40, 80, 120, 160
+  EXPECT_EQ(reused[0], 0) << "nothing to reuse on the first run";
+  for (size_t t = 1; t < hit_pct.size(); ++t) {
+    // Incremental maintenance, exactly: every tuple the previous run
+    // required is reused by this one — only the newly arrived frames are
+    // computed.
+    EXPECT_EQ(reused[t], invocations[t - 1])
+        << "tick " << t << " recomputed frames the store already held";
+    EXPECT_GT(hit_pct[t], hit_pct[t - 1])
+        << "tick " << t << ": hit rate must climb as the stream grows";
+  }
+  EXPECT_GE(hit_pct.back(), 70.0);
+
+  // Soundness at the final horizon: rows equal a cold engine's.
+  auto cold = MakeStreamEngine(kTotal);
+  auto expect = cold->Execute(kProbe);
+  auto got = engine->Execute(kProbe);
+  ASSERT_TRUE(expect.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().batch.ToString(1 << 20),
+            expect.value().batch.ToString(1 << 20));
+}
+
+/// The optimizer clamp: a full-range query at horizon H claims coverage
+/// only for frames below H — the aggregated predicate must have an empty
+/// intersection with [H, inf).
+TEST(StreamingTest, CoverageNeverClaimsPastTheHorizon) {
+  auto engine = MakeStreamEngine(kInitial);
+  ASSERT_TRUE(engine->Execute(kProbe).ok());
+  const symbolic::SymbolicBudget budget;
+  const symbolic::Predicate beyond = symbolic::Predicate::Atom(
+      exec::kColId,
+      symbolic::DimConstraint::Numeric(
+          symbolic::DimKind::kInteger,
+          symbolic::Interval::AtLeast(static_cast<double>(kInitial))));
+  auto overlap = symbolic::Predicate::Inter(
+      engine->udf_manager().Coverage(kDetectorKey), beyond, budget);
+  ASSERT_TRUE(overlap.ok());
+  EXPECT_TRUE(overlap.value().DefinitelyFalse())
+      << "coverage claims frames the stream has not delivered";
+
+  // After one tick the clamp moves with the horizon.
+  ASSERT_TRUE(engine->IngestFrames(kSource, kTick).ok());
+  ASSERT_TRUE(engine->Execute(kProbe).ok());
+  const symbolic::Predicate beyond2 = symbolic::Predicate::Atom(
+      exec::kColId,
+      symbolic::DimConstraint::Numeric(
+          symbolic::DimKind::kInteger,
+          symbolic::Interval::AtLeast(
+              static_cast<double>(kInitial + kTick))));
+  auto overlap2 = symbolic::Predicate::Inter(
+      engine->udf_manager().Coverage(kDetectorKey), beyond2, budget);
+  ASSERT_TRUE(overlap2.ok());
+  EXPECT_TRUE(overlap2.value().DefinitelyFalse());
+  auto within = symbolic::Predicate::Inter(
+      engine->udf_manager().Coverage(kDetectorKey), beyond, budget);
+  ASSERT_TRUE(within.ok());
+  EXPECT_FALSE(within.value().DefinitelyFalse())
+      << "the second run should claim the newly visible frames";
+}
+
+/// Regression for the busy-guard gap: a snapshot taken in the middle of an
+/// ingestion flush would tear the horizon (rows visible, advance not yet
+/// recorded). SaveViews/LoadViews must fail FailedPrecondition for the
+/// whole duration of the flush — the hook below runs inside the window
+/// after the flush size is fixed and before the horizon advances.
+TEST(StreamingTest, PersistenceBusyGuardCoversIngestFlush) {
+  const std::string wal_dir = TempDir("eva_streaming_guard");
+  const std::string snap_dir = TempDir("eva_streaming_guard_snap");
+  auto engine = MakeStreamEngine(kInitial);
+  ASSERT_TRUE(engine->EnableWal(wal_dir).ok());
+  ASSERT_TRUE(engine->Execute(kProbe).ok());
+
+  Status save_in_flush, load_in_flush, checkpoint_in_flush;
+  engine->ingestor_for_test()->set_flush_hook(
+      [&engine, &snap_dir, &save_in_flush, &load_in_flush,
+       &checkpoint_in_flush] {
+        save_in_flush = engine->SaveViews(snap_dir);
+        load_in_flush = engine->LoadViews(snap_dir);
+        checkpoint_in_flush = engine->Checkpoint();
+      });
+  ASSERT_TRUE(engine->IngestFrames(kSource, kTick).ok());
+  engine->ingestor_for_test()->set_flush_hook(nullptr);
+
+  EXPECT_EQ(save_in_flush.code(), StatusCode::kFailedPrecondition)
+      << save_in_flush.ToString();
+  EXPECT_EQ(load_in_flush.code(), StatusCode::kFailedPrecondition)
+      << load_in_flush.ToString();
+  EXPECT_EQ(checkpoint_in_flush.code(), StatusCode::kFailedPrecondition)
+      << checkpoint_in_flush.ToString();
+
+  // Outside the flush the rules are: snapshot exports to a foreign
+  // directory work, loads are rejected while the WAL owns durable state,
+  // and saves into the WAL directory fold into a checkpoint.
+  EXPECT_TRUE(engine->SaveViews(snap_dir).ok());
+  Status load = engine->LoadViews(snap_dir);
+  EXPECT_EQ(load.code(), StatusCode::kFailedPrecondition)
+      << load.ToString();
+  EXPECT_TRUE(engine->SaveViews(wal_dir).ok());
+  EXPECT_TRUE(stdfs::exists(stdfs::path(wal_dir) / "wal.g1.evalog"))
+      << "SaveViews into the WAL directory must checkpoint, not snapshot";
+
+  stdfs::remove_all(wal_dir);
+  stdfs::remove_all(snap_dir);
+}
+
+/// The observability surface: typed JSONL events for every WAL append /
+/// ingest flush / checkpoint / replay, and the streaming counters and lag
+/// gauge in the metrics registry.
+TEST(StreamingTest, WalAndIngestEventsAndMetricsAreEmitted) {
+  const std::string wal_dir = TempDir("eva_streaming_obs");
+  const std::string log_path = TempDir("eva_streaming_events") + ".jsonl";
+  obs::MetricsRegistry local;
+  {
+    engine::EngineOptions options;
+    options.event_log_path = log_path;
+    auto engine = MakeStreamEngine(kInitial, options);
+    engine->set_metrics_registry(&local);
+    ASSERT_NE(engine->event_log(), nullptr);
+    ASSERT_TRUE(engine->EnableWal(wal_dir).ok());
+    ASSERT_TRUE(engine->Execute(kProbe).ok());
+    ASSERT_TRUE(engine->IngestFrames(kSource, kTick).ok());
+    ASSERT_TRUE(engine->Checkpoint().ok());
+  }
+
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.good());
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("\"type\":\"replay_done\""), std::string::npos);
+  EXPECT_NE(all.find("\"type\":\"wal_append\""), std::string::npos);
+  EXPECT_NE(all.find("\"type\":\"ingest_flush\""), std::string::npos);
+  EXPECT_NE(all.find("\"type\":\"wal_checkpoint\""), std::string::npos);
+
+  const std::string prom = local.RenderPrometheus();
+  EXPECT_NE(prom.find("eva_wal_records_total"), std::string::npos);
+  EXPECT_NE(prom.find("eva_wal_bytes_total"), std::string::npos);
+  EXPECT_NE(prom.find("eva_wal_checkpoints_total"), std::string::npos);
+  EXPECT_NE(prom.find("eva_ingest_frames_total"), std::string::npos);
+  EXPECT_NE(prom.find("eva_ingest_lag_frames"), std::string::npos);
+
+  stdfs::remove_all(wal_dir);
+  std::remove(log_path.c_str());
+}
+
+/// The /ingest endpoint serves a pre-rendered snapshot of every stream's
+/// horizon and the WAL's committed totals, and it advances tick by tick.
+TEST(StreamingTest, IngestEndpointServesLiveSnapshot) {
+  const std::string wal_dir = TempDir("eva_streaming_http");
+  auto engine = MakeStreamEngine(kInitial);
+  ASSERT_TRUE(engine->EnableWal(wal_dir).ok());
+  ASSERT_TRUE(engine->StartTelemetryServer(0).ok());
+  const int port = engine->telemetry_port();
+  ASSERT_GT(port, 0);
+
+  HttpReply before = HttpGet(port, "/ingest");
+  EXPECT_EQ(before.status, 200);
+  EXPECT_NE(before.body.find("\"wal_enabled\":true"), std::string::npos)
+      << before.body;
+  EXPECT_NE(before.body.find("\"name\":\"sv\""), std::string::npos);
+  EXPECT_NE(before.body.find("\"visible\":40"), std::string::npos);
+
+  ASSERT_TRUE(engine->Execute(kProbe).ok());
+  ASSERT_TRUE(engine->IngestFrames(kSource, kTick).ok());
+  HttpReply after = HttpGet(port, "/ingest");
+  EXPECT_EQ(after.status, 200);
+  EXPECT_NE(after.body.find("\"visible\":80"), std::string::npos)
+      << after.body;
+  EXPECT_NE(after.body.find("\"lag_frames\":0"), std::string::npos);
+
+  engine->StopTelemetryServer();
+  stdfs::remove_all(wal_dir);
+}
+
+/// Ingestion and checkpoints ride the service FIFO like every other op, so
+/// a full streaming session — queries interleaved with ticks, a checkpoint
+/// in the middle — recovers bit-identically through a fresh engine.
+TEST(StreamingTest, ServiceSerializedSessionSurvivesRestart) {
+  const std::string wal_dir = TempDir("eva_streaming_svc");
+  std::string rows_before;
+  int64_t horizon_before = 0;
+  {
+    auto engine = MakeStreamEngine(kInitial);
+    ASSERT_TRUE(engine->EnableWal(wal_dir).ok());
+    service::EvaService svc(std::move(engine));
+    auto session = svc.CreateSession("streamer");
+    ASSERT_TRUE(svc.Execute(session->id(), kProbe).ok());
+    auto tick = svc.Ingest(kSource, kTick);
+    ASSERT_TRUE(tick.ok()) << tick.status().ToString();
+    EXPECT_EQ(tick.value().visible, kInitial + kTick);
+    ASSERT_TRUE(svc.Checkpoint().ok());
+    ASSERT_TRUE(svc.Ingest(kSource, kTick).ok());
+    auto r = svc.Execute(session->id(), kProbe);
+    ASSERT_TRUE(r.ok());
+    rows_before = r.value().batch.ToString(1 << 20);
+    horizon_before = kInitial + 2 * kTick;
+    svc.Drain();
+  }
+
+  auto recovered = MakeStreamEngine(kInitial);
+  ASSERT_TRUE(recovered->EnableWal(wal_dir).ok())
+      << recovered->last_replay().Summary();
+  auto sources = recovered->ingestor().Sources();
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(sources[0].visible, horizon_before);
+  auto r = recovered->Execute(kProbe);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().batch.ToString(1 << 20), rows_before);
+  EXPECT_DOUBLE_EQ(r.value().metrics.breakdown[CostCategory::kUdf], 0.0)
+      << "the recovered session should reuse everything it had computed";
+
+  stdfs::remove_all(wal_dir);
+}
+
+/// RegisterStream ordering and argument contracts.
+TEST(StreamingTest, RegisterStreamContracts) {
+  const std::string wal_dir = TempDir("eva_streaming_contracts");
+  auto engine = MakeStreamEngine(kInitial);
+  ASSERT_TRUE(engine->EnableWal(wal_dir).ok());
+
+  catalog::VideoInfo late = StreamVideo();
+  late.name = "late";
+  ingest::StreamOptions sopts;
+  sopts.total_frames = kTotal;
+  Status after_wal = engine->RegisterStream(late, sopts);
+  EXPECT_EQ(after_wal.code(), StatusCode::kFailedPrecondition)
+      << "streams must be registered before EnableWal";
+
+  auto fresh = std::make_unique<EvaEngine>(
+      engine::EngineOptions{}, std::make_shared<catalog::Catalog>());
+  ingest::StreamOptions unbounded;
+  unbounded.total_frames = 0;
+  EXPECT_EQ(fresh->RegisterStream(StreamVideo(), unbounded).code(),
+            StatusCode::kInvalidArgument)
+      << "unbounded streams cannot pre-derive frame content";
+
+  stdfs::remove_all(wal_dir);
+}
+
+}  // namespace
+}  // namespace eva::engine
