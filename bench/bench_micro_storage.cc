@@ -124,6 +124,52 @@ void BM_ViewProbeBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_ViewProbeBatch);
 
+// Probe-hit vs probe-miss over compressed segments with/without the
+// split-block Bloom filter. Only even frames are stored, so odd-frame
+// probes miss *inside* the segment frame range and must be rejected by
+// the filter (or, without one, by the packed key-index binary search) —
+// out-of-range misses would short-circuit earlier and measure nothing.
+void FillBloomView(MaterializedView* view, int bloom_bits_per_key) {
+  view->set_build_options({true, bloom_bits_per_key});
+  for (int64_t f = 0; f < kProbeViewFrames; f += 2) {
+    view->Put(ViewKey{f, -1},
+              {{Value(static_cast<int64_t>(0)), Value("car"), Value(0.3),
+                Value(0.9)}});
+  }
+  view->SealAllSegments();
+}
+
+// odd_stride=0 probes stored (even) keys; 1 probes absent odd keys.
+std::vector<ViewKey> BloomProbeKeys(int64_t odd_stride) {
+  std::vector<ViewKey> keys(kProbeBatchKeys);
+  int64_t f = 0;
+  for (size_t i = 0; i < kProbeBatchKeys; ++i) {
+    f = (f + 7919 * 2) % kProbeViewFrames;
+    keys[i] = ViewKey{f + odd_stride, -1};
+  }
+  return keys;
+}
+
+void BM_ProbeBatchBloom(benchmark::State& state) {
+  const bool miss = state.range(0) != 0;
+  const int bloom_bits = static_cast<int>(state.range(1));
+  MaterializedView view("bench", DetSchema());
+  FillBloomView(&view, bloom_bits);
+  std::vector<ViewKey> keys = BloomProbeKeys(miss ? 1 : 0);
+  ProbeResult res;
+  for (auto _ : state) {
+    view.ProbeBatch(keys, nullptr, &res);
+    benchmark::DoNotOptimize(res.outcomes.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kProbeBatchKeys));
+}
+BENCHMARK(BM_ProbeBatchBloom)
+    ->ArgNames({"miss", "bloom_bits"})
+    ->Args({0, 10})   // hits, bloom on
+    ->Args({1, 10})   // misses, bloom on — must beat the hit path
+    ->Args({1, 0});   // misses, bloom off — the key-index binary search
+
 ExprPtr FilterBenchPredicate() {
   // label = 'car' AND area > 0.2 — the shape every vbench query carries.
   return Expr::And(
@@ -265,6 +311,25 @@ int RunQuick() {
     }
   };
 
+  MaterializedView bloom_view("bench_bloom", DetSchema());
+  FillBloomView(&bloom_view, 10);
+  MaterializedView nobloom_view("bench_nobloom", DetSchema());
+  FillBloomView(&nobloom_view, 0);
+  std::vector<ViewKey> hit_keys = BloomProbeKeys(0);
+  std::vector<ViewKey> miss_keys = BloomProbeKeys(1);
+  auto probe_rounds = [&](MaterializedView& v,
+                          const std::vector<ViewKey>& probe_keys) {
+    ProbeResult r;
+    for (int64_t b = 0; b * static_cast<int64_t>(kProbeBatchKeys) < kOps;
+         ++b) {
+      v.ProbeBatch(probe_keys, nullptr, &r);
+      benchmark::DoNotOptimize(r.outcomes.size());
+    }
+  };
+  auto probe_hit_bloom = [&] { probe_rounds(bloom_view, hit_keys); };
+  auto probe_miss_bloom = [&] { probe_rounds(bloom_view, miss_keys); };
+  auto probe_miss_nobloom = [&] { probe_rounds(nobloom_view, miss_keys); };
+
   Schema schema = DetSchema();
   Batch batch = FilterBenchBatch();
   ExprPtr pred = FilterBenchPredicate();
@@ -307,6 +372,18 @@ int RunQuick() {
   out += eva::bench::WallStatsJson(
       "view_probe_batch",
       eva::bench::MeasureWall(probe_batch, kWarmup, kSamples, kOps));
+  out += ',';
+  out += eva::bench::WallStatsJson(
+      "probe_batch_hit_bloom",
+      eva::bench::MeasureWall(probe_hit_bloom, kWarmup, kSamples, kOps));
+  out += ',';
+  out += eva::bench::WallStatsJson(
+      "probe_batch_miss_bloom",
+      eva::bench::MeasureWall(probe_miss_bloom, kWarmup, kSamples, kOps));
+  out += ',';
+  out += eva::bench::WallStatsJson(
+      "probe_batch_miss_nobloom",
+      eva::bench::MeasureWall(probe_miss_nobloom, kWarmup, kSamples, kOps));
   out += ',';
   out += eva::bench::WallStatsJson(
       "filter_scalar",

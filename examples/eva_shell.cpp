@@ -153,14 +153,24 @@ int main() {
         for (const auto& [name, view] : engine->views().views()) {
           const int atoms = engine->udf_manager().CoverageAtomCount(name);
           const int64_t last_q = view->last_access_query();
+          const storage::ViewCompressionStats cs = view->CompressionStats();
           std::printf("  %-40s %8lld keys %8lld rows %10.1f KiB "
-                      "%3d coverage atoms  last query %s\n",
+                      "%3d coverage atoms  last query %s",
                       name.c_str(),
                       static_cast<long long>(view->num_keys()),
                       static_cast<long long>(view->num_rows()),
                       view->SizeBytes() / 1024.0, atoms,
                       last_q < 0 ? "-"
                                  : std::to_string(last_q).c_str());
+          if (cs.sealed_segments > 0 && cs.raw_bytes > 0) {
+            std::printf("  [%.1f -> %.1f KiB sealed, %.2fx]",
+                        cs.raw_bytes / 1024.0, cs.encoded_bytes / 1024.0,
+                        cs.encoded_bytes > 0
+                            ? static_cast<double>(cs.raw_bytes) /
+                                  static_cast<double>(cs.encoded_bytes)
+                            : 0.0);
+          }
+          std::printf("\n");
         }
         continue;
       }

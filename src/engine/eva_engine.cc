@@ -143,6 +143,8 @@ EvaEngine::EvaEngine(EngineOptions options,
   if (!options_.observability) registry_ = nullptr;
   SetNumThreads(options_.num_threads);
   views_.set_segment_frames(options_.segment_frames);
+  views_.set_build_options(
+      {options_.segment_compression, options_.bloom_bits_per_key});
   lifecycle::LifecycleOptions lopts;
   lopts.storage_budget_bytes = options_.storage_budget_bytes;
   lopts.policy = lifecycle::ParseEvictionPolicy(options_.eviction_policy)
@@ -252,7 +254,8 @@ Status EvaEngine::SaveViews(const std::string& dir) {
   // therefore IS a checkpoint; saving elsewhere is a snapshot export.
   if (wal_writer_ != nullptr && dir == wal_dir_) return Checkpoint();
   fault::FaultFs fs(injector_.active() ? &injector_ : nullptr);
-  return storage::SaveSession(views_, manager_, dir, &fs);
+  return storage::SaveSession(views_, manager_, dir, &fs,
+                              {options_.segment_compression});
 }
 
 Status EvaEngine::LoadViews(const std::string& dir) {
@@ -311,6 +314,8 @@ Status EvaEngine::LoadViews(const std::string& dir) {
 void EvaEngine::ClearReuseState() {
   views_.Clear();
   views_.set_segment_frames(options_.segment_frames);
+  views_.set_build_options(
+      {options_.segment_compression, options_.bloom_bits_per_key});
   manager_.Clear();
   funcache_.Clear();
   clock_.Reset();
@@ -439,7 +444,8 @@ Status EvaEngine::Checkpoint() {
   // snapshot below must supersede everything the old generation holds.
   EVA_RETURN_IF_ERROR(WalCommitQuery(query_seq_, {}));
 
-  EVA_RETURN_IF_ERROR(storage::SaveSession(views_, manager_, wal_dir_, &fs));
+  EVA_RETURN_IF_ERROR(storage::SaveSession(views_, manager_, wal_dir_, &fs,
+                                           {options_.segment_compression}));
   EVA_ASSIGN_OR_RETURN(int64_t gen,
                        storage::ManifestGeneration(wal_dir_, &fs));
 
@@ -730,6 +736,14 @@ void EvaEngine::PublishViewsSnapshot() {
   obs::AppendJsonString(&out, lifecycle_->policy_name());
   out += ",\"evictions\":" + std::to_string(lifecycle_->evictions());
   out += ",\"queries_executed\":" + std::to_string(query_seq_);
+  const storage::SealTotals& totals = views_.seal_totals();
+  out += ",\"segments_sealed\":" +
+         std::to_string(totals.segments_sealed.load(std::memory_order_relaxed));
+  out += ",\"segment_raw_bytes\":" + obs::FormatJsonNumber(static_cast<double>(
+             totals.raw_bytes.load(std::memory_order_relaxed)));
+  out += ",\"segment_encoded_bytes\":" +
+         obs::FormatJsonNumber(static_cast<double>(
+             totals.encoded_bytes.load(std::memory_order_relaxed)));
   out += ",\"views\":[";
   bool first = true;
   for (const auto& [name, view] : views_.views()) {
@@ -741,6 +755,12 @@ void EvaEngine::PublishViewsSnapshot() {
     out += ",\"rows\":" + std::to_string(view->num_rows());
     out += ",\"bytes\":" + obs::FormatJsonNumber(view->SizeBytes());
     out += ",\"segments\":" + std::to_string(view->Segments().size());
+    storage::ViewCompressionStats cs = view->CompressionStats();
+    out += ",\"sealed_segments\":" + std::to_string(cs.sealed_segments);
+    out += ",\"raw_bytes\":" +
+           obs::FormatJsonNumber(static_cast<double>(cs.raw_bytes));
+    out += ",\"encoded_bytes\":" +
+           obs::FormatJsonNumber(static_cast<double>(cs.encoded_bytes));
     out +=
         ",\"last_access_query\":" + std::to_string(view->last_access_query());
     out += ",\"coverage_atoms\":" +
@@ -1084,6 +1104,53 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
     if (auto* g = registry_->GetGauge("eva_view_store_views",
                                       "Number of materialized views.")) {
       g->Set(static_cast<double>(views_.views().size()));
+    }
+    // Segment-compression counters: the ViewStore keeps running atomics
+    // (seals can happen on worker threads mid-query); the driver folds the
+    // delta since the last publish into the monotone `_total` series here.
+    const storage::SealTotals& totals = views_.seal_totals();
+    int64_t sealed = totals.segments_sealed.load(std::memory_order_relaxed);
+    int64_t raw = totals.raw_bytes.load(std::memory_order_relaxed);
+    int64_t encoded = totals.encoded_bytes.load(std::memory_order_relaxed);
+    if (sealed > published_seal_totals_.segments_sealed) {
+      if (auto* c = registry_->GetCounter(
+              "eva_segments_sealed_total",
+              "Segments sealed into immutable columnar form.")) {
+        c->Increment(static_cast<double>(
+            sealed - published_seal_totals_.segments_sealed));
+      }
+      published_seal_totals_.segments_sealed = sealed;
+    }
+    if (raw > published_seal_totals_.raw_bytes) {
+      if (auto* c = registry_->GetCounter(
+              "eva_segment_bytes_raw_total",
+              "Pre-compression bytes across sealed segments.")) {
+        c->Increment(
+            static_cast<double>(raw - published_seal_totals_.raw_bytes));
+      }
+      published_seal_totals_.raw_bytes = raw;
+    }
+    if (encoded > published_seal_totals_.encoded_bytes) {
+      if (auto* c = registry_->GetCounter(
+              "eva_segment_bytes_encoded_total",
+              "Post-compression bytes across sealed segments.")) {
+        c->Increment(static_cast<double>(
+            encoded - published_seal_totals_.encoded_bytes));
+      }
+      published_seal_totals_.encoded_bytes = encoded;
+    }
+    for (int i = 0; i < storage::ColumnVec::kNumCodecs; ++i) {
+      int64_t cols = totals.codec_cols[i].load(std::memory_order_relaxed);
+      if (cols <= published_seal_totals_.codec_cols[i]) continue;
+      if (auto* c = registry_->GetCounter(
+              "eva_segment_columns_encoded_total",
+              "Sealed segment columns by chosen encoding.",
+              {{"codec", storage::ColumnVec::CodecName(
+                             static_cast<storage::ColumnVec::Codec>(i))}})) {
+        c->Increment(static_cast<double>(
+            cols - published_seal_totals_.codec_cols[i]));
+      }
+      published_seal_totals_.codec_cols[i] = cols;
     }
   }
   PublishViewsSnapshot();

@@ -84,6 +84,16 @@ struct EngineOptions {
   /// residual predicate unsatisfiable. Saves view reads and downstream
   /// filtering without changing results.
   bool zone_map_skipping = true;
+  /// Compress sealed view segments with per-column lightweight codecs
+  /// (dictionary / RLE / bit-pack / frame-of-reference, chosen by byte
+  /// cost) and charge the storage budget at the encoded size. Values
+  /// reconstruct bit-identically; only the footprint changes. Also
+  /// switches session saves to the binary .evaseg codec files
+  /// (uncompressed save dirs still load).
+  bool segment_compression = true;
+  /// Split-block Bloom filter over each sealed segment's keys: probe
+  /// misses short-circuit before the key-index search. 0 disables.
+  int bloom_bits_per_key = 10;
 
   // --- view lifecycle (src/lifecycle/, docs/LIFECYCLE.md) -----------------
   /// Storage budget for the materialized-view store; after every query the
@@ -365,6 +375,15 @@ class EvaEngine {
   mutable fault::FaultInjector injector_;
   Status fault_schedule_status_;
   storage::RecoveryReport last_recovery_;
+  /// Seal-totals watermark already folded into the monotone `_total`
+  /// counters — the registry publishes deltas against the ViewStore's
+  /// running atomics after every query.
+  struct PublishedSealTotals {
+    int64_t segments_sealed = 0;
+    int64_t raw_bytes = 0;
+    int64_t encoded_bytes = 0;
+    int64_t codec_cols[storage::ColumnVec::kNumCodecs] = {};
+  } published_seal_totals_;
 
   // --- write-ahead log + streaming ingestion -----------------------------
   ingest::StreamIngestor ingestor_;

@@ -720,6 +720,23 @@ class ViewJoinOp : public Operator {
             static_cast<double>(probe_res_.segments_skipped));
       }
     }
+    if (probe_res_.bloom_negatives > 0 || probe_res_.bloom_fps > 0 ||
+        probe_res_.bloom_hits > 0) {
+      if (ctx_->active_stats != nullptr) {
+        ctx_->active_stats->bloom_negatives += probe_res_.bloom_negatives;
+        ctx_->active_stats->bloom_fps += probe_res_.bloom_fps;
+      }
+      if (bloom_hits_ != nullptr && probe_res_.bloom_hits > 0) {
+        bloom_hits_->Increment(static_cast<double>(probe_res_.bloom_hits));
+      }
+      if (bloom_negatives_ != nullptr && probe_res_.bloom_negatives > 0) {
+        bloom_negatives_->Increment(
+            static_cast<double>(probe_res_.bloom_negatives));
+      }
+      if (bloom_fps_ != nullptr && probe_res_.bloom_fps > 0) {
+        bloom_fps_->Increment(static_cast<double>(probe_res_.bloom_fps));
+      }
+    }
     return out;
   }
 
@@ -751,6 +768,18 @@ class ViewJoinOp : public Operator {
       segments_skipped_ = ctx->obs_registry->GetCounter(
           "eva_segments_skipped_total",
           "View segments skipped by zone-map residual-predicate pruning",
+          {{"udf", def_.name}});
+      bloom_hits_ = ctx->obs_registry->GetCounter(
+          "eva_bloom_hits_total",
+          "Probes the segment Bloom filter passed through to the key index",
+          {{"udf", def_.name}});
+      bloom_negatives_ = ctx->obs_registry->GetCounter(
+          "eva_bloom_negatives_total",
+          "Probe misses short-circuited by the segment Bloom filter",
+          {{"udf", def_.name}});
+      bloom_fps_ = ctx->obs_registry->GetCounter(
+          "eva_bloom_fps_total",
+          "Bloom false positives (filter passed, key index still missed)",
           {{"udf", def_.name}});
     }
   }
@@ -787,6 +816,9 @@ class ViewJoinOp : public Operator {
   obs::Counter* probe_hits_ = nullptr;
   obs::Counter* probe_misses_ = nullptr;
   obs::Counter* segments_skipped_ = nullptr;
+  obs::Counter* bloom_hits_ = nullptr;
+  obs::Counter* bloom_negatives_ = nullptr;
+  obs::Counter* bloom_fps_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------

@@ -244,7 +244,7 @@ const storage::ZoneMapEntry* ResolveZone(const std::string& name,
   if (idx >= 0 && static_cast<size_t>(idx) < seg.zones.size()) {
     return &seg.zones[static_cast<size_t>(idx)];
   }
-  if (seg.frames.empty()) return nullptr;
+  if (seg.num_keys() == 0) return nullptr;
   if (name == "id" || name == "obj") {
     int64_t lo = name == "id" ? seg.frame_min() : seg.obj_min;
     int64_t hi = name == "id" ? seg.frame_max() : seg.obj_max;

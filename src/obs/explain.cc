@@ -57,6 +57,16 @@ void RenderNode(const plan::PlanNode& node, const PlanStatsMap& stats,
                     static_cast<long long>(s.segments_skipped));
       *out += buf;
     }
+    if (s.bloom_negatives > 0) {
+      std::snprintf(buf, sizeof(buf), " bloom_neg=%lld",
+                    static_cast<long long>(s.bloom_negatives));
+      *out += buf;
+    }
+    if (s.bloom_fps > 0) {
+      std::snprintf(buf, sizeof(buf), " bloom_fp=%lld",
+                    static_cast<long long>(s.bloom_fps));
+      *out += buf;
+    }
     if (s.rows_filtered_vectorized > 0) {
       std::snprintf(buf, sizeof(buf), " vectorized=%lld",
                     static_cast<long long>(s.rows_filtered_vectorized));

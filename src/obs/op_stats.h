@@ -30,6 +30,11 @@ struct OperatorStats {
   std::atomic<int64_t> rows_materialized{0};
   std::atomic<int64_t> udf_retries{0};  // transient-fault retry attempts
   std::atomic<int64_t> segments_skipped{0};  // zone-map probe skips
+  /// Probe misses answered by the per-segment Bloom filter without
+  /// touching the key index, and the filter's false positives (MayContain
+  /// said yes, the key-index search still missed).
+  std::atomic<int64_t> bloom_negatives{0};
+  std::atomic<int64_t> bloom_fps{0};
   /// Rows whose filter verdict came from the vectorized batch evaluator.
   std::atomic<int64_t> rows_filtered_vectorized{0};
 
@@ -48,6 +53,8 @@ struct OperatorStats {
         other.rows_materialized.load(std::memory_order_relaxed);
     udf_retries = other.udf_retries.load(std::memory_order_relaxed);
     segments_skipped = other.segments_skipped.load(std::memory_order_relaxed);
+    bloom_negatives = other.bloom_negatives.load(std::memory_order_relaxed);
+    bloom_fps = other.bloom_fps.load(std::memory_order_relaxed);
     rows_filtered_vectorized =
         other.rows_filtered_vectorized.load(std::memory_order_relaxed);
     return *this;
@@ -67,6 +74,8 @@ struct OperatorStats {
         other.rows_materialized.load(std::memory_order_relaxed);
     udf_retries += other.udf_retries.load(std::memory_order_relaxed);
     segments_skipped += other.segments_skipped.load(std::memory_order_relaxed);
+    bloom_negatives += other.bloom_negatives.load(std::memory_order_relaxed);
+    bloom_fps += other.bloom_fps.load(std::memory_order_relaxed);
     rows_filtered_vectorized +=
         other.rows_filtered_vectorized.load(std::memory_order_relaxed);
   }

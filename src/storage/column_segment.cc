@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <unordered_map>
 
 namespace eva::storage {
@@ -12,6 +13,14 @@ namespace {
 // Integer magnitudes beyond this are not exactly representable as doubles;
 // zone bounds for such columns are marked invalid rather than approximate.
 constexpr double kDoubleExactLimit = 4503599627370496.0;  // 2^52
+
+// Dictionary encoding falls back to raw Value storage past this
+// cardinality: the dict + codes stop paying for themselves and the int32
+// code lane risks pathological build cost on adversarial inputs.
+constexpr size_t kMaxDictCardinality = 65536;
+
+// Numeric dictionaries stop being considered past this distinct count.
+constexpr size_t kMaxNumDictCardinality = 4096;
 
 // One column under construction: cells collected as Values, encoding
 // decided once the segment's type profile is known.
@@ -76,33 +85,147 @@ struct ColBuilder {
   bool first_num_ = true;
 };
 
+void SetNullBit(std::vector<uint64_t>* bits, size_t i) {
+  (*bits)[i >> 6] |= uint64_t{1} << (i & 63);
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t b;
+  std::memcpy(&b, &d, 8);
+  return b;
+}
+
+// Effective lane for codec selection: null rows carry the previous
+// non-null value (leading nulls the first non-null), so nulls never break
+// runs and never widen the FOR range. At() masks them via the null bitmap,
+// so the substituted cell is never observed.
+template <typename T, typename GetFn>
+std::vector<T> EffectiveLane(const ColumnVec& col, size_t n, GetFn get) {
+  std::vector<T> eff(n);
+  // Find the first non-null value as the leading fill.
+  T fill = T{};
+  for (size_t i = 0; i < n; ++i) {
+    if (!col.NullAt(i)) {
+      fill = get(i);
+      break;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (col.NullAt(i)) {
+      eff[i] = fill;
+    } else {
+      eff[i] = get(i);
+      fill = eff[i];
+    }
+  }
+  return eff;
+}
+
+template <typename T>
+size_t CountRuns(const std::vector<T>& v) {
+  if (v.empty()) return 0;
+  size_t runs = 1;
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (!(v[i] == v[i - 1])) ++runs;
+  }
+  return runs;
+}
+
+template <typename T>
+void BuildRuns(const std::vector<T>& v, std::vector<T>* values,
+               std::vector<uint32_t>* ends) {
+  values->clear();
+  ends->clear();
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i == 0 || !(v[i] == v[i - 1])) {
+      values->push_back(v[i]);
+      ends->push_back(static_cast<uint32_t>(i + 1));
+    } else {
+      ends->back() = static_cast<uint32_t>(i + 1);
+    }
+  }
+}
+
+// First-occurrence dictionary over an integer-comparable lane. Returns
+// false when the cardinality cap is hit.
+template <typename T>
+bool BuildNumDict(const std::vector<T>& v, std::vector<T>* dict,
+                  std::vector<uint64_t>* indexes) {
+  dict->clear();
+  indexes->clear();
+  indexes->reserve(v.size());
+  std::unordered_map<T, uint64_t> seen;
+  for (const T& x : v) {
+    auto [it, inserted] = seen.emplace(x, dict->size());
+    if (inserted) {
+      dict->push_back(x);
+      if (dict->size() > kMaxNumDictCardinality) return false;
+    }
+    indexes->push_back(it->second);
+  }
+  return true;
+}
+
 }  // namespace
+
+const char* ColumnVec::CodecName(Codec c) {
+  switch (c) {
+    case Codec::kPlain:
+      return "plain";
+    case Codec::kFor:
+      return "for";
+    case Codec::kBitPack:
+      return "bitpack";
+    case Codec::kRle:
+      return "rle";
+    case Codec::kDictNum:
+      return "dictnum";
+    case Codec::kExpPack:
+      return "exppack";
+  }
+  return "?";
+}
+
+size_t ColumnVec::EncodedBytes() const {
+  size_t bytes = null_bits_.size() * 8;
+  bytes += i64_.size() * 8;
+  bytes += f64_.size() * 8;
+  bytes += b8_.size();
+  bytes += codes_.size() * 4;
+  for (const std::string& s : dict_) bytes += s.size();
+  bytes += raw_.size() * 16;  // nominal Value footprint
+  bytes += packed_.SizeBytes();
+  bytes += rle_end_.size() * 4;
+  if (codec_ == Codec::kFor) bytes += 8;
+  return bytes;
+}
 
 size_t ColumnarSegment::FindKey(int64_t frame, int64_t obj,
                                 size_t* hint) const {
-  const size_t n = frames.size();
+  const size_t n = num_keys();
   size_t lo = hint != nullptr ? *hint : 0;
   // A probe behind the cursor (unsorted batch) restarts from the front.
   if (lo > n) lo = n;
-  if (lo > 0 && (frames[lo - 1] > frame ||
-                 (frames[lo - 1] == frame && objs[lo - 1] > obj))) {
+  if (lo > 0 && (key_frame(lo - 1) > frame ||
+                 (key_frame(lo - 1) == frame && key_obj(lo - 1) > obj))) {
     lo = 0;
   }
   // Dense ascending batches land exactly on the cursor: O(1) per key.
-  if (lo < n && frames[lo] == frame && objs[lo] == obj) {
+  if (lo < n && key_frame(lo) == frame && key_obj(lo) == obj) {
     if (hint != nullptr) *hint = lo + 1;
     return lo;
   }
   size_t hi = n;
   while (lo < hi) {
     size_t mid = lo + (hi - lo) / 2;
-    if (frames[mid] < frame || (frames[mid] == frame && objs[mid] < obj)) {
+    int64_t mf = key_frame(mid);
+    if (mf < frame || (mf == frame && key_obj(mid) < obj)) {
       lo = mid + 1;
     } else {
       hi = mid;
     }
   }
-  if (lo < n && frames[lo] == frame && objs[lo] == obj) {
+  if (lo < n && key_frame(lo) == frame && key_obj(lo) == obj) {
     if (hint != nullptr) *hint = lo + 1;
     return lo;
   }
@@ -110,10 +233,192 @@ size_t ColumnarSegment::FindKey(int64_t frame, int64_t obj,
   return npos;
 }
 
+void CompressColumn(ColumnVec* col) {
+  if (col->codec_ != ColumnVec::Codec::kPlain) return;  // already encoded
+  const size_t n = col->n_;
+  if (n == 0 || col->enc_ == ColumnVec::Enc::kValue) return;
+
+  switch (col->enc_) {
+    case ColumnVec::Enc::kInt64: {
+      auto eff = EffectiveLane<int64_t>(
+          *col, n, [&](size_t i) { return col->i64_[i]; });
+      int64_t mn = eff[0], mx = eff[0];
+      for (int64_t v : eff) {
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+      uint64_t range = static_cast<uint64_t>(mx) - static_cast<uint64_t>(mn);
+      int for_w = BitPackedVec::WidthFor(range);
+      size_t cost_plain = 8 * n;
+      size_t cost_for = BitPackedVec::PackedBytes(n, for_w) + 8;
+      size_t runs = CountRuns(eff);
+      size_t cost_rle = runs * 12;  // 8 B value + 4 B run end
+      std::vector<int64_t> dict;
+      std::vector<uint64_t> idx;
+      bool dict_ok = BuildNumDict(eff, &dict, &idx);
+      int dict_w =
+          dict_ok ? BitPackedVec::WidthFor(dict.empty() ? 0 : dict.size() - 1)
+                  : 0;
+      size_t cost_dict = dict_ok ? dict.size() * 8 +
+                                       BitPackedVec::PackedBytes(n, dict_w)
+                                 : ~size_t{0};
+      size_t best = std::min({cost_plain, cost_for, cost_rle, cost_dict});
+      if (best == cost_plain) return;
+      if (best == cost_for) {
+        std::vector<uint64_t> deltas(n);
+        for (size_t i = 0; i < n; ++i) {
+          deltas[i] = static_cast<uint64_t>(eff[i]) -
+                      static_cast<uint64_t>(mn);
+        }
+        col->packed_.Pack(deltas, for_w);
+        col->for_base_ = mn;
+        col->i64_.clear();
+        col->i64_.shrink_to_fit();
+        col->codec_ = ColumnVec::Codec::kFor;
+      } else if (best == cost_rle) {
+        std::vector<int64_t> run_vals;
+        BuildRuns(eff, &run_vals, &col->rle_end_);
+        col->i64_ = std::move(run_vals);
+        col->i64_.shrink_to_fit();
+        col->codec_ = ColumnVec::Codec::kRle;
+      } else {
+        col->packed_.Pack(idx, dict_w);
+        col->i64_ = std::move(dict);
+        col->i64_.shrink_to_fit();
+        col->codec_ = ColumnVec::Codec::kDictNum;
+      }
+      break;
+    }
+    case ColumnVec::Enc::kDouble: {
+      // Codec equality is over bit patterns so -0.0 / NaN payloads survive
+      // the round trip exactly.
+      auto eff = EffectiveLane<uint64_t>(
+          *col, n, [&](size_t i) { return DoubleBits(col->f64_[i]); });
+      size_t cost_plain = 8 * n;
+      size_t runs = CountRuns(eff);
+      size_t cost_rle = runs * 12;
+      std::vector<uint64_t> dict;
+      std::vector<uint64_t> idx;
+      bool dict_ok = BuildNumDict(eff, &dict, &idx);
+      int dict_w =
+          dict_ok ? BitPackedVec::WidthFor(dict.empty() ? 0 : dict.size() - 1)
+                  : 0;
+      size_t cost_dict = dict_ok ? dict.size() * 8 +
+                                       BitPackedVec::PackedBytes(n, dict_w)
+                                 : ~size_t{0};
+      // Sign/exponent prefix dictionary + packed 52-bit mantissas: the
+      // codec of last resort for high-entropy doubles (detector areas and
+      // scores), whose 12-bit prefix takes a handful of values while the
+      // mantissa is incompressible. At most 4096 distinct prefixes exist,
+      // so this dictionary never overflows.
+      std::vector<uint64_t> prefixes(n);
+      for (size_t i = 0; i < n; ++i) prefixes[i] = eff[i] >> 52;
+      std::vector<uint64_t> exp_dict;
+      std::vector<uint64_t> exp_idx;
+      BuildNumDict(prefixes, &exp_dict, &exp_idx);
+      int exp_w = 52 + BitPackedVec::WidthFor(
+                           exp_dict.empty() ? 0 : exp_dict.size() - 1);
+      size_t cost_exp =
+          exp_dict.size() * 8 + BitPackedVec::PackedBytes(n, exp_w);
+      size_t best = std::min({cost_plain, cost_rle, cost_dict, cost_exp});
+      if (best == cost_plain) return;
+      auto to_double = [](uint64_t b) {
+        double d;
+        std::memcpy(&d, &b, 8);
+        return d;
+      };
+      if (best == cost_rle) {
+        std::vector<uint64_t> run_vals;
+        BuildRuns(eff, &run_vals, &col->rle_end_);
+        col->f64_.clear();
+        col->f64_.reserve(run_vals.size());
+        for (uint64_t b : run_vals) col->f64_.push_back(to_double(b));
+        col->f64_.shrink_to_fit();
+        col->codec_ = ColumnVec::Codec::kRle;
+      } else if (best == cost_dict) {
+        col->packed_.Pack(idx, dict_w);
+        col->f64_.clear();
+        col->f64_.reserve(dict.size());
+        for (uint64_t b : dict) col->f64_.push_back(to_double(b));
+        col->f64_.shrink_to_fit();
+        col->codec_ = ColumnVec::Codec::kDictNum;
+      } else {
+        constexpr uint64_t kMantissa = (uint64_t{1} << 52) - 1;
+        std::vector<uint64_t> lane(n);
+        for (size_t i = 0; i < n; ++i) {
+          lane[i] = (exp_idx[i] << 52) | (eff[i] & kMantissa);
+        }
+        col->packed_.Pack(lane, exp_w);
+        col->i64_.assign(exp_dict.begin(), exp_dict.end());
+        col->f64_.clear();
+        col->f64_.shrink_to_fit();
+        col->codec_ = ColumnVec::Codec::kExpPack;
+      }
+      break;
+    }
+    case ColumnVec::Enc::kBool: {
+      auto eff = EffectiveLane<uint8_t>(
+          *col, n, [&](size_t i) { return col->b8_[i]; });
+      size_t cost_plain = n;
+      size_t cost_pack = BitPackedVec::PackedBytes(n, 1);
+      size_t runs = CountRuns(eff);
+      size_t cost_rle = runs * 5;
+      size_t best = std::min({cost_plain, cost_pack, cost_rle});
+      if (best == cost_plain) return;
+      if (best == cost_pack) {
+        std::vector<uint64_t> bits(n);
+        for (size_t i = 0; i < n; ++i) bits[i] = eff[i] ? 1 : 0;
+        col->packed_.Pack(bits, 1);
+        col->b8_.clear();
+        col->b8_.shrink_to_fit();
+        col->codec_ = ColumnVec::Codec::kBitPack;
+      } else {
+        std::vector<uint8_t> run_vals;
+        BuildRuns(eff, &run_vals, &col->rle_end_);
+        col->b8_ = std::move(run_vals);
+        col->b8_.shrink_to_fit();
+        col->codec_ = ColumnVec::Codec::kRle;
+      }
+      break;
+    }
+    case ColumnVec::Enc::kDict: {
+      auto eff = EffectiveLane<int32_t>(
+          *col, n, [&](size_t i) { return col->codes_[i]; });
+      size_t cost_plain = 4 * n;
+      int pack_w = BitPackedVec::WidthFor(
+          col->dict_.empty() ? 0 : col->dict_.size() - 1);
+      size_t cost_pack = BitPackedVec::PackedBytes(n, pack_w);
+      size_t runs = CountRuns(eff);
+      size_t cost_rle = runs * 8;  // 4 B code + 4 B run end
+      size_t best = std::min({cost_plain, cost_pack, cost_rle});
+      if (best == cost_plain) return;
+      if (best == cost_pack) {
+        std::vector<uint64_t> idx(n);
+        for (size_t i = 0; i < n; ++i) {
+          idx[i] = static_cast<uint64_t>(eff[i]);
+        }
+        col->packed_.Pack(idx, pack_w);
+        col->codes_.clear();
+        col->codes_.shrink_to_fit();
+        col->codec_ = ColumnVec::Codec::kBitPack;
+      } else {
+        std::vector<int32_t> run_vals;
+        BuildRuns(eff, &run_vals, &col->rle_end_);
+        col->codes_ = std::move(run_vals);
+        col->codes_.shrink_to_fit();
+        col->codec_ = ColumnVec::Codec::kRle;
+      }
+      break;
+    }
+    case ColumnVec::Enc::kValue:
+      break;
+  }
+}
+
 std::shared_ptr<const ColumnarSegment> BuildColumnarSegment(
     std::vector<ViewKey> keys,
     const std::unordered_map<ViewKey, std::vector<Row>, ViewKeyHash>& entries,
-    size_t num_value_cols) {
+    size_t num_value_cols, const SegmentBuildOptions& options) {
   std::sort(keys.begin(), keys.end());
   auto seg = std::make_shared<ColumnarSegment>();
   seg->built_keys = static_cast<int64_t>(keys.size());
@@ -160,19 +465,32 @@ std::shared_ptr<const ColumnarSegment> BuildColumnarSegment(
     zone.all_null = b.type == DataType::kNull;
     zone.type = b.type;
     zone.valid = !b.mixed && b.bounds_exact;
-    if (b.mixed || b.type == DataType::kNull) {
-      // Mixed or all-null column: raw storage; an all-null column keeps an
-      // (empty-bounds) valid zone so skipping can reason about it.
+    // Zone maps (and the string distinct list) come from the raw cells
+    // before any codec touches the lane.
+    if (b.type == DataType::kString) {
+      std::sort(b.strings.begin(), b.strings.end());
+      b.strings.erase(std::unique(b.strings.begin(), b.strings.end()),
+                      b.strings.end());
+    }
+    bool dict_overflow = b.type == DataType::kString &&
+                         b.strings.size() > kMaxDictCardinality;
+    if (b.mixed || b.type == DataType::kNull || dict_overflow) {
+      // Mixed, all-null, or dictionary-overflow column: raw storage; an
+      // all-null column keeps an (empty-bounds) valid zone so skipping can
+      // reason about it.
       col.enc_ = ColumnVec::Enc::kValue;
       col.raw_.reserve(n);
       for (const Value* v : b.cells) col.raw_.push_back(*v);
+      if (dict_overflow) zone.strings = std::move(b.strings);
       if (b.mixed) continue;
-      zone.valid = true;  // all-null
+      zone.valid = true;  // all-null stays skippable
+      if (dict_overflow) zone.valid = b.bounds_exact;
       continue;
     }
     zone.num_min = b.num_min;
     zone.num_max = b.num_max;
-    col.nulls_.resize(n, 0);
+    col.n_ = n;
+    if (b.has_nulls) col.null_bits_.assign((n + 63) / 64, 0);
     switch (b.type) {
       case DataType::kInt64: {
         col.enc_ = ColumnVec::Enc::kInt64;
@@ -180,7 +498,7 @@ std::shared_ptr<const ColumnarSegment> BuildColumnarSegment(
         for (size_t i = 0; i < n; ++i) {
           const Value* v = b.cells[i];
           if (v->is_null()) {
-            col.nulls_[i] = 1;
+            SetNullBit(&col.null_bits_, i);
           } else {
             col.i64_[i] = v->AsInt64();
           }
@@ -193,7 +511,7 @@ std::shared_ptr<const ColumnarSegment> BuildColumnarSegment(
         for (size_t i = 0; i < n; ++i) {
           const Value* v = b.cells[i];
           if (v->is_null()) {
-            col.nulls_[i] = 1;
+            SetNullBit(&col.null_bits_, i);
           } else {
             col.f64_[i] = v->AsDouble();
           }
@@ -206,7 +524,7 @@ std::shared_ptr<const ColumnarSegment> BuildColumnarSegment(
         for (size_t i = 0; i < n; ++i) {
           const Value* v = b.cells[i];
           if (v->is_null()) {
-            col.nulls_[i] = 1;
+            SetNullBit(&col.null_bits_, i);
           } else {
             col.b8_[i] = v->AsBool() ? 1 : 0;
           }
@@ -220,7 +538,7 @@ std::shared_ptr<const ColumnarSegment> BuildColumnarSegment(
         for (size_t i = 0; i < n; ++i) {
           const Value* v = b.cells[i];
           if (v->is_null()) {
-            col.nulls_[i] = 1;
+            SetNullBit(&col.null_bits_, i);
             continue;
           }
           auto [it, inserted] = codes.emplace(
@@ -228,9 +546,6 @@ std::shared_ptr<const ColumnarSegment> BuildColumnarSegment(
           if (inserted) col.dict_.push_back(v->AsString());
           col.codes_[i] = it->second;
         }
-        std::sort(b.strings.begin(), b.strings.end());
-        b.strings.erase(std::unique(b.strings.begin(), b.strings.end()),
-                        b.strings.end());
         zone.strings = std::move(b.strings);
         break;
       }
@@ -238,6 +553,93 @@ std::shared_ptr<const ColumnarSegment> BuildColumnarSegment(
         break;
     }
   }
+
+  // Footprint accounting against the plain representation, then codecs.
+  const size_t nkeys = seg->frames.size();
+  int64_t raw = static_cast<int64_t>(nkeys) * 16 +
+                static_cast<int64_t>(seg->row_begin.size()) * 4;
+  int64_t encoded = 0;
+  for (ColumnVec& col : seg->cols) {
+    raw += static_cast<int64_t>(col.EncodedBytes());
+  }
+  if (options.compress) {
+    for (ColumnVec& col : seg->cols) CompressColumn(&col);
+  }
+  for (ColumnVec& col : seg->cols) {
+    encoded += static_cast<int64_t>(col.EncodedBytes());
+    seg->codec_cols[static_cast<int>(col.codec_)] += 1;
+  }
+
+  if (options.compress && nkeys > 0) {
+    // Bit-pack the key index: frames/objs as FOR deltas, row offsets as
+    // fixed-width absolutes (prefix sums stay O(1) random access).
+    seg->frame_base = seg->frames.front();
+    uint64_t frange = static_cast<uint64_t>(seg->frames.back()) -
+                      static_cast<uint64_t>(seg->frame_base);
+    uint64_t orange = static_cast<uint64_t>(seg->obj_max) -
+                      static_cast<uint64_t>(seg->obj_min);
+    std::vector<uint64_t> tmp(nkeys);
+    for (size_t i = 0; i < nkeys; ++i) {
+      tmp[i] = static_cast<uint64_t>(seg->frames[i]) -
+               static_cast<uint64_t>(seg->frame_base);
+    }
+    seg->frames_p.Pack(tmp, BitPackedVec::WidthFor(frange));
+    for (size_t i = 0; i < nkeys; ++i) {
+      tmp[i] = static_cast<uint64_t>(seg->objs[i]) -
+               static_cast<uint64_t>(seg->obj_min);
+    }
+    seg->objs_p.Pack(tmp, BitPackedVec::WidthFor(orange));
+    // Row offsets pack as residuals against the mean rows-per-key stride
+    // (prefix sums stay O(1) random access). Views with exactly one row
+    // per key — every classifier output — collapse to width 0.
+    const int64_t stride =
+        (rows_total + static_cast<int64_t>(nkeys) / 2) /
+        static_cast<int64_t>(nkeys);
+    int64_t res_min = 0, res_max = 0;
+    for (size_t i = 0; i <= nkeys; ++i) {
+      int64_t res = static_cast<int64_t>(seg->row_begin[i]) -
+                    stride * static_cast<int64_t>(i);
+      if (i == 0 || res < res_min) res_min = res;
+      if (i == 0 || res > res_max) res_max = res;
+    }
+    tmp.resize(nkeys + 1);
+    for (size_t i = 0; i <= nkeys; ++i) {
+      tmp[i] = static_cast<uint64_t>(
+          static_cast<int64_t>(seg->row_begin[i]) -
+          stride * static_cast<int64_t>(i) - res_min);
+    }
+    seg->row_begin_p.Pack(
+        tmp, BitPackedVec::WidthFor(
+                 static_cast<uint64_t>(res_max - res_min)));
+    seg->row_stride = stride;
+    seg->row_res_base = res_min;
+    seg->packed_keys = true;
+    encoded += static_cast<int64_t>(seg->frames_p.SizeBytes() +
+                                    seg->objs_p.SizeBytes() +
+                                    seg->row_begin_p.SizeBytes()) +
+               32;  // frame/obj FOR bases + row stride/residual base
+    seg->frames.clear();
+    seg->frames.shrink_to_fit();
+    seg->objs.clear();
+    seg->objs.shrink_to_fit();
+    seg->row_begin.clear();
+    seg->row_begin.shrink_to_fit();
+  } else {
+    encoded += static_cast<int64_t>(nkeys) * 16 +
+               static_cast<int64_t>(seg->row_begin.size()) * 4;
+  }
+
+  if (options.bloom_bits_per_key > 0 && nkeys > 0) {
+    std::vector<uint64_t> hashes(nkeys);
+    for (size_t i = 0; i < nkeys; ++i) {
+      hashes[i] = HashViewKey(seg->key_frame(i), seg->key_obj(i));
+    }
+    seg->bloom.Build(hashes, options.bloom_bits_per_key);
+    encoded += static_cast<int64_t>(seg->bloom.SizeBytes());
+  }
+
+  seg->raw_bytes = raw;
+  seg->encoded_bytes = encoded;
   return seg;
 }
 

@@ -2,12 +2,15 @@
 #define EVA_STORAGE_COLUMN_SEGMENT_H_
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/row.h"
+#include "storage/bloom_filter.h"
+#include "storage/segment_codec.h"
 
 namespace eva::storage {
 
@@ -34,10 +37,15 @@ struct ViewKeyHash {
 
 /// Typed column vector of one materialized-view segment. Encodings cover
 /// the cell types UDFs produce; a column whose non-null cells do not share
-/// one type falls back to raw Value storage. At(i) reconstructs the exact
-/// Value that was stored — the columnar read path must be bit-identical to
-/// the row store it shadows (Value::Compare distinguishes Int64 from
-/// Double, so encodings never widen).
+/// one type falls back to raw Value storage. On top of the type encoding a
+/// lightweight codec may compress the physical lane (chosen at seal time
+/// by byte cost — see docs/STORAGE.md): frame-of-reference bit-packing for
+/// integers, run-length for any repetitive lane, plain bit-packing for
+/// bools and dictionary codes, and a numeric dictionary for low-cardinality
+/// Int64/Double columns. At(i) reconstructs the exact Value that was
+/// stored — the columnar read path must be bit-identical to the row store
+/// it shadows (Value::Compare distinguishes Int64 from Double, so codecs
+/// never widen, quantize, or reorder).
 class ColumnVec {
  public:
   enum class Enc : uint8_t {
@@ -48,38 +56,122 @@ class ColumnVec {
     kValue,      // mixed types: raw Value storage
   };
 
+  /// Physical lane codec (orthogonal to Enc; kValue is always kPlain).
+  enum class Codec : uint8_t {
+    kPlain = 0,  // the typed lane as-is
+    kFor,        // Int64: bit-packed deltas from for_base_
+    kBitPack,    // Bool / dict codes: bit-packed raw values
+    kRle,        // run values in the typed lane + cumulative run ends
+    kDictNum,    // Int64/Double: distinct values + bit-packed indexes
+    kExpPack,    // Double: sign/exponent dictionary + packed mantissas
+  };
+  static constexpr int kNumCodecs = 6;
+  static const char* CodecName(Codec c);
+
   Value At(size_t i) const {
-    if (enc_ != Enc::kValue && nulls_[i] != 0) return Value::Null();
+    if (enc_ == Enc::kValue) return raw_[i];
+    if (NullAt(i)) return Value::Null();
     switch (enc_) {
       case Enc::kInt64:
-        return Value(i64_[i]);
+        switch (codec_) {
+          case Codec::kFor:
+            return Value(for_base_ + static_cast<int64_t>(packed_.Get(i)));
+          case Codec::kRle:
+            return Value(i64_[RunOf(i)]);
+          case Codec::kDictNum:
+            return Value(i64_[packed_.Get(i)]);
+          default:
+            return Value(i64_[i]);
+        }
       case Enc::kDouble:
-        return Value(f64_[i]);
+        switch (codec_) {
+          case Codec::kRle:
+            return Value(f64_[RunOf(i)]);
+          case Codec::kDictNum:
+            return Value(f64_[packed_.Get(i)]);
+          case Codec::kExpPack: {
+            // Lane value = (prefix code << 52) | 52-bit mantissa; i64_
+            // dictionaries the distinct sign/exponent prefixes. Bit-level
+            // reconstruction, so NaN payloads and -0.0 survive.
+            uint64_t v = packed_.Get(i);
+            uint64_t bits =
+                (static_cast<uint64_t>(i64_[static_cast<size_t>(v >> 52)])
+                 << 52) |
+                (v & ((uint64_t{1} << 52) - 1));
+            double d;
+            std::memcpy(&d, &bits, 8);
+            return Value(d);
+          }
+          default:
+            return Value(f64_[i]);
+        }
       case Enc::kBool:
-        return Value(b8_[i] != 0);
+        switch (codec_) {
+          case Codec::kBitPack:
+            return Value(packed_.Get(i) != 0);
+          case Codec::kRle:
+            return Value(b8_[RunOf(i)] != 0);
+          default:
+            return Value(b8_[i] != 0);
+        }
       case Enc::kDict:
-        return Value(dict_[static_cast<size_t>(codes_[i])]);
+        switch (codec_) {
+          case Codec::kBitPack:
+            return Value(dict_[static_cast<size_t>(packed_.Get(i))]);
+          case Codec::kRle:
+            return Value(dict_[static_cast<size_t>(codes_[RunOf(i)])]);
+          default:
+            return Value(dict_[static_cast<size_t>(codes_[i])]);
+        }
       case Enc::kValue:
-        return raw_[i];
+        break;
     }
     return Value::Null();
   }
 
-  Enc enc() const { return enc_; }
-  size_t size() const {
-    return enc_ == Enc::kValue ? raw_.size() : nulls_.size();
+  bool NullAt(size_t i) const {
+    return !null_bits_.empty() &&
+           ((null_bits_[i >> 6] >> (i & 63)) & 1) != 0;
   }
 
+  Enc enc() const { return enc_; }
+  Codec codec() const { return codec_; }
+  size_t size() const { return enc_ == Enc::kValue ? raw_.size() : n_; }
+
+  /// Heap bytes of the current physical representation (data lanes +
+  /// null bitmap + dictionary) — the number eviction accounting charges.
+  size_t EncodedBytes() const;
+
   // Representation is internal to the storage layer; BuildColumnarSegment
-  // fills it directly.
+  // and the .evaseg codec fill it directly.
   Enc enc_ = Enc::kValue;
-  std::vector<uint8_t> nulls_;  // 1 = NULL (typed encodings only)
-  std::vector<int64_t> i64_;
+  Codec codec_ = Codec::kPlain;
+  size_t n_ = 0;                      // logical row count (typed encodings)
+  std::vector<uint64_t> null_bits_;   // packed; empty = no nulls
+  std::vector<int64_t> i64_;          // plain/RLE/dict values; kExpPack
+                                      // sign+exponent prefix dictionary
   std::vector<double> f64_;
   std::vector<uint8_t> b8_;
-  std::vector<int32_t> codes_;
-  std::vector<std::string> dict_;  // insertion order
+  std::vector<int32_t> codes_;        // plain / RLE-run dict codes
+  std::vector<std::string> dict_;     // insertion order
   std::vector<Value> raw_;
+  int64_t for_base_ = 0;              // kFor reference value
+  BitPackedVec packed_;               // kFor deltas / kBitPack / kDictNum idx
+  std::vector<uint32_t> rle_end_;     // kRle cumulative run end offsets
+
+  /// Run index containing row i (upper_bound over rle_end_).
+  size_t RunOf(size_t i) const {
+    size_t lo = 0, hi = rle_end_.size();
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (rle_end_[mid] <= i) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
 };
 
 /// Per-column zone summary used for segment skipping: a probe can prove a
@@ -87,7 +179,9 @@ class ColumnVec {
 /// materializing its hits. `valid` is the master flag — it is false when
 /// the non-null cells mix types or when integer magnitudes exceed the
 /// double-exact range, and consumers must then treat the column as
-/// unbounded.
+/// unbounded. Zone maps are computed from the raw cells BEFORE any codec
+/// is applied, so skip decisions are independent of the compression
+/// configuration.
 struct ZoneMapEntry {
   bool valid = false;
   DataType type = DataType::kNull;  // uniform non-null cell type
@@ -98,27 +192,86 @@ struct ZoneMapEntry {
   std::vector<std::string> strings;  // sorted distinct values (kString)
 };
 
+/// Seal-time storage configuration, threaded from EngineOptions through
+/// ViewStore/MaterializedView. Defaults preserve the pre-codec behavior
+/// (plain lanes, no filter) for direct library callers; the engine turns
+/// both features on unless configured otherwise.
+struct SegmentBuildOptions {
+  bool compress = false;     // pick per-column codecs + pack the key index
+  int bloom_bits_per_key = 0;  // 0 disables the per-segment Bloom filter
+};
+
 /// Immutable columnar projection of one view segment: keys sorted by
 /// (frame, obj) with prefix row offsets, one ColumnVec per value-schema
 /// field, and a zone map per column. Built lazily from the row store and
 /// shared via shared_ptr so a probe can keep reading a segment that a
-/// concurrent rebuild replaces.
+/// concurrent rebuild replaces. When built with compression the key index
+/// lives in bit-packed lanes (access via key_frame/key_obj/row_begin_at);
+/// a per-segment split-block Bloom filter over the keys short-circuits
+/// probe misses before the key-index search.
 struct ColumnarSegment {
   std::vector<int64_t> frames;     // per key, ascending (frame, obj)
   std::vector<int64_t> objs;       // per key
   std::vector<int32_t> row_begin;  // size keys+1: offsets into the columns
-  std::vector<ColumnVec> cols;     // one per value-schema field
+  // Bit-packed key index (compression on): frames/objs/row_begin above are
+  // empty and these hold FOR-packed absolutes (O(1) random access).
+  // row_begin packs residuals against the mean rows-per-key stride, so
+  // one-row-per-key views (classifier outputs) collapse to width 0.
+  bool packed_keys = false;
+  int64_t frame_base = 0;
+  int64_t row_stride = 0;    // rows per key, rounded
+  int64_t row_res_base = 0;  // FOR base of the stride residuals
+  BitPackedVec frames_p;
+  BitPackedVec objs_p;
+  BitPackedVec row_begin_p;
+
+  std::vector<ColumnVec> cols;      // one per value-schema field
   std::vector<ZoneMapEntry> zones;  // parallel to cols
+  BloomFilter bloom;                // over HashViewKey of every key
   int64_t obj_min = 0;  // over keys (classifier zone checks on "obj")
   int64_t obj_max = 0;
   int64_t built_keys = 0;  // staleness check against SegmentInfo.keys
 
-  size_t num_keys() const { return frames.size(); }
-  int64_t num_rows() const {
-    return row_begin.empty() ? 0 : row_begin.back();
+  /// Footprint accounting (docs/STORAGE.md): raw = the plain columnar
+  /// representation (16 B/key index + 4 B/key offsets + plain lanes),
+  /// encoded = the representation actually held (codec lanes + packed
+  /// keys + Bloom blocks). Equal but for the Bloom bytes when built
+  /// without compression.
+  int64_t raw_bytes = 0;
+  int64_t encoded_bytes = 0;
+  int codec_cols[ColumnVec::kNumCodecs] = {};
+
+  int64_t key_frame(size_t i) const {
+    return packed_keys ? frame_base + static_cast<int64_t>(frames_p.Get(i))
+                       : frames[i];
   }
-  int64_t frame_min() const { return frames.empty() ? 0 : frames.front(); }
-  int64_t frame_max() const { return frames.empty() ? 0 : frames.back(); }
+  int64_t key_obj(size_t i) const {
+    return packed_keys ? obj_min + static_cast<int64_t>(objs_p.Get(i))
+                       : objs[i];
+  }
+  int32_t row_begin_at(size_t i) const {
+    return packed_keys
+               ? static_cast<int32_t>(
+                     row_res_base +
+                     row_stride * static_cast<int64_t>(i) +
+                     static_cast<int64_t>(row_begin_p.Get(i)))
+               : row_begin[i];
+  }
+
+  size_t num_keys() const {
+    return packed_keys ? frames_p.size() : frames.size();
+  }
+  int64_t num_rows() const {
+    size_t n = num_keys();
+    return n == 0 ? 0 : row_begin_at(n);
+  }
+  int64_t frame_min() const {
+    return num_keys() == 0 ? 0 : key_frame(0);
+  }
+  int64_t frame_max() const {
+    size_t n = num_keys();
+    return n == 0 ? 0 : key_frame(n - 1);
+  }
 
   /// Index of (frame, obj) in the sorted key arrays, searching from
   /// `hint` (a cursor from the previous probe of an ascending key batch);
@@ -140,11 +293,19 @@ struct ColumnarSegment {
 /// Builds the columnar projection of one segment. `keys` is the segment's
 /// key list in insertion order (sorted internally); `entries` is the view's
 /// row store; `num_value_cols` the value-schema width. Rows concatenate in
-/// sorted-key order, so each key's rows are a contiguous range.
+/// sorted-key order, so each key's rows are a contiguous range. `options`
+/// selects the seal-time codecs and Bloom filter; the reconstructed values
+/// are bit-identical for every configuration.
 std::shared_ptr<const ColumnarSegment> BuildColumnarSegment(
     std::vector<ViewKey> keys,
     const std::unordered_map<ViewKey, std::vector<Row>, ViewKeyHash>& entries,
-    size_t num_value_cols);
+    size_t num_value_cols, const SegmentBuildOptions& options = {});
+
+/// Rewrites one plain column in place with the cheapest applicable codec
+/// (byte cost, deterministic tie-break toward the earlier Codec value).
+/// Exposed for the codec differential tests; BuildColumnarSegment calls it
+/// for every column when compression is on.
+void CompressColumn(ColumnVec* col);
 
 }  // namespace eva::storage
 

@@ -1,0 +1,136 @@
+#include "storage/segment_codec.h"
+
+#include <cstring>
+
+namespace eva::storage {
+
+void BitPackedVec::Pack(const std::vector<uint64_t>& values, int width) {
+  n_ = values.size();
+  width_ = width;
+  mask_ = width >= 64 ? ~uint64_t{0}
+                      : ((uint64_t{1} << width) - 1);
+  words_.clear();
+  if (width_ == 0) return;
+  words_.assign((n_ * static_cast<size_t>(width_) + 63) / 64, 0);
+  for (size_t i = 0; i < n_; ++i) {
+    uint64_t v = values[i] & mask_;
+    size_t bit = i * static_cast<size_t>(width_);
+    size_t word = bit >> 6;
+    int shift = static_cast<int>(bit & 63);
+    words_[word] |= v << shift;
+    int have = 64 - shift;
+    if (have < width_) words_[word + 1] |= v >> have;
+  }
+}
+
+void BitPackedVec::Restore(size_t n, int width,
+                           std::vector<uint64_t> words) {
+  n_ = n;
+  width_ = width;
+  mask_ = width >= 64 ? ~uint64_t{0}
+                      : width > 0 ? ((uint64_t{1} << width) - 1) : 0;
+  words_ = std::move(words);
+}
+
+void ByteWriter::U32(uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out_.append(buf, 4);
+}
+
+void ByteWriter::U64(uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out_.append(buf, 8);
+}
+
+void ByteWriter::Varint(uint64_t v) {
+  while (v >= 0x80) {
+    out_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out_.push_back(static_cast<char>(v));
+}
+
+void ByteWriter::F64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  U64(bits);
+}
+
+void ByteWriter::Bytes(const void* data, size_t len) {
+  out_.append(static_cast<const char*>(data), len);
+}
+
+bool ByteReader::U8(uint8_t* v) {
+  if (remaining() < 1) return false;
+  *v = static_cast<uint8_t>(*p_++);
+  return true;
+}
+
+bool ByteReader::U32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) {
+    r |= static_cast<uint32_t>(static_cast<uint8_t>(p_[i])) << (8 * i);
+  }
+  p_ += 4;
+  *v = r;
+  return true;
+}
+
+bool ByteReader::U64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<uint64_t>(static_cast<uint8_t>(p_[i])) << (8 * i);
+  }
+  p_ += 8;
+  *v = r;
+  return true;
+}
+
+bool ByteReader::Varint(uint64_t* v) {
+  uint64_t r = 0;
+  int shift = 0;
+  while (p_ != end_ && shift < 64) {
+    uint8_t b = static_cast<uint8_t>(*p_++);
+    r |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *v = r;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+bool ByteReader::F64(double* v) {
+  uint64_t bits;
+  if (!U64(&bits)) return false;
+  std::memcpy(v, &bits, 8);
+  return true;
+}
+
+bool ByteReader::Str(std::string* s) {
+  uint64_t n;
+  if (!Count(&n)) return false;
+  if (remaining() < n) return false;
+  s->assign(p_, static_cast<size_t>(n));
+  p_ += n;
+  return true;
+}
+
+bool ByteReader::Count(uint64_t* n, size_t min_elem_bytes) {
+  if (!Varint(n)) return false;
+  if (*n > kMaxCount) return false;
+  // A count of n elements each occupying at least min_elem_bytes cannot
+  // exceed the bytes left in the stream — reject early so a fuzzed header
+  // cannot drive a large allocation before the truncation is noticed.
+  if (min_elem_bytes > 0 && *n > remaining() / min_elem_bytes + 1) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace eva::storage

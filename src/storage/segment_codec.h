@@ -1,0 +1,128 @@
+#ifndef EVA_STORAGE_SEGMENT_CODEC_H_
+#define EVA_STORAGE_SEGMENT_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eva::storage {
+
+/// Fixed-width bit-packed vector of non-negative deltas: the physical lane
+/// under the frame-of-reference and dictionary-code codecs. width == 0
+/// encodes an all-zero vector with no word storage (common for constant
+/// columns after FOR subtraction).
+class BitPackedVec {
+ public:
+  BitPackedVec() = default;
+
+  /// Packs `values` (each must fit in `width` bits) at the given width.
+  void Pack(const std::vector<uint64_t>& values, int width);
+
+  uint64_t Get(size_t i) const {
+    if (width_ == 0) return 0;
+    size_t bit = i * static_cast<size_t>(width_);
+    size_t word = bit >> 6;
+    int shift = static_cast<int>(bit & 63);
+    uint64_t v = words_[word] >> shift;
+    int have = 64 - shift;
+    if (have < width_) v |= words_[word + 1] << have;
+    return v & mask_;
+  }
+
+  size_t size() const { return n_; }
+  int width() const { return width_; }
+  const std::vector<uint64_t>& words() const { return words_; }
+  size_t SizeBytes() const { return words_.size() * 8; }
+
+  /// Minimum width able to hold `v` (0 for v == 0).
+  static int WidthFor(uint64_t v) {
+    int w = 0;
+    while (v != 0) {
+      ++w;
+      v >>= 1;
+    }
+    return w;
+  }
+
+  /// Encoded byte cost of n values at `width` bits (word-granular).
+  static size_t PackedBytes(size_t n, int width) {
+    if (width == 0) return 0;
+    return ((n * static_cast<size_t>(width) + 63) / 64) * 8;
+  }
+
+  /// Restore from persisted state; words must match PackedBytes(n, width).
+  void Restore(size_t n, int width, std::vector<uint64_t> words);
+
+ private:
+  size_t n_ = 0;
+  int width_ = 0;
+  uint64_t mask_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Bounds-checked little-endian byte stream reader/writer for the binary
+/// `.evaseg` codec files (docs/STORAGE.md). Writers never fail; readers
+/// return false on truncation or on counts past sanity caps so a fuzzed
+/// file cannot drive an allocation by claiming a huge length.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void Varint(uint64_t v);
+  void Zigzag(int64_t v) {
+    Varint((static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63));
+  }
+  void F64(double v);
+  void Bytes(const void* data, size_t len);
+  void Str(const std::string& s) {
+    Varint(s.size());
+    Bytes(s.data(), s.size());
+  }
+
+  const std::string& data() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  /// Counts larger than this are rejected outright: no decoded lane of a
+  /// real segment comes close, and a fuzzed header must not be able to
+  /// request a multi-GB allocation.
+  static constexpr uint64_t kMaxCount = 1ULL << 26;
+
+  ByteReader(const char* data, size_t len) : p_(data), end_(data + len) {}
+  explicit ByteReader(const std::string& s) : ByteReader(s.data(), s.size()) {}
+
+  bool U8(uint8_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool Varint(uint64_t* v);
+  bool Zigzag(int64_t* v) {
+    uint64_t u;
+    if (!Varint(&u)) return false;
+    *v = static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+    return true;
+  }
+  bool F64(double* v);
+  bool Str(std::string* s);
+  /// Varint count capped at kMaxCount (and at the remaining bytes when
+  /// each element costs at least one byte — callers pass min_elem_bytes).
+  bool Count(uint64_t* n, size_t min_elem_bytes = 1);
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  bool done() const { return p_ == end_; }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace eva::storage
+
+#endif  // EVA_STORAGE_SEGMENT_CODEC_H_

@@ -93,9 +93,9 @@ std::string JoinPath(const std::string& dir, const std::string& file) {
 /// Files the persistence layer owns inside a save directory; anything else
 /// (user files) is never removed or quarantined.
 bool IsManagedFile(const std::string& name) {
-  return EndsWith(name, ".evaview") || EndsWith(name, ".evastate") ||
-         EndsWith(name, ".tmp") || EndsWith(name, ".quarantined") ||
-         name == "MANIFEST";
+  return EndsWith(name, ".evaview") || EndsWith(name, ".evaseg") ||
+         EndsWith(name, ".evastate") || EndsWith(name, ".tmp") ||
+         EndsWith(name, ".quarantined") || name == "MANIFEST";
 }
 
 /// Sorted basenames of the regular files in `dir` — sorted so the fault
@@ -122,6 +122,7 @@ struct ManifestEntry {
   uint64_t size = 0;
   uint32_t crc = 0;
   bool is_lifecycle = false;
+  bool is_segment = false;  // binary .evaseg codec file (kind "vseg")
   std::string view_name;  // logical view key, "" for the lifecycle entry
 };
 
@@ -138,8 +139,9 @@ std::string RenderManifest(const Manifest& m) {
   for (const ManifestEntry& e : m.entries) {
     out += "file " + e.file + " " + std::to_string(e.size) + " " +
            StrFormat("%08x", e.crc) + " " +
-           (e.is_lifecycle ? std::string("lifecycle -")
-                           : "view " + Escape(e.view_name)) +
+           (e.is_lifecycle
+                ? std::string("lifecycle -")
+                : (e.is_segment ? "vseg " : "view ") + Escape(e.view_name)) +
            "\n";
   }
   out += "checksum " + StrFormat("%08x", Crc32(out)) + "\n";
@@ -196,7 +198,8 @@ bool ParseManifest(const std::string& content, Manifest* m) {
     if (!ParseHex32(crc_tok, &e.crc)) return false;
     if (kind == "lifecycle") {
       e.is_lifecycle = true;
-    } else if (kind == "view") {
+    } else if (kind == "view" || kind == "vseg") {
+      e.is_segment = kind == "vseg";
       auto name = Unescape(name_tok);
       if (!name.ok()) return false;
       e.view_name = std::move(name.value());
@@ -355,6 +358,426 @@ Status ParseViewBody(const std::string& content, const std::string& file,
 }
 
 // ---------------------------------------------------------------------------
+// Binary .evaseg codec files (compressed sealed segments)
+// ---------------------------------------------------------------------------
+
+constexpr char kSegMagic[] = "eva-seg 1\n";
+
+void WritePacked(ByteWriter* w, const BitPackedVec& p) {
+  w->U8(static_cast<uint8_t>(p.width()));
+  for (uint64_t word : p.words()) w->U64(word);
+}
+
+bool ReadPacked(ByteReader* r, size_t n, BitPackedVec* p) {
+  uint8_t width;
+  if (!r->U8(&width) || width > 64) return false;
+  size_t bytes = BitPackedVec::PackedBytes(n, width);
+  if (r->remaining() < bytes) return false;
+  std::vector<uint64_t> words(bytes / 8);
+  for (uint64_t& word : words) {
+    if (!r->U64(&word)) return false;
+  }
+  p->Restore(n, width, std::move(words));
+  return true;
+}
+
+void WriteNullBits(ByteWriter* w, const ColumnVec& col) {
+  w->U8(col.null_bits_.empty() ? 0 : 1);
+  for (uint64_t word : col.null_bits_) w->U64(word);
+}
+
+bool ReadNullBits(ByteReader* r, size_t n, ColumnVec* col) {
+  uint8_t has;
+  if (!r->U8(&has) || has > 1) return false;
+  if (has == 0) return true;
+  size_t words = (n + 63) / 64;
+  if (r->remaining() < words * 8) return false;
+  col->null_bits_.resize(words);
+  for (uint64_t& word : col->null_bits_) {
+    if (!r->U64(&word)) return false;
+  }
+  return true;
+}
+
+bool ReadRleEnds(ByteReader* r, size_t runs, size_t n,
+                 std::vector<uint32_t>* ends) {
+  ends->resize(runs);
+  uint64_t prev = 0;
+  for (size_t i = 0; i < runs; ++i) {
+    uint64_t e;
+    if (!r->Varint(&e)) return false;
+    if (e <= prev || e > n) return false;  // strictly increasing, in range
+    (*ends)[i] = static_cast<uint32_t>(e);
+    prev = e;
+  }
+  return runs == 0 ? n == 0 : prev == n;
+}
+
+void WriteColumn(ByteWriter* w, const ColumnVec& col) {
+  w->U8(static_cast<uint8_t>(col.enc_));
+  w->U8(static_cast<uint8_t>(col.codec_));
+  if (col.enc_ == ColumnVec::Enc::kValue) {
+    w->Varint(col.raw_.size());
+    for (const Value& v : col.raw_) w->Str(EncodeValue(v));
+    return;
+  }
+  w->Varint(col.n_);
+  WriteNullBits(w, col);
+  switch (col.enc_) {
+    case ColumnVec::Enc::kInt64:
+      if (col.codec_ == ColumnVec::Codec::kFor) {
+        w->Zigzag(col.for_base_);
+        WritePacked(w, col.packed_);
+      } else if (col.codec_ == ColumnVec::Codec::kDictNum) {
+        w->Varint(col.i64_.size());
+        for (int64_t v : col.i64_) w->Zigzag(v);
+        WritePacked(w, col.packed_);
+      } else {  // kPlain / kRle value lane (+ run ends for kRle)
+        w->Varint(col.i64_.size());
+        for (int64_t v : col.i64_) w->Zigzag(v);
+        if (col.codec_ == ColumnVec::Codec::kRle) {
+          for (uint32_t e : col.rle_end_) w->Varint(e);
+        }
+      }
+      break;
+    case ColumnVec::Enc::kDouble:
+      if (col.codec_ == ColumnVec::Codec::kExpPack) {
+        // Sign/exponent prefix dictionary (12-bit values) + packed lane.
+        w->Varint(col.i64_.size());
+        for (int64_t v : col.i64_) w->Varint(static_cast<uint64_t>(v));
+        WritePacked(w, col.packed_);
+        break;
+      }
+      w->Varint(col.f64_.size());
+      for (double v : col.f64_) w->F64(v);
+      if (col.codec_ == ColumnVec::Codec::kRle) {
+        for (uint32_t e : col.rle_end_) w->Varint(e);
+      } else if (col.codec_ == ColumnVec::Codec::kDictNum) {
+        WritePacked(w, col.packed_);
+      }
+      break;
+    case ColumnVec::Enc::kBool:
+      if (col.codec_ == ColumnVec::Codec::kBitPack) {
+        WritePacked(w, col.packed_);
+      } else {
+        w->Varint(col.b8_.size());
+        w->Bytes(col.b8_.data(), col.b8_.size());
+        if (col.codec_ == ColumnVec::Codec::kRle) {
+          for (uint32_t e : col.rle_end_) w->Varint(e);
+        }
+      }
+      break;
+    case ColumnVec::Enc::kDict:
+      w->Varint(col.dict_.size());
+      for (const std::string& s : col.dict_) w->Str(s);
+      if (col.codec_ == ColumnVec::Codec::kBitPack) {
+        WritePacked(w, col.packed_);
+      } else {
+        w->Varint(col.codes_.size());
+        for (int32_t c : col.codes_) w->Varint(static_cast<uint64_t>(c));
+        if (col.codec_ == ColumnVec::Codec::kRle) {
+          for (uint32_t e : col.rle_end_) w->Varint(e);
+        }
+      }
+      break;
+    case ColumnVec::Enc::kValue:
+      break;
+  }
+}
+
+/// Reads and exhaustively validates one column: lane sizes, codec/enc
+/// legality, dictionary code ranges, run offsets. After a successful read,
+/// At(i) is safe for every i < n.
+bool ReadColumn(ByteReader* r, size_t expected_rows, ColumnVec* col) {
+  uint8_t enc_b, codec_b;
+  if (!r->U8(&enc_b) || !r->U8(&codec_b)) return false;
+  if (enc_b > static_cast<uint8_t>(ColumnVec::Enc::kValue)) return false;
+  if (codec_b >= ColumnVec::kNumCodecs) return false;
+  col->enc_ = static_cast<ColumnVec::Enc>(enc_b);
+  col->codec_ = static_cast<ColumnVec::Codec>(codec_b);
+  const auto codec = col->codec_;
+  if (col->enc_ == ColumnVec::Enc::kValue) {
+    if (codec != ColumnVec::Codec::kPlain) return false;
+    uint64_t n;
+    if (!r->Count(&n) || n != expected_rows) return false;
+    col->raw_.reserve(static_cast<size_t>(n));
+    std::string cell;
+    for (uint64_t i = 0; i < n; ++i) {
+      if (!r->Str(&cell)) return false;
+      auto v = DecodeValue(cell);
+      if (!v.ok()) return false;
+      col->raw_.push_back(std::move(v.value()));
+    }
+    return true;
+  }
+  uint64_t n;
+  if (!r->Varint(&n) || n > ByteReader::kMaxCount) return false;
+  if (n != expected_rows) return false;
+  col->n_ = static_cast<size_t>(n);
+  if (!ReadNullBits(r, col->n_, col)) return false;
+  auto read_ends = [&](size_t runs) {
+    return ReadRleEnds(r, runs, col->n_, &col->rle_end_);
+  };
+  switch (col->enc_) {
+    case ColumnVec::Enc::kInt64: {
+      if (codec == ColumnVec::Codec::kBitPack ||
+          codec == ColumnVec::Codec::kExpPack) {
+        return false;
+      }
+      if (codec == ColumnVec::Codec::kFor) {
+        return r->Zigzag(&col->for_base_) &&
+               ReadPacked(r, col->n_, &col->packed_);
+      }
+      uint64_t m;
+      if (!r->Count(&m)) return false;
+      if (codec == ColumnVec::Codec::kPlain && m != n) return false;
+      if (codec != ColumnVec::Codec::kPlain && (m == 0 || m > n)) {
+        return false;
+      }
+      col->i64_.resize(static_cast<size_t>(m));
+      for (int64_t& v : col->i64_) {
+        if (!r->Zigzag(&v)) return false;
+      }
+      if (codec == ColumnVec::Codec::kRle) return read_ends(col->i64_.size());
+      if (codec == ColumnVec::Codec::kDictNum) {
+        if (!ReadPacked(r, col->n_, &col->packed_)) return false;
+        for (size_t i = 0; i < col->n_; ++i) {
+          if (col->packed_.Get(i) >= m) return false;
+        }
+      }
+      return true;
+    }
+    case ColumnVec::Enc::kDouble: {
+      if (codec == ColumnVec::Codec::kBitPack ||
+          codec == ColumnVec::Codec::kFor) {
+        return false;
+      }
+      if (codec == ColumnVec::Codec::kExpPack) {
+        // Prefix dictionary: 1..4096 distinct 12-bit values, then the
+        // packed lane whose top bits index it. After validation At(i)
+        // is safe for every i < n.
+        uint64_t m;
+        if (!r->Count(&m) || m == 0 || m > 4096) return false;
+        col->i64_.resize(static_cast<size_t>(m));
+        for (int64_t& v : col->i64_) {
+          uint64_t u;
+          if (!r->Varint(&u) || u > 0xFFF) return false;
+          v = static_cast<int64_t>(u);
+        }
+        if (!ReadPacked(r, col->n_, &col->packed_)) return false;
+        for (size_t i = 0; i < col->n_; ++i) {
+          if ((col->packed_.Get(i) >> 52) >= m) return false;
+        }
+        return true;
+      }
+      uint64_t m;
+      if (!r->Count(&m, 8)) return false;
+      if (codec == ColumnVec::Codec::kPlain && m != n) return false;
+      if (codec != ColumnVec::Codec::kPlain && (m == 0 || m > n)) {
+        return false;
+      }
+      col->f64_.resize(static_cast<size_t>(m));
+      for (double& v : col->f64_) {
+        if (!r->F64(&v)) return false;
+      }
+      if (codec == ColumnVec::Codec::kRle) return read_ends(col->f64_.size());
+      if (codec == ColumnVec::Codec::kDictNum) {
+        if (!ReadPacked(r, col->n_, &col->packed_)) return false;
+        for (size_t i = 0; i < col->n_; ++i) {
+          if (col->packed_.Get(i) >= m) return false;
+        }
+      }
+      return true;
+    }
+    case ColumnVec::Enc::kBool: {
+      if (codec == ColumnVec::Codec::kFor ||
+          codec == ColumnVec::Codec::kDictNum ||
+          codec == ColumnVec::Codec::kExpPack) {
+        return false;
+      }
+      if (codec == ColumnVec::Codec::kBitPack) {
+        return ReadPacked(r, col->n_, &col->packed_) &&
+               col->packed_.width() <= 1;
+      }
+      uint64_t m;
+      if (!r->Count(&m)) return false;
+      if (codec == ColumnVec::Codec::kPlain && m != n) return false;
+      if (codec == ColumnVec::Codec::kRle && (m == 0 || m > n)) return false;
+      if (r->remaining() < m) return false;
+      col->b8_.resize(static_cast<size_t>(m));
+      for (uint8_t& v : col->b8_) {
+        if (!r->U8(&v)) return false;
+      }
+      if (codec == ColumnVec::Codec::kRle) return read_ends(col->b8_.size());
+      return true;
+    }
+    case ColumnVec::Enc::kDict: {
+      if (codec == ColumnVec::Codec::kFor ||
+          codec == ColumnVec::Codec::kDictNum ||
+          codec == ColumnVec::Codec::kExpPack) {
+        return false;
+      }
+      uint64_t d;
+      if (!r->Count(&d)) return false;
+      if (d == 0) return false;  // kDict implies >= 1 non-null string
+      col->dict_.resize(static_cast<size_t>(d));
+      for (std::string& s : col->dict_) {
+        if (!r->Str(&s)) return false;
+      }
+      if (codec == ColumnVec::Codec::kBitPack) {
+        if (!ReadPacked(r, col->n_, &col->packed_)) return false;
+        for (size_t i = 0; i < col->n_; ++i) {
+          if (col->packed_.Get(i) >= d) return false;
+        }
+        return true;
+      }
+      uint64_t m;
+      if (!r->Count(&m)) return false;
+      if (codec == ColumnVec::Codec::kPlain && m != n) return false;
+      if (codec == ColumnVec::Codec::kRle && (m == 0 || m > n)) return false;
+      col->codes_.resize(static_cast<size_t>(m));
+      for (int32_t& c : col->codes_) {
+        uint64_t v;
+        if (!r->Varint(&v) || v >= d) return false;
+        c = static_cast<int32_t>(v);
+      }
+      if (codec == ColumnVec::Codec::kRle) {
+        return read_ends(col->codes_.size());
+      }
+      return true;
+    }
+    case ColumnVec::Enc::kValue:
+      break;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string SerializeViewSegments(const std::string& name,
+                                  const MaterializedView& view) {
+  auto sealed = view.SealedSegments();
+  ByteWriter w;
+  w.Bytes(kSegMagic, sizeof(kSegMagic) - 1);
+  w.Str(name);
+  w.Varint(view.value_schema().num_fields());
+  for (const Field& f : view.value_schema().fields()) {
+    w.Str(f.name);
+    w.U8(static_cast<uint8_t>(f.type));
+  }
+  w.Varint(sealed.size());
+  for (const auto& [seg_id, seg] : sealed) {
+    const size_t nkeys = seg->num_keys();
+    w.Varint(nkeys);
+    int64_t prev_frame = 0;
+    for (size_t i = 0; i < nkeys; ++i) {
+      int64_t f = seg->key_frame(i);
+      w.Zigzag(f - prev_frame);
+      prev_frame = f;
+    }
+    for (size_t i = 0; i < nkeys; ++i) w.Zigzag(seg->key_obj(i));
+    for (size_t i = 0; i < nkeys; ++i) {
+      w.Varint(static_cast<uint64_t>(seg->row_begin_at(i + 1) -
+                                     seg->row_begin_at(i)));
+    }
+    w.Varint(seg->cols.size());
+    for (const ColumnVec& col : seg->cols) WriteColumn(&w, col);
+  }
+  return w.Take();
+}
+
+Status ParseSegmentBody(const std::string& content, const std::string& file,
+                        ViewStore* store) {
+  const size_t magic_len = sizeof(kSegMagic) - 1;
+  if (content.size() < magic_len ||
+      content.compare(0, magic_len, kSegMagic) != 0) {
+    return Status::InvalidArgument("bad segment file header: " + file);
+  }
+  ByteReader r(content.data() + magic_len, content.size() - magic_len);
+  auto corrupt = [&file](const char* what) {
+    return Status::InvalidArgument(std::string("corrupt segment file ") +
+                                   file + ": " + what);
+  };
+  std::string name;
+  if (!r.Str(&name)) return corrupt("name");
+  uint64_t nfields;
+  if (!r.Count(&nfields)) return corrupt("schema count");
+  Schema schema;
+  for (uint64_t i = 0; i < nfields; ++i) {
+    std::string fname;
+    uint8_t type;
+    if (!r.Str(&fname) || !r.U8(&type) ||
+        type > static_cast<uint8_t>(DataType::kString)) {
+      return corrupt("schema field");
+    }
+    schema.AddField({fname, static_cast<DataType>(type)});
+  }
+  uint64_t nsegs;
+  if (!r.Count(&nsegs)) return corrupt("segment count");
+  // Stage everything; a failure anywhere installs nothing.
+  std::vector<std::pair<ViewKey, std::vector<Row>>> staged;
+  for (uint64_t s = 0; s < nsegs; ++s) {
+    uint64_t nkeys;
+    if (!r.Count(&nkeys)) return corrupt("key count");
+    std::vector<ViewKey> keys(static_cast<size_t>(nkeys));
+    int64_t frame = 0;
+    for (ViewKey& k : keys) {
+      int64_t delta;
+      if (!r.Zigzag(&delta)) return corrupt("frame delta");
+      frame += delta;
+      k.frame = frame;
+    }
+    for (ViewKey& k : keys) {
+      if (!r.Zigzag(&k.obj)) return corrupt("obj");
+    }
+    for (size_t i = 1; i < keys.size(); ++i) {
+      if (!(keys[i - 1] < keys[i])) return corrupt("key order");
+    }
+    std::vector<uint32_t> row_counts(keys.size());
+    uint64_t total_rows = 0;
+    for (uint32_t& c : row_counts) {
+      uint64_t v;
+      if (!r.Varint(&v) || v > ByteReader::kMaxCount) {
+        return corrupt("row count");
+      }
+      c = static_cast<uint32_t>(v);
+      total_rows += v;
+    }
+    if (total_rows > ByteReader::kMaxCount) return corrupt("row total");
+    uint64_t ncols;
+    if (!r.Count(&ncols)) return corrupt("column count");
+    if (ncols != nfields) return corrupt("column count mismatch");
+    std::vector<ColumnVec> cols(static_cast<size_t>(ncols));
+    for (ColumnVec& col : cols) {
+      if (!ReadColumn(&r, static_cast<size_t>(total_rows), &col)) {
+        return corrupt("column");
+      }
+    }
+    // Reconstruct the exact rows through the same At() the probe path
+    // uses — the decoded codec state was validated above, so every access
+    // is in bounds.
+    size_t row = 0;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      std::vector<Row> rows;
+      rows.reserve(row_counts[i]);
+      for (uint32_t j = 0; j < row_counts[i]; ++j, ++row) {
+        Row out_row;
+        out_row.reserve(cols.size());
+        for (const ColumnVec& col : cols) out_row.push_back(col.At(row));
+        rows.push_back(std::move(out_row));
+      }
+      staged.emplace_back(keys[i], std::move(rows));
+    }
+  }
+  if (!r.done()) return corrupt("trailing bytes");
+  MaterializedView* view = store->GetOrCreate(name, schema);
+  for (auto& [k, rows] : staged) view->Put(k, std::move(rows));
+  return Status::OK();
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
 // Lifecycle serialization / parsing
 // ---------------------------------------------------------------------------
 
@@ -483,7 +906,8 @@ Status Quarantine(fault::FaultFs* fs, const std::string& dir,
 
 Status SaveImpl(const ViewStore& store, const udf::UdfManager* manager,
                 bool write_views, bool carry_view_entries,
-                const std::string& dir, fault::FaultFs* fs) {
+                const std::string& dir, fault::FaultFs* fs,
+                const SaveOptions& options = {}) {
   EVA_RETURN_IF_ERROR(fs->CreateDirs(dir));
   Manifest old;
   EVA_ASSIGN_OR_RETURN(ManifestState old_state, ReadManifest(dir, fs, &old));
@@ -504,19 +928,22 @@ Status SaveImpl(const ViewStore& store, const udf::UdfManager* manager,
   };
   if (write_views) {
     for (const auto& [name, view] : store.views()) {
-      const std::string body = SerializeView(name, *view);
-      const std::string file =
-          SanitizeFilename(name) + gen_tag + ".evaview";
+      const bool seg_form = options.compressed_segments;
+      const std::string body = seg_form ? SerializeViewSegments(name, *view)
+                                        : SerializeView(name, *view);
+      const std::string file = SanitizeFilename(name) + gen_tag +
+                               (seg_form ? ".evaseg" : ".evaview");
       EVA_RETURN_IF_ERROR(write_atomic(file, body));
       next.entries.push_back(
-          {file, body.size(), Crc32(body), false, name});
+          {file, body.size(), Crc32(body), false, seg_form, name});
     }
   }
   if (manager != nullptr) {
     const std::string body = SerializeLifecycle(store, *manager);
     const std::string file = "lifecycle" + gen_tag + ".evastate";
     EVA_RETURN_IF_ERROR(write_atomic(file, body));
-    next.entries.push_back({file, body.size(), Crc32(body), true, ""});
+    next.entries.push_back(
+        {file, body.size(), Crc32(body), true, false, ""});
   }
   return CommitManifest(dir, next, fs);
 }
@@ -597,11 +1024,12 @@ std::string RecoveryReport::Summary() const {
 }
 
 Status SaveSession(const ViewStore& store, const udf::UdfManager& manager,
-                   const std::string& dir, fault::FaultFs* fs) {
+                   const std::string& dir, fault::FaultFs* fs,
+                   const SaveOptions& options) {
   fault::FaultFs plain;
   if (fs == nullptr) fs = &plain;
   return SaveImpl(store, &manager, /*write_views=*/true,
-                  /*carry_view_entries=*/false, dir, fs);
+                  /*carry_view_entries=*/false, dir, fs, options);
 }
 
 Result<int64_t> ManifestGeneration(const std::string& dir,
@@ -666,7 +1094,8 @@ Status LoadViewStoreEx(const std::string& dir, ViewStore* store,
                                        "checksum mismatch", report));
         continue;
       }
-      Status parsed = ParseViewBody(body, e.file, store);
+      Status parsed = e.is_segment ? ParseSegmentBody(body, e.file, store)
+                                   : ParseViewBody(body, e.file, store);
       if (!parsed.ok()) {
         EVA_RETURN_IF_ERROR(Quarantine(fs, dir, e.file, e.view_name,
                                        parsed.message(), report));
@@ -721,7 +1150,8 @@ Status LoadViewStoreEx(const std::string& dir, ViewStore* store,
       if (st.ok()) ++report->tmp_removed;
       continue;
     }
-    if (!EndsWith(name, ".evaview")) continue;
+    const bool is_segment = EndsWith(name, ".evaseg");
+    if (!EndsWith(name, ".evaview") && !is_segment) continue;
     auto res = fs->ReadFile(JoinPath(dir, name));
     if (!res.ok()) {
       if (fs->halted()) return res.status();
@@ -730,7 +1160,8 @@ Status LoadViewStoreEx(const std::string& dir, ViewStore* store,
                                      report));
       continue;
     }
-    Status parsed = ParseViewBody(res.value(), name, store);
+    Status parsed = is_segment ? ParseSegmentBody(res.value(), name, store)
+                               : ParseViewBody(res.value(), name, store);
     if (!parsed.ok()) {
       EVA_RETURN_IF_ERROR(
           Quarantine(fs, dir, name, "", parsed.message(), report));

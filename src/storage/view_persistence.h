@@ -15,11 +15,14 @@ namespace eva::storage {
 /// views on disk next to the Parquet-encoded video, §4.2/§5.2), format v2
 /// (docs/RELIABILITY.md).
 ///
-/// A save directory holds one text file per view plus the lifecycle state,
+/// A save directory holds one file per view plus the lifecycle state,
 /// both named with a generation number, and a MANIFEST that commits the
 /// generation atomically:
 ///
-///   <name>.g<G>.evaview        view data (same line format as v1)
+///   <name>.g<G>.evaview        view data, text (same line format as v1)
+///   <name>.g<G>.evaseg         view data, binary codec form (compressed
+///                              sealed segments; written instead of the
+///                              .evaview file when SaveOptions requests it)
 ///   lifecycle.g<G>.evastate    segment stamps + coverage (same as v1)
 ///   MANIFEST                   generation + per-file size and CRC32
 ///
@@ -67,11 +70,21 @@ struct RecoveryReport {
   std::string Summary() const;
 };
 
+/// Save-path configuration. `compressed_segments` writes each view as a
+/// binary `.evaseg` codec file (sealed-segment encodings + bit-packed key
+/// index, docs/STORAGE.md) instead of the text `.evaview` form. Loading
+/// accepts either — a dir saved without compression still loads into a
+/// compression-enabled engine and vice versa.
+struct SaveOptions {
+  bool compressed_segments = false;
+};
+
 /// Saves views + lifecycle state as one new generation with a single
 /// MANIFEST commit — the engine's save path. All filesystem traffic goes
 /// through `fs` (pass nullptr for a plain pass-through shim).
 Status SaveSession(const ViewStore& store, const udf::UdfManager& manager,
-                   const std::string& dir, fault::FaultFs* fs = nullptr);
+                   const std::string& dir, fault::FaultFs* fs = nullptr,
+                   const SaveOptions& options = {});
 
 /// Loads a save directory with full recovery: verifies the MANIFEST and
 /// every file's size/CRC32, quarantines what fails (or was never
@@ -116,6 +129,20 @@ Status LoadLifecycleStateEx(const std::string& dir, ViewStore* store,
 /// numerals or bad escapes (reader_fuzz_test).
 std::string EncodeValue(const Value& v);
 Result<Value> DecodeValue(const std::string& text);
+
+/// Binary `.evaseg` body for one view: every sealed segment's keys and
+/// codec-encoded columns (seals stale segments first; quiescence like
+/// entries()). Exposed for the codec fuzz/round-trip tests.
+std::string SerializeViewSegments(const std::string& name,
+                                  const MaterializedView& view);
+
+/// Parses a `.evaseg` body, validates it exhaustively (lane sizes, dict
+/// code ranges, run offsets, key ordering), reconstructs the exact rows,
+/// and installs them into `store` (merging; existing keys win). A body
+/// that fails anywhere installs nothing — corrupt codec files underclaim,
+/// never crash and never surface wrong rows (reader_fuzz_test).
+Status ParseSegmentBody(const std::string& content, const std::string& file,
+                        ViewStore* store);
 
 }  // namespace eva::storage
 

@@ -56,6 +56,24 @@ bool MaterializedView::ColumnarFreshLocked(
   return true;
 }
 
+void MaterializedView::SealSegmentLocked(SegmentColumns* sc) const {
+  sc->columnar = BuildColumnarSegment(sc->keys, entries_,
+                                      value_schema_.num_fields(),
+                                      build_options_);
+  if (seal_totals_ != nullptr) {
+    const ColumnarSegment& seg = *sc->columnar;
+    seal_totals_->segments_sealed.fetch_add(1, std::memory_order_relaxed);
+    seal_totals_->raw_bytes.fetch_add(seg.raw_bytes,
+                                      std::memory_order_relaxed);
+    seal_totals_->encoded_bytes.fetch_add(seg.encoded_bytes,
+                                          std::memory_order_relaxed);
+    for (int c = 0; c < ColumnVec::kNumCodecs; ++c) {
+      seal_totals_->codec_cols[c].fetch_add(seg.codec_cols[c],
+                                            std::memory_order_relaxed);
+    }
+  }
+}
+
 void MaterializedView::SealTouchedLocked(
     const std::vector<ViewKey>& keys) const {
   int64_t cur = INT64_MIN;
@@ -72,9 +90,47 @@ void MaterializedView::SealTouchedLocked(
         sc.columnar->built_keys == static_cast<int64_t>(sc.keys.size())) {
       continue;
     }
-    sc.columnar = BuildColumnarSegment(sc.keys, entries_,
-                                       value_schema_.num_fields());
+    SealSegmentLocked(&sc);
   }
+}
+
+void MaterializedView::SealAllSegments() const {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto& [seg_id, sc] : columns_) {
+    if (sc.columnar != nullptr &&
+        sc.columnar->built_keys == static_cast<int64_t>(sc.keys.size())) {
+      continue;
+    }
+    SealSegmentLocked(&sc);
+  }
+}
+
+std::vector<std::pair<int64_t, std::shared_ptr<const ColumnarSegment>>>
+MaterializedView::SealedSegments() const {
+  SealAllSegments();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::pair<int64_t, std::shared_ptr<const ColumnarSegment>>> out;
+  out.reserve(columns_.size());
+  for (const auto& [seg_id, sc] : columns_) {
+    if (sc.columnar != nullptr) out.emplace_back(seg_id, sc.columnar);
+  }
+  return out;
+}
+
+ViewCompressionStats MaterializedView::CompressionStats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  ViewCompressionStats out;
+  for (const auto& [seg_id, sc] : columns_) {
+    ++out.segments;
+    if (sc.columnar == nullptr ||
+        sc.columnar->built_keys != static_cast<int64_t>(sc.keys.size())) {
+      continue;
+    }
+    ++out.sealed_segments;
+    out.raw_bytes += sc.columnar->raw_bytes;
+    out.encoded_bytes += sc.columnar->encoded_bytes;
+  }
+  return out;
 }
 
 void MaterializedView::ProbeBatchLocked(const std::vector<ViewKey>& keys,
@@ -108,10 +164,26 @@ void MaterializedView::ProbeBatchLocked(const std::vector<ViewKey>& keys,
     }
     ProbeOutcome outcome;
     if (seg != nullptr) {
+      // Bloom short-circuit: a negative proves the key absent, so the
+      // key-index search is skipped entirely. The outcome is identical to
+      // a failed FindKey (kMiss) — only the cost differs.
+      if (seg->bloom.enabled() &&
+          !seg->bloom.MayContain(HashViewKey(key.frame, key.obj))) {
+        ++out->bloom_negatives;
+        out->outcomes.push_back(outcome);
+        continue;
+      }
       size_t idx = seg->FindKey(key.frame, key.obj, &cursor);
+      if (seg->bloom.enabled()) {
+        if (idx == ColumnarSegment::npos) {
+          ++out->bloom_fps;
+        } else {
+          ++out->bloom_hits;
+        }
+      }
       if (idx != ColumnarSegment::npos) {
-        int32_t begin = seg->row_begin[idx];
-        int32_t end = seg->row_begin[idx + 1];
+        int32_t begin = seg->row_begin_at(idx);
+        int32_t end = seg->row_begin_at(idx + 1);
         outcome.rows_count = end - begin;
         if (seg_admitted) {
           outcome.status = ProbeStatus::kHit;
@@ -161,15 +233,31 @@ void MaterializedView::RecordAccess(int64_t frame, uint64_t tick,
   if (query_id >= 0) last_access_query_ = query_id;
 }
 
+double MaterializedView::SegmentBytesLocked(int64_t seg_id,
+                                            const SegmentInfo& info) const {
+  if (build_options_.compress) {
+    auto it = columns_.find(seg_id);
+    if (it != columns_.end() && it->second.columnar != nullptr &&
+        it->second.columnar->built_keys ==
+            static_cast<int64_t>(it->second.keys.size())) {
+      return static_cast<double>(it->second.columnar->encoded_bytes);
+    }
+  }
+  // Synthetic pre-codec estimate (§5.2): 16 B/key + 10 B/cell. Unsealed
+  // segments are charged at this rate until their first seal; the
+  // lifecycle manager seals everything before enforcing the budget so the
+  // eviction decision never depends on probe history.
+  return 16.0 * static_cast<double>(info.keys) +
+         static_cast<double>(info.rows) *
+             static_cast<double>(value_schema_.num_fields()) * 10.0;
+}
+
 double MaterializedView::SizeBytes() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  // Keys: 16 bytes each; values: rough per-cell estimate mirroring a
-  // Parquet-style encoding of the lightweight structured metadata the UDFs
-  // extract (§5.2).
-  double bytes = 16.0 * static_cast<double>(entries_.size());
-  double cells = static_cast<double>(num_rows_) *
-                 static_cast<double>(value_schema_.num_fields());
-  bytes += cells * 10.0;
+  double bytes = 0;
+  for (const auto& [id, info] : segments_) {
+    bytes += SegmentBytesLocked(id, info);
+  }
   return bytes;
 }
 
@@ -177,14 +265,12 @@ std::vector<SegmentStats> MaterializedView::Segments() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<SegmentStats> out;
   out.reserve(segments_.size());
-  double fields = static_cast<double>(value_schema_.num_fields());
   for (const auto& [id, info] : segments_) {
     SegmentStats s;
     s.segment_id = id;
     s.first_frame = id * segment_frames_;
     s.frame_end = (id + 1) * segment_frames_;
-    s.bytes = 16.0 * static_cast<double>(info.keys) +
-              static_cast<double>(info.rows) * fields * 10.0;
+    s.bytes = SegmentBytesLocked(id, info);
     s.info = info;
     out.push_back(s);
   }
@@ -198,6 +284,9 @@ EvictedSegment MaterializedView::EvictSegment(int64_t segment_id) {
   ev.frame_end = (segment_id + 1) * segment_frames_;
   auto it = segments_.find(segment_id);
   if (it == segments_.end()) return ev;
+  // Charge what the segment was accounted at (encoded bytes when sealed
+  // fresh under codecs, the synthetic formula otherwise).
+  ev.bytes = SegmentBytesLocked(segment_id, it->second);
   // The per-segment key list makes eviction O(segment keys) instead of a
   // scan over every entry of the view.
   auto cit = columns_.find(segment_id);
@@ -211,9 +300,6 @@ EvictedSegment MaterializedView::EvictSegment(int64_t segment_id) {
     }
     columns_.erase(cit);
   }
-  ev.bytes = 16.0 * static_cast<double>(ev.keys) +
-             static_cast<double>(ev.rows) *
-                 static_cast<double>(value_schema_.num_fields()) * 10.0;
   num_rows_ -= ev.rows;
   segments_.erase(it);
   return ev;
@@ -241,6 +327,8 @@ MaterializedView* ViewStore::GetOrCreate(const std::string& name,
   if (it == views_.end()) {
     auto view = std::make_unique<MaterializedView>(name, value_schema);
     view->set_segment_frames(segment_frames_);
+    view->set_build_options(build_options_);
+    view->set_seal_totals(&seal_totals_);
     if (capture_appends_) view->set_capture_appends(true);
     it = views_.emplace(name, std::move(view)).first;
   }

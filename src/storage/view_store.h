@@ -77,6 +77,12 @@ struct ProbeResult {
   std::vector<std::shared_ptr<const ColumnarSegment>> segments;
   int64_t segments_probed = 0;   // distinct segment runs zone-checked
   int64_t segments_skipped = 0;  // runs rejected by the zone callback
+  /// Split-block Bloom filter outcomes (zero when segments carry no
+  /// filter). A negative proves absence, so the key-index search was
+  /// skipped; a false positive paid the search and still missed.
+  int64_t bloom_hits = 0;
+  int64_t bloom_negatives = 0;
+  int64_t bloom_fps = 0;
 
   const ColumnarSegment& segment(const ProbeOutcome& oc) const {
     return *segments[static_cast<size_t>(oc.seg_index)];
@@ -87,6 +93,9 @@ struct ProbeResult {
     segments.clear();
     segments_probed = 0;
     segments_skipped = 0;
+    bloom_hits = 0;
+    bloom_negatives = 0;
+    bloom_fps = 0;
   }
 };
 
@@ -95,6 +104,26 @@ struct ProbeResult {
 /// view lock, once per segment run per batch — it must not reenter the
 /// view and must be a pure function of the segment (determinism).
 using ZoneCheckFn = std::function<bool(const ColumnarSegment&)>;
+
+/// Cumulative seal-time codec accounting, shared by every view of a
+/// ViewStore (atomics: seals happen under per-view locks on any thread).
+/// Monotone — bytes are added each time a segment is (re)built, so the
+/// engine can publish them as `_total` counters.
+struct SealTotals {
+  std::atomic<int64_t> segments_sealed{0};
+  std::atomic<int64_t> raw_bytes{0};
+  std::atomic<int64_t> encoded_bytes{0};
+  std::atomic<int64_t> codec_cols[ColumnVec::kNumCodecs] = {};
+};
+
+/// Current (not cumulative) codec footprint of one view's sealed-fresh
+/// segments — the `.views` shell listing and /views snapshot surface it.
+struct ViewCompressionStats {
+  int64_t segments = 0;         // segments with any keys
+  int64_t sealed_segments = 0;  // of those, sealed and fresh
+  int64_t raw_bytes = 0;        // plain columnar footprint of sealed ones
+  int64_t encoded_bytes = 0;    // held footprint of sealed ones
+};
 
 /// Materialized view of a UDF's results, keyed by input tuple. Presence is
 /// tracked separately from rows so that "frame was processed, zero objects
@@ -194,6 +223,35 @@ class MaterializedView {
     segment_frames_ = frames > 0 ? frames : 1;
   }
 
+  /// Seal-time storage configuration (codecs + Bloom). Takes effect at the
+  /// next (re)seal; the engine sets it before any Put. Reconstruction of
+  /// values is bit-identical for every configuration.
+  void set_build_options(const SegmentBuildOptions& options) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    build_options_ = options;
+  }
+  SegmentBuildOptions build_options() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return build_options_;
+  }
+  /// Sink for cumulative seal accounting (owned by the ViewStore).
+  void set_seal_totals(SealTotals* totals) { seal_totals_ = totals; }
+
+  /// Seals (or refreshes) the columnar projection of every segment. The
+  /// lifecycle manager calls it before byte accounting so the footprint is
+  /// the encoded one regardless of probe history; persistence calls it so
+  /// the on-disk codec matches the sealed state. Driver-thread cadence,
+  /// but safe under concurrent probes (exclusive lock).
+  void SealAllSegments() const;
+
+  /// Sealed segments by id, sealing stale ones first. Requires quiescence
+  /// like entries() (persistence runs between queries).
+  std::vector<std::pair<int64_t, std::shared_ptr<const ColumnarSegment>>>
+  SealedSegments() const;
+
+  /// Current codec footprint over sealed-fresh segments.
+  ViewCompressionStats CompressionStats() const;
+
   /// Id of the last query that probed or materialized into this view
   /// (-1 when never accessed); the `.views` shell listing surfaces it.
   int64_t last_access_query() const {
@@ -242,6 +300,13 @@ class MaterializedView {
   /// Builds/refreshes the columnar projection of every stale touched
   /// segment. Caller holds mu_ exclusively.
   void SealTouchedLocked(const std::vector<ViewKey>& keys) const;
+  /// (Re)builds one segment's projection and records seal accounting.
+  /// Caller holds mu_ exclusively.
+  void SealSegmentLocked(SegmentColumns* sc) const;
+  /// Charged footprint of one segment: the encoded bytes when codecs are
+  /// on and the segment is sealed fresh, the synthetic §5.2 formula
+  /// otherwise (identical to the pre-codec accounting). Caller holds mu_.
+  double SegmentBytesLocked(int64_t seg_id, const SegmentInfo& info) const;
   /// Serves the batch; every touched segment must be fresh. Caller holds
   /// mu_ (any mode).
   void ProbeBatchLocked(const std::vector<ViewKey>& keys,
@@ -257,6 +322,8 @@ class MaterializedView {
   mutable std::map<int64_t, SegmentColumns> columns_;
   int64_t num_rows_ = 0;
   int64_t segment_frames_ = 512;
+  SegmentBuildOptions build_options_;
+  SealTotals* seal_totals_ = nullptr;  // optional, ViewStore-owned
   int64_t last_access_query_ = -1;
   bool capture_appends_ = false;
   std::vector<ViewKey> append_log_;  // keys inserted since the last drain
@@ -335,6 +402,28 @@ class ViewStore {
     return segment_frames_;
   }
 
+  /// Seal-time storage configuration applied to every existing view and
+  /// inherited by views created later.
+  void set_build_options(const SegmentBuildOptions& options) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    build_options_ = options;
+    for (auto& [name, view] : views_) view->set_build_options(options);
+  }
+  SegmentBuildOptions build_options() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return build_options_;
+  }
+
+  /// Cumulative seal accounting across every view (engine metrics).
+  const SealTotals& seal_totals() const { return seal_totals_; }
+
+  /// Seals every segment of every view (lifecycle accounting / save).
+  /// Driver-thread cadence like views().
+  void SealAllSegments() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (const auto& [name, view] : views_) view->SealAllSegments();
+  }
+
  private:
   /// Caller must hold mu_ exclusively.
   void Touch(const std::string& name) { access_[name] = ++access_clock_; }
@@ -345,6 +434,8 @@ class ViewStore {
   std::map<std::string, uint64_t> access_;  // name -> last access tick
   uint64_t access_clock_ = 0;
   int64_t segment_frames_ = 512;
+  SegmentBuildOptions build_options_;
+  mutable SealTotals seal_totals_;
   bool capture_appends_ = false;
   std::atomic<uint64_t> segment_clock_{0};
 };

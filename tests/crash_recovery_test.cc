@@ -397,5 +397,93 @@ TEST_F(CrashRecoveryTest, FailedRenameLeavesPreviousGenerationIntact) {
   EXPECT_DOUBLE_EQ(udf_ms, 0.0);
 }
 
+/// Kill-points inside the compressed-segment write itself: crash at the
+/// binary .evaseg codec file's tmp write and at its rename-into-place.
+/// Either way the new generation never committed, so the previous one
+/// reloads complete — zero UDF time, rows bit-identical.
+TEST_F(CrashRecoveryTest, CompressedSegmentWriteCrashKeepsPreviousGen) {
+  const std::vector<std::string> baseline = Baseline();
+  auto engine = MakeEva();
+  for (const std::string& sql : SessionSql()) {
+    ASSERT_TRUE(engine->Execute(sql).ok());
+  }
+  const stdfs::path dir = root_ / "segcrash";
+  ASSERT_TRUE(engine->SaveViews(dir.string()).ok());
+  // The engine's saves write binary codec files; prove that's the format
+  // under test before crashing inside it.
+  bool saw_evaseg = false;
+  for (const auto& entry : stdfs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 7 && name.substr(name.size() - 7) == ".evaseg") {
+      saw_evaseg = true;
+    }
+  }
+  ASSERT_TRUE(saw_evaseg) << "engine save should emit .evaseg codec files";
+
+  for (const char* schedule : {"crash@fs.write:*.evaseg.tmp#1",
+                               "crash@fs.rename:*.evaseg#1"}) {
+    ASSERT_TRUE(engine->SetFaultSchedule(schedule).ok());
+    Status s = engine->SaveViews(dir.string());
+    EXPECT_FALSE(s.ok()) << schedule << ": crashed save reported success";
+    EXPECT_GE(engine->fault_injector()->fired(), 1)
+        << schedule << ": the scheduled crash never fired";
+    ASSERT_TRUE(engine->SetFaultSchedule("").ok());
+
+    auto fresh = MakeEva();
+    ASSERT_TRUE(fresh->LoadViews(dir.string()).ok()) << schedule;
+    const double udf_ms =
+        AssertSessionMatches(fresh.get(), baseline, schedule);
+    EXPECT_DOUBLE_EQ(udf_ms, 0.0)
+        << schedule << ": the surviving generation should reuse everything";
+  }
+}
+
+/// Forward/backward format interop: a v2 directory saved WITHOUT segment
+/// compression (text .evaview files) loads into a compression-enabled
+/// engine with full reuse, and a compressed save loads into a
+/// compression-off engine the same way.
+TEST_F(CrashRecoveryTest, UncompressedV2DirectoryInteropLoads) {
+  const std::vector<std::string> baseline = Baseline();
+  auto make = [&](bool compress) {
+    engine::EngineOptions options;
+    options.optimizer.mode = optimizer::ReuseMode::kEva;
+    options.segment_compression = compress;
+    options.bloom_bits_per_key = compress ? 10 : 0;
+    auto er = vbench::MakeEngine(options, CrashVideo());
+    EXPECT_TRUE(er.ok());
+    return er.MoveValue();
+  };
+  for (bool save_compressed : {false, true}) {
+    const stdfs::path dir =
+        root_ / (save_compressed ? "from_seg" : "from_text");
+    {
+      auto writer = make(save_compressed);
+      for (const std::string& sql : SessionSql()) {
+        ASSERT_TRUE(writer->Execute(sql).ok());
+      }
+      ASSERT_TRUE(writer->SaveViews(dir.string()).ok());
+      // The format on disk matches the writer's configuration.
+      const std::string want = save_compressed ? ".evaseg" : ".evaview";
+      bool found = false;
+      for (const auto& entry : stdfs::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() > want.size() &&
+            name.substr(name.size() - want.size()) == want) {
+          found = true;
+        }
+      }
+      ASSERT_TRUE(found) << dir;
+    }
+    auto reader = make(!save_compressed);
+    ASSERT_TRUE(reader->LoadViews(dir.string()).ok());
+    EXPECT_TRUE(reader->last_recovery().clean());
+    const double udf_ms = AssertSessionMatches(
+        reader.get(), baseline,
+        save_compressed ? "seg save into text engine"
+                        : "text save into seg engine");
+    EXPECT_DOUBLE_EQ(udf_ms, 0.0) << "cross-format load must reuse fully";
+  }
+}
+
 }  // namespace
 }  // namespace eva::engine

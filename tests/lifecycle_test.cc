@@ -58,6 +58,9 @@ TEST(LifecycleTest, BudgetedSessionStaysUnderBudgetWithIdenticalResults) {
     auto r = unbounded->Execute(sql);
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     expected.push_back(FullText(r.value()));
+    // Seal before measuring: budget enforcement charges sealed segments at
+    // their encoded size, so the peak must be the sealed footprint too.
+    unbounded->views().SealAllSegments();
     peak_bytes = std::max(peak_bytes, unbounded->views().TotalSizeBytes());
   }
   ASSERT_GT(peak_bytes, 0);
@@ -113,7 +116,10 @@ TEST(LifecycleTest, EvictionRetractsCoverageAndRecomputes) {
   ASSERT_TRUE(covered(0));
   ASSERT_TRUE(covered(299));
 
-  // Shrink the budget mid-session; some segments must go.
+  // Shrink the budget mid-session; some segments must go. Seal first so
+  // the 50% mark is half of the sealed (encoded) footprint — the same
+  // accounting EnforceBudget uses.
+  engine->views().SealAllSegments();
   const double budget = engine->views().TotalSizeBytes() * 0.5;
   engine->lifecycle()->set_budget_bytes(budget);
   auto evicted = engine->lifecycle()->EnforceBudget(

@@ -172,6 +172,9 @@ TEST_F(PersistenceTest, LifecycleStateSurvivesEvictionAndRestart) {
     reference = first.value().batch.ToString(1 << 20);
     first_udf_ms = first.value().metrics.breakdown[CostCategory::kUdf];
     ASSERT_GT(first_udf_ms, 0);
+    // Seal first: EnforceBudget charges sealed segments at encoded size,
+    // so the 50% budget must be half of the sealed footprint.
+    engine->views().SealAllSegments();
     engine->lifecycle()->set_budget_bytes(
         engine->views().TotalSizeBytes() * 0.5);
     auto evicted =
@@ -375,11 +378,15 @@ TEST_F(PersistenceTest, GenerationAdvancesAcrossSaves) {
   EXPECT_EQ(engine->last_recovery().generation, 2);
   EXPECT_TRUE(engine->last_recovery().clean());
   EXPECT_FALSE(engine->last_recovery().legacy);
-  // Only one generation's files survive the second commit's GC.
+  // Only one generation's files survive the second commit's GC. Engine
+  // saves write binary .evaseg codec files; count either form.
   int view_files = 0;
   for (const auto& entry : fs::directory_iterator(dir_)) {
     const std::string name = entry.path().filename().string();
-    if (name.size() > 8 && name.substr(name.size() - 8) == ".evaview") {
+    const bool is_view =
+        (name.size() > 8 && name.substr(name.size() - 8) == ".evaview") ||
+        (name.size() > 7 && name.substr(name.size() - 7) == ".evaseg");
+    if (is_view) {
       ++view_files;
       EXPECT_NE(name.find(".g2."), std::string::npos) << name;
     }

@@ -162,5 +162,64 @@ TEST(ViewStoreConcurrencyTest, ConcurrentFindAndTotalsDoNotRace) {
   EXPECT_EQ(store.views().size(), 8u);
 }
 
+// Compressed-segment seal racing against batch probes: writers keep
+// adding keys (which marks segments stale), a sealer thread re-seals with
+// codecs + Bloom filters, and reader threads ProbeBatch throughout. Every
+// hit's reconstructed row must match the deterministic payload — a torn
+// codec lane or a swapped-mid-read segment would surface here (and under
+// TSan in CI).
+TEST(ViewStoreConcurrencyTest, ProbesDuringCompressedSealStayExact) {
+  MaterializedView view("v", TestSchema());
+  view.set_segment_frames(64);
+  view.set_build_options({/*compress=*/true, /*bloom_bits_per_key=*/10});
+  constexpr int64_t kKeys = 4000;
+  std::atomic<bool> writer_done{false};
+  std::atomic<int64_t> mismatches{0};
+  std::thread writer([&] {
+    for (int64_t frame = 0; frame < kKeys; ++frame) {
+      view.Put({frame, -1}, RowsForKey(frame));
+    }
+    writer_done.store(true);
+  });
+  std::thread sealer([&] {
+    while (!writer_done.load()) view.SealAllSegments();
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      std::vector<ViewKey> probes;
+      for (int64_t frame = 0; frame < kKeys; frame += 13) {
+        probes.push_back({frame, -1});
+      }
+      ProbeResult res;
+      while (!writer_done.load()) {
+        res.Clear();
+        view.ProbeBatch(probes, nullptr, &res);
+        for (size_t i = 0; i < probes.size(); ++i) {
+          const ProbeOutcome& oc = res.outcomes[i];
+          if (oc.status != ProbeStatus::kHit) continue;
+          std::vector<Row> want = RowsForKey(probes[i].frame);
+          if (oc.rows_count != static_cast<int32_t>(want.size())) {
+            mismatches.fetch_add(1);
+            continue;
+          }
+          for (int32_t j = 0; j < oc.rows_count; ++j) {
+            Row got = res.segment(oc).RowAt(oc.rows_begin + j);
+            if (got.size() != want[j].size() ||
+                got[0] != want[j][0] || got[1] != want[j][1]) {
+              mismatches.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+  writer.join();
+  sealer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(view.num_keys(), kKeys);
+}
+
 }  // namespace
 }  // namespace eva::storage

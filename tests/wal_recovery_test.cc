@@ -330,5 +330,29 @@ TEST_F(WalRecoveryTest, MidCheckpointCrashKeepsIngestionHorizons) {
       << "(replay: " << recovered->last_replay().Summary() << ")";
 }
 
+/// Kill-point inside the checkpoint's compressed-segment codec write: the
+/// snapshot dies mid-.evaseg, the manifest never advances, and recovery
+/// replays the old (snapshot, log) pair — including the acknowledged
+/// ingest advance the unborn snapshot was meant to absorb.
+TEST_F(WalRecoveryTest, CheckpointCrashInsideSegmentCodecWriteIsSound) {
+  const stdfs::path dir = root_ / "segckpt";
+  {
+    auto engine = MakeStreamEngine(kInitial);
+    ASSERT_TRUE(engine->EnableWal(dir.string()).ok());
+    ASSERT_TRUE(engine->Execute(kQ1).ok());
+    ASSERT_TRUE(engine->IngestFrames(kSource, kTick).ok());
+    ASSERT_TRUE(
+        engine->SetFaultSchedule("crash@fs.write:*.evaseg.tmp#1").ok());
+    EXPECT_FALSE(engine->Checkpoint().ok());
+    EXPECT_GE(engine->fault_injector()->fired(), 1)
+        << "checkpoint never reached the segment codec write";
+  }
+  auto recovered =
+      RecoverAndCheck(dir.string(), "checkpoint crash in .evaseg write");
+  EXPECT_EQ(VisibleHorizon(*recovered), kInitial + kTick)
+      << "the acknowledged ingest advance was lost "
+      << "(replay: " << recovered->last_replay().Summary() << ")";
+}
+
 }  // namespace
 }  // namespace eva::engine
