@@ -141,6 +141,7 @@ EvaEngine::EvaEngine(EngineOptions options,
       ingestor_(catalog_.get(), &clock_) {
   tracer_.set_enabled(options_.observability);
   if (!options_.observability) registry_ = nullptr;
+  manager_.set_symbolic_fastpath(options_.optimizer.symbolic_fastpath);
   SetNumThreads(options_.num_threads);
   views_.set_segment_frames(options_.segment_frames);
   views_.set_build_options(
@@ -935,6 +936,9 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
   opt_span.End();
   out.report = std::move(optimized.report);
   out.metrics.optimizer_ms = optimized.optimizer_ms;
+  out.metrics.symbolic_cache_hits = out.report.symbolic_cache_hits;
+  out.metrics.symbolic_cache_misses = out.report.symbolic_cache_misses;
+  out.metrics.symbolic_cells_pruned = out.report.symbolic_cells_pruned;
   if (registry_ != nullptr) {
     if (auto* h = registry_->GetHistogram(
             "eva_optimizer_sim_ms",
@@ -1040,7 +1044,8 @@ Result<QueryResult> EvaEngine::ExecuteSelect(
     }
     out.report.plan_text =
         obs::RenderAnalyzedPlan(*optimized.plan, node_stats) +
-        optimizer::RenderAdmissionLines(out.report.admissions);
+        optimizer::RenderAdmissionLines(out.report.admissions) +
+        optimizer::RenderSymbolicLine(out.report);
     out.batch = TextToBatch("plan", out.report.plan_text);
   }
 

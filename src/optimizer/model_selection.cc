@@ -16,7 +16,8 @@ Result<ModelSelection> SelectPhysicalUdfs(
     const std::string& logical_type, const std::string& min_accuracy,
     const std::string& video_name, const symbolic::Predicate& query_pred,
     const symbolic::StatsProvider& stats, const exec::CostConstants& costs,
-    bool use_reuse, const symbolic::SymbolicBudget& budget) {
+    bool use_reuse, const symbolic::SymbolicBudget& budget,
+    udf::SymbolicOpStats* sym_stats) {
   // Line 2: physical UDFs satisfying the constraints.
   std::vector<catalog::UdfDef> candidates =
       catalog.PhysicalUdfsFor(logical_type, min_accuracy);
@@ -42,10 +43,12 @@ Result<ModelSelection> SelectPhysicalUdfs(
     double q_sel =
         symbolic::PredicateSelectivity(out.remainder, stats);
     if (out.remainder.DefinitelyFalse() || q_sel < kEps) break;
-    // Line 6: cost per uncovered tuple for every candidate view.
+    // Line 6: cost per uncovered tuple for every candidate view. The
+    // winner is remembered by key only — no per-candidate copy of its
+    // coverage predicate; nothing mutates the manager inside the loop.
     double best_w = std::numeric_limits<double>::infinity();
     const catalog::UdfDef* best = nullptr;
-    symbolic::Predicate best_coverage;
+    std::string best_key;
     for (const catalog::UdfDef& x : candidates) {
       std::string key = x.name + "@" + video_name;
       const symbolic::Predicate& p_x = manager.Coverage(key);
@@ -55,7 +58,8 @@ Result<ModelSelection> SelectPhysicalUdfs(
           out.view_udfs.end()) {
         continue;
       }
-      auto inter = symbolic::Predicate::Inter(p_x, out.remainder, budget);
+      auto inter = manager.InterCoverage(key, out.remainder, budget,
+                                         sym_stats);
       if (!inter.ok()) continue;  // budget blown: ignore this candidate
       double covered = symbolic::PredicateSelectivity(inter.value(), stats);
       if (covered < kEps) continue;
@@ -64,15 +68,15 @@ Result<ModelSelection> SelectPhysicalUdfs(
       if (w < best_w) {
         best_w = w;
         best = &x;
-        best_coverage = p_x;
+        best_key = key;
       }
     }
     // Line 8: materialized view vs. running the cheapest UDF.
     if (best == nullptr || best_w >= cheapest.cost_ms) break;
     out.view_udfs.push_back(best->name);
     out.trace.emplace_back(best->name, best_w);
-    auto diff =
-        symbolic::Predicate::Diff(best_coverage, out.remainder, budget);
+    auto diff = manager.DiffCoverage(best_key, out.remainder, budget,
+                                     sym_stats);
     if (!diff.ok()) break;  // keep the conservative remainder
     out.remainder = diff.MoveValue();
   }

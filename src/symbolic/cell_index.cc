@@ -1,0 +1,197 @@
+#include "symbolic/cell_index.h"
+
+#include <algorithm>
+
+#include "symbolic/predicate_intern.h"
+
+namespace eva::symbolic {
+
+namespace {
+
+// hi strictly precedes lo on the number line (no shared point).
+bool BoundBefore(const Bound& hi, const Bound& lo) {
+  if (hi.infinite || lo.infinite) return false;
+  if (hi.value < lo.value) return true;
+  if (hi.value > lo.value) return false;
+  return !hi.closed || !lo.closed;
+}
+
+bool IntervalsDisjoint(const Interval& a, const Interval& b) {
+  return BoundBefore(a.hi(), b.lo()) || BoundBefore(b.hi(), a.lo());
+}
+
+// Disjointness of two sorted include-sets.
+bool SortedSetsDisjoint(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    int cmp = a[i].compare(b[j]);
+    if (cmp == 0) return false;
+    if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool HullDisjoint(const Conjunct& a, const Conjunct& b) {
+  auto it = a.dims().begin();
+  auto jt = b.dims().begin();
+  while (it != a.dims().end() && jt != b.dims().end()) {
+    int cmp = it->first.compare(jt->first);
+    if (cmp < 0) {
+      ++it;
+      continue;
+    }
+    if (cmp > 0) {
+      ++jt;
+      continue;
+    }
+    const DimConstraint& ca = it->second;
+    const DimConstraint& cb = jt->second;
+    if (ca.is_categorical() && cb.is_categorical()) {
+      // Excluded points only widen the constraint's reach relative to its
+      // include-set, so only include/include pairs prove disjointness.
+      if (!ca.categorical_exclude() && !cb.categorical_exclude() &&
+          SortedSetsDisjoint(ca.categorical_values(),
+                             cb.categorical_values())) {
+        return true;
+      }
+    } else if (!ca.is_categorical() && !cb.is_categorical()) {
+      // Excluded points only shrink an interval constraint, so disjoint
+      // hull intervals imply disjoint constraints.
+      if (IntervalsDisjoint(ca.interval(), cb.interval())) return true;
+    }
+    ++it;
+    ++jt;
+  }
+  return false;
+}
+
+std::shared_ptr<const CellIndex> CellIndex::Build(const Predicate& p) {
+  auto index = std::make_shared<CellIndex>();
+  DimDict& dict = DimDict::Global();
+  const std::vector<Conjunct>& cells = p.conjuncts();
+  index->cell_fps_.reserve(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const uint32_t cell = static_cast<uint32_t>(i);
+    uint64_t fp = FingerprintCell(cells[i]);
+    index->cell_fps_.push_back(fp);
+    index->fp_cells_[fp].push_back(cell);
+    for (const auto& [dim, constraint] : cells[i].dims()) {
+      if (constraint.is_categorical()) continue;
+      DimEntries& entries = index->dims_[dict.Intern(dim)];
+      const Interval& iv = constraint.interval();
+      if (!iv.lo().infinite) {
+        entries.by_lo.push_back({iv.lo().value, iv.lo().closed, cell});
+      }
+      if (!iv.hi().infinite) {
+        entries.by_hi.push_back({iv.hi().value, iv.hi().closed, cell});
+      }
+    }
+  }
+  auto by_value = [](const Endpoint& a, const Endpoint& b) {
+    if (a.value != b.value) return a.value < b.value;
+    if (a.closed != b.closed) return a.closed;
+    return a.cell < b.cell;
+  };
+  for (auto& [dim, entries] : index->dims_) {
+    std::sort(entries.by_lo.begin(), entries.by_lo.end(), by_value);
+    std::sort(entries.by_hi.begin(), entries.by_hi.end(), by_value);
+  }
+  return index;
+}
+
+const std::vector<uint32_t>* CellIndex::CellsWithFingerprint(
+    uint64_t fp) const {
+  auto it = fp_cells_.find(fp);
+  if (it == fp_cells_.end()) return nullptr;
+  return &it->second;
+}
+
+size_t CellIndex::FilterCandidates(const Conjunct& q,
+                                   std::vector<uint8_t>* candidate) const {
+  size_t pruned = 0;
+  auto drop = [&](uint32_t cell) {
+    uint8_t& flag = (*candidate)[cell];
+    if (flag != 0) {
+      flag = 0;
+      ++pruned;
+    }
+  };
+  DimDict& dict = DimDict::Global();
+  for (const auto& [dim, constraint] : q.dims()) {
+    if (constraint.is_categorical()) continue;
+    auto it = dims_.find(dict.Intern(dim));
+    if (it == dims_.end()) continue;
+    const DimEntries& entries = it->second;
+    const Interval& qiv = constraint.interval();
+    auto value_less = [](const Endpoint& e, double v) { return e.value < v; };
+    if (!qiv.hi().infinite) {
+      // Cells whose lower bound starts past the query's upper bound.
+      const double qhi = qiv.hi().value;
+      auto first_eq = std::lower_bound(entries.by_lo.begin(),
+                                       entries.by_lo.end(), qhi, value_less);
+      for (auto e = first_eq; e != entries.by_lo.end(); ++e) {
+        if (e->value > qhi) {
+          drop(e->cell);
+        } else if (!e->closed || !qiv.hi().closed) {
+          drop(e->cell);  // touch at an open endpoint: still disjoint
+        }
+      }
+    }
+    if (!qiv.lo().infinite) {
+      // Cells whose upper bound ends before the query's lower bound.
+      const double qlo = qiv.lo().value;
+      auto first_eq = std::lower_bound(entries.by_hi.begin(),
+                                       entries.by_hi.end(), qlo, value_less);
+      for (auto e = entries.by_hi.begin(); e != first_eq; ++e) drop(e->cell);
+      for (auto e = first_eq; e != entries.by_hi.end() && e->value == qlo;
+           ++e) {
+        if (!e->closed || !qiv.lo().closed) drop(e->cell);
+      }
+    }
+  }
+  return pruned;
+}
+
+Result<Predicate> IndexedAnd(const Predicate& a, const CellIndex* a_index,
+                             const Predicate& b, const SymbolicBudget& budget,
+                             PruneStats* stats) {
+  if (a_index == nullptr) return Predicate::And(a, b, budget);
+  const std::vector<Conjunct>& ac = a.conjuncts();
+  const std::vector<Conjunct>& bc = b.conjuncts();
+  // candidates[j][i]: may coverage cell i intersect query cell j?
+  std::vector<std::vector<uint8_t>> candidates(bc.size());
+  size_t pruned = 0;
+  for (size_t j = 0; j < bc.size(); ++j) {
+    candidates[j].assign(ac.size(), 1);
+    pruned += a_index->FilterCandidates(bc[j], &candidates[j]);
+  }
+  if (stats != nullptr) {
+    stats->cells_pruned += static_cast<int64_t>(pruned);
+  }
+  // Same traversal order, budget check, and Reduce as Predicate::And —
+  // skipped pairs are exactly those whose Intersect would return nullopt.
+  Predicate out;
+  for (size_t i = 0; i < ac.size(); ++i) {
+    for (size_t j = 0; j < bc.size(); ++j) {
+      if (candidates[j][i] == 0) continue;
+      if (auto inter = ac[i].Intersect(bc[j])) {
+        out.AddConjunct(std::move(*inter));
+        if (out.conjuncts().size() > budget.max_conjuncts) {
+          return Status::ResourceExhausted(
+              "symbolic AND exceeded conjunct budget");
+        }
+      }
+    }
+  }
+  out.Reduce(budget);
+  return out;
+}
+
+}  // namespace eva::symbolic

@@ -1,0 +1,81 @@
+#ifndef EVA_SYMBOLIC_CELL_INDEX_H_
+#define EVA_SYMBOLIC_CELL_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "symbolic/predicate.h"
+
+namespace eva::symbolic {
+
+struct PruneStats {
+  /// Coverage cells skipped wholesale because their hull provably misses
+  /// the query cell (the brute-force engine would have computed an empty
+  /// Intersect for them).
+  int64_t cells_pruned = 0;
+};
+
+/// True when the two conjuncts provably have an empty intersection from
+/// hull comparison alone: some shared dimension carries disjoint numeric
+/// intervals, or disjoint categorical include-sets. Exact-negative — a
+/// true return implies a.Intersect(b) == nullopt, so callers may skip the
+/// full intersection without changing any result.
+bool HullDisjoint(const Conjunct& a, const Conjunct& b);
+
+/// Immutable per-dimension interval index over one stored predicate's
+/// cells: for every numeric dimension, the cells constraining it sorted by
+/// finite lower and upper endpoint. A query hull then clears a prefix and
+/// a suffix of candidates with two binary searches instead of intersecting
+/// every cell. Built lazily per coverage epoch and shared (the engine
+/// copies its UdfManager for plain EXPLAIN).
+class CellIndex {
+ public:
+  static std::shared_ptr<const CellIndex> Build(const Predicate& p);
+
+  size_t num_cells() const { return cell_fps_.size(); }
+  uint64_t cell_fingerprint(size_t i) const { return cell_fps_[i]; }
+  /// Cells (indices into the indexed predicate) whose structural
+  /// fingerprint equals `fp`; nullptr when none. The O(1) duplicate-cell
+  /// prefilter — callers still confirm with Conjunct::Equals.
+  const std::vector<uint32_t>* CellsWithFingerprint(uint64_t fp) const;
+
+  /// Clears candidate[i] for every cell whose hull provably misses `q`.
+  /// `candidate` must hold num_cells() ones on entry. Returns the number
+  /// of cells newly pruned. Dimensions `q` does not constrain, categorical
+  /// dimensions, and infinite hull sides never prune — conservative by
+  /// construction, so surviving candidates are a superset of the cells the
+  /// brute-force engine would find intersecting.
+  size_t FilterCandidates(const Conjunct& q,
+                          std::vector<uint8_t>* candidate) const;
+
+ private:
+  struct Endpoint {
+    double value = 0;
+    bool closed = true;
+    uint32_t cell = 0;
+  };
+  struct DimEntries {
+    std::vector<Endpoint> by_lo;  // cells with a finite lower bound, asc
+    std::vector<Endpoint> by_hi;  // cells with a finite upper bound, asc
+  };
+
+  std::unordered_map<uint32_t, DimEntries> dims_;  // keyed by DimDict id
+  std::vector<uint64_t> cell_fps_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> fp_cells_;
+};
+
+/// Predicate::And(a, b) with the (ca, cb) pairs whose hulls are disjoint
+/// skipped via `a_index`. Bit-identical to the brute-force product: pruned
+/// pairs contribute no conjunct there either, so the surviving adds, the
+/// budget check sequence, and the final Reduce all see the same input.
+/// Falls back to Predicate::And when `a_index` is null.
+Result<Predicate> IndexedAnd(const Predicate& a, const CellIndex* a_index,
+                             const Predicate& b, const SymbolicBudget& budget,
+                             PruneStats* stats = nullptr);
+
+}  // namespace eva::symbolic
+
+#endif  // EVA_SYMBOLIC_CELL_INDEX_H_

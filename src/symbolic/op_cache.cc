@@ -1,0 +1,41 @@
+#include "symbolic/op_cache.h"
+
+#include "symbolic/predicate_intern.h"
+
+namespace eva::symbolic {
+
+OpCache::Entry* OpCache::Find(uint64_t epoch, uint64_t qhash,
+                              const Predicate& q) {
+  auto it = map_.find(Key{epoch, qhash});
+  if (it == map_.end()) return nullptr;
+  if (!PredicateIdentical(it->second.query, q)) return nullptr;
+  return &it->second;
+}
+
+OpCache::Entry* OpCache::Insert(uint64_t epoch, uint64_t qhash,
+                                const Predicate& q) {
+  Key key{epoch, qhash};
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    while (map_.size() >= max_entries_ && !fifo_.empty()) {
+      if (map_.erase(fifo_.front()) > 0) ++stats.evictions;
+      fifo_.pop_front();
+    }
+    it = map_.emplace(key, Entry{}).first;
+    fifo_.push_back(key);
+    ++stats.insertions;
+  } else {
+    // Hash-collision overwrite (different query, same slot): start fresh.
+    it->second = Entry{};
+  }
+  it->second.epoch = epoch;
+  it->second.query = q;
+  return &it->second;
+}
+
+void OpCache::Clear() {
+  map_.clear();
+  fifo_.clear();
+}
+
+}  // namespace eva::symbolic

@@ -1,0 +1,84 @@
+#ifndef EVA_SYMBOLIC_OP_CACHE_H_
+#define EVA_SYMBOLIC_OP_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "symbolic/predicate.h"
+
+namespace eva::symbolic {
+
+/// Epoch-tagged cache of Inter/Diff results against stored coverage
+/// predicates. Keys are (coverage epoch, canonical query hash); the epoch
+/// is a manager-wide monotone counter stamped on every real coverage
+/// mutation, so any update/retraction/recovery moves the coverage to a key
+/// no cached entry carries — stale results are unreachable by
+/// construction. Entries store the query predicate itself and every hit is
+/// verified cell-for-cell before replay, so hash collisions degrade to
+/// misses. Budget-exhaustion Statuses are cached and replayed exactly like
+/// successes: the brute-force engine would fail the same way again.
+///
+/// Shared across fleet sessions through the service's single executor and
+/// therefore accessed only from the driver thread, like every other
+/// UdfManager structure — no locking, and the copy taken for plain EXPLAIN
+/// is plain member-wise copy.
+class OpCache {
+ public:
+  struct Entry {
+    uint64_t epoch = 0;
+    Predicate query;  // verified structurally on every hit
+    bool has_inter = false;
+    bool has_diff = false;
+    Status inter_status;
+    Status diff_status;
+    Predicate inter_value;
+    Predicate diff_value;
+  };
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t insertions = 0;
+    int64_t evictions = 0;
+  };
+
+  explicit OpCache(size_t max_entries = 1024) : max_entries_(max_entries) {}
+
+  /// Entry for (epoch, qhash) whose stored query equals `q` cell-for-cell;
+  /// nullptr otherwise (including verification failure).
+  Entry* Find(uint64_t epoch, uint64_t qhash, const Predicate& q);
+
+  /// Inserts (or overwrites) the slot for (epoch, qhash), evicting the
+  /// oldest entries past capacity, and returns it for the caller to fill.
+  Entry* Insert(uint64_t epoch, uint64_t qhash, const Predicate& q);
+
+  void Clear();
+
+  size_t size() const { return map_.size(); }
+
+  Stats stats;
+
+ private:
+  struct Key {
+    uint64_t epoch = 0;
+    uint64_t qhash = 0;
+    bool operator==(const Key& o) const {
+      return epoch == o.epoch && qhash == o.qhash;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(k.epoch * 0x9e3779b97f4a7c15ULL ^ k.qhash);
+    }
+  };
+
+  size_t max_entries_;
+  std::unordered_map<Key, Entry, KeyHash> map_;
+  std::deque<Key> fifo_;  // insertion order; may hold keys already evicted
+};
+
+}  // namespace eva::symbolic
+
+#endif  // EVA_SYMBOLIC_OP_CACHE_H_

@@ -108,7 +108,23 @@ class Predicate {
 
   /// Algorithm 1: per-conjunct reduction happened at construction; this
   /// runs the pairwise ReduceUnionConjunctives loop to fixpoint (or budget).
-  void Reduce(const SymbolicBudget& budget = {});
+  /// Returns true when the loop reached a fixpoint (no pair reduces),
+  /// false when it stopped on the pass budget with work remaining.
+  bool Reduce(const SymbolicBudget& budget = {});
+
+  /// In-place Or(*this, q) followed by an incremental Reduce that only
+  /// revisits pairs involving a changed cell. REQUIRES *this to be at
+  /// Reduce fixpoint (pairs of untouched cells then provably cannot
+  /// reduce, and the pairwise scan visits reducible pairs in the same
+  /// order as a full Reduce) — callers track that bit and fall back to
+  /// Union + Reduce when it is unknown. Bit-identical to
+  /// Union(*this, q, budget) by construction; this is what lets streaming
+  /// ticks extend the frame-id horizon atom in place instead of paying the
+  /// full O(cells^2) re-reduction per flush. Returns whether the predicate
+  /// changed cell-for-cell; sets *reached_fixpoint like Reduce's return.
+  bool UnionIncrementalInPlace(const Predicate& q,
+                               const SymbolicBudget& budget,
+                               bool* reached_fixpoint);
 
   bool Evaluate(const ValueLookup& lookup) const;
 

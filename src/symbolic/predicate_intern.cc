@@ -1,0 +1,105 @@
+#include "symbolic/predicate_intern.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace eva::symbolic {
+
+namespace {
+
+uint64_t MixDouble(uint64_t h, double v) {
+  if (v == 0.0) v = 0.0;  // collapse -0.0 onto +0.0
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return FnvMix64(h, bits);
+}
+
+uint64_t MixString(uint64_t h, const std::string& s) {
+  h = FnvMix64(h, s.size());
+  return FnvMixBytes(h, s.data(), s.size());
+}
+
+uint64_t MixBound(uint64_t h, const Bound& b) {
+  if (b.infinite) return FnvMix64(h, 0x7f);
+  h = FnvMix64(h, b.closed ? 1 : 2);
+  return MixDouble(h, b.value);
+}
+
+}  // namespace
+
+DimDict& DimDict::Global() {
+  static DimDict* dict = new DimDict();
+  return *dict;
+}
+
+uint32_t DimDict::Intern(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+std::string DimDict::NameOf(uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= names_.size()) return "";
+  return names_[id];
+}
+
+uint64_t FingerprintConstraint(const DimConstraint& c) {
+  uint64_t h = kFnvOffsetBasis;
+  h = FnvMix64(h, static_cast<uint64_t>(c.kind()));
+  if (c.is_categorical()) {
+    h = FnvMix64(h, c.categorical_exclude() ? 1 : 0);
+    h = FnvMix64(h, c.categorical_values().size());
+    for (const std::string& v : c.categorical_values()) h = MixString(h, v);
+    return h;
+  }
+  h = MixBound(h, c.interval().lo());
+  h = MixBound(h, c.interval().hi());
+  h = FnvMix64(h, c.excluded_points().size());
+  for (double p : c.excluded_points()) h = MixDouble(h, p);
+  return h;
+}
+
+uint64_t FingerprintCell(const Conjunct& c) {
+  uint64_t h = kFnvOffsetBasis;
+  h = FnvMix64(h, c.dims().size());
+  for (const auto& [dim, constraint] : c.dims()) {
+    h = MixString(h, dim);
+    h = FnvMix64(h, FingerprintConstraint(constraint));
+  }
+  return h;
+}
+
+uint64_t FingerprintPredicate(const Predicate& p) {
+  uint64_t h = kFnvOffsetBasis;
+  h = FnvMix64(h, p.conjuncts().size());
+  for (const Conjunct& c : p.conjuncts()) {
+    h = FnvMix64(h, FingerprintCell(c));
+  }
+  return h;
+}
+
+uint64_t CanonicalPredicateHash(const Predicate& p) {
+  std::vector<uint64_t> fps;
+  fps.reserve(p.conjuncts().size());
+  for (const Conjunct& c : p.conjuncts()) fps.push_back(FingerprintCell(c));
+  std::sort(fps.begin(), fps.end());
+  uint64_t h = kFnvOffsetBasis;
+  h = FnvMix64(h, fps.size());
+  for (uint64_t fp : fps) h = FnvMix64(h, fp);
+  return h;
+}
+
+bool PredicateIdentical(const Predicate& a, const Predicate& b) {
+  if (a.conjuncts().size() != b.conjuncts().size()) return false;
+  for (size_t i = 0; i < a.conjuncts().size(); ++i) {
+    if (!a.conjuncts()[i].Equals(b.conjuncts()[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace eva::symbolic

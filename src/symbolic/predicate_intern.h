@@ -1,0 +1,68 @@
+#ifndef EVA_SYMBOLIC_PREDICATE_INTERN_H_
+#define EVA_SYMBOLIC_PREDICATE_INTERN_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "symbolic/predicate.h"
+
+namespace eva::symbolic {
+
+/// FNV-1a over raw bytes. Fingerprints are in-process only (cache keys and
+/// duplicate-cell prefilters); every hit is re-verified structurally, so a
+/// collision can cost a recomputation but never a wrong result.
+inline constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+inline constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+inline uint64_t FnvMixBytes(uint64_t h, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t FnvMix64(uint64_t h, uint64_t v) {
+  return FnvMixBytes(h, &v, sizeof(v));
+}
+
+/// Process-wide dimension-name dictionary: interns column / UDF-output
+/// names to dense 32-bit ids so the per-dimension interval index keys its
+/// endpoint lists by integer instead of string. Ids are stable for the
+/// process lifetime and never persisted.
+class DimDict {
+ public:
+  static DimDict& Global();
+
+  uint32_t Intern(const std::string& name);
+  /// Name for an interned id (debugging / rendering).
+  std::string NameOf(uint32_t id) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+/// Structural fingerprints of the predicate algebra's building blocks.
+/// Doubles are hashed by bit pattern with -0.0 normalized to +0.0 so
+/// syntactically equal constraints always collide.
+uint64_t FingerprintConstraint(const DimConstraint& c);
+uint64_t FingerprintCell(const Conjunct& c);
+/// Order-sensitive fingerprint of the DNF cell list (change detection).
+uint64_t FingerprintPredicate(const Predicate& p);
+/// Order-insensitive canonical hash (sorted cell fingerprints) — the
+/// remainder-cache key, so reordered-but-equal queries share a slot.
+uint64_t CanonicalPredicateHash(const Predicate& p);
+
+/// Cell-for-cell structural equality in order; the authoritative check run
+/// on every cache hit before a stored result is replayed.
+bool PredicateIdentical(const Predicate& a, const Predicate& b);
+
+}  // namespace eva::symbolic
+
+#endif  // EVA_SYMBOLIC_PREDICATE_INTERN_H_

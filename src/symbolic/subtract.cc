@@ -1,9 +1,16 @@
 #include "symbolic/subtract.h"
 
+#include "symbolic/cell_index.h"
+
 namespace eva::symbolic {
 
 std::vector<Conjunct> SubtractConjunct(const Conjunct& c, const Conjunct& w) {
-  // Disjoint from w: nothing to carve.
+  // Disjoint from w: nothing to carve. The hull comparison settles the
+  // common case (eviction retracts frame-id ranges most coverage cells
+  // never touch) without building the full intersection; a true
+  // HullDisjoint implies Intersect returns nullopt, so both tests pick the
+  // same branch.
+  if (HullDisjoint(c, w)) return {c};
   if (!c.Intersect(w).has_value()) return {c};
   // Swallowed by w: nothing left.
   if (c.IsSubsetOf(w)) return {};
